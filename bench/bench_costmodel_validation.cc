@@ -1,0 +1,67 @@
+// Reproduces the paper's §VI-F cost-model validation: fine-grained run
+// metrics feed the analytical model (Eqs. 1-7); the prediction is compared
+// against the billing ledger's "actual" charges (the simulation's AWS Cost
+// & Usage report), for N = 16384, P = 20, both channels.
+//
+// Paper example (N=16384, P=20, 10k samples):
+//   FSD-Inf-Queue : Pred (Comp $0.10, Comms $0.25, Total $0.35) == Actual
+//   FSD-Inf-Object: Pred (Comp $0.09, Comms $0.28, Total $0.37) == Actual
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "common/strings.h"
+
+using namespace fsd;
+using bench::ScaleConfig;
+
+int main() {
+  const ScaleConfig scale = ScaleConfig::FromEnv();
+  const int32_t neurons = 16384;
+  const int32_t workers = 20;
+  const bench::Workload& workload = bench::GetWorkload(neurons, scale);
+  const part::ModelPartition& partition = bench::GetPartition(
+      neurons, workers, part::PartitionScheme::kHypergraph, scale);
+
+  bench::PrintHeader(
+      StrFormat("COST MODEL VALIDATION (§VI-F) — N=%d, P=%d, L=%d, batch=%d",
+                neurons, workers, workload.dnn.layers(), workload.batch),
+      "predicted (Eqs. 1-7 from run metrics) vs actual (billing ledger)");
+
+  std::printf("%-16s | %-12s %-12s %-12s | %-12s %-12s %-12s | %s\n",
+              "Variant", "Pred Comp", "Pred Comms", "Pred Total", "Act Comp",
+              "Act Comms", "Act Total", "rel.err");
+  bench::PrintRule();
+
+  const cloud::PricingConfig pricing;
+  for (core::Variant variant :
+       {core::Variant::kQueue, core::Variant::kObject}) {
+    core::FsdOptions options;
+    options.variant = variant;
+    options.num_workers = workers;
+    core::InferenceReport report = bench::RunFsd(workload, partition, options);
+    // The ledger delta includes the one-off model-share reads; the paper
+    // filters its cost reports to the relevant line items, so remove them.
+    const double model_gets =
+        report.billing.quantity(cloud::BillingDimension::kObjectGet) -
+        static_cast<double>(report.metrics.totals.gets);
+    const double actual_comms =
+        report.billing.comm_cost - model_gets * pricing.object_per_get;
+    const double actual_total = report.billing.faas_cost + actual_comms;
+    const double rel_err =
+        std::abs(report.predicted.total - actual_total) /
+        std::max(1e-12, actual_total);
+    std::printf(
+        "%-16s | %-12s %-12s %-12s | %-12s %-12s %-12s | %.2f%%\n",
+        std::string(core::VariantName(variant)).c_str(),
+        HumanDollars(report.predicted.compute).c_str(),
+        HumanDollars(report.predicted.communication).c_str(),
+        HumanDollars(report.predicted.total).c_str(),
+        HumanDollars(report.billing.faas_cost).c_str(),
+        HumanDollars(actual_comms).c_str(),
+        HumanDollars(actual_total).c_str(), rel_err * 100.0);
+  }
+  std::printf(
+      "\nPaper result: predictions match actual charges to the cent for "
+      "both variants.\n");
+  return 0;
+}

@@ -1,0 +1,106 @@
+// Reproduces paper Figure 4: daily cost vs query volume for FSD-Inference,
+// Server-Always-On and Server-Job-Scoped. Queries are evenly spread over
+// the model widths N = 1024..65536 (each query processes one batch).
+//
+// Paper shapes: Server-Always-On is a flat ~$98/day (2 x c5.12xlarge);
+// FSD-Inference is far cheaper until ~4M samples/day; Server-Job-Scoped is
+// marginally cheaper than FSD but suffers crippling latency (Fig. 5).
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "common/strings.h"
+
+using namespace fsd;
+using bench::ScaleConfig;
+
+int main() {
+  const ScaleConfig scale = ScaleConfig::FromEnv();
+  bench::PrintHeader(
+      "FIGURE 4 — Daily cost ($) vs query volume (thousands of samples/day)",
+      "queries evenly spread over N in {1024, 4096, 16384, 65536}");
+
+  const cloud::PricingConfig pricing;
+  const std::vector<int32_t> neuron_counts = scale.NeuronCounts();
+
+  // Calibration: measured per-sample cost of the best FSD variant and the
+  // per-sample job-scoped cost, per N. Per §IV-C the best FSD variant for
+  // each query is picked by cost/performance (serial for small models,
+  // parallel channels beyond).
+  std::map<int32_t, double> fsd_cost_per_sample;
+  std::map<int32_t, double> js_cost_per_sample;
+  for (int32_t neurons : neuron_counts) {
+    const bench::Workload& workload = bench::GetWorkload(neurons, scale);
+
+    double best = -1.0;
+    if (bench::SerialFitsPaperScale(neurons)) {
+      // FSD-Inf-Serial candidate.
+      const part::ModelPartition& single = bench::GetPartition(
+          neurons, 1, part::PartitionScheme::kBlock, scale);
+      core::FsdOptions options;
+      options.variant = core::Variant::kSerial;
+      options.num_workers = 1;
+      core::InferenceReport report =
+          bench::RunFsd(workload, single, options);
+      if (report.status.ok()) {
+        best = report.billing.total_cost / report.total_samples;
+      }
+    }
+    for (core::Variant variant :
+         {core::Variant::kQueue, core::Variant::kObject}) {
+      // Paper-preferred parallelism for cost: a moderate P.
+      const int32_t workers = 20;
+      const part::ModelPartition& partition = bench::GetPartition(
+          neurons, workers, part::PartitionScheme::kHypergraph, scale);
+      core::FsdOptions options;
+      options.variant = variant;
+      options.num_workers = workers;
+      core::InferenceReport report =
+          bench::RunFsd(workload, partition, options);
+      if (!report.status.ok()) continue;
+      const double per_sample =
+          report.billing.total_cost / report.total_samples;
+      if (best < 0.0 || per_sample < best) best = per_sample;
+    }
+    fsd_cost_per_sample[neurons] = best;
+
+    // Job-scoped: boot + load + compute on the paper's per-N instance.
+    sim::Simulation sim;
+    cloud::CloudEnv cloud(&sim);
+    baselines::ServerRunOptions options;
+    options.job_scoped = true;
+    options.residence = baselines::ModelResidence::kObject;
+    options.precomputed_stats = &workload.stats;
+    auto report = baselines::RunServerInference(&cloud, workload.dnn,
+                                                workload.input, options);
+    FSD_CHECK_OK(report.status());
+    js_cost_per_sample[neurons] = report->job_cost / workload.batch;
+  }
+
+  // Always-on fleet: 2 x c5.12xlarge for 24 h, load-independent.
+  const double always_on_daily =
+      2 * 24.0 * pricing.vm_hourly.at("c5.12xlarge");
+
+  std::printf("%12s | %-12s %-16s %-16s\n", "k-samples/d", "FSD-Inference",
+              "Server-Always-On", "Server-Job-Scoped");
+  bench::PrintRule();
+  for (int64_t thousands : {10, 20, 40, 80, 160, 320, 640, 1280, 2560, 5120}) {
+    const double samples_per_day = thousands * 1000.0;
+    const double share = samples_per_day / neuron_counts.size();
+    double fsd = 0.0, js = 0.0;
+    for (int32_t neurons : neuron_counts) {
+      fsd += share * fsd_cost_per_sample[neurons];
+      js += share * js_cost_per_sample[neurons];
+    }
+    std::printf("%12lld | %-12s %-16s %-16s%s\n",
+                static_cast<long long>(thousands),
+                StrFormat("$%.2f", fsd).c_str(),
+                StrFormat("$%.2f", always_on_daily).c_str(),
+                StrFormat("$%.2f", js).c_str(),
+                fsd < always_on_daily ? "" : "   <- FSD crossover passed");
+  }
+  std::printf(
+      "\nPaper shapes: always-on flat (~$98/day at current prices); FSD far\n"
+      "cheaper at low volume, crossing over near ~4M samples/day; JS "
+      "marginally\ncheaper than FSD but with the Fig. 5 latency penalty.\n");
+  return 0;
+}

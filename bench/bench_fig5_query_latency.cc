@@ -1,0 +1,89 @@
+// Reproduces paper Figure 5: batch query latency of FSD-Inference vs the
+// server-based baselines and H-SpFF, per model width.
+//
+// Platforms:
+//   FSD-Inf : best parallel FSD configuration (cheapest-latency P/channel)
+//   AO-Cold : Server-Always-On, model fetched from object storage
+//   AO-Hot  : Server-Always-On, 50% in-memory + 50% EBS (paper §VI-C2)
+//   JS      : Server-Job-Scoped (boot + load + compute, then terminate)
+//   H-SpFF  : hypergraph-partitioned MPI engine on an HPC cluster
+//
+// Paper shapes: JS is far slowest everywhere (boot dominates); AO-Hot wins
+// for small N; FSD overtakes AO-Hot by N=16384 and at N=65536 approaches
+// H-SpFF (~40% slower) while beating every server baseline.
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "common/strings.h"
+
+using namespace fsd;
+using bench::ScaleConfig;
+
+namespace {
+
+double ServerLatency(const bench::Workload& workload,
+                     baselines::ModelResidence residence, bool job_scoped) {
+  sim::Simulation sim;
+  cloud::CloudEnv cloud(&sim);
+  baselines::ServerRunOptions options;
+  options.residence = residence;
+  options.job_scoped = job_scoped;
+  options.precomputed_stats = &workload.stats;
+  auto report =
+      baselines::RunServerInference(&cloud, workload.dnn, workload.input,
+                                    options);
+  FSD_CHECK_OK(report.status());
+  return report->latency_s;
+}
+
+}  // namespace
+
+int main() {
+  const ScaleConfig scale = ScaleConfig::FromEnv();
+  bench::PrintHeader(
+      "FIGURE 5 — Query latency (s): FSD-Inf vs AO-Cold / AO-Hot / JS / "
+      "H-SpFF",
+      "AO-Hot = 0.5 x in-memory + 0.5 x EBS load, per the paper's model");
+
+  std::printf("%7s | %-10s %-10s %-10s %-10s %-10s\n", "N", "FSD-Inf",
+              "AO-Cold", "AO-Hot", "JS", "H-SpFF");
+  bench::PrintRule();
+  for (int32_t neurons : scale.NeuronCounts()) {
+    const bench::Workload& workload = bench::GetWorkload(neurons, scale);
+
+    // FSD-Inf: best parallel configuration over the P sweep. The queue
+    // channel's runtime profile tracks the object channel's closely
+    // (Fig. 6), so the latency sweep uses one channel.
+    double fsd = -1.0;
+    {
+      // Two representative P points bracket the optimum (the full sweep is
+      // bench_fig6_scaling's job).
+      auto sweep = bench::SweepWorkers(neurons, core::Variant::kQueue, scale,
+                                       {20, 62});
+      for (auto& [workers, report] : sweep) {
+        if (!report.status.ok()) continue;
+        if (fsd < 0.0 || report.latency_s < fsd) fsd = report.latency_s;
+      }
+    }
+
+    const double ao_cold =
+        ServerLatency(workload, baselines::ModelResidence::kObject, false);
+    const double ao_hot =
+        0.5 * ServerLatency(workload, baselines::ModelResidence::kMemory,
+                            false) +
+        0.5 * ServerLatency(workload, baselines::ModelResidence::kEbs, false);
+    const double js =
+        ServerLatency(workload, baselines::ModelResidence::kObject, true);
+    const baselines::HspffReport hpc = baselines::EstimateHspff(
+        workload.dnn, workload.stats, workload.batch,
+        cloud::ComputeModelConfig{});
+
+    std::printf("%7d | %-10.2f %-10.2f %-10.2f %-10.2f %-10.2f\n", neurons,
+                fsd, ao_cold, ao_hot, js, hpc.latency_s);
+  }
+  std::printf(
+      "\nPaper shapes: JS slowest everywhere; AO-Hot fastest for small N;\n"
+      "FSD-Inf overtakes AO-Hot by N=16384 and closes on H-SpFF at "
+      "N=65536.\n");
+  return 0;
+}

@@ -1,0 +1,108 @@
+// Reproduces paper Table II: end-to-end per-sample runtime (ms) of the
+// optimal parallel FSD-Inference variant, FSD-Inf-Serial, and Sage-SL-Inf
+// per model width. Also reports the endpoint caps Sage hits (the paper's
+// footnote: Sage only served 8000/2500/1000 of 10000 samples, and failed
+// entirely at N = 65536, as did Serial).
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "common/strings.h"
+
+using namespace fsd;
+using bench::ScaleConfig;
+
+int main() {
+  const ScaleConfig scale = ScaleConfig::FromEnv();
+  bench::PrintHeader(
+      "TABLE II — End-to-end per-sample runtime (ms): FSD-Inf-Parallel vs "
+      "FSD-Inf-Serial vs Sage-SL-Inf",
+      "paper values: N=1024: 6.43/2.00/2.26*  4096: 8.22/7.88/10.06*  "
+      "16384: 12.97/32.62/37.07*  65536: 23.53/-/-");
+
+  std::printf("%7s | %-16s %-14s %-16s\n", "N", "FSD-Inf-Parallel",
+              "FSD-Inf-Serial", "Sage-SL-Inf");
+  bench::PrintRule();
+
+  for (int32_t neurons : scale.NeuronCounts()) {
+    const bench::Workload& workload = bench::GetWorkload(neurons, scale);
+
+    // Optimal parallel config: best per-sample time across the queue-channel
+    // P sweep plus one object-channel point (the two channels' runtimes
+    // track each other per Fig. 6; cost differs, not covered here).
+    double best_parallel = -1.0;
+    {
+      // Two representative P points bracket the optimum (the full sweep is
+      // bench_fig6_scaling's job).
+      auto sweep = bench::SweepWorkers(neurons, core::Variant::kQueue, scale,
+                                       {20, 62});
+      for (auto& [workers, report] : sweep) {
+        if (!report.status.ok()) continue;
+        if (best_parallel < 0.0 || report.per_sample_ms < best_parallel) {
+          best_parallel = report.per_sample_ms;
+        }
+      }
+      const part::ModelPartition& p42 = bench::GetPartition(
+          neurons, 42, part::PartitionScheme::kHypergraph, scale);
+      core::FsdOptions options;
+      options.variant = core::Variant::kObject;
+      options.num_workers = 42;
+      core::InferenceReport report =
+          bench::RunFsd(workload, p42, options);
+      if (report.status.ok() &&
+          (best_parallel < 0.0 || report.per_sample_ms < best_parallel)) {
+        best_parallel = report.per_sample_ms;
+      }
+    }
+
+    // FSD-Inf-Serial: single 10240 MB instance. Feasibility is gated at
+    // paper dimensions (120 layers, 10k batch): N=65536 exceeds the cap
+    // there even though the layer-reduced bench model would fit.
+    std::string serial = "-";
+    if (bench::SerialFitsPaperScale(neurons)) {
+      const part::ModelPartition& single = bench::GetPartition(
+          neurons, 1, part::PartitionScheme::kBlock, scale);
+      core::FsdOptions options;
+      options.variant = core::Variant::kSerial;
+      options.num_workers = 1;
+      core::InferenceReport report = bench::RunFsd(workload, single, options);
+      if (report.status.ok()) {
+        serial = StrFormat("%.3f", report.per_sample_ms);
+      }
+    } else {
+      serial = "- (exceeds 10 GB FaaS cap)";
+    }
+
+    // Sage-SL-Inf: 6 GB / 6 MB / 60 s endpoint; memory gate likewise at
+    // paper-scale model size.
+    std::string sage;
+    const double sage_model_mb =
+        bench::PaperScaleModelBytes(neurons) * 1.6 / (1024.0 * 1024.0);
+    if (sage_model_mb > 6144.0) {
+      sage = "- (model exceeds 6 GB endpoint)";
+    } else {
+      sim::Simulation sim;
+      cloud::CloudEnv cloud(&sim);
+      const baselines::SageReport report = baselines::RunSageServerless(
+          &cloud, workload.dnn, workload.stats, workload.batch);
+      if (report.served_samples == 0) {
+        sage = StrFormat("- (%s)",
+                         std::string(StatusCodeToString(report.status.code()))
+                             .c_str());
+      } else if (!report.status.ok()) {
+        sage = StrFormat("%.3f* (%d/%d samples)", report.per_sample_ms,
+                         report.served_samples, report.requested_samples);
+      } else {
+        sage = StrFormat("%.3f", report.per_sample_ms);
+      }
+    }
+
+    std::printf("%7d | %-16s %-14s %-16s\n", neurons,
+                best_parallel < 0 ? "-"
+                                  : StrFormat("%.3f", best_parallel).c_str(),
+                serial.c_str(), sage.c_str());
+  }
+  std::printf(
+      "\nPaper shapes: Serial wins at N<=4096; Parallel wins from N=16384;\n"
+      "Serial and Sage cannot run N=65536 at all.\n");
+  return 0;
+}

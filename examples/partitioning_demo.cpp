@@ -1,0 +1,79 @@
+// Partitioning demo: why FSD-Inference adapts hypergraph partitioning
+// (paper §III, Table III). Partitions one model three ways and shows the
+// static communication volume each scheme implies, then runs the object
+// channel under the best and worst schemes to show the end-to-end effect.
+//
+//   $ ./examples/partitioning_demo
+#include <cstdio>
+
+#include "cloud/cloud.h"
+#include "common/strings.h"
+#include "core/runtime.h"
+#include "model/input_gen.h"
+#include "part/model_partition.h"
+
+int main() {
+  using namespace fsd;
+
+  model::SparseDnnConfig mc;
+  mc.neurons = 4096;
+  mc.layers = 12;
+  auto dnn = model::GenerateSparseDnn(mc);
+  model::InputConfig ic;
+  ic.neurons = mc.neurons;
+  ic.batch = 128;
+  auto input = model::GenerateInputBatch(ic);
+  const int32_t workers = 16;
+
+  std::printf("Partitioning a %d-neuron, %d-layer sparse DNN across %d "
+              "workers:\n\n",
+              mc.neurons, mc.layers, workers);
+  std::printf("%-10s %-22s %-12s\n", "Scheme", "rows shipped per batch",
+              "imbalance");
+
+  std::map<part::PartitionScheme, part::ModelPartition> partitions;
+  for (part::PartitionScheme scheme :
+       {part::PartitionScheme::kHypergraph, part::PartitionScheme::kBlock,
+        part::PartitionScheme::kRandom}) {
+    part::ModelPartitionOptions options;
+    options.scheme = scheme;
+    auto partition = part::PartitionModel(*dnn, workers, options);
+    std::printf("%-10s %-22lld %-12.3f\n",
+                std::string(part::PartitionSchemeName(scheme)).c_str(),
+                static_cast<long long>(partition->total_row_transfers),
+                partition->imbalance);
+    partitions.emplace(scheme, std::move(*partition));
+  }
+
+  std::printf("\nEnd-to-end effect (FSD-Inf-Object):\n");
+  std::printf("%-10s %-12s %-14s %-12s\n", "Scheme", "ms/sample",
+              "bytes on wire", "comm $");
+  for (part::PartitionScheme scheme :
+       {part::PartitionScheme::kHypergraph, part::PartitionScheme::kRandom}) {
+    sim::Simulation sim;
+    cloud::CloudEnv cloud(&sim);
+    core::InferenceRequest request;
+    request.dnn = &*dnn;
+    request.partition = &partitions.at(scheme);
+    request.batches = {&*input};
+    request.options.variant = core::Variant::kObject;
+    request.options.num_workers = workers;
+    auto report = core::RunInference(&cloud, request);
+    if (!report.ok() || !report->status.ok()) {
+      std::printf("%-10s FAILED\n",
+                  std::string(part::PartitionSchemeName(scheme)).c_str());
+      continue;
+    }
+    std::printf("%-10s %-12.3f %-14s %-12s\n",
+                std::string(part::PartitionSchemeName(scheme)).c_str(),
+                report->per_sample_ms,
+                HumanBytes(static_cast<double>(
+                               report->metrics.totals.send_wire_bytes))
+                    .c_str(),
+                HumanDollars(report->billing.comm_cost).c_str());
+  }
+  std::printf(
+      "\nHypergraph partitioning both balances compute and minimizes the\n"
+      "rows crossing worker boundaries — the paper's Table III effect.\n");
+  return 0;
+}

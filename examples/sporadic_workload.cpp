@@ -1,0 +1,113 @@
+// Sporadic inference workload (the paper's §I / §VI-C motivating scenario):
+// ad-hoc queries over mixed model sizes arrive irregularly through a day.
+// For each query the runtime picks the FSD-Inference variant recommended by
+// the cost model (§IV-C), and the day's serverless bill is compared against
+// keeping an always-on server fleet or booting job-scoped VMs.
+//
+//   $ ./examples/sporadic_workload
+#include <cstdio>
+#include <map>
+
+#include "baselines/server.h"
+#include "cloud/cloud.h"
+#include "common/strings.h"
+#include "core/cost_model.h"
+#include "core/runtime.h"
+#include "model/input_gen.h"
+
+int main() {
+  using namespace fsd;
+
+  // Two model families a day of queries alternates between.
+  struct Family {
+    model::SparseDnn dnn;
+    part::ModelPartition partition;
+    part::ModelPartition serial_partition;
+    linalg::ActivationMap input;
+    core::Variant recommended;
+  };
+  std::map<int32_t, Family> families;
+  for (int32_t neurons : {1024, 4096}) {
+    model::SparseDnnConfig mc;
+    mc.neurons = neurons;
+    mc.layers = 16;
+    auto dnn = model::GenerateSparseDnn(mc);
+    part::ModelPartitionOptions po;
+    auto partition = part::PartitionModel(*dnn, 12, po);
+    auto serial = part::PartitionModel(*dnn, 1, po);
+    model::InputConfig ic;
+    ic.neurons = neurons;
+    ic.batch = 96;
+    auto input = model::GenerateInputBatch(ic);
+    core::FsdOptions probe_options;
+    const core::WorkloadEstimate estimate = core::EstimateWorkload(
+        *dnn, *partition, probe_options, /*activation_density=*/0.3,
+        ic.batch);
+    families.emplace(neurons, Family{std::move(*dnn), std::move(*partition),
+                                     std::move(*serial), std::move(*input),
+                                     core::RecommendVariant(*dnn, 12,
+                                                            estimate)});
+  }
+
+  // A sporadic day: bursts in the morning, quiet afternoon, evening spike.
+  // (Arrival times are illustrative; cost depends only on the query mix.)
+  struct Query {
+    double hour;
+    int32_t neurons;
+  };
+  const std::vector<Query> day = {
+      {0.4, 1024}, {2.1, 4096},  {2.2, 4096},  {2.3, 1024}, {9.0, 4096},
+      {9.1, 1024}, {15.7, 4096}, {21.0, 1024}, {21.1, 4096}, {21.2, 4096},
+  };
+
+  sim::Simulation sim;
+  cloud::CloudEnv cloud(&sim);
+  double fsd_daily = 0.0;
+  double js_daily = 0.0;
+  std::printf("%-6s %-7s %-16s %-12s %-12s\n", "hour", "N", "variant",
+              "latency s", "query $");
+  for (const Query& query : day) {
+    Family& family = families.at(query.neurons);
+    core::InferenceRequest request;
+    request.dnn = &family.dnn;
+    const bool serial = family.recommended == core::Variant::kSerial;
+    request.partition =
+        serial ? &family.serial_partition : &family.partition;
+    request.batches = {&family.input};
+    request.options.variant = family.recommended;
+    request.options.num_workers = serial ? 1 : 12;
+    auto report = core::RunInference(&cloud, request);
+    if (!report.ok() || !report->status.ok()) {
+      std::printf("%.1f    query failed\n", query.hour);
+      continue;
+    }
+    fsd_daily += report->billing.total_cost;
+    std::printf("%-6.1f %-7d %-16s %-12.3f %-12s\n", query.hour,
+                query.neurons,
+                std::string(core::VariantName(family.recommended)).c_str(),
+                report->latency_s,
+                HumanDollars(report->billing.total_cost).c_str());
+
+    // What the same query costs on a job-scoped VM.
+    sim::Simulation js_sim;
+    cloud::CloudEnv js_cloud(&js_sim);
+    baselines::ServerRunOptions js;
+    js.job_scoped = true;
+    js.residence = baselines::ModelResidence::kObject;
+    auto js_report = baselines::RunServerInference(&js_cloud, family.dnn,
+                                                   family.input, js);
+    if (js_report.ok()) js_daily += js_report->job_cost;
+  }
+
+  const double always_on_daily =
+      2 * 24.0 * cloud.billing().pricing().vm_hourly.at("c5.12xlarge");
+  std::printf("\nDaily bill for this sporadic mix:\n");
+  std::printf("  FSD-Inference (auto-variant): %s\n",
+              HumanDollars(fsd_daily).c_str());
+  std::printf("  Server-Job-Scoped           : %s (plus ~1 min boot per "
+              "query)\n",
+              HumanDollars(js_daily).c_str());
+  std::printf("  Server-Always-On (2x c5.12xlarge): %s\n",
+              HumanDollars(always_on_daily).c_str());
+  return 0;
+}

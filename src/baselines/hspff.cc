@@ -1,0 +1,20 @@
+#include "baselines/hspff.h"
+
+namespace fsd::baselines {
+
+HspffReport EstimateHspff(const model::SparseDnn& dnn,
+                          const model::ReferenceStats& stats, int32_t batch,
+                          const cloud::ComputeModelConfig& compute,
+                          const HspffConfig& config) {
+  HspffReport report;
+  const double cores = static_cast<double>(config.nodes) *
+                       config.cores_per_node * config.parallel_efficiency;
+  const double rate =
+      1e9 * compute.gflops_per_vcpu * config.core_speed_ratio * cores;
+  report.latency_s = stats.total_flops / rate +
+                     static_cast<double>(dnn.layers()) * config.per_layer_comm_s;
+  report.per_sample_ms = report.latency_s * 1000.0 / batch;
+  return report;
+}
+
+}  // namespace fsd::baselines

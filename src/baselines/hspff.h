@@ -1,0 +1,41 @@
+// H-SpFF baseline (paper §VI-B): the hypergraph-partitioned sparse
+// feed-forward inference engine of Demirci & Ferhatosmanoglu (ICS'21)
+// running on an on-premise HPC cluster with MPI over a fast interconnect.
+//
+// No cloud services are involved (the paper reports no cost for H-SpFF), so
+// the baseline is an analytic latency model: distributed compute at HPC
+// parallel efficiency plus per-layer MPI exchange overheads.
+#ifndef FSD_BASELINES_HSPFF_H_
+#define FSD_BASELINES_HSPFF_H_
+
+#include "cloud/faas.h"
+#include "model/reference.h"
+#include "model/sparse_dnn.h"
+
+namespace fsd::baselines {
+
+struct HspffConfig {
+  int32_t nodes = 4;
+  int32_t cores_per_node = 24;
+  /// Parallel efficiency of the hypergraph-partitioned MPI execution.
+  double parallel_efficiency = 0.7;
+  /// Per-layer synchronization + point-to-point exchange overhead.
+  double per_layer_comm_s = 0.004;
+  /// Per-core sustained sparse rate relative to the FaaS calibration.
+  double core_speed_ratio = 1.0;
+};
+
+struct HspffReport {
+  double latency_s = 0.0;
+  double per_sample_ms = 0.0;
+};
+
+/// Estimates batch latency from the reference run's FLOP count.
+HspffReport EstimateHspff(const model::SparseDnn& dnn,
+                          const model::ReferenceStats& stats, int32_t batch,
+                          const cloud::ComputeModelConfig& compute,
+                          const HspffConfig& config = {});
+
+}  // namespace fsd::baselines
+
+#endif  // FSD_BASELINES_HSPFF_H_

@@ -1,0 +1,73 @@
+#include "baselines/sage.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/strings.h"
+
+namespace fsd::baselines {
+
+SageReport RunSageServerless(cloud::CloudEnv* cloud,
+                             const model::SparseDnn& dnn,
+                             const model::ReferenceStats& stats,
+                             int32_t batch, const SageEndpointConfig& config) {
+  SageReport report;
+  report.requested_samples = batch;
+
+  // 1) Memory gate: weights plus working set must fit the 6 GB cap.
+  const double needed_mb = static_cast<double>(dnn.WeightBytes()) *
+                           config.model_memory_overhead / (1024.0 * 1024.0);
+  if (needed_mb > config.memory_mb) {
+    report.status = Status::ResourceExhausted(StrFormat(
+        "model needs ~%.0f MB, endpoint cap is %d MB", needed_mb,
+        config.memory_mb));
+    return report;
+  }
+
+  // 2) Payload gate: how many samples fit one 6 MB request.
+  double bytes_per_sample = config.bytes_per_sample;
+  if (bytes_per_sample <= 0.0) {
+    // Thresholded sparse image: ~20% active neurons at ~5 bytes each.
+    bytes_per_sample = 0.20 * dnn.neurons() * 5.0;
+  }
+  const int32_t payload_batch = std::max<int32_t>(
+      1,
+      static_cast<int32_t>(config.max_payload_bytes / bytes_per_sample));
+
+  // 3) Runtime gate: samples processable inside 60 s on a 6 GB instance.
+  const double flops_per_sample = stats.total_flops / batch;
+  const double rate_s_per_sample =
+      cloud->compute().FaasComputeSeconds(flops_per_sample, config.memory_mb);
+  const double model_load_s =
+      static_cast<double>(dnn.WeightBytes()) /
+      cloud->compute().deserialize_bytes_per_s;
+  const double usable_s = config.max_runtime_s - model_load_s;
+  if (usable_s <= 0.0) {
+    report.status = Status::DeadlineExceeded(
+        "model load alone exceeds the runtime cap");
+    return report;
+  }
+  const int32_t runtime_batch = std::max<int32_t>(
+      0, static_cast<int32_t>(usable_s / rate_s_per_sample));
+  if (runtime_batch == 0) {
+    report.status = Status::DeadlineExceeded(
+        "a single sample exceeds the runtime cap");
+    return report;
+  }
+
+  report.max_batch_per_request = std::min(payload_batch, runtime_batch);
+  report.served_samples = std::min(batch, report.max_batch_per_request);
+  report.latency_s =
+      model_load_s + report.served_samples * rate_s_per_sample;
+  report.per_sample_ms = report.latency_s * 1000.0 / report.served_samples;
+  if (report.served_samples < batch) {
+    report.status = Status::ResourceExhausted(StrFormat(
+        "endpoint served %d of %d samples (payload/runtime caps)",
+        report.served_samples, batch));
+  } else {
+    report.status = Status::OK();
+  }
+  return report;
+}
+
+}  // namespace fsd::baselines

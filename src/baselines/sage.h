@@ -1,0 +1,47 @@
+// Sage-SL-Inf baseline (paper §VI-B): a commercial serverless inference
+// endpoint in the image of SageMaker Serverless Inference. A single
+// resource-constrained FaaS instance serves each request, subject to the
+// provider caps that made the paper's Sage-SL-Inf runs fail on larger
+// workloads: 6 GB memory, 6 MB request payload, 60 s runtime.
+#ifndef FSD_BASELINES_SAGE_H_
+#define FSD_BASELINES_SAGE_H_
+
+#include "cloud/cloud.h"
+#include "common/result.h"
+#include "model/reference.h"
+#include "model/sparse_dnn.h"
+
+namespace fsd::baselines {
+
+struct SageEndpointConfig {
+  int32_t memory_mb = 6144;          ///< provider max at the time of writing
+  uint64_t max_payload_bytes = 6ull * 1024 * 1024;
+  double max_runtime_s = 60.0;
+  /// Rough in-memory expansion of serialized weights (sparse structures).
+  double model_memory_overhead = 1.6;
+  /// Estimated serialized bytes per input sample (thresholded image).
+  double bytes_per_sample = 0.0;     ///< 0 derives from the input density
+};
+
+struct SageReport {
+  Status status;                ///< why the endpoint rejected the workload
+  double latency_s = 0.0;       ///< for the samples it DID process
+  double per_sample_ms = 0.0;
+  int32_t requested_samples = 0;
+  int32_t served_samples = 0;   ///< 0 when the model cannot be loaded
+  int32_t max_batch_per_request = 0;
+};
+
+/// Evaluates the endpoint on a batch workload. If the model fits, processes
+/// as many samples as payload + runtime caps allow (the paper reports
+/// 8000/2500/1000 of 10000 for N = 1024/4096/16384, and total failure at
+/// N = 65536).
+SageReport RunSageServerless(cloud::CloudEnv* cloud,
+                             const model::SparseDnn& dnn,
+                             const model::ReferenceStats& stats,
+                             int32_t batch,
+                             const SageEndpointConfig& config = {});
+
+}  // namespace fsd::baselines
+
+#endif  // FSD_BASELINES_SAGE_H_

@@ -1,0 +1,121 @@
+#include "baselines/server.h"
+
+#include "common/strings.h"
+
+namespace fsd::baselines {
+
+std::string JobScopedInstanceType(int32_t neurons) {
+  if (neurons <= 4096) return "c5.2xlarge";
+  if (neurons <= 16384) return "c5.9xlarge";
+  return "c5.12xlarge";
+}
+
+Result<ServerReport> RunServerInference(cloud::CloudEnv* cloud,
+                                        const model::SparseDnn& dnn,
+                                        const linalg::ActivationMap& input,
+                                        const ServerRunOptions& options) {
+  if (input.empty()) return Status::InvalidArgument("empty input");
+  const int32_t batch = input.begin()->second.dim;
+  std::string type = options.instance_type;
+  if (type.empty()) {
+    type = options.job_scoped ? JobScopedInstanceType(dnn.neurons())
+                              : "c5.12xlarge";
+  }
+  auto type_it = cloud::VmCatalogue().find(type);
+  if (type_it == cloud::VmCatalogue().end()) {
+    return Status::NotFound("unknown instance type: " + type);
+  }
+  const cloud::VmType vm_type = type_it->second;
+
+  auto report = std::make_unique<ServerReport>();
+  Status run_status = Status::OK();
+  cloud->sim()->AddProcess("server-query", [&]() {
+    const double t0 = cloud->sim()->Now();
+    uint64_t vm_id = 0;
+    const auto before_vm_cost =
+        cloud->billing().line(cloud::BillingDimension::kVmSecond).cost;
+    if (options.job_scoped) {
+      Result<uint64_t> launched = cloud->vms().Launch(type);
+      if (!launched.ok()) {
+        run_status = launched.status();
+        return;
+      }
+      vm_id = *launched;
+      report->boot_s = cloud->sim()->Now() - t0;
+    }
+
+    // Model acquisition.
+    const double load_start = cloud->sim()->Now();
+    const uint64_t model_bytes = dnn.WeightBytes();
+    Rng rng(dnn.config.seed ^ 0x5E2Full);
+    switch (options.residence) {
+      case ModelResidence::kMemory:
+        break;
+      case ModelResidence::kEbs:
+        cloud->sim()->Hold(static_cast<double>(model_bytes) /
+                           cloud->latency().ebs_read_bytes_per_s);
+        break;
+      case ModelResidence::kObject: {
+        // Multipart S3 read, 16 MiB parts, 8 parallel streams.
+        constexpr uint64_t kPart = 16ull * 1024 * 1024;
+        const uint64_t parts =
+            std::max<uint64_t>(1, (model_bytes + kPart - 1) / kPart);
+        cloud->billing().Record(cloud::BillingDimension::kObjectGet,
+                                static_cast<double>(parts));
+        std::vector<double> latencies;
+        uint64_t remaining = model_bytes;
+        for (uint64_t p = 0; p < parts; ++p) {
+          const uint64_t part = std::min<uint64_t>(kPart, remaining);
+          remaining -= part;
+          latencies.push_back(
+              cloud->latency().object_get.Sample(&rng, part));
+        }
+        cloud->sim()->Hold(sim::ParallelMakespan(latencies, 8));
+        break;
+      }
+    }
+    // Deserialization into the runtime's sparse structures.
+    cloud->sim()->Hold(static_cast<double>(model_bytes) /
+                       cloud->compute().deserialize_bytes_per_s);
+    report->model_load_s = cloud->sim()->Now() - load_start;
+
+    // Compute: same serial path as FSD-Inf-Serial, with multi-core scaling.
+    double flops = 0.0;
+    if (options.precomputed_stats != nullptr) {
+      flops = options.precomputed_stats->total_flops;
+    } else {
+      model::ReferenceStats stats;
+      Result<linalg::ActivationMap> out =
+          model::ReferenceInference(dnn, input, &stats);
+      if (!out.ok()) {
+        run_status = out.status();
+        return;
+      }
+      report->output = std::move(*out);
+      flops = stats.total_flops;
+    }
+    const double effective_vcpus =
+        vm_type.vcpus * options.parallel_efficiency;
+    cloud->sim()->Hold(
+        cloud->compute().VmComputeSeconds(flops, effective_vcpus));
+
+    if (options.job_scoped) {
+      Status term = cloud->vms().Terminate(vm_id);
+      if (!term.ok()) {
+        run_status = term;
+        return;
+      }
+      report->job_cost =
+          cloud->billing().line(cloud::BillingDimension::kVmSecond).cost -
+          before_vm_cost;
+    }
+    report->latency_s = cloud->sim()->Now() - t0;
+    report->per_sample_ms = report->latency_s * 1000.0 / batch;
+  });
+  cloud->sim()->Run();
+  FSD_RETURN_IF_ERROR(run_status);
+  report->status = Status::OK();
+  return std::move(*report);
+}
+
+}  // namespace fsd::baselines

@@ -1,0 +1,138 @@
+#include "cloud/faas.h"
+
+#include <algorithm>
+
+#include "common/strings.h"
+
+namespace fsd::cloud {
+
+Status FaasContext::Burn(double flops) {
+  FSD_RETURN_IF_ERROR(CheckDeadline());
+  sim_->Hold(service_->compute_model().FaasComputeSeconds(flops, memory_mb_));
+  return CheckDeadline();
+}
+
+Status FaasContext::SleepFor(double dt) {
+  FSD_RETURN_IF_ERROR(CheckDeadline());
+  sim_->Hold(dt);
+  return CheckDeadline();
+}
+
+double FaasContext::RemainingTime() const { return deadline_ - sim_->Now(); }
+
+Status FaasContext::CheckDeadline() const {
+  if (sim_->Now() >= deadline_) {
+    return Status::DeadlineExceeded(
+        StrFormat("function %s request %llu exceeded %.0fs runtime cap",
+                  function_name_.c_str(),
+                  static_cast<unsigned long long>(request_id_),
+                  deadline_ - started_at_));
+  }
+  return Status::OK();
+}
+
+Status FaasService::RegisterFunction(FaasFunctionConfig config) {
+  if (config.name.empty() || !config.handler) {
+    return Status::InvalidArgument("function needs a name and a handler");
+  }
+  if (config.memory_mb < kFaasMinMemoryMb ||
+      config.memory_mb > kFaasMaxMemoryMb) {
+    return Status::InvalidArgument(
+        StrFormat("memory %d MB outside provider bounds [%d, %d]",
+                  config.memory_mb, kFaasMinMemoryMb, kFaasMaxMemoryMb));
+  }
+  if (config.timeout_s <= 0.0 || config.timeout_s > kFaasMaxTimeoutS) {
+    return Status::InvalidArgument("timeout outside provider bounds");
+  }
+  if (functions_.contains(config.name)) {
+    return Status::AlreadyExists("function exists: " + config.name);
+  }
+  Function fn;
+  fn.config = std::move(config);
+  const std::string name = fn.config.name;
+  functions_.emplace(name, std::move(fn));
+  return Status::OK();
+}
+
+FaasService::InvokeOutcome FaasService::InvokeAsync(const std::string& name,
+                                                    Bytes payload) {
+  InvokeOutcome outcome;
+  auto it = functions_.find(name);
+  if (it == functions_.end()) {
+    outcome.status = Status::NotFound("no such function: " + name);
+    return outcome;
+  }
+  Function& fn = it->second;
+  const uint64_t request_id = next_request_id_++;
+  outcome.request_id = request_id;
+  outcome.completion = sim_->MakeSignal();
+  billing_->Record(BillingDimension::kFaasInvocation, 1);
+
+  // Warm-instance pool: reclaim expired entries, then try to grab one.
+  const double now = sim_->Now();
+  auto& pool = fn.warm_until;
+  pool.erase(std::remove_if(pool.begin(), pool.end(),
+                            [now](double until) { return until <= now; }),
+             pool.end());
+  bool cold = pool.empty();
+  if (!cold) pool.pop_back();
+
+  const double start_delay = cold ? latency_->faas_cold_start.Sample(&rng_)
+                                  : latency_->faas_warm_start.Sample(&rng_);
+
+  auto completion = outcome.completion;
+  auto body = [this, &fn, request_id, completion, cold,
+               payload = std::move(payload)]() mutable {
+    FaasContext ctx;
+    ctx.sim_ = sim_;
+    ctx.cloud_ = cloud_;
+    ctx.service_ = this;
+    ctx.function_name_ = fn.config.name;
+    ctx.request_id_ = request_id;
+    ctx.memory_mb_ = fn.config.memory_mb;
+    ctx.started_at_ = sim_->Now();
+    ctx.deadline_ = sim_->Now() + fn.config.timeout_s;
+    ctx.payload_ = std::move(payload);
+    fn.config.handler(&ctx);
+    // Billing: runtime is capped at the timeout (timed-out functions are
+    // billed for the full cap, as on AWS).
+    const double duration =
+        std::min(sim_->Now() - ctx.started_at_, fn.config.timeout_s);
+    billing_->Record(BillingDimension::kFaasRuntimeMbSec,
+                     duration * fn.config.memory_mb);
+    completions_[request_id] =
+        CompletionRecord{ctx.result(), duration, cold};
+    // Instance becomes warm and reusable.
+    fn.warm_until.push_back(sim_->Now() + keep_alive_s_);
+    completion->Fire();
+  };
+
+  sim_->AddProcess(
+      StrFormat("faas:%s#%llu", name.c_str(),
+                static_cast<unsigned long long>(request_id)),
+      std::move(body), /*start=*/start_delay);
+  outcome.status = Status::OK();
+  return outcome;
+}
+
+Result<FaasService::CompletionRecord> FaasService::completion(
+    uint64_t request_id) const {
+  auto it = completions_.find(request_id);
+  if (it == completions_.end()) {
+    return Status::NotFound("request not complete");
+  }
+  return it->second;
+}
+
+int FaasService::WarmCount(const std::string& function) const {
+  auto it = functions_.find(function);
+  if (it == functions_.end()) return 0;
+  const double now = sim_->Now();
+  int count = 0;
+  for (double until : it->second.warm_until) {
+    if (until > now) ++count;
+  }
+  return count;
+}
+
+}  // namespace fsd::cloud

@@ -1,0 +1,91 @@
+// Latency models for the simulated cloud services.
+//
+// Every API call samples  base (lognormal around a median)  +  size / bandwidth.
+// Defaults are calibrated to public measurements of the corresponding AWS
+// services from Lambda clients in-region (order-of-magnitude fidelity; the
+// paper's conclusions depend on relative magnitudes, which these preserve:
+// queue/pub-sub ops ~10-40 ms, object storage ops ~20-60 ms + bandwidth,
+// FaaS cold starts ~150-250 ms, VM boot ~40-90 s).
+#ifndef FSD_CLOUD_LATENCY_H_
+#define FSD_CLOUD_LATENCY_H_
+
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace fsd::cloud {
+
+/// One operation's latency distribution.
+struct OpLatency {
+  double median_s = 0.02;      ///< median of the base latency
+  double sigma = 0.25;         ///< lognormal shape (jitter)
+  double bytes_per_s = 0.0;    ///< >0 adds size/bandwidth transfer time
+
+  /// Samples a latency for a call moving `bytes` payload bytes.
+  double Sample(Rng* rng, uint64_t bytes = 0) const {
+    const double base = rng->NextLogNormal(std::log(median_s), sigma);
+    const double xfer =
+        bytes_per_s > 0.0 ? static_cast<double>(bytes) / bytes_per_s : 0.0;
+    return base + xfer;
+  }
+};
+
+/// Full latency catalogue (one knob per simulated API).
+struct LatencyConfig {
+  // FaaS
+  OpLatency faas_cold_start{0.180, 0.20, 0.0};
+  OpLatency faas_warm_start{0.025, 0.25, 0.0};
+  /// Invoke API round trip paid by the CALLER of InvokeAsync (the driver of
+  /// launch-tree timings: a centralized loop pays it P times sequentially;
+  /// ~25 ms matches a boto3 Lambda invoke from inside the same region).
+  OpLatency faas_invoke_api{0.025, 0.30, 0.0};
+  /// Loading the function package/model share from object storage is
+  /// modelled separately by workers via object_get.
+
+  // Pub-sub (SNS): publish API call and fan-out delivery to queues.
+  OpLatency pubsub_publish{0.022, 0.30, 60.0e6};
+  OpLatency pubsub_fanout{0.015, 0.35, 120.0e6};
+
+  // Queues (SQS)
+  OpLatency queue_receive{0.012, 0.30, 90.0e6};
+  OpLatency queue_delete{0.008, 0.25, 0.0};
+
+  // Object storage (S3)
+  OpLatency object_put{0.028, 0.30, 95.0e6};
+  OpLatency object_get{0.018, 0.30, 110.0e6};
+  OpLatency object_list{0.025, 0.25, 0.0};
+
+  // VM lifecycle (EC2 + image boot)
+  OpLatency vm_boot{45.0, 0.15, 0.0};
+  /// EBS sequential read bandwidth for "hot-ish" model loads (bytes/s).
+  double ebs_read_bytes_per_s = 260.0e6;
+
+  /// Service-side rate limits (per topic / per bucket-prefix), requests/s.
+  /// Exceeding them adds queueing delay — the bottleneck the paper's
+  /// multi-topic / multi-bucket sharding avoids.
+  double pubsub_topic_rps = 300.0;
+  double object_put_rps_per_bucket = 3500.0;
+  double object_get_rps_per_bucket = 5500.0;
+  double object_list_rps_per_bucket = 100.0;
+};
+
+/// Leaky-bucket rate limiter: returns the queueing delay an arrival at
+/// `now` experiences given the resource's request rate cap.
+class RateLimiter {
+ public:
+  explicit RateLimiter(double max_rps) : service_time_(1.0 / max_rps) {}
+
+  double AdmissionDelay(double now) {
+    const double start = (next_free_ > now) ? next_free_ : now;
+    next_free_ = start + service_time_;
+    return start - now;
+  }
+
+ private:
+  double service_time_;
+  double next_free_ = 0.0;
+};
+
+}  // namespace fsd::cloud
+
+#endif  // FSD_CLOUD_LATENCY_H_

@@ -1,0 +1,57 @@
+// Pricing catalogue for the simulated cloud, mirroring the AWS price points
+// the paper's cost model (Section IV) is built on. All prices are data, not
+// code, so experiments can re-run under hypothetical pricing.
+#ifndef FSD_CLOUD_PRICING_H_
+#define FSD_CLOUD_PRICING_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace fsd::cloud {
+
+/// Prices in USD; names follow the paper's cost-model symbols where one
+/// exists (Eq. 4-7).
+struct PricingConfig {
+  // --- FaaS (AWS Lambda, Eq. 4) ---
+  /// C_lambda(Inv): static cost per invocation ($0.20 per 1M requests).
+  double faas_per_invocation = 0.20 / 1e6;
+  /// C_lambda(Run): cost per MB-second of runtime ($0.0000166667 per GB-s).
+  double faas_per_mb_second = 0.0000166667 / 1024.0;
+
+  // --- Pub-sub (AWS SNS, Eq. 5) ---
+  /// C_SNS(Pub): cost per billed 64 KiB publish chunk ($0.50 per 1M).
+  double pubsub_per_publish_chunk = 0.50 / 1e6;
+  /// C_SNS(Byte): cost per byte transferred from pub-sub to queues.
+  /// ($0.09/GB cross-service data transfer; the dominant per-byte term.)
+  double pubsub_per_byte = 0.09 / (1024.0 * 1024.0 * 1024.0);
+  /// Billing increment for publish payloads (64 KiB).
+  uint64_t pubsub_billing_increment_bytes = 64 * 1024;
+
+  // --- Queues (AWS SQS, Eq. 6) ---
+  /// C_SQS(API): cost per API request ($0.40 per 1M requests).
+  double queue_per_api_call = 0.40 / 1e6;
+
+  // --- Object storage (AWS S3, Eq. 7) ---
+  /// C_S3(Put): cost per PUT request ($0.005 per 1K).
+  double object_per_put = 0.005 / 1e3;
+  /// C_S3(Get): cost per GET request ($0.0004 per 1K).
+  double object_per_get = 0.0004 / 1e3;
+  /// C_S3(List): cost per LIST request ($0.005 per 1K).
+  double object_per_list = 0.005 / 1e3;
+
+  // --- VMs (AWS EC2 on-demand, us-east-1) ---
+  /// $/hour by instance type; used by the server-based baselines.
+  std::map<std::string, double> vm_hourly = {
+      {"c5.2xlarge", 0.34},
+      {"c5.9xlarge", 1.53},
+      {"c5.12xlarge", 2.04},
+  };
+
+  /// EBS gp3 storage $/GB-month (always-on baselines keep models on EBS).
+  double ebs_gb_month = 0.08;
+};
+
+}  // namespace fsd::cloud
+
+#endif  // FSD_CLOUD_PRICING_H_

@@ -1,0 +1,96 @@
+// PubSubService: SNS-like publish/subscribe with queue fan-out.
+//
+// Reproduces the properties FSD-Inf-Queue exploits (paper §III-A):
+//  - batched publishes: up to 10 messages and 256 KiB per call
+//  - attribute-based filter policies evaluated service-side, so each
+//    subscribed queue receives only its own worker's messages
+//  - publishes billed in 64 KiB increments; pub-sub -> queue transfer
+//    billed per byte
+//  - per-topic request-rate caps, motivating the paper's topic sharding
+//
+// Publish calls are NON-blocking: they return the sampled API latency and
+// schedule deliveries in the future, so callers can model multi-threaded
+// publishing with sim::ParallelMakespan and overlap IPC with compute.
+#ifndef FSD_CLOUD_PUBSUB_H_
+#define FSD_CLOUD_PUBSUB_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cloud/billing.h"
+#include "cloud/latency.h"
+#include "cloud/queue.h"
+#include "common/result.h"
+#include "common/rng.h"
+#include "sim/simulation.h"
+
+namespace fsd::cloud {
+
+/// Per-publish quota (AWS SNS PublishBatch limits).
+constexpr int kMaxMessagesPerPublish = 10;
+constexpr uint64_t kMaxPublishBytes = 256 * 1024;
+
+/// Attribute equality filter: every listed attribute must be present on the
+/// message with one of the allowed values (AWS SNS filter-policy subset).
+struct FilterPolicy {
+  std::map<std::string, std::vector<std::string>> equals;
+
+  bool Matches(const std::map<std::string, std::string>& attributes) const;
+};
+
+class PubSubService {
+ public:
+  PubSubService(sim::Simulation* sim, BillingLedger* billing,
+                const LatencyConfig* latency, QueueService* queues, Rng rng)
+      : sim_(sim),
+        billing_(billing),
+        latency_(latency),
+        queues_(queues),
+        rng_(rng) {}
+
+  Status CreateTopic(const std::string& name);
+  bool TopicExists(const std::string& name) const;
+
+  /// Routes matching messages published on `topic` into `queue_name`.
+  Status Subscribe(const std::string& topic, const std::string& queue_name,
+                   FilterPolicy policy);
+
+  struct PublishOutcome {
+    Status status;
+    /// API-call latency the caller should account (publish round trip,
+    /// including any rate-limit queueing delay).
+    double latency = 0.0;
+    /// 64 KiB chunks billed for this publish.
+    uint64_t billed_chunks = 0;
+  };
+
+  /// Publishes up to 10 messages totalling <= 256 KiB. Non-blocking; the
+  /// caller decides how to account `latency` (serial hold or thread-pool
+  /// makespan). Deliveries reach subscribed queues at
+  /// now + latency + fanout delay.
+  PublishOutcome PublishBatch(const std::string& topic,
+                              std::vector<QueueMessage> messages);
+
+ private:
+  struct Subscription {
+    std::string queue_name;
+    FilterPolicy policy;
+  };
+  struct Topic {
+    std::vector<Subscription> subscriptions;
+    std::unique_ptr<RateLimiter> limiter;
+  };
+
+  sim::Simulation* sim_;
+  BillingLedger* billing_;
+  const LatencyConfig* latency_;
+  QueueService* queues_;
+  Rng rng_;
+  std::map<std::string, Topic> topics_;
+};
+
+}  // namespace fsd::cloud
+
+#endif  // FSD_CLOUD_PUBSUB_H_

@@ -1,0 +1,208 @@
+#include "codec/huffman.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "common/check.h"
+
+namespace fsd::codec {
+namespace {
+
+struct Node {
+  uint64_t freq;
+  int index;  // < num_symbols: leaf; otherwise internal node id
+  int left = -1;
+  int right = -1;
+};
+
+// Computes unbounded Huffman depths via the standard two-queue method.
+void ComputeDepths(const std::vector<Node>& nodes, int root, int depth,
+                   std::vector<uint8_t>* depths, int num_symbols) {
+  // Iterative DFS to avoid recursion limits on degenerate trees.
+  std::vector<std::pair<int, int>> stack{{root, depth}};
+  while (!stack.empty()) {
+    auto [idx, d] = stack.back();
+    stack.pop_back();
+    const Node& n = nodes[idx];
+    if (n.left < 0) {
+      FSD_CHECK_LT(n.index, num_symbols);
+      (*depths)[n.index] = static_cast<uint8_t>(d);
+    } else {
+      stack.push_back({n.left, d + 1});
+      stack.push_back({n.right, d + 1});
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<uint8_t> BuildCodeLengths(const std::vector<uint64_t>& freqs,
+                                      int max_len) {
+  const int n = static_cast<int>(freqs.size());
+  std::vector<uint8_t> lengths(n, 0);
+  std::vector<int> used;
+  for (int i = 0; i < n; ++i) {
+    if (freqs[i] > 0) used.push_back(i);
+  }
+  if (used.empty()) return lengths;
+  if (used.size() == 1) {
+    lengths[used[0]] = 1;
+    return lengths;
+  }
+
+  // Standard Huffman construction with a min-heap.
+  std::vector<Node> nodes;
+  nodes.reserve(used.size() * 2);
+  auto cmp = [&nodes](int a, int b) {
+    if (nodes[a].freq != nodes[b].freq) return nodes[a].freq > nodes[b].freq;
+    return a > b;  // deterministic tie-break
+  };
+  std::priority_queue<int, std::vector<int>, decltype(cmp)> heap(cmp);
+  for (int s : used) {
+    nodes.push_back({freqs[s], s});
+    heap.push(static_cast<int>(nodes.size()) - 1);
+  }
+  while (heap.size() > 1) {
+    int a = heap.top();
+    heap.pop();
+    int b = heap.top();
+    heap.pop();
+    nodes.push_back({nodes[a].freq + nodes[b].freq,
+                     static_cast<int>(nodes.size()), a, b});
+    heap.push(static_cast<int>(nodes.size()) - 1);
+  }
+  ComputeDepths(nodes, heap.top(), 0, &lengths, n);
+
+  // Enforce the length limit by demoting over-long codes and rebalancing
+  // (heuristic used by zlib: push overflow down onto shorter codes while
+  // preserving the Kraft inequality).
+  int max_depth = 0;
+  for (int s : used) max_depth = std::max<int>(max_depth, lengths[s]);
+  if (max_depth <= max_len) return lengths;
+
+  std::vector<int> bl_count(max_len + 1, 0);
+  for (int s : used) {
+    const int len = std::min<int>(lengths[s], max_len);
+    lengths[s] = static_cast<uint8_t>(len);
+    ++bl_count[len];
+  }
+  // Repair Kraft sum: sum(2^-len) must be <= 1.
+  auto kraft = [&]() {
+    uint64_t sum = 0;  // scaled by 2^max_len
+    for (int l = 1; l <= max_len; ++l) {
+      sum += static_cast<uint64_t>(bl_count[l]) << (max_len - l);
+    }
+    return sum;
+  };
+  const uint64_t budget = 1ull << max_len;
+  while (kraft() > budget) {
+    // Find a code at max_len and a code at < max_len - 1 to split; the
+    // classic fix: take one max_len code, pair it under an existing
+    // (max_len-1) code by lengthening that one.
+    int l = max_len - 1;
+    while (l > 0 && bl_count[l] == 0) --l;
+    FSD_CHECK_GT(l, 0);
+    --bl_count[l];
+    bl_count[l + 1] += 2;
+    --bl_count[max_len];
+  }
+  // Reassign lengths canonically: symbols sorted by original freq desc get
+  // shorter codes first.
+  std::sort(used.begin(), used.end(), [&](int a, int b) {
+    if (freqs[a] != freqs[b]) return freqs[a] > freqs[b];
+    return a < b;
+  });
+  size_t pos = 0;
+  for (int l = 1; l <= max_len; ++l) {
+    for (int c = 0; c < bl_count[l]; ++c) {
+      FSD_CHECK_LT(pos, used.size());
+      lengths[used[pos++]] = static_cast<uint8_t>(l);
+    }
+  }
+  FSD_CHECK_EQ(pos, used.size());
+  return lengths;
+}
+
+HuffmanEncoder::HuffmanEncoder(const std::vector<uint8_t>& lengths)
+    : codes_(lengths.size(), 0), lengths_(lengths) {
+  // Canonical code assignment.
+  int bl_count[kMaxCodeLen + 1] = {0};
+  for (uint8_t len : lengths) {
+    if (len > 0) ++bl_count[len];
+  }
+  uint32_t next_code[kMaxCodeLen + 2] = {0};
+  uint32_t code = 0;
+  for (int len = 1; len <= kMaxCodeLen; ++len) {
+    code = (code + bl_count[len - 1]) << 1;
+    next_code[len] = code;
+  }
+  for (size_t s = 0; s < lengths.size(); ++s) {
+    const uint8_t len = lengths[s];
+    if (len == 0) continue;
+    // Reverse bits so the LSB-first writer emits MSB-first canonical codes.
+    uint32_t c = next_code[len]++;
+    uint32_t rev = 0;
+    for (int b = 0; b < len; ++b) {
+      rev = (rev << 1) | (c & 1u);
+      c >>= 1;
+    }
+    codes_[s] = rev;
+  }
+}
+
+Result<HuffmanDecoder> HuffmanDecoder::Build(
+    const std::vector<uint8_t>& lengths) {
+  HuffmanDecoder dec;
+  for (size_t s = 0; s < lengths.size(); ++s) {
+    if (lengths[s] > kMaxCodeLen) {
+      return Status::InvalidArgument("huffman code length out of range");
+    }
+    if (lengths[s] > 0) ++dec.count_[lengths[s]];
+  }
+  // sorted_symbols_: symbols ordered by (length, symbol index).
+  int offsets[kMaxCodeLen + 2] = {0};
+  int total = 0;
+  for (int l = 1; l <= kMaxCodeLen; ++l) {
+    offsets[l] = total;
+    total += dec.count_[l];
+  }
+  dec.sorted_symbols_.resize(total);
+  {
+    int cursor[kMaxCodeLen + 2];
+    std::copy(offsets, offsets + kMaxCodeLen + 2, cursor);
+    for (size_t s = 0; s < lengths.size(); ++s) {
+      if (lengths[s] > 0) {
+        dec.sorted_symbols_[cursor[lengths[s]]++] = static_cast<int>(s);
+      }
+    }
+  }
+  uint32_t code = 0;
+  uint64_t kraft = 0;
+  for (int l = 1; l <= kMaxCodeLen; ++l) {
+    code = (code + dec.count_[l - 1]) << 1;
+    dec.first_code_[l] = code;
+    dec.first_index_[l] = offsets[l];
+    code += 0;  // first code of this length is `code`
+    kraft += static_cast<uint64_t>(dec.count_[l]) << (kMaxCodeLen - l);
+  }
+  if (total > 0 && kraft > (1ull << kMaxCodeLen)) {
+    return Status::InvalidArgument("over-subscribed huffman code");
+  }
+  return dec;
+}
+
+Result<int> HuffmanDecoder::Decode(BitReader* reader) const {
+  uint32_t code = 0;
+  for (int len = 1; len <= kMaxCodeLen; ++len) {
+    FSD_ASSIGN_OR_RETURN(int bit, reader->ReadBit());
+    code = (code << 1) | static_cast<uint32_t>(bit);
+    const uint32_t first = first_code_[len];
+    const uint32_t count = count_[len];
+    if (count > 0 && code >= first && code < first + count) {
+      return sorted_symbols_[first_index_[len] + (code - first)];
+    }
+  }
+  return Status::DataLoss("invalid huffman code in stream");
+}
+
+}  // namespace fsd::codec

@@ -1,0 +1,306 @@
+#include "codec/lz.h"
+
+#include <algorithm>
+#include <cstring>
+#include <vector>
+
+#include "codec/bitstream.h"
+#include "codec/crc32.h"
+#include "codec/huffman.h"
+#include "codec/varint.h"
+#include "common/check.h"
+
+namespace fsd::codec {
+namespace {
+
+constexpr uint8_t kMagic0 = 'F';
+constexpr uint8_t kMagic1 = 'Z';
+constexpr uint8_t kVersion = 1;
+constexpr uint8_t kMethodStored = 0;
+constexpr uint8_t kMethodLz = 1;
+
+constexpr int kMinMatch = 4;
+constexpr int kMaxMatch = 258;
+// 32 KiB window: exactly the span the distance-bucket table encodes
+// (24577 + 2^13 - 1 = 32768), mirroring DEFLATE.
+constexpr int kWindowBits = 15;
+constexpr size_t kWindowSize = 1u << kWindowBits;
+
+constexpr int kEndSymbol = 256;
+constexpr int kNumLengthBuckets = 24;
+constexpr int kNumLitLen = 257 + kNumLengthBuckets;
+constexpr int kNumDist = 30;
+
+// Length buckets: base values and extra bits, covering [4, 258].
+struct Bucket {
+  int base;
+  int extra_bits;
+};
+
+constexpr Bucket kLengthBuckets[kNumLengthBuckets] = {
+    {4, 0},   {5, 0},   {6, 0},   {7, 0},   {8, 0},    {9, 0},
+    {10, 0},  {11, 1},  {13, 1},  {15, 1},  {17, 2},   {21, 2},
+    {25, 2},  {29, 2},  {33, 3},  {41, 3},  {49, 3},   {57, 3},
+    {65, 4},  {81, 4},  {97, 4},  {113, 5}, {145, 6},  {209, 6},
+};
+
+constexpr Bucket kDistBuckets[kNumDist] = {
+    {1, 0},     {2, 0},     {3, 0},     {4, 0},     {5, 1},    {7, 1},
+    {9, 2},     {13, 2},    {17, 3},    {25, 3},    {33, 4},   {49, 4},
+    {65, 5},    {97, 5},    {129, 6},   {193, 6},   {257, 7},  {385, 7},
+    {513, 8},   {769, 8},   {1025, 9},  {1537, 9},  {2049, 10}, {3073, 10},
+    {4097, 11}, {6145, 11}, {8193, 12}, {12289, 12}, {16385, 13}, {24577, 13},
+};
+
+int FindLengthBucket(int length) {
+  FSD_CHECK(length >= kMinMatch && length <= kMaxMatch);
+  for (int i = kNumLengthBuckets - 1; i >= 0; --i) {
+    if (kLengthBuckets[i].base <= length) return i;
+  }
+  FSD_CHECK(false);
+  return -1;
+}
+
+int FindDistBucket(int dist) {
+  FSD_CHECK(dist >= 1 && dist <= static_cast<int>(kWindowSize));
+  for (int i = kNumDist - 1; i >= 0; --i) {
+    if (kDistBuckets[i].base <= dist) return i;
+  }
+  FSD_CHECK(false);
+  return -1;
+}
+
+struct Token {
+  bool is_match;
+  uint8_t literal;   // when !is_match
+  int length;        // when is_match
+  int distance;      // when is_match
+};
+
+uint32_t HashAt(const uint8_t* p) {
+  uint32_t v;
+  std::memcpy(&v, p, 4);
+  return (v * 2654435761u) >> 17;  // 15-bit hash
+}
+
+// Greedy LZ77 tokenizer with hash chains.
+std::vector<Token> Tokenize(const Bytes& input, const LzOptions& options) {
+  std::vector<Token> tokens;
+  const size_t n = input.size();
+  tokens.reserve(n / 3);
+  constexpr size_t kHashSize = 1u << 15;
+  std::vector<int32_t> head(kHashSize, -1);
+  std::vector<int32_t> prev(n, -1);
+  const uint8_t* data = input.data();
+
+  auto insert_position = [&](size_t j) {
+    if (j + kMinMatch > n) return;
+    const uint32_t h = HashAt(data + j);
+    prev[j] = head[h];
+    head[h] = static_cast<int32_t>(j);
+  };
+
+  size_t i = 0;
+  while (i < n) {
+    int best_len = 0;
+    int best_dist = 0;
+    if (i + kMinMatch <= n) {
+      const uint32_t h = HashAt(data + i);
+      int32_t cand = head[h];
+      int probes = options.max_chain_probes;
+      const size_t window_floor = (i > kWindowSize) ? i - kWindowSize : 0;
+      while (cand >= 0 && static_cast<size_t>(cand) >= window_floor &&
+             probes-- > 0) {
+        const size_t max_len = std::min<size_t>(kMaxMatch, n - i);
+        size_t len = 0;
+        const uint8_t* a = data + cand;
+        const uint8_t* b = data + i;
+        while (len < max_len && a[len] == b[len]) ++len;
+        if (static_cast<int>(len) > best_len) {
+          best_len = static_cast<int>(len);
+          best_dist = static_cast<int>(i - cand);
+          if (best_len >= kMaxMatch) break;
+        }
+        cand = prev[cand];
+      }
+    }
+    if (best_len >= kMinMatch) {
+      tokens.push_back({true, 0, best_len, best_dist});
+      // Thread hash entries for every covered position so later matches can
+      // reference the interior of this one.
+      const size_t end = i + static_cast<size_t>(best_len);
+      for (size_t j = i; j < end; ++j) insert_position(j);
+      i = end;
+    } else {
+      tokens.push_back({false, data[i], 0, 0});
+      insert_position(i);
+      ++i;
+    }
+  }
+  return tokens;
+}
+
+void WriteNibbleLengths(Bytes* out, const std::vector<uint8_t>& lengths) {
+  for (size_t i = 0; i < lengths.size(); i += 2) {
+    uint8_t lo = lengths[i] & 0x0F;
+    uint8_t hi = (i + 1 < lengths.size()) ? (lengths[i + 1] & 0x0F) : 0;
+    out->push_back(static_cast<uint8_t>(lo | (hi << 4)));
+  }
+}
+
+Result<std::vector<uint8_t>> ReadNibbleLengths(ByteReader* reader, int count) {
+  std::vector<uint8_t> lengths(count, 0);
+  const int bytes = (count + 1) / 2;
+  FSD_ASSIGN_OR_RETURN(const uint8_t* p, reader->Skip(bytes));
+  for (int i = 0; i < count; ++i) {
+    const uint8_t b = p[i / 2];
+    lengths[i] = (i % 2 == 0) ? (b & 0x0F) : (b >> 4);
+  }
+  return lengths;
+}
+
+Bytes CompressStored(const Bytes& input) {
+  Bytes out;
+  out.reserve(input.size() + 16);
+  out.push_back(kMagic0);
+  out.push_back(kMagic1);
+  out.push_back(kVersion);
+  out.push_back(kMethodStored);
+  PutVarint64(&out, input.size());
+  AppendRaw<uint32_t>(&out, Crc32(input.data(), input.size()));
+  out.insert(out.end(), input.begin(), input.end());
+  return out;
+}
+
+}  // namespace
+
+Bytes LzCompress(const Bytes& input, const LzOptions& options) {
+  if (input.size() < options.min_compress_size) return CompressStored(input);
+
+  const std::vector<Token> tokens = Tokenize(input, options);
+
+  // Frequency pass.
+  std::vector<uint64_t> lit_freq(kNumLitLen, 0);
+  std::vector<uint64_t> dist_freq(kNumDist, 0);
+  for (const Token& t : tokens) {
+    if (t.is_match) {
+      ++lit_freq[257 + FindLengthBucket(t.length)];
+      ++dist_freq[FindDistBucket(t.distance)];
+    } else {
+      ++lit_freq[t.literal];
+    }
+  }
+  ++lit_freq[kEndSymbol];
+
+  const std::vector<uint8_t> lit_lengths = BuildCodeLengths(lit_freq);
+  const std::vector<uint8_t> dist_lengths = BuildCodeLengths(dist_freq);
+  HuffmanEncoder lit_enc(lit_lengths);
+  HuffmanEncoder dist_enc(dist_lengths);
+
+  Bytes out;
+  out.reserve(input.size() / 2 + 64);
+  out.push_back(kMagic0);
+  out.push_back(kMagic1);
+  out.push_back(kVersion);
+  out.push_back(kMethodLz);
+  PutVarint64(&out, input.size());
+  AppendRaw<uint32_t>(&out, Crc32(input.data(), input.size()));
+  WriteNibbleLengths(&out, lit_lengths);
+  WriteNibbleLengths(&out, dist_lengths);
+
+  BitWriter writer(&out);
+  for (const Token& t : tokens) {
+    if (t.is_match) {
+      const int lb = FindLengthBucket(t.length);
+      lit_enc.Encode(&writer, 257 + lb);
+      writer.Write(
+          static_cast<uint32_t>(t.length - kLengthBuckets[lb].base),
+          kLengthBuckets[lb].extra_bits);
+      const int db = FindDistBucket(t.distance);
+      dist_enc.Encode(&writer, db);
+      writer.Write(static_cast<uint32_t>(t.distance - kDistBuckets[db].base),
+                   kDistBuckets[db].extra_bits);
+    } else {
+      lit_enc.Encode(&writer, t.literal);
+    }
+  }
+  lit_enc.Encode(&writer, kEndSymbol);
+  writer.Finish();
+
+  // Fall back to stored mode if we failed to shrink the payload.
+  if (out.size() >= input.size() + 16) return CompressStored(input);
+  return out;
+}
+
+Result<Bytes> LzDecompress(const Bytes& input) {
+  ByteReader reader(input);
+  FSD_ASSIGN_OR_RETURN(uint8_t m0, reader.Read<uint8_t>());
+  FSD_ASSIGN_OR_RETURN(uint8_t m1, reader.Read<uint8_t>());
+  FSD_ASSIGN_OR_RETURN(uint8_t version, reader.Read<uint8_t>());
+  FSD_ASSIGN_OR_RETURN(uint8_t method, reader.Read<uint8_t>());
+  if (m0 != kMagic0 || m1 != kMagic1 || version != kVersion) {
+    return Status::DataLoss("bad FsdLz header");
+  }
+  FSD_ASSIGN_OR_RETURN(uint64_t raw_size, GetVarint64(&reader));
+  FSD_ASSIGN_OR_RETURN(uint32_t expect_crc, reader.Read<uint32_t>());
+
+  Bytes out;
+  if (method == kMethodStored) {
+    FSD_ASSIGN_OR_RETURN(out, reader.ReadBytes(raw_size));
+  } else if (method == kMethodLz) {
+    FSD_ASSIGN_OR_RETURN(std::vector<uint8_t> lit_lengths,
+                         ReadNibbleLengths(&reader, kNumLitLen));
+    FSD_ASSIGN_OR_RETURN(std::vector<uint8_t> dist_lengths,
+                         ReadNibbleLengths(&reader, kNumDist));
+    FSD_ASSIGN_OR_RETURN(HuffmanDecoder lit_dec,
+                         HuffmanDecoder::Build(lit_lengths));
+    FSD_ASSIGN_OR_RETURN(HuffmanDecoder dist_dec,
+                         HuffmanDecoder::Build(dist_lengths));
+    BitReader bits(input.data() + reader.position(),
+                   input.size() - reader.position());
+    out.reserve(raw_size);
+    while (true) {
+      FSD_ASSIGN_OR_RETURN(int sym, lit_dec.Decode(&bits));
+      if (sym == kEndSymbol) break;
+      if (sym < 256) {
+        out.push_back(static_cast<uint8_t>(sym));
+        continue;
+      }
+      const int lb = sym - 257;
+      if (lb < 0 || lb >= kNumLengthBuckets) {
+        return Status::DataLoss("bad length symbol");
+      }
+      FSD_ASSIGN_OR_RETURN(
+          uint32_t lextra, bits.Read(kLengthBuckets[lb].extra_bits));
+      const int length = kLengthBuckets[lb].base + static_cast<int>(lextra);
+      FSD_ASSIGN_OR_RETURN(int db, dist_dec.Decode(&bits));
+      FSD_ASSIGN_OR_RETURN(uint32_t dextra,
+                           bits.Read(kDistBuckets[db].extra_bits));
+      const int dist = kDistBuckets[db].base + static_cast<int>(dextra);
+      if (dist <= 0 || static_cast<size_t>(dist) > out.size()) {
+        return Status::DataLoss("bad match distance");
+      }
+      size_t src = out.size() - static_cast<size_t>(dist);
+      for (int j = 0; j < length; ++j) out.push_back(out[src + j]);
+      if (out.size() > raw_size) return Status::DataLoss("overlong stream");
+    }
+  } else {
+    return Status::DataLoss("unknown FsdLz method");
+  }
+
+  if (out.size() != raw_size) {
+    return Status::DataLoss("FsdLz size mismatch");
+  }
+  if (Crc32(out.data(), out.size()) != expect_crc) {
+    return Status::DataLoss("FsdLz checksum mismatch");
+  }
+  return out;
+}
+
+Result<uint64_t> LzUncompressedSize(const Bytes& input) {
+  ByteReader reader(input);
+  FSD_RETURN_IF_ERROR(reader.Skip(4).status());
+  return GetVarint64(&reader);
+}
+
+}  // namespace fsd::codec

@@ -1,0 +1,55 @@
+// LEB128 varints and zigzag transforms for compact integer encoding.
+#ifndef FSD_CODEC_VARINT_H_
+#define FSD_CODEC_VARINT_H_
+
+#include <cstdint>
+
+#include "common/bytes.h"
+#include "common/result.h"
+
+namespace fsd::codec {
+
+/// Appends an unsigned LEB128 varint (1-10 bytes).
+inline void PutVarint64(Bytes* out, uint64_t value) {
+  while (value >= 0x80) {
+    out->push_back(static_cast<uint8_t>(value) | 0x80);
+    value >>= 7;
+  }
+  out->push_back(static_cast<uint8_t>(value));
+}
+
+/// Reads an unsigned LEB128 varint from `reader`.
+inline Result<uint64_t> GetVarint64(ByteReader* reader) {
+  uint64_t value = 0;
+  int shift = 0;
+  while (shift < 64) {
+    FSD_ASSIGN_OR_RETURN(uint8_t byte, reader->Read<uint8_t>());
+    value |= static_cast<uint64_t>(byte & 0x7F) << shift;
+    if ((byte & 0x80) == 0) return value;
+    shift += 7;
+  }
+  return Status::DataLoss("varint too long");
+}
+
+/// Zigzag transform mapping signed to unsigned for varint friendliness.
+inline uint64_t ZigZagEncode(int64_t value) {
+  return (static_cast<uint64_t>(value) << 1) ^
+         static_cast<uint64_t>(value >> 63);
+}
+
+inline int64_t ZigZagDecode(uint64_t value) {
+  return static_cast<int64_t>(value >> 1) ^ -static_cast<int64_t>(value & 1);
+}
+
+inline void PutVarintSigned(Bytes* out, int64_t value) {
+  PutVarint64(out, ZigZagEncode(value));
+}
+
+inline Result<int64_t> GetVarintSigned(ByteReader* reader) {
+  FSD_ASSIGN_OR_RETURN(uint64_t raw, GetVarint64(reader));
+  return ZigZagDecode(raw);
+}
+
+}  // namespace fsd::codec
+
+#endif  // FSD_CODEC_VARINT_H_

@@ -1,0 +1,74 @@
+// Result<T>: value-or-Status, the return type of fallible producers.
+//
+// Mirrors arrow::Result / absl::StatusOr. Accessing the value of an errored
+// Result is a programmer error and aborts via FSD_CHECK.
+#ifndef FSD_COMMON_RESULT_H_
+#define FSD_COMMON_RESULT_H_
+
+#include <optional>
+#include <utility>
+
+#include "common/check.h"
+#include "common/status.h"
+
+namespace fsd {
+
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  /// Implicit construction from a value (success).
+  Result(T value) : status_(Status::OK()), value_(std::move(value)) {}
+  /// Implicit construction from a non-OK status (failure).
+  Result(Status status) : status_(std::move(status)) {
+    FSD_CHECK(!status_.ok());  // OK without a value is meaningless
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  /// Returns the contained value; aborts if !ok().
+  const T& value() const& {
+    FSD_CHECK(ok());
+    return *value_;
+  }
+  T& value() & {
+    FSD_CHECK(ok());
+    return *value_;
+  }
+  T&& value() && {
+    FSD_CHECK(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value or `fallback` when errored.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace fsd
+
+/// Assigns the value of a Result expression to `lhs`, propagating errors.
+///   FSD_ASSIGN_OR_RETURN(auto rows, ReadRows(...));
+#define FSD_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                              \
+  if (!tmp.ok()) return tmp.status();             \
+  lhs = std::move(tmp).value();
+
+#define FSD_ASSIGN_OR_RETURN_CAT(a, b) a##b
+#define FSD_ASSIGN_OR_RETURN_NAME(a, b) FSD_ASSIGN_OR_RETURN_CAT(a, b)
+
+#define FSD_ASSIGN_OR_RETURN(lhs, expr) \
+  FSD_ASSIGN_OR_RETURN_IMPL(            \
+      FSD_ASSIGN_OR_RETURN_NAME(_fsd_result_, __LINE__), lhs, expr)
+
+#endif  // FSD_COMMON_RESULT_H_

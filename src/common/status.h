@@ -1,0 +1,114 @@
+// Status: error-handling primitive used across the FSD-Inference codebase.
+//
+// Library code does not throw exceptions across API boundaries (Google C++
+// style; RocksDB/Arrow idiom). Fallible operations return Status, or
+// Result<T> (see result.h) when they also produce a value.
+#ifndef FSD_COMMON_STATUS_H_
+#define FSD_COMMON_STATUS_H_
+
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace fsd {
+
+/// Canonical error space, loosely following absl::StatusCode.
+enum class StatusCode : int {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kAlreadyExists = 3,
+  kResourceExhausted = 4,   ///< provider quota / capacity limit hit
+  kFailedPrecondition = 5,
+  kOutOfRange = 6,
+  kUnimplemented = 7,
+  kInternal = 8,
+  kDeadlineExceeded = 9,    ///< FaaS max-runtime or poll deadline exceeded
+  kDataLoss = 10,           ///< corruption detected (checksum mismatch)
+  kUnavailable = 11,        ///< transient service failure (retryable)
+};
+
+/// Returns a stable human-readable name for a StatusCode (e.g. "NotFound").
+std::string_view StatusCodeToString(StatusCode code);
+
+/// Value-semantic status of an operation: a code plus an optional message.
+///
+/// The OK status carries no allocation. Statuses are cheap to copy and move.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status DataLoss(std::string msg) {
+    return Status(StatusCode::kDataLoss, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
+  bool IsResourceExhausted() const {
+    return code_ == StatusCode::kResourceExhausted;
+  }
+  bool IsDeadlineExceeded() const {
+    return code_ == StatusCode::kDeadlineExceeded;
+  }
+  bool IsUnavailable() const { return code_ == StatusCode::kUnavailable; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+}  // namespace fsd
+
+/// Propagates a non-OK Status to the caller. Usage:
+///   FSD_RETURN_IF_ERROR(DoThing());
+#define FSD_RETURN_IF_ERROR(expr)                \
+  do {                                           \
+    ::fsd::Status _fsd_status = (expr);          \
+    if (!_fsd_status.ok()) return _fsd_status;   \
+  } while (0)
+
+#endif  // FSD_COMMON_STATUS_H_

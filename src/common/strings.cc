@@ -1,0 +1,43 @@
+#include "common/strings.h"
+
+#include <cstdarg>
+#include <cstdio>
+#include <vector>
+
+namespace fsd {
+
+std::string StrFormat(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  va_list args_copy;
+  va_copy(args_copy, args);
+  const int needed = std::vsnprintf(nullptr, 0, fmt, args);
+  va_end(args);
+  if (needed <= 0) {
+    va_end(args_copy);
+    return std::string();
+  }
+  std::string out(static_cast<size_t>(needed), '\0');
+  std::vsnprintf(out.data(), out.size() + 1, fmt, args_copy);
+  va_end(args_copy);
+  return out;
+}
+
+std::string HumanBytes(double bytes) {
+  const char* units[] = {"B", "KiB", "MiB", "GiB", "TiB"};
+  int unit = 0;
+  while (bytes >= 1024.0 && unit < 4) {
+    bytes /= 1024.0;
+    ++unit;
+  }
+  return StrFormat("%.2f %s", bytes, units[unit]);
+}
+
+std::string HumanDollars(double dollars) {
+  if (dollars != 0.0 && dollars < 0.001) {
+    return StrFormat("$%.3e", dollars);
+  }
+  return StrFormat("$%.4f", dollars);
+}
+
+}  // namespace fsd

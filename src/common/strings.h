@@ -1,0 +1,22 @@
+// Small string formatting helpers (printf-backed; std::format is not yet
+// reliably available in the toolchains we target).
+#ifndef FSD_COMMON_STRINGS_H_
+#define FSD_COMMON_STRINGS_H_
+
+#include <string>
+
+namespace fsd {
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/// Human-readable byte count, e.g. "1.5 MiB".
+std::string HumanBytes(double bytes);
+
+/// Fixed-point dollar amount, e.g. "$0.3471".
+std::string HumanDollars(double dollars);
+
+}  // namespace fsd
+
+#endif  // FSD_COMMON_STRINGS_H_

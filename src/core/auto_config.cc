@@ -1,0 +1,207 @@
+#include "core/auto_config.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/strings.h"
+#include "core/launcher.h"
+#include "core/serialization.h"
+
+namespace fsd::core {
+namespace {
+
+/// Analytic latency estimate for one candidate. Deliberately coarse — the
+/// selector needs relative ordering, not absolute accuracy — but built from
+/// the same mechanisms the simulator models: launch tree depth, model-share
+/// load, per-layer compute/communication overlap.
+double EstimateLatency(const cloud::CloudEnv& cloud,
+                       const AutoSelectRequest& request, Variant variant,
+                       int32_t workers) {
+  const model::SparseDnn& dnn = *request.dnn;
+  const auto& latency = cloud.latency();
+  const auto& compute = cloud.config().compute;
+  const FsdOptions& base = request.base_options;
+  const int32_t memory_mb =
+      DefaultWorkerMemoryMb(dnn.neurons(), variant);
+
+  const double flops = 2.0 * static_cast<double>(dnn.TotalNnz()) *
+                       request.batch * request.activation_density;
+  const double model_bytes = static_cast<double>(dnn.WeightBytes());
+
+  // Launch: tree depth levels of (invoke + cold start).
+  double launch = latency.faas_cold_start.median_s;
+  if (workers > 1) {
+    const double depth = std::ceil(
+        std::log(static_cast<double>(workers)) /
+        std::log(static_cast<double>(std::max(2, base.branching))));
+    launch += depth * (latency.faas_cold_start.median_s +
+                       base.branching * latency.faas_invoke_api.median_s);
+  }
+
+  // Model share load (parallel multipart GETs) + deserialization.
+  const double share_bytes = model_bytes / workers;
+  const double load =
+      latency.object_get.median_s +
+      share_bytes / latency.object_get.bytes_per_s / base.io_lanes +
+      share_bytes / compute.deserialize_bytes_per_s;
+
+  // Compute: evenly partitioned (hypergraph balancing) across workers.
+  const double compute_s =
+      compute.FaasComputeSeconds(flops / workers, memory_mb);
+  if (variant == Variant::kSerial || workers == 1) {
+    return launch + load + compute_s;
+  }
+
+  // Communication: volume scales with the cross-worker activation rows.
+  // With the structured models ~min(1, P/8) of rows cross boundaries.
+  const double cross_fraction = std::min(1.0, workers / 8.0) * 0.35;
+  const double bytes_per_layer = static_cast<double>(dnn.neurons()) *
+                                 cross_fraction * request.activation_density *
+                                 request.batch * 6.0 *
+                                 (base.compress ? 0.6 : 1.0);
+  const double per_worker_layer_bytes = bytes_per_layer / workers;
+  double per_layer_comm;
+  if (variant == Variant::kQueue) {
+    const double chunks = std::max(
+        1.0, per_worker_layer_bytes / static_cast<double>(
+                                          base.max_message_bytes));
+    const double publish = chunks / 10.0 * latency.pubsub_publish.median_s /
+                           std::max(1, base.io_lanes);
+    const double polls =
+        std::max(1.0, chunks / 10.0) * latency.queue_receive.median_s;
+    per_layer_comm = publish + latency.pubsub_fanout.median_s + polls +
+                     per_worker_layer_bytes / latency.pubsub_fanout.bytes_per_s;
+  } else {
+    const double gets = std::max(1.0, std::min<double>(workers - 1, 8));
+    per_layer_comm = latency.object_put.median_s +
+                     latency.object_list.median_s * 1.5 +
+                     gets * latency.object_get.median_s /
+                         std::max(1, base.io_lanes) +
+                     per_worker_layer_bytes / latency.object_get.bytes_per_s;
+  }
+  // Compute overlaps the sends; the receive tail adds to each layer.
+  const double per_layer_compute = compute_s / dnn.layers();
+  const double per_layer =
+      std::max(per_layer_compute, per_layer_comm * 0.5) + per_layer_comm * 0.5;
+  return launch + load + per_layer * dnn.layers();
+}
+
+}  // namespace
+
+Result<AutoSelectResult> AutoSelectConfiguration(
+    const cloud::CloudEnv& cloud, const AutoSelectRequest& request) {
+  if (request.dnn == nullptr) {
+    return Status::InvalidArgument("request needs a model");
+  }
+  if (request.latency_weight < 0.0 || request.latency_weight > 1.0) {
+    return Status::InvalidArgument("latency_weight outside [0, 1]");
+  }
+  if (request.candidate_workers.empty()) {
+    return Status::InvalidArgument("no candidate worker counts");
+  }
+  const model::SparseDnn& dnn = *request.dnn;
+  const cloud::PricingConfig& pricing = cloud.billing().pricing();
+
+  // Serial feasibility: model + working set within the largest instance.
+  const double serial_need_mb =
+      (dnn.WeightBytes() * 1.6 +
+       static_cast<double>(dnn.neurons()) * request.batch * 8.0 * 2.0) /
+      (1024.0 * 1024.0);
+
+  std::vector<ConfigCandidate> candidates;
+  for (int32_t workers : request.candidate_workers) {
+    std::vector<Variant> variants;
+    if (workers <= 1) {
+      variants = {Variant::kSerial};
+    } else {
+      variants = {Variant::kQueue, Variant::kObject};
+    }
+    for (Variant variant : variants) {
+      ConfigCandidate candidate;
+      candidate.variant = variant;
+      candidate.workers = workers;
+      if (variant == Variant::kSerial && serial_need_mb > 10240.0) {
+        candidate.feasible = false;
+        candidate.infeasible_reason = StrFormat(
+            "needs ~%.0f MB; FaaS cap is 10240 MB", serial_need_mb);
+        candidates.push_back(std::move(candidate));
+        continue;
+      }
+      candidate.predicted_latency_s =
+          EstimateLatency(cloud, request, variant, workers);
+      const int32_t memory_mb =
+          DefaultWorkerMemoryMb(dnn.neurons(), variant);
+      // Cost side: the same cross-boundary volume model as the latency
+      // estimate, fed into Eqs. 1-7.
+      const double cross_fraction =
+          std::min(1.0, workers / 8.0) * 0.35;
+      const double total_bytes =
+          static_cast<double>(dnn.neurons()) * cross_fraction *
+          request.activation_density * request.batch * 6.0 *
+          (request.base_options.compress ? 0.6 : 1.0) * dnn.layers();
+      const double pairs =
+          static_cast<double>(dnn.layers()) * workers *
+          std::min<double>(workers - 1, 10);
+      switch (variant) {
+        case Variant::kSerial:
+          candidate.predicted_cost = SerialCost(
+              pricing, candidate.predicted_latency_s, memory_mb);
+          break;
+        case Variant::kQueue: {
+          const double chunks = std::max(
+              pairs, total_bytes / (64.0 * 1024.0));
+          const double api = pairs * 2.0 / 4.0;
+          candidate.predicted_cost =
+              QueueCost(pricing, workers, candidate.predicted_latency_s,
+                        memory_mb, chunks, total_bytes, api);
+          break;
+        }
+        case Variant::kObject: {
+          const double puts = pairs;
+          const double gets = pairs;
+          const double lists = 1.8 * dnn.layers() * workers;
+          candidate.predicted_cost =
+              ObjectCost(pricing, workers, candidate.predicted_latency_s,
+                         memory_mb, puts, gets, lists);
+          break;
+        }
+      }
+      candidates.push_back(std::move(candidate));
+    }
+  }
+
+  // Normalize and blend.
+  double min_latency = -1.0, min_cost = -1.0;
+  for (const ConfigCandidate& c : candidates) {
+    if (!c.feasible) continue;
+    if (min_latency < 0 || c.predicted_latency_s < min_latency) {
+      min_latency = c.predicted_latency_s;
+    }
+    if (min_cost < 0 || c.predicted_cost.total < min_cost) {
+      min_cost = c.predicted_cost.total;
+    }
+  }
+  if (min_latency < 0) {
+    return Status::FailedPrecondition("no feasible configuration");
+  }
+  for (ConfigCandidate& c : candidates) {
+    if (!c.feasible) {
+      c.score = 1e30;
+      continue;
+    }
+    c.score = request.latency_weight *
+                  (c.predicted_latency_s / min_latency) +
+              (1.0 - request.latency_weight) *
+                  (c.predicted_cost.total / std::max(1e-12, min_cost));
+  }
+  std::sort(candidates.begin(), candidates.end(),
+            [](const ConfigCandidate& a, const ConfigCandidate& b) {
+              return a.score < b.score;
+            });
+  AutoSelectResult result;
+  result.best = candidates.front();
+  result.ranking = std::move(candidates);
+  return result;
+}
+
+}  // namespace fsd::core

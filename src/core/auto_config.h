@@ -1,0 +1,57 @@
+// Automatic configuration selection — the paper's stated extension
+// (§VI-D1: "these findings (with our cost model) could enable automatic
+// runtime selection of the optimal configuration for specific workloads,
+// given latency and cost priorities").
+//
+// Given a model, a workload description and a latency/cost priority, scores
+// every candidate (variant, P) pair with the analytical cost model (Eqs.
+// 1-7) plus a coarse analytic latency model, and returns the best choice
+// and the full ranking.
+#ifndef FSD_CORE_AUTO_CONFIG_H_
+#define FSD_CORE_AUTO_CONFIG_H_
+
+#include <vector>
+
+#include "cloud/cloud.h"
+#include "core/cost_model.h"
+#include "core/fsd_config.h"
+#include "model/sparse_dnn.h"
+
+namespace fsd::core {
+
+struct AutoSelectRequest {
+  const model::SparseDnn* dnn = nullptr;
+  int32_t batch = 256;
+  /// Expected activation density (fraction of nonzero activation values);
+  /// drives communication-volume estimates.
+  double activation_density = 0.3;
+  /// 1.0 = pure latency priority, 0.0 = pure cost priority.
+  double latency_weight = 0.5;
+  /// Candidate parallelism levels (1 implies the serial variant).
+  std::vector<int32_t> candidate_workers = {1, 8, 20, 42, 62};
+  FsdOptions base_options;  ///< shared knobs (lanes, compression, ...)
+};
+
+struct ConfigCandidate {
+  Variant variant = Variant::kSerial;
+  int32_t workers = 1;
+  double predicted_latency_s = 0.0;
+  CostBreakdown predicted_cost;
+  /// Normalized blended objective (lower is better).
+  double score = 0.0;
+  bool feasible = true;
+  std::string infeasible_reason;
+};
+
+struct AutoSelectResult {
+  ConfigCandidate best;
+  std::vector<ConfigCandidate> ranking;  ///< all candidates, best first
+};
+
+/// Scores all candidates against `cloud`'s pricing/latency/compute config.
+Result<AutoSelectResult> AutoSelectConfiguration(
+    const cloud::CloudEnv& cloud, const AutoSelectRequest& request);
+
+}  // namespace fsd::core
+
+#endif  // FSD_CORE_AUTO_CONFIG_H_

@@ -1,0 +1,80 @@
+// CommChannel: the fully serverless point-to-point communication abstraction
+// (paper §III-A/B). Two production implementations exist — QueueChannel
+// (FSD-Inf-Queue: pub-sub + per-worker queues) and ObjectChannel
+// (FSD-Inf-Object: sharded object storage) — plus the degenerate serial case
+// which performs no communication.
+//
+// The channel moves *phases* of activation rows. Phases 0..L-1 carry the
+// x^{k-1} exchanges feeding each layer k; collective operations (barrier,
+// reduce) reuse the same machinery under phase ids >= L, so MPI-style
+// primitives (Send, Recv, Barrier, Reduce, Broadcast) all ride on one code
+// path per backend.
+#ifndef FSD_CORE_CHANNEL_H_
+#define FSD_CORE_CHANNEL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "cloud/cloud.h"
+#include "common/result.h"
+#include "core/fsd_config.h"
+#include "core/metrics.h"
+#include "linalg/spmm.h"
+
+namespace fsd::core {
+
+/// Per-worker execution environment threaded through channel calls.
+struct WorkerEnv {
+  cloud::FaasContext* faas = nullptr;
+  cloud::CloudEnv* cloud = nullptr;
+  const FsdOptions* options = nullptr;
+  WorkerMetrics* metrics = nullptr;
+  int32_t worker_id = 0;
+  /// Set when any worker in the run failed; receive loops drain promptly
+  /// instead of polling until their own runtime cap.
+  const bool* abort = nullptr;
+
+  Status CheckAbort() const {
+    if (abort != nullptr && *abort) {
+      return Status::Unavailable("run aborted by a failed peer");
+    }
+    return Status::OK();
+  }
+};
+
+/// One phase send: ship the listed x rows (those present in the source map)
+/// to `target`.
+struct SendSpec {
+  int32_t target = 0;
+  const std::vector<int32_t>* rows = nullptr;
+};
+
+class CommChannel {
+ public:
+  virtual ~CommChannel() = default;
+  virtual std::string_view name() const = 0;
+
+  /// Dispatches one phase's sends. Non-blocking with respect to network
+  /// time: the worker pays CPU (serialization/compression) and per-call
+  /// dispatch overhead; transfers complete asynchronously so the caller can
+  /// overlap communication with computation (Algorithms 1 & 2).
+  virtual Status SendPhase(WorkerEnv* env, int32_t phase,
+                           const linalg::ActivationMap& source,
+                           const std::vector<SendSpec>& sends) = 0;
+
+  /// Blocks until every worker in `sources` has delivered its phase data;
+  /// returns the merged activation rows. Sources with nothing to send
+  /// deliver an explicit empty marker (empty chunk / ".nul" object).
+  virtual Result<linalg::ActivationMap> ReceivePhase(
+      WorkerEnv* env, int32_t phase, const std::vector<int32_t>& sources) = 0;
+};
+
+/// Phase-id layout shared by workers and collectives.
+constexpr int32_t kPhaseBarrierArrive(int32_t layers) { return layers; }
+constexpr int32_t kPhaseBarrierRelease(int32_t layers) { return layers + 1; }
+constexpr int32_t kPhaseReduce(int32_t layers) { return layers + 2; }
+constexpr int32_t kPhaseBroadcast(int32_t layers) { return layers + 3; }
+
+}  // namespace fsd::core
+
+#endif  // FSD_CORE_CHANNEL_H_

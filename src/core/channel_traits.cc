@@ -1,0 +1,38 @@
+#include "core/channel_traits.h"
+
+namespace fsd::core {
+
+std::string_view TraitSupportSymbol(TraitSupport support) {
+  switch (support) {
+    case TraitSupport::kNo:
+      return " ";
+    case TraitSupport::kPartial:
+      return "Y*";
+    case TraitSupport::kYes:
+      return "Y";
+  }
+  return "?";
+}
+
+const std::array<ChannelTraits, 7>& ChannelTraitMatrix() {
+  using enum TraitSupport;
+  static const std::array<ChannelTraits, 7> matrix = {{
+      {"Stream", kPartial, kYes, kPartial, kNo, kPartial, kNo, kYes,
+       "provisioned shards; producer/consumer and API-rate caps"},
+      {"Stream (ETL)", kYes, kYes, kYes, kNo, kYes, kYes, kNo,
+       "no direct polling of the delivery stream; large minimum buffers"},
+      {"NoSQL", kPartial, kYes, kNo, kNo, kYes, kYes, kYes,
+       "restricted item sizes, limited batch updates, relatively high cost"},
+      {"Pub-Sub", kYes, kYes, kYes, kNo, kYes, kYes, kYes,
+       "needs a queue target to retain messages for polling consumers"},
+      {"Queues", kYes, kYes, kYes, kNo, kYes, kNo, kYes,
+       "no service-side fan-out/filtering on its own"},
+      {"Pub-Sub+Queues", kYes, kYes, kYes, kNo, kYes, kYes, kYes,
+       "SELECTED: FSD-Inf-Queue (filtered fan-out + per-worker queues)"},
+      {"Object Storage", kYes, kYes, kPartial, kYes, kYes, kNo, kYes,
+       "SELECTED: FSD-Inf-Object (size-free payloads; per-request billing)"},
+  }};
+  return matrix;
+}
+
+}  // namespace fsd::core

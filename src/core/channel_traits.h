@@ -1,0 +1,34 @@
+// Feature matrix of candidate inter-worker communication channels
+// (paper Table I). Encoded as data so the design discussion in §II-D is
+// reproducible from the library itself (bench_table1_features prints it).
+#ifndef FSD_CORE_CHANNEL_TRAITS_H_
+#define FSD_CORE_CHANNEL_TRAITS_H_
+
+#include <array>
+#include <string_view>
+
+namespace fsd::core {
+
+enum class TraitSupport : int { kNo = 0, kPartial = 1, kYes = 2 };
+
+struct ChannelTraits {
+  std::string_view category;
+  TraitSupport serverless;
+  TraitSupport low_latency_high_throughput;
+  TraitSupport cost_effective;
+  TraitSupport flexible_payloads;
+  TraitSupport many_producers_consumers;
+  TraitSupport service_side_filtering;
+  TraitSupport direct_consumer_access;
+  /// Why the category was (not) selected (paper §II-D discussion).
+  std::string_view verdict;
+};
+
+/// The seven service categories of Table I, in paper order.
+const std::array<ChannelTraits, 7>& ChannelTraitMatrix();
+
+std::string_view TraitSupportSymbol(TraitSupport support);
+
+}  // namespace fsd::core
+
+#endif  // FSD_CORE_CHANNEL_TRAITS_H_

@@ -1,0 +1,91 @@
+#include "core/collectives.h"
+
+#include <algorithm>
+
+namespace fsd::core {
+namespace {
+
+/// Row-id list covering every row present in `rows`.
+std::vector<int32_t> AllIds(const linalg::ActivationMap& rows) {
+  std::vector<int32_t> ids;
+  ids.reserve(rows.size());
+  for (const auto& [id, vec] : rows) ids.push_back(id);
+  return ids;
+}
+
+std::vector<int32_t> Everyone(int32_t num_workers, int32_t except) {
+  std::vector<int32_t> ids;
+  for (int32_t i = 0; i < num_workers; ++i) {
+    if (i != except) ids.push_back(i);
+  }
+  return ids;
+}
+
+}  // namespace
+
+Status Send(CommChannel* channel, WorkerEnv* env, int32_t phase,
+            int32_t target, const linalg::ActivationMap& rows) {
+  const std::vector<int32_t> ids = AllIds(rows);
+  std::vector<SendSpec> sends{{target, &ids}};
+  return channel->SendPhase(env, phase, rows, sends);
+}
+
+Result<linalg::ActivationMap> Recv(CommChannel* channel, WorkerEnv* env,
+                                   int32_t phase, int32_t source) {
+  return channel->ReceivePhase(env, phase, {source});
+}
+
+Status Barrier(CommChannel* channel, WorkerEnv* env, int32_t phase,
+               int32_t num_workers, int32_t root) {
+  if (num_workers <= 1) return Status::OK();
+  static const std::vector<int32_t> kNoRows;
+  const int32_t arrive = phase;
+  const int32_t release = phase + 1;
+  if (env->worker_id == root) {
+    FSD_RETURN_IF_ERROR(
+        channel->ReceivePhase(env, arrive, Everyone(num_workers, root))
+            .status());
+    std::vector<SendSpec> releases;
+    for (int32_t n : Everyone(num_workers, root)) {
+      releases.push_back({n, &kNoRows});
+    }
+    return channel->SendPhase(env, release, /*source=*/{}, releases);
+  }
+  std::vector<SendSpec> arrive_send{{root, &kNoRows}};
+  FSD_RETURN_IF_ERROR(
+      channel->SendPhase(env, arrive, /*source=*/{}, arrive_send));
+  return channel->ReceivePhase(env, release, {root}).status();
+}
+
+Result<linalg::ActivationMap> Reduce(CommChannel* channel, WorkerEnv* env,
+                                     int32_t phase, int32_t num_workers,
+                                     const linalg::ActivationMap& mine,
+                                     int32_t root) {
+  if (num_workers <= 1) return mine;
+  if (env->worker_id == root) {
+    FSD_ASSIGN_OR_RETURN(
+        linalg::ActivationMap gathered,
+        channel->ReceivePhase(env, phase, Everyone(num_workers, root)));
+    for (const auto& [id, vec] : mine) gathered[id] = vec;
+    return gathered;
+  }
+  FSD_RETURN_IF_ERROR(Send(channel, env, phase, root, mine));
+  return linalg::ActivationMap{};
+}
+
+Result<linalg::ActivationMap> Broadcast(CommChannel* channel, WorkerEnv* env,
+                                        int32_t phase, int32_t num_workers,
+                                        const linalg::ActivationMap& rows,
+                                        int32_t root) {
+  if (num_workers <= 1) return rows;
+  if (env->worker_id == root) {
+    const std::vector<int32_t> ids = AllIds(rows);
+    std::vector<SendSpec> sends;
+    for (int32_t n : Everyone(num_workers, root)) sends.push_back({n, &ids});
+    FSD_RETURN_IF_ERROR(channel->SendPhase(env, phase, rows, sends));
+    return rows;
+  }
+  return channel->ReceivePhase(env, phase, {root});
+}
+
+}  // namespace fsd::core

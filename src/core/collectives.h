@@ -1,0 +1,45 @@
+// MPI-style collective operations over the serverless channels (paper
+// §V-A1: "our work also implements MPI primitives (Send, Recv, Broadcast,
+// Reduce), but avoids the use of an external provisioned server").
+//
+// All collectives ride the CommChannel phase machinery, so they work
+// identically over FSD-Inf-Queue and FSD-Inf-Object. Phase ids must be
+// distinct per operation (the FSI loop reserves ids >= layers; see
+// channel.h).
+#ifndef FSD_CORE_COLLECTIVES_H_
+#define FSD_CORE_COLLECTIVES_H_
+
+#include "core/channel.h"
+
+namespace fsd::core {
+
+/// Point-to-point send of activation rows (MPI_Send analogue).
+Status Send(CommChannel* channel, WorkerEnv* env, int32_t phase,
+            int32_t target, const linalg::ActivationMap& rows);
+
+/// Point-to-point receive from one source (MPI_Recv analogue).
+Result<linalg::ActivationMap> Recv(CommChannel* channel, WorkerEnv* env,
+                                   int32_t phase, int32_t source);
+
+/// Synchronizes all `num_workers` workers: everyone arrives at the root,
+/// then the root releases everyone. Consumes phases [phase, phase+1].
+Status Barrier(CommChannel* channel, WorkerEnv* env, int32_t phase,
+               int32_t num_workers, int32_t root = 0);
+
+/// Gathers every worker's rows at the root; row sets are disjoint under the
+/// row-wise decomposition, so the union is the reduction (the paper's
+/// reduce(P0, x^L_m)). Non-roots return an empty map.
+Result<linalg::ActivationMap> Reduce(CommChannel* channel, WorkerEnv* env,
+                                     int32_t phase, int32_t num_workers,
+                                     const linalg::ActivationMap& mine,
+                                     int32_t root = 0);
+
+/// Broadcasts the root's rows to every worker (MPI_Bcast analogue).
+Result<linalg::ActivationMap> Broadcast(CommChannel* channel, WorkerEnv* env,
+                                        int32_t phase, int32_t num_workers,
+                                        const linalg::ActivationMap& rows,
+                                        int32_t root = 0);
+
+}  // namespace fsd::core
+
+#endif  // FSD_CORE_COLLECTIVES_H_

@@ -1,0 +1,144 @@
+#include "core/cost_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "cloud/queue.h"
+#include "common/strings.h"
+#include "core/serialization.h"
+
+namespace fsd::core {
+
+std::string CostBreakdown::ToString() const {
+  return StrFormat("Comp. %s, Comms. %s, Total %s",
+                   HumanDollars(compute).c_str(),
+                   HumanDollars(communication).c_str(),
+                   HumanDollars(total).c_str());
+}
+
+double FaasCost(const cloud::PricingConfig& pricing, int32_t num_workers,
+                double mean_runtime_s, int32_t memory_mb) {
+  return num_workers * pricing.faas_per_invocation +
+         num_workers * mean_runtime_s * memory_mb * pricing.faas_per_mb_second;
+}
+
+CostBreakdown QueueCost(const cloud::PricingConfig& pricing,
+                        int32_t num_workers, double mean_runtime_s,
+                        int32_t memory_mb, double publish_chunks,
+                        double delivery_bytes, double queue_api_calls) {
+  CostBreakdown out;
+  out.compute = FaasCost(pricing, num_workers, mean_runtime_s, memory_mb);
+  out.communication = publish_chunks * pricing.pubsub_per_publish_chunk +
+                      delivery_bytes * pricing.pubsub_per_byte +
+                      queue_api_calls * pricing.queue_per_api_call;
+  out.total = out.compute + out.communication;
+  return out;
+}
+
+CostBreakdown ObjectCost(const cloud::PricingConfig& pricing,
+                         int32_t num_workers, double mean_runtime_s,
+                         int32_t memory_mb, double puts, double gets,
+                         double lists) {
+  CostBreakdown out;
+  out.compute = FaasCost(pricing, num_workers, mean_runtime_s, memory_mb);
+  out.communication = puts * pricing.object_per_put +
+                      gets * pricing.object_per_get +
+                      lists * pricing.object_per_list;
+  out.total = out.compute + out.communication;
+  return out;
+}
+
+CostBreakdown SerialCost(const cloud::PricingConfig& pricing,
+                         double runtime_s, int32_t memory_mb) {
+  CostBreakdown out;
+  out.compute = FaasCost(pricing, 1, runtime_s, memory_mb);
+  out.total = out.compute;
+  return out;
+}
+
+CostBreakdown PredictFromMetrics(const cloud::PricingConfig& pricing,
+                                 const FsdOptions& options,
+                                 const RunMetrics& metrics,
+                                 int32_t memory_mb) {
+  const LayerMetrics& t = metrics.totals;
+  switch (options.variant) {
+    case Variant::kSerial:
+      return SerialCost(pricing, metrics.mean_worker_s, memory_mb);
+    case Variant::kQueue: {
+      // Z: bytes delivered from pub-sub to queues = wire bytes + envelope.
+      const double delivery_bytes = static_cast<double>(t.send_wire_bytes) +
+                                    static_cast<double>(t.send_chunks) * 96.0;
+      const double api_calls = static_cast<double>(t.polls + t.deletes);
+      return QueueCost(pricing, options.num_workers, metrics.mean_worker_s,
+                       memory_mb, static_cast<double>(t.publish_chunks),
+                       delivery_bytes, api_calls);
+    }
+    case Variant::kObject:
+      return ObjectCost(pricing, options.num_workers, metrics.mean_worker_s,
+                        memory_mb,
+                        static_cast<double>(t.puts_dat + t.puts_nul),
+                        static_cast<double>(t.gets),
+                        static_cast<double>(t.lists));
+  }
+  return {};
+}
+
+WorkloadEstimate EstimateWorkload(const model::SparseDnn& dnn,
+                                  const part::ModelPartition& partition,
+                                  const FsdOptions& options,
+                                  double activation_density, int32_t batch) {
+  WorkloadEstimate est;
+  const double per_row_bytes =
+      static_cast<double>(EstimateRowBytes(static_cast<int64_t>(
+          std::max(1.0, activation_density * batch))));
+  const double compress_ratio = options.compress ? 0.6 : 1.0;
+
+  int64_t pairs = 0;  // (source, target) pairs across layers
+  for (const part::LayerComm& layer : partition.layers) {
+    for (const auto& sends : layer.send) {
+      pairs += static_cast<int64_t>(sends.size());
+      for (const part::SendEntry& entry : sends) {
+        const double rows_active =
+            static_cast<double>(entry.rows.size()) * activation_density;
+        const double bytes = rows_active * per_row_bytes * compress_ratio;
+        est.est_bytes_per_batch += bytes;
+        // Queue: chunks of max_message_bytes, billed per 64 KiB.
+        const double chunks = std::max(
+            1.0, std::ceil(bytes / static_cast<double>(
+                                       options.max_message_bytes)));
+        est.publish_chunks +=
+            std::max(chunks, std::ceil(bytes / (64.0 * 1024.0)));
+        est.delivery_bytes += bytes;
+        // Object: one PUT per pair; one GET per non-empty pair.
+        est.puts += 1.0;
+        est.gets += (rows_active >= 0.5) ? 1.0 : 0.0;
+      }
+    }
+  }
+  // Publishes can batch ~min(10, targets) messages; polls retrieve up to 10
+  // messages when saturated; both scale with pair count.
+  est.queue_api_calls = 2.2 * static_cast<double>(pairs) /
+                        static_cast<double>(cloud::kMaxMessagesPerReceive) *
+                        10.0 / 4.0;
+  // LISTs: a few scans per worker-layer until peers publish.
+  est.lists = 1.8 * static_cast<double>(dnn.layers()) * partition.num_parts;
+  (void)pairs;
+  return est;
+}
+
+Variant RecommendVariant(const model::SparseDnn& dnn, int32_t num_workers,
+                         const WorkloadEstimate& estimate) {
+  // §IV-C: single-instance execution when the model fits comfortably into
+  // the largest FaaS instance (10240 MB, with working-memory headroom).
+  const double model_gb =
+      static_cast<double>(dnn.WeightBytes()) / (1024.0 * 1024.0 * 1024.0);
+  if (num_workers <= 1 || model_gb < 4.0) return Variant::kSerial;
+  // Queue until data volumes consistently need multiple publishes per
+  // target (payload saturation); object storage beyond.
+  const double pairs = std::max(1.0, estimate.puts);
+  const double avg_bytes_per_pair = estimate.est_bytes_per_batch / pairs;
+  if (avg_bytes_per_pair < 2.0 * 256.0 * 1024.0) return Variant::kQueue;
+  return Variant::kObject;
+}
+
+}  // namespace fsd::core

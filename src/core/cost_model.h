@@ -1,0 +1,80 @@
+// Analytical cost model for distributed serverless inference (paper §IV,
+// Equations 1-7) plus the design recommender of §IV-C.
+//
+// Validation (paper §VI-F): predictions computed from run metrics are
+// compared against the billing ledger's "actual" charges — the simulation's
+// equivalent of the AWS Cost & Usage report.
+#ifndef FSD_CORE_COST_MODEL_H_
+#define FSD_CORE_COST_MODEL_H_
+
+#include <string>
+
+#include "cloud/billing.h"
+#include "core/fsd_config.h"
+#include "core/metrics.h"
+#include "model/sparse_dnn.h"
+#include "part/model_partition.h"
+
+namespace fsd::core {
+
+struct CostBreakdown {
+  double compute = 0.0;        ///< C_lambda
+  double communication = 0.0;  ///< C_SNS + C_SQS, or C_S3
+  double total = 0.0;
+  std::string ToString() const;
+};
+
+/// C_lambda = P*C_inv + P*Tbar*M*C_run (Eq. 4).
+double FaasCost(const cloud::PricingConfig& pricing, int32_t num_workers,
+                double mean_runtime_s, int32_t memory_mb);
+
+/// C_Queue = C_lambda + S*C_pub + Z*C_byte + Q*C_api (Eqs. 1, 5, 6).
+CostBreakdown QueueCost(const cloud::PricingConfig& pricing,
+                        int32_t num_workers, double mean_runtime_s,
+                        int32_t memory_mb, double publish_chunks,
+                        double delivery_bytes, double queue_api_calls);
+
+/// C_Object = C_lambda + V*C_put + R*C_get + L*C_list (Eqs. 2, 7).
+CostBreakdown ObjectCost(const cloud::PricingConfig& pricing,
+                         int32_t num_workers, double mean_runtime_s,
+                         int32_t memory_mb, double puts, double gets,
+                         double lists);
+
+/// C_Serial = C_lambda (Eq. 3).
+CostBreakdown SerialCost(const cloud::PricingConfig& pricing,
+                         double runtime_s, int32_t memory_mb);
+
+/// Predicts the run's cost from its measured metrics (the §VI-F validation
+/// path: fine-grained counters -> predicted dollars).
+CostBreakdown PredictFromMetrics(const cloud::PricingConfig& pricing,
+                                 const FsdOptions& options,
+                                 const RunMetrics& metrics,
+                                 int32_t memory_mb);
+
+/// A-priori workload estimate (before any execution): sizes the paper's
+/// S/Z/Q or V/R/L quantities from the partition maps and an expected
+/// activation density, for use by the recommender.
+struct WorkloadEstimate {
+  double publish_chunks = 0.0;
+  double delivery_bytes = 0.0;
+  double queue_api_calls = 0.0;
+  double puts = 0.0;
+  double gets = 0.0;
+  double lists = 0.0;
+  double est_bytes_per_batch = 0.0;
+};
+
+WorkloadEstimate EstimateWorkload(const model::SparseDnn& dnn,
+                                  const part::ModelPartition& partition,
+                                  const FsdOptions& options,
+                                  double activation_density, int32_t batch);
+
+/// §IV-C design recommendation: serial for models that fit one instance,
+/// queue for growing parallelism at moderate volume, object storage once
+/// volumes saturate pub-sub payload limits.
+Variant RecommendVariant(const model::SparseDnn& dnn, int32_t num_workers,
+                         const WorkloadEstimate& estimate);
+
+}  // namespace fsd::core
+
+#endif  // FSD_CORE_COST_MODEL_H_

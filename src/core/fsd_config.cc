@@ -1,0 +1,37 @@
+#include "core/fsd_config.h"
+
+namespace fsd::core {
+
+std::string_view VariantName(Variant variant) {
+  switch (variant) {
+    case Variant::kSerial:
+      return "FSD-Inf-Serial";
+    case Variant::kQueue:
+      return "FSD-Inf-Queue";
+    case Variant::kObject:
+      return "FSD-Inf-Object";
+  }
+  return "unknown";
+}
+
+std::string_view LaunchStrategyName(LaunchStrategy strategy) {
+  switch (strategy) {
+    case LaunchStrategy::kHierarchical:
+      return "hierarchical";
+    case LaunchStrategy::kTwoLevel:
+      return "two-level";
+    case LaunchStrategy::kCentralized:
+      return "centralized";
+  }
+  return "unknown";
+}
+
+int32_t DefaultWorkerMemoryMb(int32_t neurons, Variant variant) {
+  if (variant == Variant::kSerial) return 10240;
+  if (neurons <= 1024) return 1000;
+  if (neurons <= 4096) return 1500;
+  if (neurons <= 16384) return 2000;
+  return 4000;
+}
+
+}  // namespace fsd::core

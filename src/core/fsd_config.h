@@ -1,0 +1,87 @@
+// FSD-Inference runtime configuration (paper §III, §VI-A1).
+#ifndef FSD_CORE_FSD_CONFIG_H_
+#define FSD_CORE_FSD_CONFIG_H_
+
+#include <cstdint>
+#include <string_view>
+
+#include "codec/lz.h"
+
+namespace fsd::core {
+
+/// The three FSD-Inference variants evaluated in the paper.
+enum class Variant : int {
+  kSerial = 0,  ///< single FaaS instance, no communication (FSD-Inf-Serial)
+  kQueue = 1,   ///< pub-sub + queueing channel (FSD-Inf-Queue)
+  kObject = 2,  ///< object storage channel (FSD-Inf-Object)
+};
+
+std::string_view VariantName(Variant variant);
+
+/// Launch-tree construction strategies (§III; hierarchical is the paper's
+/// contribution, the others are the ablation baselines it was measured
+/// against).
+enum class LaunchStrategy : int {
+  kHierarchical = 0,  ///< each worker invokes its subtree (branching factor b)
+  kTwoLevel = 1,      ///< root invokes "managers" which invoke leaves
+  kCentralized = 2,   ///< coordinator invokes every worker in one loop
+};
+
+std::string_view LaunchStrategyName(LaunchStrategy strategy);
+
+struct FsdOptions {
+  Variant variant = Variant::kQueue;
+  /// P: concurrent FaaS workers (the model must be partitioned for this P).
+  int32_t num_workers = 8;
+  /// Branching factor of the hierarchical invocation tree.
+  int32_t branching = 4;
+  LaunchStrategy launch = LaunchStrategy::kHierarchical;
+
+  /// Communication resource sharding (paper uses 10 of each: topic-{m%10},
+  /// bucket-{n%10}).
+  int32_t num_topics = 10;
+  int32_t num_buckets = 10;
+
+  /// IPC thread-pool lanes per worker (ThreadPoolExecutor in the paper).
+  int32_t io_lanes = 8;
+
+  /// SQS long-poll wait W in seconds (0 selects short polling).
+  double poll_wait_s = 5.0;
+  /// Back-off between object-store folder scans while data is outstanding.
+  double object_scan_interval_s = 0.02;
+
+  /// Per-message payload cap for the queue channel. Slightly under the
+  /// 256 KiB publish cap to leave room for attributes/envelope.
+  uint64_t max_message_bytes = 224 * 1024;
+  /// Pack multiple row chunks per publish batch (NNZ-heuristic greedy
+  /// packing); disabled = one message per publish (ablation).
+  bool greedy_packing = true;
+
+  /// Compress payloads (FsdLz, the paper's ZLIB stage); ablation knob.
+  bool compress = true;
+  /// Moderate match effort by default (zlib level ~6 equivalent): channel
+  /// payloads are latency-sensitive, and ratio gains flatten quickly on
+  /// sparse-row data.
+  codec::LzOptions codec{.max_chain_probes = 8};
+
+  /// Skip 0-byte ".nul" markers when reading (object channel optimization;
+  /// ablation knob).
+  bool nul_markers = true;
+
+  /// Worker function sizing. <= 0 selects the paper's schedule via
+  /// DefaultWorkerMemoryMb(neurons).
+  int32_t worker_memory_mb = 0;
+  double worker_timeout_s = 900.0;
+  /// Coordinator function memory (lightweight parser/launcher).
+  int32_t coordinator_memory_mb = 128;
+
+  uint64_t seed = 1234;
+};
+
+/// The paper's memory schedule: 1000/1500/2000/4000 MB for
+/// N = 1024/4096/16384/65536; FSD-Inf-Serial uses the 10240 MB maximum.
+int32_t DefaultWorkerMemoryMb(int32_t neurons, Variant variant);
+
+}  // namespace fsd::core
+
+#endif  // FSD_CORE_FSD_CONFIG_H_

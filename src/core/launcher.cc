@@ -1,0 +1,72 @@
+#include "core/launcher.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace fsd::core {
+
+std::vector<int32_t> TreeChildren(int32_t worker_id, int32_t branching,
+                                  int32_t num_workers) {
+  FSD_CHECK_GE(branching, 1);
+  std::vector<int32_t> children;
+  for (int32_t j = 1; j <= branching; ++j) {
+    const int64_t child =
+        static_cast<int64_t>(worker_id) * branching + j;
+    if (child >= num_workers) break;
+    children.push_back(static_cast<int32_t>(child));
+  }
+  return children;
+}
+
+int32_t TreeParent(int32_t worker_id, int32_t branching) {
+  if (worker_id == 0) return -1;
+  return (worker_id - 1) / branching;
+}
+
+std::vector<int32_t> ChildrenToInvoke(LaunchStrategy strategy,
+                                      int32_t worker_id, int32_t branching,
+                                      int32_t num_workers) {
+  switch (strategy) {
+    case LaunchStrategy::kHierarchical:
+      return TreeChildren(worker_id, branching, num_workers);
+    case LaunchStrategy::kTwoLevel: {
+      std::vector<int32_t> children;
+      const int32_t leaves = num_workers - 1;
+      if (leaves <= 0) return children;
+      const int32_t managers = std::max<int32_t>(
+          1, static_cast<int32_t>(std::lround(std::sqrt(leaves))));
+      const int32_t slice = (leaves + managers - 1) / managers;
+      if (worker_id == 0) {
+        // Root invokes the first worker of each slice.
+        for (int32_t m = 0; m < managers; ++m) {
+          const int32_t first = 1 + m * slice;
+          if (first < num_workers) children.push_back(first);
+        }
+      } else if ((worker_id - 1) % slice == 0) {
+        // Slice managers invoke the rest of their slice.
+        for (int32_t i = worker_id + 1;
+             i < std::min(num_workers, worker_id + slice); ++i) {
+          children.push_back(i);
+        }
+      }
+      return children;
+    }
+    case LaunchStrategy::kCentralized:
+      return {};
+  }
+  return {};
+}
+
+std::vector<int32_t> CoordinatorInvokes(LaunchStrategy strategy,
+                                        int32_t num_workers) {
+  std::vector<int32_t> ids;
+  if (strategy == LaunchStrategy::kCentralized) {
+    for (int32_t i = 0; i < num_workers; ++i) ids.push_back(i);
+  } else {
+    ids.push_back(0);
+  }
+  return ids;
+}
+
+}  // namespace fsd::core

@@ -1,0 +1,41 @@
+// Hierarchical function-launch mechanism (paper §II-B objective 2, §III).
+//
+// Workers form an invocation tree: each internal node invokes its subtree
+// before starting its own compute role, so the fully-populated tree of P
+// instances starts in O(log_b P) sequential invoke hops instead of the O(P)
+// of a centralized launch loop. worker_invoke_children() derives a worker's
+// children from its own id, the branching factor and P — no central state.
+#ifndef FSD_CORE_LAUNCHER_H_
+#define FSD_CORE_LAUNCHER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/fsd_config.h"
+
+namespace fsd::core {
+
+/// Children of `worker_id` in a complete b-ary tree over ids [0, P).
+std::vector<int32_t> TreeChildren(int32_t worker_id, int32_t branching,
+                                  int32_t num_workers);
+
+/// Parent of `worker_id` in the same tree (-1 for the root).
+int32_t TreeParent(int32_t worker_id, int32_t branching);
+
+/// Which workers `worker_id` must invoke under `strategy`:
+///  - hierarchical: its b-ary tree children
+///  - two-level:    root invokes ~sqrt(P-1) managers, each manager invokes
+///                  its contiguous slice of leaves (Lambada-style)
+///  - centralized:  nobody (the coordinator invokes all workers directly)
+std::vector<int32_t> ChildrenToInvoke(LaunchStrategy strategy,
+                                      int32_t worker_id, int32_t branching,
+                                      int32_t num_workers);
+
+/// Workers the COORDINATOR invokes directly under `strategy` (the root for
+/// tree strategies; everyone for centralized).
+std::vector<int32_t> CoordinatorInvokes(LaunchStrategy strategy,
+                                        int32_t num_workers);
+
+}  // namespace fsd::core
+
+#endif  // FSD_CORE_LAUNCHER_H_

@@ -1,0 +1,76 @@
+#include "core/metrics.h"
+
+#include "common/strings.h"
+
+namespace fsd::core {
+
+void LayerMetrics::Add(const LayerMetrics& other) {
+  send_targets += other.send_targets;
+  send_rows_mapped += other.send_rows_mapped;
+  send_rows_active += other.send_rows_active;
+  send_chunks += other.send_chunks;
+  send_raw_bytes += other.send_raw_bytes;
+  send_wire_bytes += other.send_wire_bytes;
+  publishes += other.publishes;
+  publish_chunks += other.publish_chunks;
+  puts_dat += other.puts_dat;
+  puts_nul += other.puts_nul;
+  serialize_s += other.serialize_s;
+  polls += other.polls;
+  empty_polls += other.empty_polls;
+  deletes += other.deletes;
+  msgs_received += other.msgs_received;
+  lists += other.lists;
+  gets += other.gets;
+  nul_skipped += other.nul_skipped;
+  redundant_skipped += other.redundant_skipped;
+  recv_wire_bytes += other.recv_wire_bytes;
+  recv_rows += other.recv_rows;
+  recv_wait_s += other.recv_wait_s;
+  deserialize_s += other.deserialize_s;
+  compute_macs += other.compute_macs;
+  compute_s += other.compute_s;
+  out_rows += other.out_rows;
+  out_nnz += other.out_nnz;
+  layer_wall_s += other.layer_wall_s;
+}
+
+void WorkerMetrics::Finalize() {
+  totals = LayerMetrics{};
+  for (const LayerMetrics& layer : layers) totals.Add(layer);
+}
+
+void RunMetrics::Finalize() {
+  totals = LayerMetrics{};
+  mean_worker_s = 0.0;
+  max_worker_s = 0.0;
+  for (WorkerMetrics& w : workers) {
+    w.Finalize();
+    totals.Add(w.totals);
+    const double d = w.duration_s();
+    mean_worker_s += d;
+    if (d > max_worker_s) max_worker_s = d;
+  }
+  if (!workers.empty()) mean_worker_s /= static_cast<double>(workers.size());
+}
+
+std::string RunMetrics::Summary() const {
+  return StrFormat(
+      "workers=%zu Tbar=%.3fs Tmax=%.3fs sent=%lld chunks (%s wire, %s raw) "
+      "publishes=%lld puts=%lld/%lld polls=%lld (%lld empty) lists=%lld "
+      "gets=%lld recv_rows=%lld",
+      workers.size(), mean_worker_s, max_worker_s,
+      static_cast<long long>(totals.send_chunks),
+      HumanBytes(static_cast<double>(totals.send_wire_bytes)).c_str(),
+      HumanBytes(static_cast<double>(totals.send_raw_bytes)).c_str(),
+      static_cast<long long>(totals.publishes),
+      static_cast<long long>(totals.puts_dat),
+      static_cast<long long>(totals.puts_nul),
+      static_cast<long long>(totals.polls),
+      static_cast<long long>(totals.empty_polls),
+      static_cast<long long>(totals.lists),
+      static_cast<long long>(totals.gets),
+      static_cast<long long>(totals.recv_rows));
+}
+
+}  // namespace fsd::core

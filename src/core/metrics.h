@@ -1,0 +1,84 @@
+// Fine-grained run metrics (the paper captures 51 per-layer and 26
+// per-batch metrics to validate its cost model, §VI-F; this is the
+// equivalent instrumentation).
+#ifndef FSD_CORE_METRICS_H_
+#define FSD_CORE_METRICS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace fsd::core {
+
+/// Counters for one worker at one layer.
+struct LayerMetrics {
+  // --- send side ---
+  int64_t send_targets = 0;       ///< (m -> n) pairs in the send map
+  int64_t send_rows_mapped = 0;   ///< rows listed in the send map
+  int64_t send_rows_active = 0;   ///< rows actually carrying data
+  int64_t send_chunks = 0;        ///< byte strings / objects written
+  int64_t send_raw_bytes = 0;     ///< pre-compression payload bytes
+  int64_t send_wire_bytes = 0;    ///< on-the-wire payload bytes
+  int64_t publishes = 0;          ///< pub-sub publish API calls
+  int64_t publish_chunks = 0;     ///< billed 64 KiB publish chunks
+  int64_t puts_dat = 0;           ///< object .dat PUTs
+  int64_t puts_nul = 0;           ///< object .nul marker PUTs
+  double serialize_s = 0.0;       ///< worker CPU spent packing/compressing
+
+  // --- receive side ---
+  int64_t polls = 0;              ///< queue receive API calls
+  int64_t empty_polls = 0;        ///< polls returning no messages
+  int64_t deletes = 0;            ///< queue delete API calls
+  int64_t msgs_received = 0;
+  int64_t lists = 0;              ///< object LIST calls
+  int64_t gets = 0;               ///< object GET calls
+  int64_t nul_skipped = 0;        ///< .nul markers skipped without GET
+  int64_t redundant_skipped = 0;  ///< already-received sources skipped
+  int64_t recv_wire_bytes = 0;
+  int64_t recv_rows = 0;
+  double recv_wait_s = 0.0;       ///< virtual time blocked receiving
+  double deserialize_s = 0.0;
+
+  // --- compute ---
+  double compute_macs = 0.0;
+  double compute_s = 0.0;
+  int64_t out_rows = 0;
+  int64_t out_nnz = 0;
+  double layer_wall_s = 0.0;      ///< virtual time spent in this layer
+
+  void Add(const LayerMetrics& other);
+};
+
+/// One worker's whole-run metrics.
+struct WorkerMetrics {
+  int32_t worker_id = 0;
+  double start_time = 0.0;        ///< handler start (virtual)
+  double end_time = 0.0;
+  double model_load_s = 0.0;
+  double launch_children_s = 0.0;
+  bool cold_start = false;
+  std::vector<LayerMetrics> layers;
+  LayerMetrics totals;            ///< sum over layers
+
+  LayerMetrics& Layer(int32_t k) {
+    if (static_cast<size_t>(k) >= layers.size()) layers.resize(k + 1);
+    return layers[static_cast<size_t>(k)];
+  }
+  void Finalize();
+  double duration_s() const { return end_time - start_time; }
+};
+
+/// Aggregated run metrics across workers.
+struct RunMetrics {
+  std::vector<WorkerMetrics> workers;
+  LayerMetrics totals;
+  double mean_worker_s = 0.0;  ///< T-bar in the cost model
+  double max_worker_s = 0.0;
+
+  void Finalize();
+  std::string Summary() const;
+};
+
+}  // namespace fsd::core
+
+#endif  // FSD_CORE_METRICS_H_

@@ -1,0 +1,193 @@
+#include "core/object_channel.h"
+
+#include <algorithm>
+#include <set>
+
+#include "common/strings.h"
+#include "sim/simulation.h"
+
+namespace fsd::core {
+
+std::string ObjectChannel::BucketName(int32_t target,
+                                      const FsdOptions& options) {
+  return StrFormat("bucket-%d", target % options.num_buckets);
+}
+
+std::string ObjectChannel::ObjectKey(int32_t phase, int32_t source,
+                                     int32_t target, bool empty_marker) {
+  return StrFormat("%d/%d/%d_%d.%s", phase, target, source, target,
+                   empty_marker ? "nul" : "dat");
+}
+
+Status ObjectChannel::Provision(cloud::CloudEnv* cloud,
+                                const FsdOptions& options) {
+  for (int32_t b = 0; b < options.num_buckets; ++b) {
+    const std::string bucket = StrFormat("bucket-%d", b);
+    if (!cloud->objects().BucketExists(bucket)) {
+      FSD_RETURN_IF_ERROR(cloud->objects().CreateBucket(bucket));
+    }
+  }
+  return Status::OK();
+}
+
+Status ObjectChannel::SendPhase(WorkerEnv* env, int32_t phase,
+                                const linalg::ActivationMap& source,
+                                const std::vector<SendSpec>& sends) {
+  if (sends.empty()) return Status::OK();
+  const FsdOptions& options = *env->options;
+  LayerMetrics& metrics = env->metrics->Layer(phase);
+  metrics.send_targets += static_cast<int64_t>(sends.size());
+
+  struct Outgoing {
+    std::string bucket;
+    std::string key;
+    Bytes body;
+    bool is_nul;
+  };
+  std::vector<Outgoing> outgoing;
+  uint64_t serialize_bytes = 0;
+  for (const SendSpec& send : sends) {
+    metrics.send_rows_mapped += static_cast<int64_t>(send.rows->size());
+    // One unbounded chunk per target (object payloads are size-free).
+    EncodeResult encoded = EncodeRows(source, *send.rows,
+                                      /*max_chunk_bytes=*/0, options.compress,
+                                      options.codec);
+    FSD_CHECK_EQ(encoded.chunks.size(), 1u);
+    metrics.send_rows_active += encoded.active_rows;
+    RowChunk& chunk = encoded.chunks[0];
+    const bool is_empty = encoded.active_rows == 0;
+    if (is_empty && options.nul_markers) {
+      // 0-byte marker: the target learns there is nothing to read.
+      outgoing.push_back(
+          {BucketName(send.target, options),
+           ObjectKey(phase, env->worker_id, send.target, /*empty=*/true),
+           Bytes{},
+           /*is_nul=*/true});
+      ++metrics.puts_nul;
+      continue;
+    }
+    metrics.send_chunks += 1;
+    metrics.send_raw_bytes += static_cast<int64_t>(chunk.raw_bytes);
+    metrics.send_wire_bytes += static_cast<int64_t>(chunk.wire.size());
+    serialize_bytes += chunk.raw_bytes;
+    ++metrics.puts_dat;
+    outgoing.push_back(
+        {BucketName(send.target, options),
+         ObjectKey(phase, env->worker_id, send.target, /*empty=*/false),
+         std::move(chunk.wire),
+         /*is_nul=*/false});
+  }
+
+  // Serialization CPU (parallel over IPC lanes).
+  const auto& compute = env->cloud->compute();
+  const double serialize_s =
+      static_cast<double>(serialize_bytes) / compute.serialize_bytes_per_s;
+  std::vector<double> lane_costs;
+  if (!outgoing.empty()) {
+    lane_costs.assign(outgoing.size(),
+                      serialize_s / static_cast<double>(outgoing.size()));
+  }
+  const double serialize_makespan =
+      sim::ParallelMakespan(lane_costs, options.io_lanes);
+  metrics.serialize_s += serialize_makespan;
+  FSD_RETURN_IF_ERROR(env->faas->SleepFor(serialize_makespan));
+
+  // Non-blocking multi-threaded PUTs: lane-scheduled dispatch callbacks.
+  const double estimate = env->cloud->latency().object_put.median_s;
+  std::vector<double> lane_free(static_cast<size_t>(
+      std::max<int32_t>(1, options.io_lanes)), 0.0);
+  for (Outgoing& out : outgoing) {
+    auto lane = std::min_element(lane_free.begin(), lane_free.end());
+    const double offset = *lane;
+    *lane += estimate;
+    cloud::CloudEnv* cloud = env->cloud;
+    env->cloud->sim()->ScheduleCallback(
+        offset, [cloud, bucket = std::move(out.bucket),
+                 key = std::move(out.key), body = std::move(out.body)]() {
+          cloud->objects().Put(bucket, key, body);
+        });
+  }
+  const double dispatch_s = 0.0002 * static_cast<double>(outgoing.size());
+  FSD_RETURN_IF_ERROR(env->faas->SleepFor(dispatch_s));
+  return Status::OK();
+}
+
+Result<linalg::ActivationMap> ObjectChannel::ReceivePhase(
+    WorkerEnv* env, int32_t phase, const std::vector<int32_t>& sources) {
+  linalg::ActivationMap received;
+  if (sources.empty()) return received;
+  const FsdOptions& options = *env->options;
+  LayerMetrics& metrics = env->metrics->Layer(phase);
+  const double start = env->cloud->sim()->Now();
+  const auto& compute = env->cloud->compute();
+
+  std::set<int32_t> pending(sources.begin(), sources.end());
+  const std::string bucket = BucketName(env->worker_id, options);
+  const std::string prefix =
+      StrFormat("%d/%d/", phase, env->worker_id);
+
+  while (!pending.empty()) {
+    FSD_RETURN_IF_ERROR(env->CheckAbort());
+    FSD_RETURN_IF_ERROR(env->faas->CheckDeadline());
+    FSD_ASSIGN_OR_RETURN(std::vector<cloud::ObjectMeta> handles,
+                         env->cloud->objects().List(bucket, prefix));
+    ++metrics.lists;
+
+    // Decide which handles to fetch this round.
+    std::vector<std::pair<int32_t, std::string>> to_get;
+    for (const cloud::ObjectMeta& meta : handles) {
+      // Key tail: "{source}_{target}.ext"
+      const size_t slash = meta.key.rfind('/');
+      const std::string tail = meta.key.substr(slash + 1);
+      const int32_t source = std::atoi(tail.c_str());
+      const bool is_nul = tail.size() > 4 &&
+                          tail.compare(tail.size() - 4, 4, ".nul") == 0;
+      if (!pending.contains(source)) {
+        if (!is_nul) ++metrics.redundant_skipped;  // already received
+        continue;
+      }
+      if (is_nul) {
+        // Source had nothing to transmit; no GET needed.
+        pending.erase(source);
+        ++metrics.nul_skipped;
+        continue;
+      }
+      to_get.push_back({source, meta.key});
+    }
+
+    // Parallel GETs on the IPC lanes.
+    if (!to_get.empty()) {
+      std::vector<double> latencies;
+      uint64_t got_bytes = 0;
+      for (auto& [source, key] : to_get) {
+        cloud::ObjectStore::GetOutcome got =
+            env->cloud->objects().Get(bucket, key);
+        ++metrics.gets;
+        if (!got.status.ok()) return got.status;
+        latencies.push_back(got.latency);
+        got_bytes += got.body.size();
+        metrics.recv_wire_bytes += static_cast<int64_t>(got.body.size());
+        const size_t before = received.size();
+        FSD_RETURN_IF_ERROR(
+            DecodeRows(got.body, options.compress, &received));
+        metrics.recv_rows += static_cast<int64_t>(received.size() - before);
+        pending.erase(source);
+      }
+      const double get_makespan =
+          sim::ParallelMakespan(latencies, options.io_lanes);
+      const double deser_s =
+          static_cast<double>(got_bytes) / compute.deserialize_bytes_per_s;
+      metrics.deserialize_s += deser_s;
+      FSD_RETURN_IF_ERROR(env->faas->SleepFor(get_makespan + deser_s));
+    } else if (!pending.empty()) {
+      // Nothing new this scan; brief back-off before re-listing keeps the
+      // LIST count (and cost) down, as in the paper's optimization.
+      FSD_RETURN_IF_ERROR(env->faas->SleepFor(options.object_scan_interval_s));
+    }
+  }
+
+  metrics.recv_wait_s += env->cloud->sim()->Now() - start;
+  return received;
+}
+
+}  // namespace fsd::core

@@ -1,0 +1,209 @@
+#include "core/runtime.h"
+
+#include <atomic>
+
+#include "common/strings.h"
+#include "core/launcher.h"
+#include "core/object_channel.h"
+#include "core/queue_channel.h"
+
+namespace fsd::core {
+namespace {
+
+std::atomic<uint64_t> g_run_counter{0};
+
+std::vector<cloud::BillingLine> SnapshotLedger(
+    const cloud::BillingLedger& ledger) {
+  std::vector<cloud::BillingLine> lines;
+  for (int i = 0; i < static_cast<int>(cloud::BillingDimension::kDimensionCount);
+       ++i) {
+    lines.push_back(ledger.line(static_cast<cloud::BillingDimension>(i)));
+  }
+  return lines;
+}
+
+BillingDelta DiffLedger(const std::vector<cloud::BillingLine>& before,
+                        const cloud::BillingLedger& after) {
+  BillingDelta delta;
+  for (int i = 0; i < static_cast<int>(cloud::BillingDimension::kDimensionCount);
+       ++i) {
+    const auto dim = static_cast<cloud::BillingDimension>(i);
+    const cloud::BillingLine& b = before[i];
+    const cloud::BillingLine& a = after.line(dim);
+    const double cost = a.cost - b.cost;
+    delta.quantities[i] = a.quantity - b.quantity;
+    delta.total_cost += cost;
+    if (dim == cloud::BillingDimension::kFaasInvocation ||
+        dim == cloud::BillingDimension::kFaasRuntimeMbSec) {
+      delta.faas_cost += cost;
+    } else if (dim != cloud::BillingDimension::kVmSecond) {
+      delta.comm_cost += cost;
+    }
+  }
+  return delta;
+}
+
+Status Validate(const InferenceRequest& request) {
+  if (request.dnn == nullptr || request.partition == nullptr) {
+    return Status::InvalidArgument("request needs a model and a partition");
+  }
+  if (request.batches.empty()) {
+    return Status::InvalidArgument("request carries no input batches");
+  }
+  const FsdOptions& options = request.options;
+  if (options.num_workers < 1) {
+    return Status::InvalidArgument("num_workers must be >= 1");
+  }
+  if (options.variant == Variant::kSerial && options.num_workers != 1) {
+    return Status::InvalidArgument("FSD-Inf-Serial runs on a single worker");
+  }
+  if (request.partition->num_parts != options.num_workers) {
+    return Status::FailedPrecondition(StrFormat(
+        "model partitioned for %d workers but request asks for %d "
+        "(the paper requires pre-partitioning for the chosen k)",
+        request.partition->num_parts, options.num_workers));
+  }
+  if (static_cast<int32_t>(request.partition->layers.size()) !=
+      request.dnn->layers()) {
+    return Status::FailedPrecondition("partition does not match the model");
+  }
+  for (const auto* batch : request.batches) {
+    if (batch == nullptr || batch->empty()) {
+      return Status::InvalidArgument("null or empty input batch");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<InferenceReport> RunInference(cloud::CloudEnv* cloud,
+                                     const InferenceRequest& request) {
+  FSD_RETURN_IF_ERROR(Validate(request));
+  FsdOptions options = request.options;
+  if (options.worker_memory_mb <= 0) {
+    options.worker_memory_mb =
+        DefaultWorkerMemoryMb(request.dnn->neurons(), options.variant);
+  }
+
+  // --- offline provisioning (pre-created resources; not billed/timed) ---
+  if (options.variant == Variant::kQueue) {
+    FSD_RETURN_IF_ERROR(QueueChannel::Provision(cloud, options));
+  } else if (options.variant == Variant::kObject) {
+    FSD_RETURN_IF_ERROR(ObjectChannel::Provision(cloud, options));
+  }
+
+  // --- per-run state ---
+  auto state = std::make_unique<RunState>();
+  state->dnn = request.dnn;
+  state->partition = request.partition;
+  state->batches = request.batches;
+  state->options = options;
+  state->cloud = cloud;
+  state->outputs.resize(request.batches.size());
+  state->metrics.workers.resize(options.num_workers);
+  state->worker_status.assign(options.num_workers,
+                              Status::Internal("worker never completed"));
+  state->done = cloud->sim()->MakeSignal();
+
+  const uint64_t run_id = g_run_counter.fetch_add(1);
+  state->worker_function = StrFormat("fsd-worker-%llu",
+                                     static_cast<unsigned long long>(run_id));
+  const std::string coordinator_fn = StrFormat(
+      "fsd-coordinator-%llu", static_cast<unsigned long long>(run_id));
+
+  RunState* raw_state = state.get();
+  cloud::FaasFunctionConfig worker_config;
+  worker_config.name = state->worker_function;
+  worker_config.memory_mb = options.worker_memory_mb;
+  worker_config.timeout_s = options.worker_timeout_s;
+  worker_config.handler = [raw_state](cloud::FaasContext* ctx) {
+    RunFsiWorker(ctx, raw_state);
+  };
+  FSD_RETURN_IF_ERROR(cloud->faas().RegisterFunction(worker_config));
+
+  // Coordinator: lightweight parser + first-level launcher (paper §VI-A1).
+  cloud::FaasFunctionConfig coord_config;
+  coord_config.name = coordinator_fn;
+  coord_config.memory_mb = options.coordinator_memory_mb;
+  coord_config.timeout_s = 900.0;
+  coord_config.handler = [raw_state](cloud::FaasContext* ctx) {
+    // Parse request (tiny CPU), then invoke the first layer of workers.
+    Status status = ctx->Burn(2e6);
+    Rng rng(raw_state->options.seed ^ 0xC00Dull);
+    const std::vector<int32_t> first = CoordinatorInvokes(
+        raw_state->options.launch, raw_state->options.num_workers);
+    for (int32_t id : first) {
+      if (!status.ok()) break;
+      status = ctx->SleepFor(
+          raw_state->cloud->latency().faas_invoke_api.Sample(&rng));
+      if (!status.ok()) break;
+      cloud::FaasService::InvokeOutcome outcome =
+          raw_state->cloud->faas().InvokeAsync(raw_state->worker_function,
+                                               EncodeWorkerPayload(id));
+      status = outcome.status;
+    }
+    ctx->set_result(status);
+    if (!status.ok()) {
+      raw_state->abort = true;
+      raw_state->done->Fire();
+    }
+  };
+  FSD_RETURN_IF_ERROR(cloud->faas().RegisterFunction(coord_config));
+
+  // --- submit the query and drive the simulation to completion ---
+  const std::vector<cloud::BillingLine> before =
+      SnapshotLedger(cloud->billing());
+  auto report = std::make_unique<InferenceReport>();
+  double t0 = 0.0;
+  double t1 = -1.0;
+  cloud->sim()->AddProcess(
+      StrFormat("client-%llu", static_cast<unsigned long long>(run_id)),
+      [&, raw_state]() {
+        t0 = cloud->sim()->Now();
+        cloud::FaasService::InvokeOutcome outcome =
+            cloud->faas().InvokeAsync(coordinator_fn, Bytes{});
+        if (!outcome.status.ok()) {
+          report->status = outcome.status;
+          return;
+        }
+        cloud->sim()->WaitSignal(raw_state->done.get());
+        t1 = cloud->sim()->Now();
+      });
+  cloud->sim()->Run();
+
+  if (t1 < 0.0) {
+    return Status::Internal("inference run never completed (deadlock?)");
+  }
+
+  // --- collect results ---
+  report->latency_s = t1 - t0;
+  report->launch_complete_s = raw_state->launch_complete_s - t0;
+  report->worker_memory_mb = options.worker_memory_mb;
+  report->status = Status::OK();
+  for (const Status& s : raw_state->worker_status) {
+    if (!s.ok() && report->status.ok()) report->status = s;
+  }
+  if (options.variant == Variant::kSerial) {
+    // Only worker 0 exists; its status decides.
+    report->status = raw_state->worker_status[0];
+  }
+  report->outputs = std::move(raw_state->outputs);
+  report->metrics = std::move(raw_state->metrics);
+  report->metrics.Finalize();
+  report->billing = DiffLedger(before, cloud->billing());
+
+  int32_t samples = 0;
+  for (const auto* batch : request.batches) {
+    if (!batch->empty()) samples += batch->begin()->second.dim;
+  }
+  report->total_samples = samples;
+  report->per_sample_ms =
+      samples > 0 ? report->latency_s * 1000.0 / samples : 0.0;
+  report->predicted = PredictFromMetrics(cloud->billing().pricing(), options,
+                                         report->metrics,
+                                         options.worker_memory_mb);
+  return std::move(*report);
+}
+
+}  // namespace fsd::core

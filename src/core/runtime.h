@@ -1,0 +1,67 @@
+// FsdRuntime: the public entry point of the FSD-Inference library.
+//
+// Owns the interaction with the simulated cloud: provisions communication
+// resources (offline), registers the coordinator and worker functions,
+// submits an inference request, and collects latency / metrics / billing
+// into an InferenceReport.
+#ifndef FSD_CORE_RUNTIME_H_
+#define FSD_CORE_RUNTIME_H_
+
+#include <memory>
+#include <vector>
+
+#include "cloud/cloud.h"
+#include "core/cost_model.h"
+#include "core/fsd_config.h"
+#include "core/metrics.h"
+#include "core/worker.h"
+#include "model/sparse_dnn.h"
+#include "part/model_partition.h"
+
+namespace fsd::core {
+
+struct InferenceRequest {
+  const model::SparseDnn* dnn = nullptr;
+  const part::ModelPartition* partition = nullptr;
+  /// One or more pre-buffered batches (the paper assumes batching upstream).
+  std::vector<const linalg::ActivationMap*> batches;
+  FsdOptions options;
+};
+
+/// Per-dimension billing delta attributable to one run.
+struct BillingDelta {
+  double faas_cost = 0.0;
+  double comm_cost = 0.0;
+  double total_cost = 0.0;
+  double quantities[static_cast<int>(
+      cloud::BillingDimension::kDimensionCount)] = {0};
+
+  double quantity(cloud::BillingDimension dim) const {
+    return quantities[static_cast<int>(dim)];
+  }
+};
+
+struct InferenceReport {
+  Status status;
+  /// End-to-end query latency: request submission -> root returns x^L.
+  double latency_s = 0.0;
+  /// When the last worker of the tree had started (launch ablation metric).
+  double launch_complete_s = 0.0;
+  int32_t total_samples = 0;
+  double per_sample_ms = 0.0;
+  std::vector<linalg::ActivationMap> outputs;  ///< one per batch
+  RunMetrics metrics;
+  BillingDelta billing;            ///< "actual" charges for this run
+  CostBreakdown predicted;         ///< cost-model prediction from metrics
+  int32_t worker_memory_mb = 0;
+};
+
+/// Runs one inference request against `cloud`. Reentrant across runs on the
+/// same CloudEnv (function names are uniqued; warm pools persist between
+/// runs, matching repeated queries against a deployed stack).
+Result<InferenceReport> RunInference(cloud::CloudEnv* cloud,
+                                     const InferenceRequest& request);
+
+}  // namespace fsd::core
+
+#endif  // FSD_CORE_RUNTIME_H_

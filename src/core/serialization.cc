@@ -1,0 +1,144 @@
+#include "core/serialization.h"
+
+#include <algorithm>
+
+#include "codec/varint.h"
+
+namespace fsd::core {
+namespace {
+
+constexpr uint8_t kUncompressedTag = 0;
+constexpr uint8_t kCompressedTag = 1;
+
+/// Encodes one row into `out`: id, nnz, delta-coded indices, raw values.
+void EncodeRow(int32_t row_id, const linalg::SparseVector& row, Bytes* out) {
+  codec::PutVarint64(out, static_cast<uint64_t>(row_id));
+  codec::PutVarint64(out, row.nnz());
+  codec::PutVarint64(out, static_cast<uint64_t>(row.dim));
+  int32_t prev = -1;
+  for (int32_t idx : row.idx) {
+    codec::PutVarint64(out, static_cast<uint64_t>(idx - prev - 1));
+    prev = idx;
+  }
+  for (float v : row.val) AppendRaw(out, v);
+}
+
+}  // namespace
+
+uint64_t EstimateRowBytes(int64_t nnz) {
+  // ~8 bytes of row header + ~1.5 bytes per delta index + 4-byte value.
+  return 8 + static_cast<uint64_t>(nnz) * 6;
+}
+
+EncodeResult EncodeRows(const linalg::ActivationMap& source,
+                        const std::vector<int32_t>& row_ids,
+                        uint64_t max_chunk_bytes, bool compress,
+                        const codec::LzOptions& codec) {
+  EncodeResult result;
+  // Collect present rows first so chunk row counts can be prefixed.
+  std::vector<std::pair<int32_t, const linalg::SparseVector*>> rows;
+  rows.reserve(row_ids.size());
+  for (int32_t id : row_ids) {
+    auto it = source.find(id);
+    if (it == source.end() || it->second.empty()) continue;
+    rows.push_back({id, &it->second});
+    result.active_nnz += static_cast<int64_t>(it->second.nnz());
+  }
+  result.active_rows = static_cast<int32_t>(rows.size());
+
+  size_t i = 0;
+  while (i < rows.size()) {
+    // NNZ-heuristic greedy packing: extend the chunk while the size
+    // estimate stays under the cap (always take at least one row).
+    size_t j = i;
+    uint64_t estimate = 8;
+    while (j < rows.size()) {
+      const uint64_t row_bytes = EstimateRowBytes(rows[j].second->nnz());
+      if (j > i && max_chunk_bytes > 0 &&
+          estimate + row_bytes > max_chunk_bytes) {
+        break;
+      }
+      estimate += row_bytes;
+      ++j;
+    }
+    RowChunk chunk;
+    Bytes raw;
+    codec::PutVarint64(&raw, static_cast<uint64_t>(j - i));
+    for (size_t r = i; r < j; ++r) {
+      EncodeRow(rows[r].first, *rows[r].second, &raw);
+      chunk.nnz += static_cast<int64_t>(rows[r].second->nnz());
+    }
+    chunk.num_rows = static_cast<int32_t>(j - i);
+    chunk.raw_bytes = raw.size();
+    if (compress) {
+      chunk.wire.push_back(kCompressedTag);
+      Bytes packed = codec::LzCompress(raw, codec);
+      chunk.wire.insert(chunk.wire.end(), packed.begin(), packed.end());
+    } else {
+      chunk.wire.push_back(kUncompressedTag);
+      chunk.wire.insert(chunk.wire.end(), raw.begin(), raw.end());
+    }
+    result.chunks.push_back(std::move(chunk));
+    i = j;
+  }
+  if (result.chunks.empty()) {
+    // Explicit empty chunk: the receiver needs a positive signal that this
+    // source has nothing for this layer (otherwise it would wait forever).
+    RowChunk chunk;
+    Bytes raw;
+    codec::PutVarint64(&raw, 0);
+    chunk.raw_bytes = raw.size();
+    chunk.wire.push_back(kUncompressedTag);
+    chunk.wire.insert(chunk.wire.end(), raw.begin(), raw.end());
+    result.chunks.push_back(std::move(chunk));
+  }
+  return result;
+}
+
+Status DecodeRows(const Bytes& wire, bool /*compressed_hint*/,
+                  linalg::ActivationMap* out) {
+  if (wire.empty()) return Status::DataLoss("empty row payload");
+  const uint8_t tag = wire[0];
+  Bytes inflated;
+  const Bytes* payload = nullptr;
+  if (tag == kCompressedTag) {
+    Bytes inner(wire.begin() + 1, wire.end());
+    FSD_ASSIGN_OR_RETURN(inflated, codec::LzDecompress(inner));
+    payload = &inflated;
+  } else if (tag == kUncompressedTag) {
+    inflated.assign(wire.begin() + 1, wire.end());
+    payload = &inflated;
+  } else {
+    return Status::DataLoss("unknown row payload tag");
+  }
+
+  ByteReader reader(*payload);
+  FSD_ASSIGN_OR_RETURN(uint64_t count, codec::GetVarint64(&reader));
+  for (uint64_t r = 0; r < count; ++r) {
+    FSD_ASSIGN_OR_RETURN(uint64_t row_id, codec::GetVarint64(&reader));
+    FSD_ASSIGN_OR_RETURN(uint64_t nnz, codec::GetVarint64(&reader));
+    FSD_ASSIGN_OR_RETURN(uint64_t dim, codec::GetVarint64(&reader));
+    linalg::SparseVector row;
+    row.dim = static_cast<int32_t>(dim);
+    row.idx.reserve(nnz);
+    row.val.reserve(nnz);
+    int64_t prev = -1;
+    for (uint64_t p = 0; p < nnz; ++p) {
+      FSD_ASSIGN_OR_RETURN(uint64_t delta, codec::GetVarint64(&reader));
+      const int64_t idx = prev + 1 + static_cast<int64_t>(delta);
+      if (idx >= static_cast<int64_t>(dim)) {
+        return Status::DataLoss("row index out of range");
+      }
+      row.idx.push_back(static_cast<int32_t>(idx));
+      prev = idx;
+    }
+    for (uint64_t p = 0; p < nnz; ++p) {
+      FSD_ASSIGN_OR_RETURN(float v, reader.Read<float>());
+      row.val.push_back(v);
+    }
+    (*out)[static_cast<int32_t>(row_id)] = std::move(row);
+  }
+  return Status::OK();
+}
+
+}  // namespace fsd::core

@@ -1,0 +1,58 @@
+// Wire encoding of activation rows exchanged between workers.
+//
+// Row payloads are delta/varint coded and optionally compressed with FsdLz
+// (the paper's ZLIB stage). The queue channel additionally splits payloads
+// into size-capped chunks using the paper's number-of-nonzeros heuristic
+// ("we use the total NNZ over the rows to be communicated to estimate the
+// number of byte strings required", §III-C1).
+#ifndef FSD_CORE_SERIALIZATION_H_
+#define FSD_CORE_SERIALIZATION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/result.h"
+#include "core/fsd_config.h"
+#include "linalg/spmm.h"
+
+namespace fsd::core {
+
+/// A contiguous run of encoded activation rows.
+struct RowChunk {
+  Bytes wire;              ///< encoded (possibly compressed) payload
+  uint64_t raw_bytes = 0;  ///< pre-compression size
+  int32_t num_rows = 0;
+  int64_t nnz = 0;
+};
+
+/// Serialized view of selected rows: the rows listed in `row_ids` are read
+/// from `source` (missing/inactive rows are skipped — the receiving side
+/// learns about them implicitly since every active row is self-describing).
+struct EncodeResult {
+  std::vector<RowChunk> chunks;
+  int32_t active_rows = 0;
+  int64_t active_nnz = 0;
+};
+
+/// Encodes the intersection of `row_ids` and active rows of `source` into
+/// chunks of at most `max_chunk_bytes` raw payload (0 = single unbounded
+/// chunk, used by the object channel). Rows are never split across chunks;
+/// chunk boundaries are chosen with the NNZ heuristic so encoded chunks
+/// approach the cap.
+EncodeResult EncodeRows(const linalg::ActivationMap& source,
+                        const std::vector<int32_t>& row_ids,
+                        uint64_t max_chunk_bytes, bool compress,
+                        const codec::LzOptions& codec);
+
+/// Decodes a chunk produced by EncodeRows into `out` (rows merged in).
+Status DecodeRows(const Bytes& wire, bool compressed,
+                  linalg::ActivationMap* out);
+
+/// Estimated encoded bytes for a row with `nnz` nonzeros (the NNZ packing
+/// heuristic: varint ids/deltas plus 4-byte values).
+uint64_t EstimateRowBytes(int64_t nnz);
+
+}  // namespace fsd::core
+
+#endif  // FSD_CORE_SERIALIZATION_H_

@@ -1,0 +1,294 @@
+#include "core/worker.h"
+
+#include <algorithm>
+
+#include "codec/varint.h"
+#include "common/logging.h"
+#include "common/strings.h"
+#include "core/launcher.h"
+#include "core/object_channel.h"
+#include "core/queue_channel.h"
+
+namespace fsd::core {
+namespace {
+
+/// S3 multipart read chunk used when streaming the model share.
+constexpr uint64_t kModelReadPartBytes = 16ull * 1024 * 1024;
+
+WorkerEnv MakeEnv(cloud::FaasContext* ctx, RunState* state, int32_t worker_id,
+                  WorkerMetrics* metrics) {
+  WorkerEnv env;
+  env.faas = ctx;
+  env.cloud = state->cloud;
+  env.options = &state->options;
+  env.metrics = metrics;
+  env.worker_id = worker_id;
+  env.abort = &state->abort;
+  return env;
+}
+
+std::unique_ptr<CommChannel> MakeChannel(Variant variant) {
+  switch (variant) {
+    case Variant::kQueue:
+      return std::make_unique<QueueChannel>();
+    case Variant::kObject:
+      return std::make_unique<ObjectChannel>();
+    case Variant::kSerial:
+      return nullptr;
+  }
+  return nullptr;
+}
+
+/// Invokes this worker's children per the launch strategy; each invoke call
+/// costs the caller one invoke-API round trip (this is what makes the
+/// hierarchical tree faster than a centralized loop).
+Status InvokeChildren(cloud::FaasContext* ctx, RunState* state,
+                      int32_t worker_id, WorkerMetrics* metrics) {
+  const double start = ctx->sim()->Now();
+  const std::vector<int32_t> children =
+      ChildrenToInvoke(state->options.launch, worker_id,
+                       state->options.branching, state->options.num_workers);
+  Rng rng(state->options.seed ^ (0x9E37ull * (worker_id + 1)));
+  for (int32_t child : children) {
+    const double api =
+        state->cloud->latency().faas_invoke_api.Sample(&rng);
+    FSD_RETURN_IF_ERROR(ctx->SleepFor(api));
+    cloud::FaasService::InvokeOutcome outcome =
+        state->cloud->faas().InvokeAsync(state->worker_function,
+                                         EncodeWorkerPayload(child));
+    FSD_RETURN_IF_ERROR(outcome.status);
+  }
+  metrics->launch_children_s = ctx->sim()->Now() - start;
+  return Status::OK();
+}
+
+/// Models reading this worker's weight + map share from object storage
+/// (multipart GETs on the IPC lanes) plus deserialization CPU. The actual
+/// weight data is accessed from the shared in-memory model: storage holds
+/// the bytes only notionally (phantom objects), which keeps the simulation
+/// faithful on latency/billing without duplicating gigabytes.
+Status LoadModelShare(cloud::FaasContext* ctx, RunState* state,
+                      int32_t worker_id, WorkerMetrics* metrics) {
+  const double start = ctx->sim()->Now();
+  const uint64_t bytes =
+      state->partition->WeightShareBytes(*state->dnn, worker_id);
+  const uint64_t parts =
+      std::max<uint64_t>(1, (bytes + kModelReadPartBytes - 1) /
+                                kModelReadPartBytes);
+  auto& ledger = state->cloud->billing();
+  ledger.Record(cloud::BillingDimension::kObjectGet,
+                static_cast<double>(parts));
+  Rng rng(state->options.seed ^ (0xA11Dull * (worker_id + 1)));
+  std::vector<double> latencies;
+  uint64_t remaining = bytes;
+  for (uint64_t p = 0; p < parts; ++p) {
+    const uint64_t part = std::min<uint64_t>(kModelReadPartBytes, remaining);
+    remaining -= part;
+    latencies.push_back(
+        state->cloud->latency().object_get.Sample(&rng, part));
+  }
+  const double get_makespan =
+      sim::ParallelMakespan(latencies, state->options.io_lanes);
+  const double deser_s = static_cast<double>(bytes) /
+                         state->cloud->compute().deserialize_bytes_per_s;
+  FSD_RETURN_IF_ERROR(ctx->SleepFor(get_makespan + deser_s));
+  metrics->model_load_s = ctx->sim()->Now() - start;
+  return Status::OK();
+}
+
+/// One batch of the FSI loop for one worker (the body of Algorithms 1/2).
+Status RunBatch(cloud::FaasContext* ctx, RunState* state,
+                CommChannel* channel, int32_t worker_id, int32_t batch_index,
+                WorkerMetrics* metrics) {
+  const model::SparseDnn& dnn = *state->dnn;
+  const part::ModelPartition& partition = *state->partition;
+  const FsdOptions& options = state->options;
+  const linalg::ActivationMap& full_input = *state->batches[batch_index];
+  const int32_t layers = dnn.layers();
+  const int32_t phase0 = batch_index * state->PhasesPerBatch();
+  const int32_t batch =
+      full_input.empty() ? 0 : full_input.begin()->second.dim;
+  if (batch <= 0) return Status::InvalidArgument("empty input batch");
+
+  // Worker's share of x^0: the input rows it owns.
+  linalg::ActivationMap x;
+  for (int32_t row : partition.owned_rows[worker_id]) {
+    auto it = full_input.find(row);
+    if (it != full_input.end() && !it->second.empty()) {
+      x.emplace(row, it->second);
+    }
+  }
+
+  double prev_layer_macs = 0.0;
+  for (int32_t k = 0; k < layers; ++k) {
+    if (state->abort) return Status::Unavailable("run aborted by a peer");
+    const double layer_start = ctx->sim()->Now();
+    const int32_t phase = phase0 + k;
+    LayerMetrics& lm = metrics->Layer(phase);
+    const part::LayerComm& comm = partition.layers[k];
+
+    // --- sends (non-blocking; overlap with the local multiply) ---
+    int64_t send_rows = 0;
+    if (channel != nullptr) {
+      std::vector<SendSpec> sends;
+      sends.reserve(comm.send[worker_id].size());
+      for (const part::SendEntry& entry : comm.send[worker_id]) {
+        sends.push_back({entry.peer, &entry.rows});
+        send_rows += static_cast<int64_t>(entry.rows.size());
+      }
+      WorkerEnv env = MakeEnv(ctx, state, worker_id, metrics);
+      FSD_RETURN_IF_ERROR(channel->SendPhase(&env, phase, x, sends));
+    }
+    (void)send_rows;
+
+    // --- local multiply overlap: charge the expected local-only fraction
+    // of this layer's compute before blocking on receives (z = W_m x_m in
+    // the paper). The estimate uses the previous layer's measured MACs
+    // scaled by the fraction of needed rows that are local; any remainder
+    // is charged after the real kernel runs, keeping total compute time
+    // exact while modelling the overlap.
+    double local_rows = static_cast<double>(x.size());
+    double recv_rows_expected = 0.0;
+    if (channel != nullptr) {
+      for (const part::SendEntry& entry : comm.recv[worker_id]) {
+        recv_rows_expected += static_cast<double>(entry.rows.size());
+      }
+    }
+    const double local_fraction =
+        (local_rows + recv_rows_expected) > 0.0
+            ? local_rows / (local_rows + recv_rows_expected)
+            : 1.0;
+    const double pre_macs = prev_layer_macs * local_fraction * 0.9;
+    if (pre_macs > 0.0) {
+      FSD_RETURN_IF_ERROR(ctx->Burn(2.0 * pre_macs));
+    }
+
+    // --- receive x rows from peers ---
+    linalg::ActivationMap received;
+    if (channel != nullptr && !comm.recv[worker_id].empty()) {
+      std::vector<int32_t> sources;
+      sources.reserve(comm.recv[worker_id].size());
+      for (const part::SendEntry& entry : comm.recv[worker_id]) {
+        sources.push_back(entry.peer);
+      }
+      WorkerEnv env = MakeEnv(ctx, state, worker_id, metrics);
+      FSD_ASSIGN_OR_RETURN(received,
+                           channel->ReceivePhase(&env, phase, sources));
+    }
+
+    // --- full multiply + activation over owned rows (bit-identical to the
+    // serial reference: one pass in CSR order over local + received) ---
+    const linalg::ActivationMap* local = &x;
+    const linalg::ActivationMap* remote = &received;
+    linalg::LayerForwardStats stats;
+    linalg::ActivationMap next = linalg::LayerForward(
+        dnn.weights[k], partition.owned_rows[worker_id],
+        [local, remote](int32_t row) -> const linalg::SparseVector* {
+          auto it = local->find(row);
+          if (it != local->end()) return &it->second;
+          auto jt = remote->find(row);
+          if (jt != remote->end()) return &jt->second;
+          return nullptr;
+        },
+        dnn.config.bias, dnn.config.relu_cap, batch, &stats);
+
+    const double post_macs = std::max(0.0, stats.macs - pre_macs);
+    FSD_RETURN_IF_ERROR(
+        ctx->Burn(2.0 * post_macs + static_cast<double>(stats.output_nnz)));
+    prev_layer_macs = stats.macs;
+
+    lm.compute_macs += stats.macs;
+    lm.compute_s += state->cloud->compute().FaasComputeSeconds(
+        2.0 * stats.macs + static_cast<double>(stats.output_nnz),
+        ctx->memory_mb());
+    lm.out_rows += stats.rows_produced;
+    lm.out_nnz += stats.output_nnz;
+    lm.layer_wall_s += ctx->sim()->Now() - layer_start;
+    x = std::move(next);
+  }
+
+  // --- barrier(P_all) then reduce(P_0, x^L_m), Algorithm lines 19-20 ---
+  if (channel != nullptr && options.num_workers > 1) {
+    const int32_t arrive = phase0 + kPhaseBarrierArrive(layers);
+    const int32_t release = phase0 + kPhaseBarrierRelease(layers);
+    const int32_t reduce = phase0 + kPhaseReduce(layers);
+    WorkerEnv env = MakeEnv(ctx, state, worker_id, metrics);
+    static const std::vector<int32_t> kNoRows;
+    if (worker_id == 0) {
+      std::vector<int32_t> others;
+      for (int32_t n = 1; n < options.num_workers; ++n) others.push_back(n);
+      FSD_RETURN_IF_ERROR(
+          channel->ReceivePhase(&env, arrive, others).status());
+      std::vector<SendSpec> releases;
+      releases.reserve(others.size());
+      for (int32_t n : others) releases.push_back({n, &kNoRows});
+      FSD_RETURN_IF_ERROR(
+          channel->SendPhase(&env, release, /*source=*/{}, releases));
+      // Gather every worker's final rows.
+      FSD_ASSIGN_OR_RETURN(linalg::ActivationMap gathered,
+                           channel->ReceivePhase(&env, reduce, others));
+      for (auto& [row, vec] : x) gathered[row] = std::move(vec);
+      state->outputs[batch_index] = std::move(gathered);
+    } else {
+      std::vector<SendSpec> arrive_send{{0, &kNoRows}};
+      FSD_RETURN_IF_ERROR(
+          channel->SendPhase(&env, arrive, /*source=*/{}, arrive_send));
+      FSD_RETURN_IF_ERROR(channel->ReceivePhase(&env, release, {0}).status());
+      std::vector<SendSpec> reduce_send{
+          {0, &partition.owned_rows[worker_id]}};
+      FSD_RETURN_IF_ERROR(channel->SendPhase(&env, reduce, x, reduce_send));
+    }
+  } else if (worker_id == 0) {
+    state->outputs[batch_index] = std::move(x);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Bytes EncodeWorkerPayload(int32_t worker_id) {
+  Bytes out;
+  codec::PutVarint64(&out, static_cast<uint64_t>(worker_id));
+  return out;
+}
+
+Result<int32_t> DecodeWorkerPayload(const Bytes& payload) {
+  ByteReader reader(payload);
+  FSD_ASSIGN_OR_RETURN(uint64_t id, codec::GetVarint64(&reader));
+  return static_cast<int32_t>(id);
+}
+
+void RunFsiWorker(cloud::FaasContext* ctx, RunState* state) {
+  Result<int32_t> id = DecodeWorkerPayload(ctx->payload());
+  if (!id.ok()) {
+    ctx->set_result(id.status());
+    return;
+  }
+  const int32_t worker_id = *id;
+  WorkerMetrics& metrics = state->metrics.workers[worker_id];
+  metrics.worker_id = worker_id;
+  metrics.start_time = ctx->sim()->Now();
+  state->launch_complete_s =
+      std::max(state->launch_complete_s, metrics.start_time);
+
+  std::unique_ptr<CommChannel> channel = MakeChannel(state->options.variant);
+
+  Status status = InvokeChildren(ctx, state, worker_id, &metrics);
+  if (status.ok()) status = LoadModelShare(ctx, state, worker_id, &metrics);
+  for (size_t b = 0; status.ok() && b < state->batches.size(); ++b) {
+    status = RunBatch(ctx, state, channel.get(), worker_id,
+                      static_cast<int32_t>(b), &metrics);
+  }
+
+  metrics.end_time = ctx->sim()->Now();
+  state->worker_status[worker_id] = status;
+  ctx->set_result(status);
+  if (!status.ok()) {
+    state->abort = true;
+    FSD_LOG(kWarn, "worker %d failed: %s", worker_id,
+            status.ToString().c_str());
+  }
+  if (worker_id == 0) state->done->Fire();
+}
+
+}  // namespace fsd::core

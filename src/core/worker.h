@@ -1,0 +1,56 @@
+// The FSI (Fully Serverless Inference) worker — Algorithms 1 & 2 of the
+// paper, parameterized by the communication channel.
+#ifndef FSD_CORE_WORKER_H_
+#define FSD_CORE_WORKER_H_
+
+#include <memory>
+#include <vector>
+
+#include "cloud/cloud.h"
+#include "core/channel.h"
+#include "core/fsd_config.h"
+#include "core/metrics.h"
+#include "linalg/spmm.h"
+#include "model/sparse_dnn.h"
+#include "part/model_partition.h"
+
+namespace fsd::core {
+
+/// Shared state of one inference run (owned by the runtime; read-mostly from
+/// workers; the root writes outputs and fires `done`).
+struct RunState {
+  const model::SparseDnn* dnn = nullptr;
+  const part::ModelPartition* partition = nullptr;
+  /// One activation map per inference batch (successive batches reuse the
+  /// worker tree, as in the paper).
+  std::vector<const linalg::ActivationMap*> batches;
+  FsdOptions options;
+  cloud::CloudEnv* cloud = nullptr;
+
+  /// Name of the registered worker function (unique per run).
+  std::string worker_function;
+
+  /// --- outputs ---
+  std::vector<linalg::ActivationMap> outputs;  // per batch, written by root
+  std::shared_ptr<sim::SimSignal> done;        // fired by root
+  RunMetrics metrics;                          // slot per worker
+  std::vector<Status> worker_status;
+  double launch_complete_s = 0.0;  ///< latest worker start time (virtual)
+  bool abort = false;              ///< any worker failed; drain quickly
+
+  /// Phases per batch: L layers + barrier arrive/release + reduce + spare.
+  int32_t PhasesPerBatch() const { return dnn->layers() + 4; }
+};
+
+/// Encodes/decodes the worker invocation payload (the child's worker id).
+Bytes EncodeWorkerPayload(int32_t worker_id);
+Result<int32_t> DecodeWorkerPayload(const Bytes& payload);
+
+/// The FaaS handler body for a worker invocation. Invokes its children
+/// (hierarchical launch), loads its model share, then runs the FSI loop for
+/// every batch and participates in barrier + reduce.
+void RunFsiWorker(cloud::FaasContext* ctx, RunState* state);
+
+}  // namespace fsd::core
+
+#endif  // FSD_CORE_WORKER_H_

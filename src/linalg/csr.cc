@@ -1,0 +1,75 @@
+#include "linalg/csr.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace fsd::linalg {
+
+CsrMatrix CsrMatrix::FromTriplets(int32_t rows, int32_t cols,
+                                  std::vector<Triplet> triplets) {
+  for (const Triplet& t : triplets) {
+    FSD_CHECK(t.row >= 0 && t.row < rows);
+    FSD_CHECK(t.col >= 0 && t.col < cols);
+  }
+  std::sort(triplets.begin(), triplets.end(),
+            [](const Triplet& a, const Triplet& b) {
+              if (a.row != b.row) return a.row < b.row;
+              return a.col < b.col;
+            });
+  CsrMatrix m(rows, cols);
+  m.col_idx_.reserve(triplets.size());
+  m.values_.reserve(triplets.size());
+  for (size_t i = 0; i < triplets.size();) {
+    size_t j = i;
+    float sum = 0.0f;
+    while (j < triplets.size() && triplets[j].row == triplets[i].row &&
+           triplets[j].col == triplets[i].col) {
+      sum += triplets[j].value;
+      ++j;
+    }
+    if (sum != 0.0f) {
+      m.col_idx_.push_back(triplets[i].col);
+      m.values_.push_back(sum);
+      ++m.row_ptr_[triplets[i].row + 1];
+    }
+    i = j;
+  }
+  std::partial_sum(m.row_ptr_.begin(), m.row_ptr_.end(), m.row_ptr_.begin());
+  return m;
+}
+
+std::vector<float> CsrMatrix::ToDense() const {
+  std::vector<float> dense(static_cast<size_t>(rows_) * cols_, 0.0f);
+  for (int32_t r = 0; r < rows_; ++r) {
+    ForEachInRow(r, [&](int32_t c, float v) {
+      dense[static_cast<size_t>(r) * cols_ + c] = v;
+    });
+  }
+  return dense;
+}
+
+RowBlock RowBlock::Extract(const CsrMatrix& m,
+                           const std::vector<int32_t>& rows) {
+  RowBlock block;
+  block.cols = m.cols();
+  block.row_ids = rows;
+  block.row_ptr.reserve(rows.size() + 1);
+  block.row_ptr.push_back(0);
+  for (int32_t r : rows) {
+    FSD_CHECK(r >= 0 && r < m.rows());
+    m.ForEachInRow(r, [&](int32_t c, float v) {
+      block.col_idx.push_back(c);
+      block.values.push_back(v);
+    });
+    block.row_ptr.push_back(static_cast<int64_t>(block.col_idx.size()));
+  }
+  return block;
+}
+
+RowBlock RowBlock::All(const CsrMatrix& m) {
+  std::vector<int32_t> rows(m.rows());
+  for (int32_t r = 0; r < m.rows(); ++r) rows[r] = r;
+  return Extract(m, rows);
+}
+
+}  // namespace fsd::linalg

@@ -1,0 +1,93 @@
+// CSR sparse matrices and row blocks.
+//
+// CsrMatrix stores a full matrix (used for model weights and reference
+// activations); RowBlock stores an arbitrary subset of rows with global ids
+// (a worker's partition of a layer's weight matrix).
+#ifndef FSD_LINALG_CSR_H_
+#define FSD_LINALG_CSR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/check.h"
+
+namespace fsd::linalg {
+
+/// COO triplet used when assembling matrices.
+struct Triplet {
+  int32_t row;
+  int32_t col;
+  float value;
+};
+
+class CsrMatrix {
+ public:
+  CsrMatrix() = default;
+  CsrMatrix(int32_t rows, int32_t cols) : rows_(rows), cols_(cols) {
+    row_ptr_.assign(static_cast<size_t>(rows) + 1, 0);
+  }
+
+  /// Builds from triplets (duplicates summed, rows/cols validated).
+  static CsrMatrix FromTriplets(int32_t rows, int32_t cols,
+                                std::vector<Triplet> triplets);
+
+  int32_t rows() const { return rows_; }
+  int32_t cols() const { return cols_; }
+  int64_t nnz() const { return static_cast<int64_t>(col_idx_.size()); }
+
+  const std::vector<int64_t>& row_ptr() const { return row_ptr_; }
+  const std::vector<int32_t>& col_idx() const { return col_idx_; }
+  const std::vector<float>& values() const { return values_; }
+
+  int64_t RowNnz(int32_t row) const {
+    return row_ptr_[row + 1] - row_ptr_[row];
+  }
+
+  /// Iterates a row's entries: fn(col, value).
+  template <typename Fn>
+  void ForEachInRow(int32_t row, Fn fn) const {
+    for (int64_t p = row_ptr_[row]; p < row_ptr_[row + 1]; ++p) {
+      fn(col_idx_[p], values_[p]);
+    }
+  }
+
+  /// Dense materialization (tests only; O(rows*cols)).
+  std::vector<float> ToDense() const;
+
+ private:
+  int32_t rows_ = 0;
+  int32_t cols_ = 0;
+  std::vector<int64_t> row_ptr_;
+  std::vector<int32_t> col_idx_;
+  std::vector<float> values_;
+};
+
+/// A subset of a matrix's rows with global row ids (a model partition).
+struct RowBlock {
+  int32_t cols = 0;                 ///< global column space width
+  std::vector<int32_t> row_ids;     ///< global ids, strictly increasing
+  std::vector<int64_t> row_ptr;     ///< size row_ids.size() + 1
+  std::vector<int32_t> col_idx;     ///< global column ids
+  std::vector<float> values;
+
+  size_t num_rows() const { return row_ids.size(); }
+  int64_t nnz() const { return static_cast<int64_t>(col_idx.size()); }
+
+  template <typename Fn>
+  void ForEachInRow(size_t local_row, Fn fn) const {
+    for (int64_t p = row_ptr[local_row]; p < row_ptr[local_row + 1]; ++p) {
+      fn(col_idx[p], values[p]);
+    }
+  }
+
+  /// Extracts the given global rows (sorted, deduped by caller) from `m`.
+  static RowBlock Extract(const CsrMatrix& m,
+                          const std::vector<int32_t>& rows);
+
+  /// A block containing every row of `m` (the serial / reference case).
+  static RowBlock All(const CsrMatrix& m);
+};
+
+}  // namespace fsd::linalg
+
+#endif  // FSD_LINALG_CSR_H_

@@ -1,0 +1,67 @@
+// Distributed-inference compute kernel: one layer of sparse forward
+// propagation over a row block.
+//
+// This single kernel is shared by the serial reference engine, the server
+// baselines and every FSD-Inference worker, so distributed results can be
+// compared bit-for-bit against the reference.
+#ifndef FSD_LINALG_SPMM_H_
+#define FSD_LINALG_SPMM_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+
+#include "linalg/csr.h"
+#include "linalg/sparse_vector.h"
+
+namespace fsd::linalg {
+
+/// Activations of one layer: neuron-row id -> sparse row over the batch.
+/// Ordered map for deterministic iteration (payload bytes must be stable).
+using ActivationMap = std::map<int32_t, SparseVector>;
+
+/// Returns the activation row for a global neuron id, or nullptr when the
+/// row is entirely zero (inactive neuron).
+using RowProvider = std::function<const SparseVector*(int32_t)>;
+
+struct LayerForwardStats {
+  double macs = 0.0;          ///< multiply-accumulate operations executed
+  int64_t rows_produced = 0;  ///< nonzero output rows
+  int64_t output_nnz = 0;     ///< total nonzeros in output rows
+};
+
+/// Computes  z = ReLU_clamped(W_block * X + bias)  for the rows in `block`.
+///
+/// X is presented through `provider` over `block.cols` global columns; each
+/// provided row is a SparseVector of width `batch`. Output rows that are
+/// entirely zero after activation are omitted (the Graph Challenge's
+/// thresholded-ReLU keeps activations sparse). `relu_cap` clamps values
+/// (32 in the benchmark); pass 0 to disable the final activation (used by
+/// the output layer of generic models).
+ActivationMap LayerForward(const RowBlock& block, const RowProvider& provider,
+                           float bias, float relu_cap, int32_t batch,
+                           LayerForwardStats* stats = nullptr);
+
+/// Zero-copy variant: computes the same result for the subset `rows` of
+/// `weights` without extracting a RowBlock (workers iterate their partition
+/// of the shared model directly). `rows` must be sorted and in range.
+ActivationMap LayerForward(const CsrMatrix& weights,
+                           const std::vector<int32_t>& rows,
+                           const RowProvider& provider, float bias,
+                           float relu_cap, int32_t batch,
+                           LayerForwardStats* stats = nullptr);
+
+/// Zero-copy variant over every row of `weights` (serial reference).
+ActivationMap LayerForwardAll(const CsrMatrix& weights,
+                              const RowProvider& provider, float bias,
+                              float relu_cap, int32_t batch,
+                              LayerForwardStats* stats = nullptr);
+
+/// FLOPs estimate for a LayerForward call (2 per MAC, plus activation).
+inline double LayerFlops(const LayerForwardStats& stats) {
+  return 2.0 * stats.macs + static_cast<double>(stats.output_nnz);
+}
+
+}  // namespace fsd::linalg
+
+#endif  // FSD_LINALG_SPMM_H_

@@ -1,0 +1,60 @@
+#include "model/input_gen.h"
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace fsd::model {
+
+Result<linalg::ActivationMap> GenerateInputBatch(const InputConfig& config) {
+  if (config.neurons < 1 || config.batch < 1) {
+    return Status::InvalidArgument("neurons and batch must be positive");
+  }
+  if (config.density <= 0.0 || config.density > 1.0) {
+    return Status::InvalidArgument("density outside (0, 1]");
+  }
+  if (config.blobs < 1) return Status::InvalidArgument("blobs must be >= 1");
+
+  Rng rng(config.seed);
+  const int32_t n = config.neurons;
+  const int32_t active_per_sample = std::max<int32_t>(
+      1, static_cast<int32_t>(n * config.density));
+  // Blob length is kept N-independent (like fixed-size strokes in the
+  // benchmark's images); the blob count scales with resolution instead.
+  const int32_t blob_len = std::min<int32_t>(
+      40, std::max<int32_t>(1, active_per_sample / config.blobs));
+  const int32_t num_blobs =
+      std::max<int32_t>(config.blobs, active_per_sample / blob_len);
+
+  // Collect (neuron, sample) actives per neuron row.
+  std::map<int32_t, std::vector<int32_t>> active;
+  for (int32_t s = 0; s < config.batch; ++s) {
+    int32_t placed = 0;
+    for (int32_t b = 0; b < num_blobs && placed < active_per_sample; ++b) {
+      const int32_t start =
+          static_cast<int32_t>(rng.NextBounded(static_cast<uint64_t>(n)));
+      for (int32_t j = 0; j < blob_len && placed < active_per_sample; ++j) {
+        // 85% fill inside a blob: thresholding leaves pinholes.
+        if (!rng.NextBool(0.85)) continue;
+        active[(start + j) % n].push_back(s);
+        ++placed;
+      }
+    }
+  }
+
+  linalg::ActivationMap out;
+  for (auto& [neuron, samples] : active) {
+    std::sort(samples.begin(), samples.end());
+    samples.erase(std::unique(samples.begin(), samples.end()), samples.end());
+    linalg::SparseVector row;
+    row.dim = config.batch;
+    row.idx = std::move(samples);
+    row.val.assign(row.idx.size(), 1.0f);
+    out.emplace(neuron, std::move(row));
+  }
+  return out;
+}
+
+}  // namespace fsd::model

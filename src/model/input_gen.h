@@ -1,0 +1,33 @@
+// Synthetic inference inputs standing in for the thresholded, flattened
+// MNIST-style images of the Graph Challenge benchmark (paper §VI-A).
+//
+// Each sample activates a few contiguous "blobs" of neurons (the analogue
+// of bright image regions after thresholding), giving realistic clustered
+// sparsity rather than uniform noise.
+#ifndef FSD_MODEL_INPUT_GEN_H_
+#define FSD_MODEL_INPUT_GEN_H_
+
+#include <cstdint>
+
+#include "common/result.h"
+#include "linalg/spmm.h"
+
+namespace fsd::model {
+
+struct InputConfig {
+  int32_t neurons = 1024;  ///< input width (matches the model)
+  int32_t batch = 64;      ///< samples per inference batch
+  /// Target fraction of active neurons per sample.
+  double density = 0.20;
+  /// Blobs (contiguous active runs) per sample.
+  int32_t blobs = 6;
+  uint64_t seed = 11;
+};
+
+/// Generates the layer-0 activation map: neuron-row -> sparse row over the
+/// batch, with all active values 1.0 (thresholded binary input).
+Result<linalg::ActivationMap> GenerateInputBatch(const InputConfig& config);
+
+}  // namespace fsd::model
+
+#endif  // FSD_MODEL_INPUT_GEN_H_

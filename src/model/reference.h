@@ -1,0 +1,39 @@
+// Serial reference inference engine: the ground truth every distributed
+// configuration is validated against (the paper checks its outputs against
+// the Graph Challenge ground truths; our generated models use this engine
+// as the equivalent oracle). Also reused as the compute core of
+// FSD-Inf-Serial and the server baselines.
+#ifndef FSD_MODEL_REFERENCE_H_
+#define FSD_MODEL_REFERENCE_H_
+
+#include <functional>
+
+#include "linalg/spmm.h"
+#include "model/sparse_dnn.h"
+
+namespace fsd::model {
+
+struct ReferenceStats {
+  double total_macs = 0.0;
+  double total_flops = 0.0;
+  /// Per-layer activation row counts (density diagnostics).
+  std::vector<int64_t> rows_per_layer;
+  std::vector<int64_t> nnz_per_layer;
+};
+
+/// Runs all layers serially; returns the final activation map.
+/// `per_layer` (optional) observes activations after each layer.
+Result<linalg::ActivationMap> ReferenceInference(
+    const SparseDnn& dnn, const linalg::ActivationMap& input,
+    ReferenceStats* stats = nullptr,
+    const std::function<void(int32_t, const linalg::ActivationMap&)>&
+        per_layer = nullptr);
+
+/// Category scores as in the Graph Challenge: per-sample sum of final-layer
+/// activations (used to compare outcomes compactly).
+std::vector<double> SampleScores(const linalg::ActivationMap& final_layer,
+                                 int32_t batch);
+
+}  // namespace fsd::model
+
+#endif  // FSD_MODEL_REFERENCE_H_

@@ -1,0 +1,68 @@
+#include "part/hypergraph.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace fsd::part {
+
+Hypergraph Hypergraph::Build(int32_t num_vertices,
+                             std::vector<int64_t> vertex_weights,
+                             const std::vector<std::vector<int32_t>>& nets,
+                             const std::vector<int64_t>& net_costs) {
+  FSD_CHECK_EQ(nets.size(), net_costs.size());
+  FSD_CHECK_EQ(vertex_weights.size(), static_cast<size_t>(num_vertices));
+  Hypergraph hg;
+  hg.num_vertices_ = num_vertices;
+  hg.vertex_weights_ = std::move(vertex_weights);
+  hg.total_vertex_weight_ = std::accumulate(hg.vertex_weights_.begin(),
+                                            hg.vertex_weights_.end(),
+                                            static_cast<int64_t>(0));
+  hg.net_ptr_.push_back(0);
+  std::vector<int32_t> pin_buf;
+  for (size_t e = 0; e < nets.size(); ++e) {
+    pin_buf = nets[e];
+    std::sort(pin_buf.begin(), pin_buf.end());
+    pin_buf.erase(std::unique(pin_buf.begin(), pin_buf.end()), pin_buf.end());
+    if (pin_buf.size() < 2) continue;  // single-pin nets can never be cut
+    for (int32_t v : pin_buf) {
+      FSD_CHECK(v >= 0 && v < num_vertices);
+      hg.pins_.push_back(v);
+    }
+    hg.net_ptr_.push_back(static_cast<int64_t>(hg.pins_.size()));
+    hg.net_costs_.push_back(net_costs[e]);
+  }
+
+  // Inverse incidence.
+  hg.vertex_ptr_.assign(static_cast<size_t>(num_vertices) + 1, 0);
+  for (int32_t v : hg.pins_) ++hg.vertex_ptr_[v + 1];
+  std::partial_sum(hg.vertex_ptr_.begin(), hg.vertex_ptr_.end(),
+                   hg.vertex_ptr_.begin());
+  hg.vertex_nets_.resize(hg.pins_.size());
+  std::vector<int64_t> cursor(hg.vertex_ptr_.begin(),
+                              hg.vertex_ptr_.end() - 1);
+  for (int64_t e = 0; e < hg.num_nets(); ++e) {
+    hg.ForEachPin(e, [&](int32_t v) { hg.vertex_nets_[cursor[v]++] = e; });
+  }
+  return hg;
+}
+
+int64_t Hypergraph::ConnectivityMinusOne(
+    const std::vector<int32_t>& assignment, int32_t num_parts) const {
+  FSD_CHECK_EQ(assignment.size(), static_cast<size_t>(num_vertices_));
+  std::vector<int32_t> stamp(static_cast<size_t>(num_parts), -1);
+  int64_t total = 0;
+  for (int64_t e = 0; e < num_nets(); ++e) {
+    int32_t touched = 0;
+    ForEachPin(e, [&](int32_t v) {
+      const int32_t part = assignment[v];
+      if (stamp[part] != e) {
+        stamp[part] = static_cast<int32_t>(e);
+        ++touched;
+      }
+    });
+    total += net_cost(e) * (touched - 1);
+  }
+  return total;
+}
+
+}  // namespace fsd::part

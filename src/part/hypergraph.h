@@ -1,0 +1,74 @@
+// Hypergraph structure used for model partitioning.
+//
+// FSD-Inference adapts the row-wise hypergraph model of Demirci &
+// Ferhatosmanoglu (ICS'21): vertices are neuron rows, and each column j of a
+// layer's weight matrix forms a net connecting the producer of activation
+// row j with every consumer row holding a nonzero in column j. A net cut
+// across parts costs one activation-row transfer per extra part touched
+// (the connectivity-1 metric), which is exactly the per-layer communication
+// volume of the distributed inference algorithm.
+#ifndef FSD_PART_HYPERGRAPH_H_
+#define FSD_PART_HYPERGRAPH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/check.h"
+
+namespace fsd::part {
+
+class Hypergraph {
+ public:
+  Hypergraph() = default;
+
+  /// Builds from per-net pin lists. Pins must be valid vertex ids;
+  /// duplicate pins within a net are deduplicated.
+  static Hypergraph Build(int32_t num_vertices,
+                          std::vector<int64_t> vertex_weights,
+                          const std::vector<std::vector<int32_t>>& nets,
+                          const std::vector<int64_t>& net_costs);
+
+  int32_t num_vertices() const { return num_vertices_; }
+  int64_t num_nets() const { return static_cast<int64_t>(net_ptr_.size()) - 1; }
+  int64_t num_pins() const { return static_cast<int64_t>(pins_.size()); }
+
+  int64_t vertex_weight(int32_t v) const { return vertex_weights_[v]; }
+  int64_t total_vertex_weight() const { return total_vertex_weight_; }
+  int64_t net_cost(int64_t e) const { return net_costs_[e]; }
+  int64_t net_size(int64_t e) const { return net_ptr_[e + 1] - net_ptr_[e]; }
+
+  /// Iterates pins of net e: fn(vertex).
+  template <typename Fn>
+  void ForEachPin(int64_t e, Fn fn) const {
+    for (int64_t p = net_ptr_[e]; p < net_ptr_[e + 1]; ++p) fn(pins_[p]);
+  }
+
+  /// Iterates nets incident to vertex v: fn(net).
+  template <typename Fn>
+  void ForEachNetOf(int32_t v, Fn fn) const {
+    for (int64_t p = vertex_ptr_[v]; p < vertex_ptr_[v + 1]; ++p) {
+      fn(vertex_nets_[p]);
+    }
+  }
+
+  /// Connectivity-1 cost of an assignment: sum over nets of
+  /// cost * (parts touched - 1). This equals the total activation rows
+  /// transferred per inference layer under the row-wise decomposition.
+  int64_t ConnectivityMinusOne(const std::vector<int32_t>& assignment,
+                               int32_t num_parts) const;
+
+ private:
+  int32_t num_vertices_ = 0;
+  int64_t total_vertex_weight_ = 0;
+  std::vector<int64_t> vertex_weights_;
+  std::vector<int64_t> net_ptr_;
+  std::vector<int32_t> pins_;
+  std::vector<int64_t> net_costs_;
+  // Inverse incidence (vertex -> nets)
+  std::vector<int64_t> vertex_ptr_;
+  std::vector<int64_t> vertex_nets_;
+};
+
+}  // namespace fsd::part
+
+#endif  // FSD_PART_HYPERGRAPH_H_

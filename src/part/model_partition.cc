@@ -1,0 +1,146 @@
+#include "part/model_partition.h"
+
+#include <algorithm>
+#include <map>
+
+namespace fsd::part {
+
+Hypergraph BuildDnnHypergraph(const model::SparseDnn& dnn,
+                              int32_t sample_layers) {
+  const int32_t n = dnn.neurons();
+  const int32_t layers = std::min<int32_t>(sample_layers, dnn.layers());
+  // Vertex weight: compute load of the row across sampled layers (+1 so
+  // zero-load rows still carry placement weight).
+  std::vector<int64_t> weights(n, 1);
+  std::vector<std::vector<int32_t>> nets;
+  std::vector<int64_t> costs;
+  std::vector<std::vector<int32_t>> column_pins(n);
+  for (int32_t k = 0; k < layers; ++k) {
+    const linalg::CsrMatrix& w = dnn.weights[k];
+    for (auto& pins : column_pins) pins.clear();
+    for (int32_t i = 0; i < n; ++i) {
+      weights[i] += w.RowNnz(i);
+      w.ForEachInRow(i, [&](int32_t j, float) { column_pins[j].push_back(i); });
+    }
+    for (int32_t j = 0; j < n; ++j) {
+      if (column_pins[j].empty()) continue;
+      // Column-net: producer j plus every consumer row; cut cost is one
+      // activation-row transfer per extra part.
+      std::vector<int32_t> pins = column_pins[j];
+      pins.push_back(j);
+      nets.push_back(std::move(pins));
+      costs.push_back(1);
+    }
+  }
+  return Hypergraph::Build(n, std::move(weights), nets, costs);
+}
+
+uint64_t ModelPartition::WeightShareBytes(const model::SparseDnn& dnn,
+                                          int32_t m) const {
+  FSD_CHECK(m >= 0 && m < num_parts);
+  uint64_t bytes = 0;
+  for (const auto& w : dnn.weights) {
+    for (int32_t row : owned_rows[m]) {
+      bytes += 8 * static_cast<uint64_t>(w.RowNnz(row)) + 8;
+    }
+  }
+  return bytes;
+}
+
+Result<ModelPartition> PartitionModel(const model::SparseDnn& dnn,
+                                      int32_t num_parts,
+                                      const ModelPartitionOptions& options) {
+  if (num_parts < 1) return Status::InvalidArgument("num_parts must be >= 1");
+  if (num_parts > dnn.neurons()) {
+    return Status::InvalidArgument("more workers than neuron rows");
+  }
+
+  ModelPartition out;
+  out.scheme = options.scheme;
+  out.num_parts = num_parts;
+
+  if (num_parts == 1) {
+    out.assignment.assign(dnn.neurons(), 0);
+    out.owned_rows.resize(1);
+    out.owned_rows[0].resize(dnn.neurons());
+    for (int32_t i = 0; i < dnn.neurons(); ++i) out.owned_rows[0][i] = i;
+    out.layers.resize(dnn.layers());
+    for (auto& layer : out.layers) {
+      layer.send.resize(1);
+      layer.recv.resize(1);
+    }
+    return out;
+  }
+
+  const Hypergraph hg =
+      BuildDnnHypergraph(dnn, options.hypergraph_sample_layers);
+  PartitionResult part;
+  switch (options.scheme) {
+    case PartitionScheme::kHypergraph: {
+      PartitionerOptions popts = options.partitioner;
+      popts.seed = options.seed;
+      FSD_ASSIGN_OR_RETURN(part, PartitionHypergraph(hg, num_parts, popts));
+      break;
+    }
+    case PartitionScheme::kRandom:
+      part = PartitionRandom(hg, num_parts, options.seed);
+      break;
+    case PartitionScheme::kBlock:
+      part = PartitionBlock(hg, num_parts);
+      break;
+  }
+  out.assignment = std::move(part.assignment);
+  out.cut_cost = part.cut_cost;
+  out.imbalance = part.imbalance;
+  out.owned_rows.resize(num_parts);
+  for (int32_t i = 0; i < dnn.neurons(); ++i) {
+    out.owned_rows[out.assignment[i]].push_back(i);
+  }
+
+  // Per-layer send/recv maps. For layer k, worker owning row j of x^{k-1}
+  // must ship it to every other worker holding a nonzero in column j of
+  // W^k. Deduplicate (column, consumer) pairs with a stamp array.
+  const int32_t n = dnn.neurons();
+  out.layers.resize(dnn.layers());
+  std::vector<int32_t> stamp(static_cast<size_t>(n) * num_parts, -1);
+  for (int32_t k = 0; k < dnn.layers(); ++k) {
+    LayerComm& comm = out.layers[k];
+    comm.send.resize(num_parts);
+    comm.recv.resize(num_parts);
+    // pair list: (owner, consumer, row)
+    std::map<std::pair<int32_t, int32_t>, std::vector<int32_t>> transfers;
+    const linalg::CsrMatrix& w = dnn.weights[k];
+    for (int32_t i = 0; i < n; ++i) {
+      const int32_t consumer = out.assignment[i];
+      w.ForEachInRow(i, [&](int32_t j, float) {
+        const int32_t owner = out.assignment[j];
+        if (owner == consumer) return;
+        const size_t key = static_cast<size_t>(j) * num_parts + consumer;
+        if (stamp[key] == k) return;
+        stamp[key] = k;
+        transfers[{owner, consumer}].push_back(j);
+      });
+    }
+    for (auto& [pair, rows] : transfers) {
+      std::sort(rows.begin(), rows.end());
+      out.total_row_transfers += static_cast<int64_t>(rows.size());
+      comm.send[pair.first].push_back({pair.second, rows});
+      comm.recv[pair.second].push_back({pair.first, std::move(rows)});
+    }
+    for (auto& entries : comm.send) {
+      std::sort(entries.begin(), entries.end(),
+                [](const SendEntry& a, const SendEntry& b) {
+                  return a.peer < b.peer;
+                });
+    }
+    for (auto& entries : comm.recv) {
+      std::sort(entries.begin(), entries.end(),
+                [](const SendEntry& a, const SendEntry& b) {
+                  return a.peer < b.peer;
+                });
+    }
+  }
+  return out;
+}
+
+}  // namespace fsd::part

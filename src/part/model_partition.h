@@ -1,0 +1,74 @@
+// Bridges the partitioner and the model: produces the per-worker row
+// ownership and the per-layer send/receive maps (X^send_k / X^recv_k in the
+// paper's notation) that drive the FSI algorithms.
+#ifndef FSD_PART_MODEL_PARTITION_H_
+#define FSD_PART_MODEL_PARTITION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "model/sparse_dnn.h"
+#include "part/hypergraph.h"
+#include "part/partitioner.h"
+
+namespace fsd::part {
+
+struct ModelPartitionOptions {
+  PartitionScheme scheme = PartitionScheme::kHypergraph;
+  /// Layers sampled when building the hypergraph (the generator's layers
+  /// share connectivity structure, so a couple are representative; PaToH in
+  /// the paper also partitions the model once, offline).
+  int32_t hypergraph_sample_layers = 2;
+  PartitionerOptions partitioner;
+  uint64_t seed = 123;
+};
+
+/// One worker's sends for one layer: target worker and the x^{k-1} row ids
+/// to ship (static map derived from weight structure; at run time rows with
+/// no active values are communicated as empty markers).
+struct SendEntry {
+  int32_t peer = 0;                ///< target (send) or source (recv) worker
+  std::vector<int32_t> rows;       ///< sorted global row ids
+};
+
+struct LayerComm {
+  /// send[m] — entries sorted by target; communication feeding layer k's
+  /// multiply (rows of x^{k-1}).
+  std::vector<std::vector<SendEntry>> send;
+  /// recv[m] — mirror of send, sorted by source.
+  std::vector<std::vector<SendEntry>> recv;
+};
+
+struct ModelPartition {
+  PartitionScheme scheme = PartitionScheme::kHypergraph;
+  int32_t num_parts = 0;
+  std::vector<int32_t> assignment;              ///< row -> worker
+  std::vector<std::vector<int32_t>> owned_rows; ///< worker -> sorted rows
+  std::vector<LayerComm> layers;                ///< size = model layers
+
+  /// Total (row, target) transfer pairs summed over layers — the static
+  /// communication volume the partitioner minimizes.
+  int64_t total_row_transfers = 0;
+  /// Partitioner-reported connectivity-1 objective (hypergraph scheme).
+  int64_t cut_cost = 0;
+  double imbalance = 0.0;
+
+  /// Serialized bytes of worker `m`'s weight share (for model-load
+  /// latency/memory sizing): 8 bytes per nonzero + row metadata.
+  uint64_t WeightShareBytes(const model::SparseDnn& dnn, int32_t m) const;
+};
+
+/// Builds the partitioning hypergraph from (a sample of) the model layers.
+Hypergraph BuildDnnHypergraph(const model::SparseDnn& dnn,
+                              int32_t sample_layers);
+
+/// Partitions `dnn` row-wise across `num_parts` workers and derives all
+/// per-layer send/recv maps.
+Result<ModelPartition> PartitionModel(const model::SparseDnn& dnn,
+                                      int32_t num_parts,
+                                      const ModelPartitionOptions& options);
+
+}  // namespace fsd::part
+
+#endif  // FSD_PART_MODEL_PARTITION_H_

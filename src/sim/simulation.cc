@@ -1,0 +1,248 @@
+#include "sim/simulation.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace fsd::sim {
+namespace {
+
+/// Internal control-flow exception used solely to unwind user stacks of
+/// processes that are still blocked when the Simulation is destroyed. It is
+/// never thrown across the public API.
+struct ProcessKilled {};
+
+const std::string kSchedulerName = "scheduler";
+
+}  // namespace
+
+void SimSignal::Fire() {
+  if (fired_) return;
+  fired_ = true;
+  for (uint64_t pid : waiting_pids_) sim_->WakeNow(pid);
+  waiting_pids_.clear();
+}
+
+Simulation::~Simulation() {
+  // Unwind any still-blocked processes so their threads can be joined.
+  for (auto& p : processes_) {
+    if (p->finished || !p->thread.joinable()) continue;
+    {
+      std::lock_guard<std::mutex> lock(p->mutex);
+      p->wait_satisfied = false;
+      p->runnable = true;
+      p->killed = true;
+      p->cv.notify_all();
+    }
+  }
+  for (auto& p : processes_) {
+    if (p->thread.joinable()) p->thread.join();
+  }
+}
+
+ProcessHandle Simulation::AddProcess(std::string name,
+                                     std::function<void()> body,
+                                     SimTime start) {
+  auto proc = std::make_unique<Process>();
+  Process* p = proc.get();
+  p->pid = next_pid_++;
+  p->name = std::move(name);
+  p->body = std::move(body);
+  p->done = MakeSignal();
+  ++live_processes_;
+  processes_.push_back(std::move(proc));
+
+  p->thread = std::thread([this, p]() {
+    {
+      std::unique_lock<std::mutex> lock(p->mutex);
+      p->cv.wait(lock, [p] { return p->runnable; });
+      if (p->killed) {
+        p->finished = true;
+        p->yielded = true;
+        p->cv.notify_all();
+        return;
+      }
+    }
+    try {
+      p->body();
+    } catch (const ProcessKilled&) {
+      // Simulation teardown: multiple killed threads unwind concurrently, so
+      // only touch this process's own state — never shared kernel state.
+      std::lock_guard<std::mutex> lock(p->mutex);
+      p->finished = true;
+      p->yielded = true;
+      p->cv.notify_all();
+      return;
+    }
+    FinishProcess(p);
+  });
+
+  Event ev;
+  ev.time = now_ + start;
+  ev.seq = next_seq_++;
+  ev.pid = p->pid;
+  ev.is_callback = false;
+  events_.push_back(std::move(ev));
+  std::push_heap(events_.begin(), events_.end(), EventAfter());
+  return ProcessHandle(p->done);
+}
+
+void Simulation::Run(SimTime until) {
+  FSD_CHECK(!in_run_);
+  in_run_ = true;
+  while (!events_.empty()) {
+    if (until >= 0.0 && events_.front().time > until) {
+      now_ = until;  // leave the event queued for a later Run()
+      break;
+    }
+    std::pop_heap(events_.begin(), events_.end(), EventAfter());
+    Event ev = std::move(events_.back());
+    events_.pop_back();
+    FSD_CHECK_GE(ev.time, now_);
+    now_ = ev.time;
+    ++events_dispatched_;
+    if (ev.is_callback) {
+      ev.callback();
+      continue;
+    }
+    Process* p = FindProcess(ev.pid);
+    if (p == nullptr || p->finished) continue;
+    if (ev.is_timeout && ev.epoch != p->wait_epoch) continue;  // stale
+    ResumeProcess(p);
+  }
+  if (events_.empty() && live_processes_ > 0) {
+    FSD_LOG(kWarn, "simulation drained with %d live process(es) blocked",
+            live_processes_);
+  }
+  in_run_ = false;
+}
+
+Simulation::Process* Simulation::FindProcess(uint64_t pid) const {
+  // Pids are assigned sequentially from 1 and processes are never removed,
+  // so the vector doubles as the pid index.
+  if (pid == 0 || pid > processes_.size()) return nullptr;
+  return processes_[pid - 1].get();
+}
+
+void Simulation::ResumeProcess(Process* p) {
+  FSD_CHECK(running_ == nullptr);
+  running_ = p;
+  {
+    std::lock_guard<std::mutex> lock(p->mutex);
+    p->runnable = true;
+    p->yielded = false;
+    p->cv.notify_all();
+  }
+  {
+    std::unique_lock<std::mutex> lock(p->mutex);
+    p->cv.wait(lock, [p] { return p->yielded; });
+  }
+  running_ = nullptr;
+}
+
+void Simulation::YieldToScheduler(Process* p) {
+  std::unique_lock<std::mutex> lock(p->mutex);
+  p->runnable = false;
+  p->yielded = true;
+  p->cv.notify_all();
+  p->cv.wait(lock, [p] { return p->runnable; });
+  if (p->killed) throw ProcessKilled{};
+}
+
+void Simulation::FinishProcess(Process* p) {
+  p->done->Fire();  // wakes joiners; safe: scheduler is parked on our yield
+  p->finished = true;
+  --live_processes_;
+  std::lock_guard<std::mutex> lock(p->mutex);
+  p->yielded = true;
+  p->cv.notify_all();
+}
+
+void Simulation::ScheduleWake(Process* p, SimTime delay, bool is_timeout,
+                              uint64_t epoch) {
+  FSD_CHECK_GE(delay, 0.0);
+  Event ev;
+  ev.time = now_ + delay;
+  ev.seq = next_seq_++;
+  ev.pid = p->pid;
+  ev.is_callback = false;
+  ev.is_timeout = is_timeout;
+  ev.epoch = epoch;
+  events_.push_back(std::move(ev));
+  std::push_heap(events_.begin(), events_.end(), EventAfter());
+}
+
+void Simulation::WakeNow(uint64_t pid) {
+  Process* p = FindProcess(pid);
+  if (p == nullptr || p->finished) return;
+  p->wait_satisfied = true;
+  ++p->wait_epoch;  // invalidate any pending timeout event
+  ScheduleWake(p, 0.0, /*is_timeout=*/false, /*epoch=*/0);
+}
+
+void Simulation::ScheduleCallback(SimTime delay, std::function<void()> fn) {
+  FSD_CHECK_GE(delay, 0.0);
+  Event ev;
+  ev.time = now_ + delay;
+  ev.seq = next_seq_++;
+  ev.pid = 0;
+  ev.is_callback = true;
+  ev.callback = std::move(fn);
+  events_.push_back(std::move(ev));
+  std::push_heap(events_.begin(), events_.end(), EventAfter());
+}
+
+void Simulation::Hold(SimTime dt) {
+  Process* p = running_;
+  FSD_CHECK(p != nullptr);
+  ScheduleWake(p, dt, /*is_timeout=*/false, /*epoch=*/0);
+  YieldToScheduler(p);
+}
+
+bool Simulation::WaitSignal(SimSignal* signal, SimTime timeout) {
+  if (signal->fired()) return true;
+  Process* p = running_;
+  FSD_CHECK(p != nullptr);
+  signal->waiting_pids_.push_back(p->pid);
+  p->wait_satisfied = false;
+  ++p->wait_epoch;
+  if (timeout >= 0.0) {
+    ScheduleWake(p, timeout, /*is_timeout=*/true, p->wait_epoch);
+  }
+  YieldToScheduler(p);
+  const bool fired = p->wait_satisfied;
+  if (!fired) {
+    // Timed out: de-register so a later Fire cannot wake us spuriously.
+    auto& pids = signal->waiting_pids_;
+    pids.erase(std::remove(pids.begin(), pids.end(), p->pid), pids.end());
+  }
+  return fired;
+}
+
+ProcessHandle Simulation::Spawn(std::string name, std::function<void()> body) {
+  return AddProcess(std::move(name), std::move(body), 0.0);
+}
+
+void Simulation::Join(const ProcessHandle& handle) {
+  FSD_CHECK(handle.done_signal() != nullptr);
+  WaitSignal(handle.done_signal().get());
+}
+
+const std::string& Simulation::CurrentProcessName() const {
+  return running_ != nullptr ? running_->name : kSchedulerName;
+}
+
+SimTime ParallelMakespan(const std::vector<SimTime>& latencies, int lanes) {
+  if (latencies.empty()) return 0.0;
+  if (lanes < 1) lanes = 1;
+  std::vector<SimTime> lane_free(static_cast<size_t>(lanes), 0.0);
+  SimTime makespan = 0.0;
+  for (SimTime latency : latencies) {
+    auto it = std::min_element(lane_free.begin(), lane_free.end());
+    *it += latency;
+    makespan = std::max(makespan, *it);
+  }
+  return makespan;
+}
+
+}  // namespace fsd::sim

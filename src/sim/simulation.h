@@ -1,0 +1,177 @@
+// Process-oriented discrete-event simulation (DES) kernel.
+//
+// The kernel drives "processes" — user functions that run on dedicated OS
+// threads but execute strictly one at a time under the scheduler's control
+// (SimPy-style cooperative simulation). Virtual time only advances between
+// events; a process blocks by calling Hold()/Wait*() which hands control
+// back to the scheduler. Because exactly one process is ever runnable and
+// the event queue orders by (time, sequence), simulations are fully
+// deterministic and race-free regardless of host scheduling.
+#ifndef FSD_SIM_SIMULATION_H_
+#define FSD_SIM_SIMULATION_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <queue>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/check.h"
+
+namespace fsd::sim {
+
+class Simulation;
+
+/// Virtual time in seconds.
+using SimTime = double;
+
+/// A waitable, one-shot signal processes can block on (with timeout).
+/// Signals are created and consumed entirely inside the simulation; they are
+/// the building block for queue wakeups, barriers and async completions.
+class SimSignal {
+ public:
+  explicit SimSignal(Simulation* sim) : sim_(sim) {}
+
+  /// Fires the signal, waking all current and future waiters immediately.
+  void Fire();
+  bool fired() const { return fired_; }
+
+ private:
+  friend class Simulation;
+  Simulation* sim_;
+  bool fired_ = false;
+  std::vector<uint64_t> waiting_pids_;
+};
+
+/// Handle to a spawned process; join-able from other processes.
+class ProcessHandle {
+ public:
+  ProcessHandle() = default;
+  explicit ProcessHandle(std::shared_ptr<SimSignal> done)
+      : done_(std::move(done)) {}
+  const std::shared_ptr<SimSignal>& done_signal() const { return done_; }
+
+ private:
+  std::shared_ptr<SimSignal> done_;
+};
+
+/// The DES kernel. Not thread-safe from outside: construct, AddProcess, Run.
+class Simulation {
+ public:
+  Simulation() = default;
+  ~Simulation();
+
+  Simulation(const Simulation&) = delete;
+  Simulation& operator=(const Simulation&) = delete;
+
+  /// Registers a root process to start at time `start`.
+  /// Returns a handle whose done-signal fires when the process returns.
+  ProcessHandle AddProcess(std::string name, std::function<void()> body,
+                           SimTime start = 0.0);
+
+  /// Runs until no events remain or `until` (if >= 0) is reached.
+  void Run(SimTime until = -1.0);
+
+  /// Current virtual time. Callable from within processes.
+  SimTime Now() const { return now_; }
+
+  /// ---- Process-context API (must be called from inside a process) ----
+
+  /// Advances this process's virtual time by `dt` seconds.
+  void Hold(SimTime dt);
+
+  /// Blocks until `signal` fires, or until `timeout` elapses (timeout < 0
+  /// waits forever). Returns true if the signal fired.
+  bool WaitSignal(SimSignal* signal, SimTime timeout = -1.0);
+
+  /// Spawns a child process starting immediately; returns a join handle.
+  ProcessHandle Spawn(std::string name, std::function<void()> body);
+
+  /// Blocks until the given process has finished.
+  void Join(const ProcessHandle& handle);
+
+  /// Creates a signal owned by the caller.
+  std::shared_ptr<SimSignal> MakeSignal() {
+    return std::make_shared<SimSignal>(this);
+  }
+
+  /// Schedules `fn` to run inside the scheduler at now+delay (no process
+  /// context; used for service-side events like message delivery).
+  void ScheduleCallback(SimTime delay, std::function<void()> fn);
+
+  /// Name of the currently running process (for logs/metrics).
+  const std::string& CurrentProcessName() const;
+
+  /// Number of processes that have not yet finished.
+  int live_processes() const { return live_processes_; }
+
+  /// Total events dispatched (diagnostic).
+  uint64_t events_dispatched() const { return events_dispatched_; }
+
+ private:
+  friend class SimSignal;
+
+  struct Process {
+    uint64_t pid = 0;
+    std::string name;
+    std::function<void()> body;
+    std::thread thread;
+    std::mutex mutex;
+    std::condition_variable cv;
+    bool runnable = false;        // scheduler -> process handoff flag
+    bool yielded = true;          // process -> scheduler handoff flag
+    bool finished = false;
+    bool killed = false;          // set at teardown to unwind the stack
+    bool wait_satisfied = false;  // signal-wait outcome
+    uint64_t wait_epoch = 0;      // guards against stale timeout events
+    std::shared_ptr<SimSignal> done;
+  };
+
+  struct Event {
+    SimTime time = 0.0;
+    uint64_t seq = 0;
+    uint64_t pid = 0;  // process wake target; unused for callbacks
+    bool is_callback = false;
+    std::function<void()> callback;
+    bool is_timeout = false;  // signal-timeout wake (epoch-guarded)
+    uint64_t epoch = 0;
+  };
+
+  /// Max-heap comparator yielding earliest (time, seq) at the heap root.
+  struct EventAfter {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  Process* FindProcess(uint64_t pid) const;
+  void ScheduleWake(Process* p, SimTime delay, bool is_timeout, uint64_t epoch);
+  void ResumeProcess(Process* p);
+  void YieldToScheduler(Process* p);
+  void WakeNow(uint64_t pid);
+  void FinishProcess(Process* p);
+
+  SimTime now_ = 0.0;
+  uint64_t next_seq_ = 0;
+  uint64_t next_pid_ = 1;
+  int live_processes_ = 0;
+  uint64_t events_dispatched_ = 0;
+  std::vector<Event> events_;  // binary heap via std::push_heap/pop_heap
+  std::vector<std::unique_ptr<Process>> processes_;
+  Process* running_ = nullptr;
+  bool in_run_ = false;
+};
+
+/// Computes the virtual-time makespan of running `latencies` on `lanes`
+/// parallel lanes (greedy list scheduling in submission order). Models a
+/// worker's IPC thread pool without spawning simulation processes.
+SimTime ParallelMakespan(const std::vector<SimTime>& latencies, int lanes);
+
+}  // namespace fsd::sim
+
+#endif  // FSD_SIM_SIMULATION_H_

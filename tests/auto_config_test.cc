@@ -1,0 +1,114 @@
+#include <gtest/gtest.h>
+
+#include "core/auto_config.h"
+
+namespace fsd::core {
+namespace {
+
+model::SparseDnn MakeModel(int32_t neurons, int32_t layers) {
+  model::SparseDnnConfig config;
+  config.neurons = neurons;
+  config.layers = layers;
+  return *model::GenerateSparseDnn(config);
+}
+
+class AutoConfigTest : public ::testing::Test {
+ protected:
+  sim::Simulation sim_;
+  cloud::CloudEnv cloud_{&sim_};
+};
+
+TEST_F(AutoConfigTest, SmallModelCostPriorityPicksSerial) {
+  model::SparseDnn dnn = MakeModel(1024, 8);
+  AutoSelectRequest request;
+  request.dnn = &dnn;
+  request.batch = 64;
+  request.latency_weight = 0.0;  // pure cost
+  auto result = AutoSelectConfiguration(cloud_, request);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->best.variant, Variant::kSerial);
+  EXPECT_EQ(result->best.workers, 1);
+}
+
+TEST_F(AutoConfigTest, LatencyPriorityBuysParallelism) {
+  model::SparseDnn dnn = MakeModel(16384, 16);
+  AutoSelectRequest request;
+  request.dnn = &dnn;
+  request.batch = 2048;  // heavy batch: compute dominates
+  request.latency_weight = 1.0;
+  auto result = AutoSelectConfiguration(cloud_, request);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(result->best.workers, 1);
+}
+
+TEST_F(AutoConfigTest, RankingIsSortedAndComplete) {
+  model::SparseDnn dnn = MakeModel(4096, 8);
+  AutoSelectRequest request;
+  request.dnn = &dnn;
+  auto result = AutoSelectConfiguration(cloud_, request);
+  ASSERT_TRUE(result.ok());
+  // 1 serial + 2 variants x 4 parallel P values.
+  EXPECT_EQ(result->ranking.size(), 9u);
+  for (size_t i = 1; i < result->ranking.size(); ++i) {
+    EXPECT_LE(result->ranking[i - 1].score, result->ranking[i].score);
+  }
+  EXPECT_EQ(result->best.score, result->ranking.front().score);
+}
+
+TEST_F(AutoConfigTest, InfeasibleSerialIsExcluded) {
+  // A model family whose paper-scale working set exceeds the FaaS cap:
+  // use a big batch so activations blow the 10 GB budget.
+  model::SparseDnn dnn = MakeModel(65536, 4);
+  AutoSelectRequest request;
+  request.dnn = &dnn;
+  request.batch = 20000;  // 65536 x 20000 x 8 x 2 bytes ~ 19.5 GB
+  auto result = AutoSelectConfiguration(cloud_, request);
+  ASSERT_TRUE(result.ok());
+  EXPECT_NE(result->best.variant, Variant::kSerial);
+  bool found_infeasible_serial = false;
+  for (const ConfigCandidate& c : result->ranking) {
+    if (c.variant == Variant::kSerial) {
+      EXPECT_FALSE(c.feasible);
+      EXPECT_FALSE(c.infeasible_reason.empty());
+      found_infeasible_serial = true;
+    }
+  }
+  EXPECT_TRUE(found_infeasible_serial);
+}
+
+TEST_F(AutoConfigTest, CostCrossoverBetweenQueueAndObject) {
+  // §IV-C both ways: queue costs grow much more slowly with parallelism at
+  // moderate data volumes, but once volumes saturate the pub-sub payload
+  // economics (per-byte delivery charges), object storage wins.
+  model::SparseDnn dnn = MakeModel(16384, 16);
+  AutoSelectRequest request;
+  request.dnn = &dnn;
+  request.latency_weight = 0.0;
+  request.candidate_workers = {42};
+
+  request.batch = 2000;  // moderate volume: queue is the cheap channel
+  auto moderate = AutoSelectConfiguration(cloud_, request);
+  ASSERT_TRUE(moderate.ok());
+  ASSERT_EQ(moderate->ranking.size(), 2u);
+  EXPECT_EQ(moderate->best.variant, Variant::kQueue);
+
+  request.batch = 40000;  // huge volume: per-byte charges flip the choice
+  auto huge = AutoSelectConfiguration(cloud_, request);
+  ASSERT_TRUE(huge.ok());
+  EXPECT_EQ(huge->best.variant, Variant::kObject);
+}
+
+TEST_F(AutoConfigTest, ValidatesArguments) {
+  model::SparseDnn dnn = MakeModel(1024, 4);
+  AutoSelectRequest request;
+  EXPECT_FALSE(AutoSelectConfiguration(cloud_, request).ok());
+  request.dnn = &dnn;
+  request.latency_weight = 2.0;
+  EXPECT_FALSE(AutoSelectConfiguration(cloud_, request).ok());
+  request.latency_weight = 0.5;
+  request.candidate_workers.clear();
+  EXPECT_FALSE(AutoSelectConfiguration(cloud_, request).ok());
+}
+
+}  // namespace
+}  // namespace fsd::core

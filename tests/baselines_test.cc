@@ -1,0 +1,214 @@
+#include <gtest/gtest.h>
+
+#include "baselines/hspff.h"
+#include "baselines/sage.h"
+#include "baselines/server.h"
+#include "model/input_gen.h"
+#include "model/reference.h"
+
+namespace fsd::baselines {
+namespace {
+
+struct Fixture {
+  model::SparseDnn dnn;
+  linalg::ActivationMap input;
+  model::ReferenceStats stats;
+  linalg::ActivationMap expected;
+};
+
+Fixture MakeFixture(int32_t neurons = 512, int32_t layers = 8,
+                    int32_t batch = 16) {
+  model::SparseDnnConfig config;
+  config.neurons = neurons;
+  config.layers = layers;
+  Fixture f{*model::GenerateSparseDnn(config), {}, {}, {}};
+  model::InputConfig ic;
+  ic.neurons = neurons;
+  ic.batch = batch;
+  f.input = *model::GenerateInputBatch(ic);
+  f.expected = *model::ReferenceInference(f.dnn, f.input, &f.stats);
+  return f;
+}
+
+TEST(ServerBaseline, JobScopedSizingRule) {
+  EXPECT_EQ(JobScopedInstanceType(1024), "c5.2xlarge");
+  EXPECT_EQ(JobScopedInstanceType(4096), "c5.2xlarge");
+  EXPECT_EQ(JobScopedInstanceType(16384), "c5.9xlarge");
+  EXPECT_EQ(JobScopedInstanceType(65536), "c5.12xlarge");
+}
+
+TEST(ServerBaseline, HotColdLatencyOrdering) {
+  Fixture f = MakeFixture();
+  auto run = [&](ModelResidence residence) {
+    sim::Simulation sim;
+    cloud::CloudEnv cloud(&sim);
+    ServerRunOptions options;
+    options.residence = residence;
+    options.precomputed_stats = &f.stats;
+    auto report = RunServerInference(&cloud, f.dnn, f.input, options);
+    EXPECT_TRUE(report.ok());
+    return report->latency_s;
+  };
+  const double memory = run(ModelResidence::kMemory);
+  const double ebs = run(ModelResidence::kEbs);
+  const double object = run(ModelResidence::kObject);
+  EXPECT_LT(memory, ebs);
+  EXPECT_LT(ebs, object);
+}
+
+TEST(ServerBaseline, JobScopedPaysBootAndBills) {
+  Fixture f = MakeFixture();
+  sim::Simulation sim;
+  cloud::CloudEnv cloud(&sim);
+  ServerRunOptions options;
+  options.job_scoped = true;
+  options.residence = ModelResidence::kObject;
+  options.precomputed_stats = &f.stats;
+  auto report = RunServerInference(&cloud, f.dnn, f.input, options);
+  ASSERT_TRUE(report.ok());
+  EXPECT_GT(report->boot_s, 10.0);  // VM boot dominates
+  EXPECT_GT(report->job_cost, 0.0);
+  EXPECT_GT(report->latency_s, report->boot_s);
+}
+
+TEST(ServerBaseline, ComputesRealOutputWhenAsked) {
+  Fixture f = MakeFixture(256, 4, 8);
+  sim::Simulation sim;
+  cloud::CloudEnv cloud(&sim);
+  ServerRunOptions options;  // no precomputed stats -> runs the kernel
+  auto report = RunServerInference(&cloud, f.dnn, f.input, options);
+  ASSERT_TRUE(report.ok());
+  ASSERT_EQ(report->output.size(), f.expected.size());
+  for (const auto& [row, vec] : f.expected) {
+    EXPECT_EQ(report->output.at(row), vec);
+  }
+}
+
+TEST(ServerBaseline, BiggerInstanceIsFaster) {
+  Fixture f = MakeFixture();
+  auto run = [&](const std::string& type) {
+    sim::Simulation sim;
+    cloud::CloudEnv cloud(&sim);
+    ServerRunOptions options;
+    options.instance_type = type;
+    options.precomputed_stats = &f.stats;
+    return RunServerInference(&cloud, f.dnn, f.input, options)->latency_s;
+  };
+  EXPECT_GT(run("c5.2xlarge"), run("c5.12xlarge"));
+}
+
+TEST(ServerBaseline, RejectsUnknownInstanceType) {
+  Fixture f = MakeFixture(256, 2, 4);
+  sim::Simulation sim;
+  cloud::CloudEnv cloud(&sim);
+  ServerRunOptions options;
+  options.instance_type = "x1e.32xlarge";
+  EXPECT_FALSE(RunServerInference(&cloud, f.dnn, f.input, options).ok());
+}
+
+TEST(Hspff, ComputeRateBeatsAnySingleServer) {
+  // 4 nodes x 24 cores at 0.7 efficiency ~ 67 effective cores: with the
+  // fixed per-layer MPI overhead removed, H-SpFF's pure compute must beat
+  // the largest single VM in the catalogue. (On toy workloads the fixed
+  // overhead legitimately dominates — the full-scale relationship is what
+  // bench_fig5_query_latency charts.)
+  Fixture f = MakeFixture();
+  cloud::ComputeModelConfig compute;
+  HspffConfig config;
+  config.per_layer_comm_s = 0.0;
+  const HspffReport hpc = EstimateHspff(f.dnn, f.stats, 16, compute, config);
+  sim::Simulation sim;
+  cloud::CloudEnv cloud(&sim);
+  ServerRunOptions options;
+  options.precomputed_stats = &f.stats;
+  auto server = RunServerInference(&cloud, f.dnn, f.input, options);
+  ASSERT_TRUE(server.ok());
+  EXPECT_LT(hpc.latency_s, server->latency_s);
+  EXPECT_GT(hpc.latency_s, 0.0);
+}
+
+TEST(Hspff, MoreNodesAreFaster) {
+  Fixture f = MakeFixture();
+  cloud::ComputeModelConfig compute;
+  HspffConfig small;
+  small.nodes = 2;
+  HspffConfig large;
+  large.nodes = 16;
+  EXPECT_GT(EstimateHspff(f.dnn, f.stats, 16, compute, small).latency_s,
+            EstimateHspff(f.dnn, f.stats, 16, compute, large).latency_s);
+}
+
+TEST(Hspff, CommOverheadScalesWithLayers) {
+  Fixture f = MakeFixture(512, 8, 16);
+  cloud::ComputeModelConfig compute;
+  HspffConfig config;
+  config.per_layer_comm_s = 1.0;  // exaggerate to isolate the term
+  const HspffReport slow = EstimateHspff(f.dnn, f.stats, 16, compute, config);
+  config.per_layer_comm_s = 0.0;
+  const HspffReport fast = EstimateHspff(f.dnn, f.stats, 16, compute, config);
+  EXPECT_NEAR(slow.latency_s - fast.latency_s, 8.0, 1e-9);
+}
+
+TEST(SageServerless, ServesSmallModels) {
+  Fixture f = MakeFixture(512, 6, 32);
+  sim::Simulation sim;
+  cloud::CloudEnv cloud(&sim);
+  const SageReport report = RunSageServerless(&cloud, f.dnn, f.stats, 32);
+  EXPECT_TRUE(report.status.ok()) << report.status.ToString();
+  EXPECT_EQ(report.served_samples, 32);
+  EXPECT_GT(report.per_sample_ms, 0.0);
+}
+
+TEST(SageServerless, MemoryCapRejectsLargeModels) {
+  // A synthetic "model" whose weights exceed 6 GB: N=65536, L=120 would be
+  // ~2 GB real + overhead; fake it with a small dnn and a tiny cap.
+  Fixture f = MakeFixture(512, 6, 8);
+  sim::Simulation sim;
+  cloud::CloudEnv cloud(&sim);
+  SageEndpointConfig config;
+  config.memory_mb = 1;  // model cannot fit
+  const SageReport report =
+      RunSageServerless(&cloud, f.dnn, f.stats, 8, config);
+  EXPECT_TRUE(report.status.IsResourceExhausted());
+  EXPECT_EQ(report.served_samples, 0);
+}
+
+TEST(SageServerless, PayloadCapLimitsBatch) {
+  Fixture f = MakeFixture(1024, 4, 64);
+  sim::Simulation sim;
+  cloud::CloudEnv cloud(&sim);
+  SageEndpointConfig config;
+  config.max_payload_bytes = 16 * 1024;  // tiny request cap
+  const SageReport report =
+      RunSageServerless(&cloud, f.dnn, f.stats, 64, config);
+  EXPECT_TRUE(report.status.IsResourceExhausted());
+  EXPECT_GT(report.served_samples, 0);
+  EXPECT_LT(report.served_samples, 64);
+}
+
+TEST(SageServerless, RuntimeCapLimitsBatch) {
+  Fixture f = MakeFixture(1024, 8, 64);
+  sim::Simulation sim;
+  cloud::CloudEnv cloud(&sim);
+  SageEndpointConfig config;
+  // Budget: model load plus ~10 samples of compute -> only a partial batch
+  // fits the runtime window.
+  const double per_sample = cloud.compute().FaasComputeSeconds(
+      f.stats.total_flops / 64.0, config.memory_mb);
+  const double model_load = static_cast<double>(f.dnn.WeightBytes()) /
+                            cloud.compute().deserialize_bytes_per_s;
+  config.max_runtime_s = model_load + 10.5 * per_sample;
+  const SageReport report =
+      RunSageServerless(&cloud, f.dnn, f.stats, 64, config);
+  EXPECT_TRUE(report.status.IsResourceExhausted());
+  EXPECT_EQ(report.served_samples, 10);
+
+  // And a budget below the model load fails outright.
+  config.max_runtime_s = model_load * 0.5;
+  const SageReport dead = RunSageServerless(&cloud, f.dnn, f.stats, 64, config);
+  EXPECT_TRUE(dead.status.IsDeadlineExceeded());
+  EXPECT_EQ(dead.served_samples, 0);
+}
+
+}  // namespace
+}  // namespace fsd::baselines

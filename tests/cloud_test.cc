@@ -1,0 +1,485 @@
+#include <gtest/gtest.h>
+
+#include "cloud/cloud.h"
+
+namespace fsd::cloud {
+namespace {
+
+class CloudTest : public ::testing::Test {
+ protected:
+  sim::Simulation sim_;
+  CloudEnv cloud_{&sim_};
+
+  /// Runs `body` inside a simulation process and drives the sim to empty.
+  void InProcess(std::function<void()> body) {
+    sim_.AddProcess("test", std::move(body));
+    sim_.Run();
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Queue service
+// ---------------------------------------------------------------------------
+
+TEST_F(CloudTest, QueueDeliverAndLongPollReceive) {
+  ASSERT_TRUE(cloud_.queues().CreateQueue("q").ok());
+  InProcess([&] {
+    QueueMessage msg;
+    msg.body = {1, 2, 3};
+    msg.attributes["k"] = "v";
+    ASSERT_TRUE(cloud_.queues().Deliver("q", msg).ok());
+    auto got = cloud_.queues().Receive("q", 10, /*wait_s=*/5.0);
+    ASSERT_TRUE(got.ok());
+    ASSERT_EQ(got->size(), 1u);
+    EXPECT_EQ((*got)[0].body, (Bytes{1, 2, 3}));
+    EXPECT_EQ((*got)[0].attributes.at("k"), "v");
+  });
+}
+
+TEST_F(CloudTest, QueueLongPollBlocksUntilArrival) {
+  ASSERT_TRUE(cloud_.queues().CreateQueue("q").ok());
+  double received_at = -1.0;
+  sim_.AddProcess("consumer", [&] {
+    auto got = cloud_.queues().Receive("q", 10, /*wait_s=*/20.0);
+    ASSERT_TRUE(got.ok());
+    EXPECT_EQ(got->size(), 1u);
+    received_at = sim_.Now();
+  });
+  sim_.AddProcess("producer", [&] {
+    sim_.Hold(3.0);
+    QueueMessage msg;
+    msg.body = {9};
+    ASSERT_TRUE(cloud_.queues().Deliver("q", msg).ok());
+  });
+  sim_.Run();
+  EXPECT_GE(received_at, 3.0);
+  EXPECT_LT(received_at, 4.0);  // well before the 20 s window closes
+}
+
+TEST_F(CloudTest, QueueLongPollTimesOutEmptyHanded) {
+  ASSERT_TRUE(cloud_.queues().CreateQueue("q").ok());
+  InProcess([&] {
+    const double t0 = sim_.Now();
+    auto got = cloud_.queues().Receive("q", 10, /*wait_s=*/2.0);
+    ASSERT_TRUE(got.ok());
+    EXPECT_TRUE(got->empty());
+    EXPECT_GE(sim_.Now() - t0, 2.0);
+  });
+}
+
+TEST_F(CloudTest, QueueShortPollCanMissMessages) {
+  QueueOptions options;
+  options.num_shards = 8;
+  options.short_poll_shard_prob = 0.5;
+  ASSERT_TRUE(cloud_.queues().CreateQueue("q", options).ok());
+  InProcess([&] {
+    // One message per backend shard.
+    for (int i = 0; i < 8; ++i) {
+      QueueMessage msg;
+      msg.body = {static_cast<uint8_t>(i)};
+      ASSERT_TRUE(cloud_.queues().Deliver("q", msg).ok());
+    }
+    // A short poll (wait 0) samples a subset of shards: across several
+    // polls, at least one must come back with fewer than the visible
+    // messages (long polling, by contrast, always visits every shard).
+    bool missed_some = false;
+    for (int attempt = 0; attempt < 8; ++attempt) {
+      auto got = cloud_.queues().Receive("q", 10, /*wait_s=*/0.0);
+      ASSERT_TRUE(got.ok());
+      if (got->size() < 8) missed_some = true;
+      sim_.Hold(60.0);  // let visibility timeouts lapse between polls
+    }
+    EXPECT_TRUE(missed_some);
+    // Nothing was deleted: all 8 messages are still stored.
+    EXPECT_EQ(*cloud_.queues().ApproximateDepth("q"), 8u);
+    // And a long poll sees every shard.
+    auto all = cloud_.queues().Receive("q", 10, /*wait_s=*/1.0);
+    ASSERT_TRUE(all.ok());
+    EXPECT_EQ(all->size(), 8u);
+  });
+}
+
+TEST_F(CloudTest, QueueVisibilityTimeoutRedelivers) {
+  QueueOptions options;
+  options.visibility_timeout_s = 5.0;
+  ASSERT_TRUE(cloud_.queues().CreateQueue("q", options).ok());
+  InProcess([&] {
+    QueueMessage msg;
+    msg.body = {42};
+    ASSERT_TRUE(cloud_.queues().Deliver("q", msg).ok());
+    auto first = cloud_.queues().Receive("q", 10, 1.0);
+    ASSERT_EQ(first->size(), 1u);
+    // Not deleted: invisible now, redelivered after the timeout.
+    auto hidden = cloud_.queues().Receive("q", 10, 1.0);
+    EXPECT_TRUE(hidden->empty());
+    sim_.Hold(6.0);
+    auto again = cloud_.queues().Receive("q", 10, 1.0);
+    ASSERT_EQ(again->size(), 1u);
+    EXPECT_EQ((*again)[0].id, (*first)[0].id);
+  });
+}
+
+TEST_F(CloudTest, QueueDeleteRemovesMessages) {
+  ASSERT_TRUE(cloud_.queues().CreateQueue("q").ok());
+  InProcess([&] {
+    QueueMessage msg;
+    msg.body = {1};
+    ASSERT_TRUE(cloud_.queues().Deliver("q", msg).ok());
+    auto got = cloud_.queues().Receive("q", 10, 1.0);
+    ASSERT_EQ(got->size(), 1u);
+    ASSERT_TRUE(cloud_.queues().DeleteMessages("q", {(*got)[0].id}).ok());
+    sim_.Hold(60.0);
+    auto after = cloud_.queues().Receive("q", 10, 0.5);
+    EXPECT_TRUE(after->empty());
+    EXPECT_EQ(*cloud_.queues().ApproximateDepth("q"), 0u);
+  });
+}
+
+TEST_F(CloudTest, QueueBillsPerApiCall) {
+  ASSERT_TRUE(cloud_.queues().CreateQueue("q").ok());
+  InProcess([&] {
+    const auto& line = cloud_.billing().line(BillingDimension::kQueueApiCall);
+    const double before = line.quantity;
+    cloud_.queues().Receive("q", 10, 0.0).ok();
+    cloud_.queues().Receive("q", 10, 0.0).ok();
+    QueueMessage m;
+    m.body = {1};
+    cloud_.queues().SendMessage("q", m).ok();
+    EXPECT_EQ(line.quantity - before, 3.0);
+  });
+}
+
+TEST_F(CloudTest, QueueValidatesArguments) {
+  ASSERT_TRUE(cloud_.queues().CreateQueue("q").ok());
+  EXPECT_TRUE(cloud_.queues().CreateQueue("q").code() ==
+              StatusCode::kAlreadyExists);
+  InProcess([&] {
+    EXPECT_FALSE(cloud_.queues().Receive("nope", 10, 0.0).ok());
+    EXPECT_FALSE(cloud_.queues().Receive("q", 11, 0.0).ok());
+    EXPECT_FALSE(cloud_.queues().Receive("q", 0, 0.0).ok());
+    std::vector<uint64_t> too_many(11, 1);
+    EXPECT_FALSE(cloud_.queues().DeleteMessages("q", too_many).ok());
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Pub-sub service
+// ---------------------------------------------------------------------------
+
+TEST_F(CloudTest, PubSubFilterPolicyRoutes) {
+  ASSERT_TRUE(cloud_.pubsub().CreateTopic("t").ok());
+  ASSERT_TRUE(cloud_.queues().CreateQueue("qa").ok());
+  ASSERT_TRUE(cloud_.queues().CreateQueue("qb").ok());
+  FilterPolicy pa, pb;
+  pa.equals["target"] = {"a"};
+  pb.equals["target"] = {"b"};
+  ASSERT_TRUE(cloud_.pubsub().Subscribe("t", "qa", pa).ok());
+  ASSERT_TRUE(cloud_.pubsub().Subscribe("t", "qb", pb).ok());
+  InProcess([&] {
+    QueueMessage to_a, to_b;
+    to_a.body = {1};
+    to_a.attributes["target"] = "a";
+    to_b.body = {2};
+    to_b.attributes["target"] = "b";
+    auto outcome = cloud_.pubsub().PublishBatch("t", {to_a, to_b});
+    ASSERT_TRUE(outcome.status.ok());
+    sim_.Hold(2.0);  // let fan-out deliveries land
+    auto got_a = cloud_.queues().Receive("qa", 10, 0.5);
+    auto got_b = cloud_.queues().Receive("qb", 10, 0.5);
+    ASSERT_EQ(got_a->size(), 1u);
+    ASSERT_EQ(got_b->size(), 1u);
+    EXPECT_EQ((*got_a)[0].body, (Bytes{1}));
+    EXPECT_EQ((*got_b)[0].body, (Bytes{2}));
+  });
+}
+
+TEST_F(CloudTest, PubSubNoMatchDropsMessage) {
+  ASSERT_TRUE(cloud_.pubsub().CreateTopic("t").ok());
+  ASSERT_TRUE(cloud_.queues().CreateQueue("q").ok());
+  FilterPolicy policy;
+  policy.equals["target"] = {"x"};
+  ASSERT_TRUE(cloud_.pubsub().Subscribe("t", "q", policy).ok());
+  InProcess([&] {
+    QueueMessage msg;
+    msg.body = {1};
+    msg.attributes["target"] = "y";  // no subscriber wants this
+    ASSERT_TRUE(cloud_.pubsub().PublishBatch("t", {msg}).status.ok());
+    sim_.Hold(2.0);
+    EXPECT_TRUE(cloud_.queues().Receive("q", 10, 0.2)->empty());
+  });
+}
+
+TEST_F(CloudTest, PubSubEnforcesBatchLimits) {
+  ASSERT_TRUE(cloud_.pubsub().CreateTopic("t").ok());
+  InProcess([&] {
+    std::vector<QueueMessage> eleven(11);
+    for (auto& m : eleven) m.body = {1};
+    EXPECT_FALSE(cloud_.pubsub().PublishBatch("t", eleven).status.ok());
+
+    QueueMessage huge;
+    huge.body.assign(kMaxPublishBytes + 1, 0);
+    EXPECT_TRUE(cloud_.pubsub()
+                    .PublishBatch("t", {huge})
+                    .status.IsResourceExhausted());
+    EXPECT_FALSE(cloud_.pubsub().PublishBatch("t", {}).status.ok());
+  });
+}
+
+TEST_F(CloudTest, PubSubBillsIn64KiBIncrements) {
+  ASSERT_TRUE(cloud_.pubsub().CreateTopic("t").ok());
+  InProcess([&] {
+    QueueMessage m1, m2;
+    m1.body.assign(100 * 1024, 0);  // 100 KiB
+    m2.body.assign(120 * 1024, 0);  // 120 KiB; batch ~220 KiB -> 4 chunks
+    auto outcome = cloud_.pubsub().PublishBatch("t", {m1, m2});
+    ASSERT_TRUE(outcome.status.ok());
+    EXPECT_EQ(outcome.billed_chunks, 4u);
+
+    QueueMessage tiny;
+    tiny.body = {1};
+    EXPECT_EQ(cloud_.pubsub().PublishBatch("t", {tiny}).billed_chunks, 1u);
+  });
+}
+
+TEST_F(CloudTest, PubSubDeliveryBytesBilled) {
+  ASSERT_TRUE(cloud_.pubsub().CreateTopic("t").ok());
+  ASSERT_TRUE(cloud_.queues().CreateQueue("q").ok());
+  ASSERT_TRUE(cloud_.pubsub().Subscribe("t", "q", FilterPolicy{}).ok());
+  InProcess([&] {
+    const auto& line =
+        cloud_.billing().line(BillingDimension::kPubSubDeliveryByte);
+    const double before = line.quantity;
+    QueueMessage m;
+    m.body.assign(1000, 7);
+    ASSERT_TRUE(cloud_.pubsub().PublishBatch("t", {m}).status.ok());
+    EXPECT_GE(line.quantity - before, 1000.0);
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Object store
+// ---------------------------------------------------------------------------
+
+TEST_F(CloudTest, ObjectPutBecomesVisibleAfterLatency) {
+  ASSERT_TRUE(cloud_.objects().CreateBucket("b").ok());
+  InProcess([&] {
+    auto put = cloud_.objects().Put("b", "k/x.dat", Bytes{1, 2});
+    ASSERT_TRUE(put.status.ok());
+    // Immediately after the call the upload is still in flight.
+    auto listing = cloud_.objects().List("b", "k/");
+    // (List holds its own latency, which may or may not pass the PUT's; be
+    // generous and only assert eventual visibility.)
+    sim_.Hold(5.0);
+    listing = cloud_.objects().List("b", "k/");
+    ASSERT_TRUE(listing.ok());
+    ASSERT_EQ(listing->size(), 1u);
+    EXPECT_EQ((*listing)[0].key, "k/x.dat");
+    EXPECT_EQ((*listing)[0].size, 2u);
+    auto body = cloud_.objects().GetBlocking("b", "k/x.dat");
+    ASSERT_TRUE(body.ok());
+    EXPECT_EQ(*body, (Bytes{1, 2}));
+  });
+}
+
+TEST_F(CloudTest, ObjectListRespectsPrefix) {
+  ASSERT_TRUE(cloud_.objects().CreateBucket("b").ok());
+  InProcess([&] {
+    cloud_.objects().Put("b", "12/1/a.dat", Bytes{1});
+    cloud_.objects().Put("b", "12/1/b.dat", Bytes{1});
+    cloud_.objects().Put("b", "120/1/c.dat", Bytes{1});
+    cloud_.objects().Put("b", "2/1/d.dat", Bytes{1});
+    sim_.Hold(5.0);
+    auto listing = cloud_.objects().List("b", "12/1/");
+    ASSERT_TRUE(listing.ok());
+    ASSERT_EQ(listing->size(), 2u);  // "120/..." must NOT match "12/"
+    EXPECT_EQ((*listing)[0].key, "12/1/a.dat");
+    EXPECT_EQ((*listing)[1].key, "12/1/b.dat");
+  });
+}
+
+TEST_F(CloudTest, ObjectGetMissingFailsButBills) {
+  ASSERT_TRUE(cloud_.objects().CreateBucket("b").ok());
+  InProcess([&] {
+    const auto& line = cloud_.billing().line(BillingDimension::kObjectGet);
+    const double before = line.quantity;
+    EXPECT_FALSE(cloud_.objects().GetBlocking("b", "nope").ok());
+    EXPECT_EQ(line.quantity - before, 1.0);
+  });
+}
+
+TEST_F(CloudTest, ObjectRequestBilling) {
+  ASSERT_TRUE(cloud_.objects().CreateBucket("b").ok());
+  InProcess([&] {
+    const auto& puts = cloud_.billing().line(BillingDimension::kObjectPut);
+    const auto& lists = cloud_.billing().line(BillingDimension::kObjectList);
+    const double p0 = puts.quantity, l0 = lists.quantity;
+    cloud_.objects().Put("b", "x", Bytes{});
+    cloud_.objects().Put("b", "y", Bytes(1024 * 1024, 1));
+    sim_.Hold(5.0);
+    cloud_.objects().List("b", "").ok();
+    EXPECT_EQ(puts.quantity - p0, 2.0);  // size-independent
+    EXPECT_EQ(lists.quantity - l0, 1.0);
+  });
+}
+
+TEST_F(CloudTest, ObjectDeleteRemoves) {
+  ASSERT_TRUE(cloud_.objects().CreateBucket("b").ok());
+  InProcess([&] {
+    cloud_.objects().Put("b", "x", Bytes{1});
+    sim_.Hold(5.0);
+    ASSERT_TRUE(cloud_.objects().Delete("b", "x").ok());
+    EXPECT_TRUE(cloud_.objects().List("b", "")->empty());
+  });
+}
+
+TEST_F(CloudTest, ObjectRateLimiterAddsQueueingDelay) {
+  LatencyConfig latency;
+  RateLimiter limiter(10.0);  // 10 rps -> 0.1 s service time
+  EXPECT_EQ(limiter.AdmissionDelay(0.0), 0.0);
+  // Second arrival at t=0 queues behind the first.
+  EXPECT_NEAR(limiter.AdmissionDelay(0.0), 0.1, 1e-9);
+  EXPECT_NEAR(limiter.AdmissionDelay(0.0), 0.2, 1e-9);
+  // A late arrival sees an idle server.
+  EXPECT_EQ(limiter.AdmissionDelay(10.0), 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// FaaS
+// ---------------------------------------------------------------------------
+
+TEST_F(CloudTest, FaasInvokeRunsHandlerAndBills) {
+  FaasFunctionConfig fn;
+  fn.name = "f";
+  fn.memory_mb = 1024;
+  fn.timeout_s = 10.0;
+  double ran_at = -1.0;
+  Bytes seen_payload;
+  fn.handler = [&](FaasContext* ctx) {
+    ran_at = ctx->sim()->Now();
+    seen_payload = ctx->payload();
+    ctx->set_result(Status::OK());
+  };
+  ASSERT_TRUE(cloud_.faas().RegisterFunction(fn).ok());
+  InProcess([&] {
+    auto outcome = cloud_.faas().InvokeAsync("f", Bytes{5, 6});
+    ASSERT_TRUE(outcome.status.ok());
+    sim_.WaitSignal(outcome.completion.get());
+    auto record = cloud_.faas().completion(outcome.request_id);
+    ASSERT_TRUE(record.ok());
+    EXPECT_TRUE(record->status.ok());
+    EXPECT_TRUE(record->cold_start);  // first invocation is cold
+  });
+  EXPECT_GT(ran_at, 0.0);  // cold start delay happened
+  EXPECT_EQ(seen_payload, (Bytes{5, 6}));
+  EXPECT_EQ(
+      cloud_.billing().line(BillingDimension::kFaasInvocation).quantity, 1.0);
+}
+
+TEST_F(CloudTest, FaasWarmStartReusesInstance) {
+  FaasFunctionConfig fn;
+  fn.name = "f";
+  fn.memory_mb = 512;
+  fn.timeout_s = 10.0;
+  fn.handler = [](FaasContext* ctx) { ctx->set_result(Status::OK()); };
+  ASSERT_TRUE(cloud_.faas().RegisterFunction(fn).ok());
+  InProcess([&] {
+    auto first = cloud_.faas().InvokeAsync("f", {});
+    sim_.WaitSignal(first.completion.get());
+    EXPECT_EQ(cloud_.faas().WarmCount("f"), 1);
+    auto second = cloud_.faas().InvokeAsync("f", {});
+    sim_.WaitSignal(second.completion.get());
+    EXPECT_FALSE(cloud_.faas().completion(second.request_id)->cold_start);
+  });
+}
+
+TEST_F(CloudTest, FaasDeadlineExceededSurfaces) {
+  FaasFunctionConfig fn;
+  fn.name = "slow";
+  fn.memory_mb = 1769;  // exactly 1 vCPU
+  fn.timeout_s = 1.0;
+  fn.handler = [](FaasContext* ctx) {
+    // Needs ~1.47 s of compute at 0.68 GFLOPS -> must hit the cap.
+    Status s = ctx->Burn(1e9);
+    ctx->set_result(s);
+  };
+  ASSERT_TRUE(cloud_.faas().RegisterFunction(fn).ok());
+  InProcess([&] {
+    auto outcome = cloud_.faas().InvokeAsync("slow", {});
+    sim_.WaitSignal(outcome.completion.get());
+    auto record = cloud_.faas().completion(outcome.request_id);
+    EXPECT_TRUE(record->status.IsDeadlineExceeded());
+    // Billed runtime is capped at the timeout.
+    EXPECT_LE(record->duration_s, 1.0 + 1e-9);
+  });
+}
+
+TEST_F(CloudTest, FaasRegistrationValidation) {
+  FaasFunctionConfig fn;
+  fn.name = "f";
+  fn.handler = [](FaasContext*) {};
+  fn.memory_mb = 64;  // below provider minimum
+  EXPECT_FALSE(cloud_.faas().RegisterFunction(fn).ok());
+  fn.memory_mb = 20000;  // above provider maximum
+  EXPECT_FALSE(cloud_.faas().RegisterFunction(fn).ok());
+  fn.memory_mb = 1024;
+  fn.timeout_s = 1000.0;  // above the 15-minute cap
+  EXPECT_FALSE(cloud_.faas().RegisterFunction(fn).ok());
+  fn.timeout_s = 10.0;
+  EXPECT_TRUE(cloud_.faas().RegisterFunction(fn).ok());
+  EXPECT_EQ(cloud_.faas().RegisterFunction(fn).code(),
+            StatusCode::kAlreadyExists);
+}
+
+TEST_F(CloudTest, ComputeModelScalesWithMemory) {
+  const ComputeModelConfig& compute = cloud_.compute();
+  // vCPU share grows linearly with memory until the 6-vCPU cap.
+  EXPECT_NEAR(compute.FaasVcpus(1769), 1.0, 1e-9);
+  EXPECT_NEAR(compute.FaasVcpus(3538), 2.0, 1e-9);
+  EXPECT_NEAR(compute.FaasVcpus(10240), 5.789, 0.01);
+  EXPECT_EQ(compute.FaasVcpus(1000000), 6.0);
+  // More memory -> faster compute.
+  EXPECT_LT(compute.FaasComputeSeconds(1e9, 4000),
+            compute.FaasComputeSeconds(1e9, 1000));
+}
+
+// ---------------------------------------------------------------------------
+// VMs
+// ---------------------------------------------------------------------------
+
+TEST_F(CloudTest, VmLaunchBootsAndTerminateBills) {
+  InProcess([&] {
+    const double t0 = sim_.Now();
+    auto vm = cloud_.vms().Launch("c5.2xlarge");
+    ASSERT_TRUE(vm.ok());
+    EXPECT_GT(sim_.Now() - t0, 10.0);  // boot delay is tens of seconds
+    sim_.Hold(3600.0);
+    ASSERT_TRUE(cloud_.vms().Terminate(*vm).ok());
+    const auto& line = cloud_.billing().line(BillingDimension::kVmSecond);
+    // One hour at $0.34/h.
+    EXPECT_NEAR(line.cost, 0.34, 0.01);
+  });
+}
+
+TEST_F(CloudTest, VmMinimumBillingWindow) {
+  InProcess([&] {
+    auto vm = cloud_.vms().Launch("c5.2xlarge");
+    ASSERT_TRUE(vm.ok());
+    ASSERT_TRUE(cloud_.vms().Terminate(*vm).ok());  // immediate
+    const auto& line = cloud_.billing().line(BillingDimension::kVmSecond);
+    EXPECT_NEAR(line.quantity, 60.0, 1e-9);  // 60 s minimum
+  });
+}
+
+TEST_F(CloudTest, VmAlwaysOnBilling) {
+  ASSERT_TRUE(cloud_.vms().BillAlwaysOn("c5.12xlarge", 86400.0, 2).ok());
+  const auto& line = cloud_.billing().line(BillingDimension::kVmSecond);
+  EXPECT_NEAR(line.cost, 2 * 24 * 2.04, 0.01);  // 2 instances x 24 h
+  EXPECT_FALSE(cloud_.vms().BillAlwaysOn("nope", 1.0, 1).ok());
+}
+
+TEST_F(CloudTest, VmUnknownTypeRejected) {
+  InProcess([&] { EXPECT_FALSE(cloud_.vms().Launch("m7g.huge").ok()); });
+}
+
+}  // namespace
+}  // namespace fsd::cloud

@@ -1,0 +1,246 @@
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "codec/bitstream.h"
+#include "codec/crc32.h"
+#include "codec/huffman.h"
+#include "codec/lz.h"
+#include "codec/varint.h"
+#include "common/rng.h"
+
+namespace fsd::codec {
+namespace {
+
+TEST(Varint, RoundtripBoundaries) {
+  const uint64_t cases[] = {0,    1,        127,        128,
+                            300,  16383,    16384,      1ull << 32,
+                            ~0ull};
+  for (uint64_t v : cases) {
+    Bytes buf;
+    PutVarint64(&buf, v);
+    ByteReader reader(buf);
+    EXPECT_EQ(*GetVarint64(&reader), v) << v;
+    EXPECT_TRUE(reader.exhausted());
+  }
+}
+
+TEST(Varint, SignedZigZag) {
+  const int64_t cases[] = {0, -1, 1, -2, 63, -64, 1000000, -1000000,
+                           INT64_MAX, INT64_MIN};
+  for (int64_t v : cases) {
+    Bytes buf;
+    PutVarintSigned(&buf, v);
+    ByteReader reader(buf);
+    EXPECT_EQ(*GetVarintSigned(&reader), v) << v;
+  }
+}
+
+TEST(Varint, TruncatedFails) {
+  Bytes buf;
+  PutVarint64(&buf, 1ull << 40);
+  buf.pop_back();
+  ByteReader reader(buf);
+  EXPECT_FALSE(GetVarint64(&reader).ok());
+}
+
+TEST(Crc32, KnownVector) {
+  // IEEE CRC-32 of "123456789" is 0xCBF43926.
+  const char* s = "123456789";
+  EXPECT_EQ(Crc32(reinterpret_cast<const uint8_t*>(s), 9), 0xCBF43926u);
+}
+
+TEST(Crc32, SeedChaining) {
+  const Bytes data = {10, 20, 30, 40, 50, 60};
+  const uint32_t whole = Crc32(data.data(), data.size());
+  const uint32_t first = Crc32(data.data(), 3);
+  const uint32_t chained = Crc32(data.data() + 3, 3, first);
+  EXPECT_EQ(whole, chained);
+}
+
+TEST(Bitstream, RoundtripMixedWidths) {
+  Bytes buf;
+  BitWriter writer(&buf);
+  writer.Write(0b101, 3);
+  writer.Write(0xFFFF, 16);
+  writer.Write(1, 1);
+  writer.Write(0x12345, 20);
+  writer.Finish();
+  BitReader reader(buf.data(), buf.size());
+  EXPECT_EQ(*reader.Read(3), 0b101u);
+  EXPECT_EQ(*reader.Read(16), 0xFFFFu);
+  EXPECT_EQ(*reader.Read(1), 1u);
+  EXPECT_EQ(*reader.Read(20), 0x12345u);
+}
+
+TEST(Bitstream, UnderrunFails) {
+  Bytes buf = {0xAB};
+  BitReader reader(buf.data(), buf.size());
+  EXPECT_TRUE(reader.Read(8).ok());
+  EXPECT_FALSE(reader.Read(1).ok());
+}
+
+TEST(Huffman, RoundtripSkewedAlphabet) {
+  std::vector<uint64_t> freqs = {1000, 500, 100, 10, 1, 0, 7};
+  const std::vector<uint8_t> lengths = BuildCodeLengths(freqs);
+  EXPECT_EQ(lengths[5], 0);          // unused symbol gets no code
+  EXPECT_LE(lengths[0], lengths[4]);  // frequent symbols get short codes
+  HuffmanEncoder encoder(lengths);
+  auto decoder = HuffmanDecoder::Build(lengths);
+  ASSERT_TRUE(decoder.ok());
+
+  const std::vector<int> symbols = {0, 1, 2, 0, 0, 6, 4, 3, 0, 1, 2, 2};
+  Bytes buf;
+  BitWriter writer(&buf);
+  for (int s : symbols) encoder.Encode(&writer, s);
+  writer.Finish();
+  BitReader reader(buf.data(), buf.size());
+  for (int s : symbols) {
+    EXPECT_EQ(*decoder->Decode(&reader), s);
+  }
+}
+
+TEST(Huffman, SingleSymbolAlphabet) {
+  std::vector<uint64_t> freqs = {0, 42, 0};
+  const std::vector<uint8_t> lengths = BuildCodeLengths(freqs);
+  EXPECT_EQ(lengths[1], 1);
+  HuffmanEncoder encoder(lengths);
+  auto decoder = HuffmanDecoder::Build(lengths);
+  ASSERT_TRUE(decoder.ok());
+  Bytes buf;
+  BitWriter writer(&buf);
+  encoder.Encode(&writer, 1);
+  encoder.Encode(&writer, 1);
+  writer.Finish();
+  BitReader reader(buf.data(), buf.size());
+  EXPECT_EQ(*decoder->Decode(&reader), 1);
+  EXPECT_EQ(*decoder->Decode(&reader), 1);
+}
+
+TEST(Huffman, LengthLimitRespected) {
+  // Fibonacci-like frequencies force deep trees; lengths must stay <= 15.
+  std::vector<uint64_t> freqs;
+  uint64_t a = 1, b = 1;
+  for (int i = 0; i < 40; ++i) {
+    freqs.push_back(a);
+    const uint64_t next = a + b;
+    a = b;
+    b = next;
+  }
+  const std::vector<uint8_t> lengths = BuildCodeLengths(freqs);
+  for (uint8_t len : lengths) EXPECT_LE(len, kMaxCodeLen);
+  // The limited code must still be decodable (Kraft-consistent).
+  EXPECT_TRUE(HuffmanDecoder::Build(lengths).ok());
+}
+
+// ---------------------------------------------------------------------------
+// LZ property tests across data shapes and sizes.
+// ---------------------------------------------------------------------------
+
+enum class Pattern { kZeros, kRandom, kRepetitive, kText, kSparseFloats };
+
+class LzRoundtrip : public ::testing::TestWithParam<std::tuple<Pattern, int>> {
+ protected:
+  Bytes MakeData(Pattern pattern, int size) {
+    Rng rng(size * 31 + static_cast<int>(pattern));
+    Bytes data(size);
+    switch (pattern) {
+      case Pattern::kZeros:
+        break;
+      case Pattern::kRandom:
+        for (auto& b : data) b = static_cast<uint8_t>(rng.Next());
+        break;
+      case Pattern::kRepetitive:
+        for (int i = 0; i < size; ++i) {
+          data[i] = static_cast<uint8_t>("abcabcabd"[i % 9]);
+        }
+        break;
+      case Pattern::kText: {
+        const char* words[] = {"serverless ", "inference ", "queue ",
+                               "object ", "lambda "};
+        int pos = 0;
+        while (pos < size) {
+          const char* w = words[rng.NextBounded(5)];
+          for (const char* p = w; *p && pos < size; ++p) {
+            data[pos++] = static_cast<uint8_t>(*p);
+          }
+        }
+        break;
+      }
+      case Pattern::kSparseFloats:
+        // Mimics row payloads: varint-ish small ints + float bytes.
+        for (int i = 0; i + 4 <= size; i += 4) {
+          const float f = (rng.NextBounded(100) < 70)
+                              ? 0.0f
+                              : static_cast<float>(rng.NextDouble());
+          std::memcpy(&data[i], &f, 4);
+        }
+        break;
+    }
+    return data;
+  }
+};
+
+TEST_P(LzRoundtrip, CompressDecompressIdentity) {
+  auto [pattern, size] = GetParam();
+  const Bytes data = MakeData(pattern, size);
+  const Bytes packed = LzCompress(data);
+  auto unpacked = LzDecompress(packed);
+  ASSERT_TRUE(unpacked.ok()) << unpacked.status().ToString();
+  EXPECT_EQ(*unpacked, data);
+  EXPECT_EQ(*LzUncompressedSize(packed), data.size());
+}
+
+TEST_P(LzRoundtrip, DeterministicOutput) {
+  auto [pattern, size] = GetParam();
+  const Bytes data = MakeData(pattern, size);
+  EXPECT_EQ(LzCompress(data), LzCompress(data));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, LzRoundtrip,
+    ::testing::Combine(::testing::Values(Pattern::kZeros, Pattern::kRandom,
+                                         Pattern::kRepetitive, Pattern::kText,
+                                         Pattern::kSparseFloats),
+                       ::testing::Values(0, 1, 63, 64, 1000, 65536, 300000)));
+
+TEST(Lz, CompressesRedundantData) {
+  Bytes data(100000);
+  for (size_t i = 0; i < data.size(); ++i) {
+    data[i] = static_cast<uint8_t>("hello world "[i % 12]);
+  }
+  const Bytes packed = LzCompress(data);
+  EXPECT_LT(packed.size(), data.size() / 4);
+}
+
+TEST(Lz, StoredModeForIncompressible) {
+  Rng rng(5);
+  Bytes data(4096);
+  for (auto& b : data) b = static_cast<uint8_t>(rng.Next());
+  const Bytes packed = LzCompress(data);
+  // Container overhead only; never inflates beyond header + payload.
+  EXPECT_LE(packed.size(), data.size() + 16);
+  EXPECT_EQ(*LzDecompress(packed), data);
+}
+
+TEST(Lz, DetectsCorruption) {
+  Bytes data(5000, 7);
+  Bytes packed = LzCompress(data);
+  packed[packed.size() / 2] ^= 0x40;
+  EXPECT_FALSE(LzDecompress(packed).ok());
+}
+
+TEST(Lz, DetectsTruncation) {
+  Bytes data(5000, 7);
+  Bytes packed = LzCompress(data);
+  packed.resize(packed.size() - 3);
+  EXPECT_FALSE(LzDecompress(packed).ok());
+}
+
+TEST(Lz, RejectsGarbageHeader) {
+  EXPECT_FALSE(LzDecompress({1, 2, 3, 4, 5}).ok());
+  EXPECT_FALSE(LzDecompress({}).ok());
+}
+
+}  // namespace
+}  // namespace fsd::codec

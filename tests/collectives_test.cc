@@ -1,0 +1,156 @@
+// Collective operations over both serverless channels (the paper's MPI
+// primitives: Send/Recv/Barrier/Reduce/Broadcast).
+#include <gtest/gtest.h>
+
+#include "cloud/cloud.h"
+#include "common/strings.h"
+#include "core/collectives.h"
+#include "core/object_channel.h"
+#include "core/queue_channel.h"
+
+namespace fsd::core {
+namespace {
+
+linalg::ActivationMap MakeRows(std::vector<int32_t> ids, float value) {
+  linalg::ActivationMap out;
+  for (int32_t id : ids) {
+    linalg::SparseVector vec;
+    vec.dim = 4;
+    vec.idx = {0, 2};
+    vec.val = {value, value * 2};
+    out.emplace(id, std::move(vec));
+  }
+  return out;
+}
+
+/// Typed test over both channel implementations.
+template <typename Channel>
+class CollectivesTest : public ::testing::Test {
+ protected:
+  CollectivesTest() : cloud_(&sim_) {
+    options_.num_workers = 4;
+    options_.poll_wait_s = 2.0;
+    options_.object_scan_interval_s = 0.01;
+  }
+
+  void RunWorkers(int32_t count,
+                  std::function<void(WorkerEnv*, CommChannel*)> body) {
+    FSD_CHECK_OK(Channel::Provision(&cloud_, options_));
+    metrics_.resize(count);
+    for (int32_t id = 0; id < count; ++id) {
+      cloud::FaasFunctionConfig fn;
+      fn.name = StrFormat("w%d", id);
+      fn.memory_mb = 2048;
+      fn.timeout_s = 600.0;
+      WorkerMetrics* metrics = &metrics_[id];
+      fn.handler = [this, body, metrics, id](cloud::FaasContext* ctx) {
+        Channel channel;
+        WorkerEnv env;
+        env.faas = ctx;
+        env.cloud = &cloud_;
+        env.options = &options_;
+        env.metrics = metrics;
+        env.worker_id = id;
+        body(&env, &channel);
+        ctx->set_result(Status::OK());
+      };
+      FSD_CHECK_OK(cloud_.faas().RegisterFunction(fn));
+    }
+    sim_.AddProcess("kickoff", [this, count]() {
+      for (int32_t id = 0; id < count; ++id) {
+        cloud_.faas().InvokeAsync(StrFormat("w%d", id), {});
+      }
+    });
+    sim_.Run();
+  }
+
+  sim::Simulation sim_;
+  cloud::CloudEnv cloud_;
+  FsdOptions options_;
+  std::vector<WorkerMetrics> metrics_;
+};
+
+using ChannelTypes = ::testing::Types<QueueChannel, ObjectChannel>;
+TYPED_TEST_SUITE(CollectivesTest, ChannelTypes);
+
+TYPED_TEST(CollectivesTest, SendRecvPointToPoint) {
+  const linalg::ActivationMap rows = MakeRows({1, 5}, 3.0f);
+  linalg::ActivationMap got;
+  this->RunWorkers(2, [&](WorkerEnv* env, CommChannel* channel) {
+    if (env->worker_id == 0) {
+      ASSERT_TRUE(Send(channel, env, 0, 1, rows).ok());
+    } else {
+      auto r = Recv(channel, env, 0, 0);
+      ASSERT_TRUE(r.ok());
+      got = std::move(*r);
+    }
+  });
+  EXPECT_EQ(got.size(), 2u);
+  EXPECT_EQ(got.at(5), rows.at(5));
+}
+
+TYPED_TEST(CollectivesTest, BarrierSynchronizesEveryone) {
+  std::vector<double> release_times(4, -1.0);
+  const double stagger[] = {0.0, 0.5, 1.0, 2.0};
+  this->RunWorkers(4, [&](WorkerEnv* env, CommChannel* channel) {
+    env->faas->SleepFor(stagger[env->worker_id]).ok();
+    ASSERT_TRUE(Barrier(channel, env, 0, 4).ok());
+    release_times[env->worker_id] = env->cloud->sim()->Now();
+  });
+  // Nobody leaves the barrier before the last arrival (t = 2.0).
+  for (double t : release_times) EXPECT_GE(t, 2.0);
+}
+
+TYPED_TEST(CollectivesTest, ReduceGathersDisjointRowsAtRoot) {
+  linalg::ActivationMap at_root;
+  this->RunWorkers(3, [&](WorkerEnv* env, CommChannel* channel) {
+    // Worker m owns rows {m, m+10}.
+    const linalg::ActivationMap mine =
+        MakeRows({env->worker_id, env->worker_id + 10},
+                 static_cast<float>(env->worker_id + 1));
+    auto gathered = Reduce(channel, env, 0, 3, mine);
+    ASSERT_TRUE(gathered.ok());
+    if (env->worker_id == 0) {
+      at_root = std::move(*gathered);
+    } else {
+      EXPECT_TRUE(gathered->empty());
+    }
+  });
+  EXPECT_EQ(at_root.size(), 6u);
+  for (int32_t m = 0; m < 3; ++m) {
+    EXPECT_FLOAT_EQ(at_root.at(m).val[0], static_cast<float>(m + 1));
+    EXPECT_TRUE(at_root.contains(m + 10));
+  }
+}
+
+TYPED_TEST(CollectivesTest, BroadcastDeliversRootRowsToAll) {
+  const linalg::ActivationMap rows = MakeRows({7}, 9.0f);
+  std::vector<linalg::ActivationMap> got(4);
+  this->RunWorkers(4, [&](WorkerEnv* env, CommChannel* channel) {
+    const linalg::ActivationMap payload =
+        env->worker_id == 0 ? rows : linalg::ActivationMap{};
+    auto r = Broadcast(channel, env, 0, 4, payload);
+    ASSERT_TRUE(r.ok());
+    got[env->worker_id] = std::move(*r);
+  });
+  for (int32_t m = 0; m < 4; ++m) {
+    ASSERT_EQ(got[m].size(), 1u) << "worker " << m;
+    EXPECT_EQ(got[m].at(7), rows.at(7));
+  }
+}
+
+TYPED_TEST(CollectivesTest, SingleWorkerCollectivesAreNoOps) {
+  const linalg::ActivationMap rows = MakeRows({3}, 1.0f);
+  this->RunWorkers(1, [&](WorkerEnv* env, CommChannel* channel) {
+    EXPECT_TRUE(Barrier(channel, env, 0, 1).ok());
+    auto reduced = Reduce(channel, env, 2, 1, rows);
+    ASSERT_TRUE(reduced.ok());
+    EXPECT_EQ(reduced->size(), 1u);
+    auto bcast = Broadcast(channel, env, 4, 1, rows);
+    ASSERT_TRUE(bcast.ok());
+    EXPECT_EQ(bcast->size(), 1u);
+  });
+}
+
+}  // namespace
+}  // namespace fsd::core

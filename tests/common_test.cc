@@ -1,0 +1,189 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "common/bytes.h"
+#include "common/result.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/strings.h"
+
+namespace fsd {
+namespace {
+
+TEST(Status, OkIsDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+  EXPECT_EQ(s, Status::OK());
+}
+
+TEST(Status, CarriesCodeAndMessage) {
+  Status s = Status::NotFound("missing key");
+  EXPECT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsNotFound());
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+  EXPECT_EQ(s.ToString(), "NotFound: missing key");
+}
+
+TEST(Status, PredicatesMatchCodes) {
+  EXPECT_TRUE(Status::ResourceExhausted("x").IsResourceExhausted());
+  EXPECT_TRUE(Status::DeadlineExceeded("x").IsDeadlineExceeded());
+  EXPECT_TRUE(Status::Unavailable("x").IsUnavailable());
+  EXPECT_FALSE(Status::Internal("x").IsNotFound());
+}
+
+Status FailsThrough() {
+  FSD_RETURN_IF_ERROR(Status::Internal("inner"));
+  return Status::OK();
+}
+
+TEST(Status, ReturnIfErrorPropagates) {
+  EXPECT_EQ(FailsThrough().code(), StatusCode::kInternal);
+}
+
+Result<int> ParsePositive(int x) {
+  if (x <= 0) return Status::InvalidArgument("not positive");
+  return x;
+}
+
+Result<int> Doubled(int x) {
+  FSD_ASSIGN_OR_RETURN(int v, ParsePositive(x));
+  return v * 2;
+}
+
+TEST(Result, ValueAndError) {
+  Result<int> ok = ParsePositive(21);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(*ok, 21);
+  Result<int> bad = ParsePositive(-1);
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(bad.value_or(7), 7);
+}
+
+TEST(Result, AssignOrReturnMacro) {
+  EXPECT_EQ(*Doubled(4), 8);
+  EXPECT_FALSE(Doubled(0).ok());
+}
+
+TEST(Result, MoveOnlyTypes) {
+  Result<std::unique_ptr<int>> r = std::make_unique<int>(5);
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> owned = std::move(r).value();
+  EXPECT_EQ(*owned, 5);
+}
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(42), b(42), c(43);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+  bool differs = false;
+  Rng a2(42);
+  for (int i = 0; i < 100; ++i) {
+    if (a2.Next() != c.Next()) differs = true;
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(Rng, BoundedStaysInRange) {
+  Rng rng(7);
+  for (uint64_t bound : {1ull, 2ull, 10ull, 1000ull, 1ull << 40}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(rng.NextBounded(bound), bound);
+    }
+  }
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  Rng rng(7);
+  double sum = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    const double d = rng.NextDouble();
+    ASSERT_GE(d, 0.0);
+    ASSERT_LT(d, 1.0);
+    sum += d;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, GaussianMoments) {
+  Rng rng(11);
+  double sum = 0.0, sq = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double g = rng.NextGaussian();
+    sum += g;
+    sq += g * g;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.05);
+  EXPECT_NEAR(sq / n, 1.0, 0.05);
+}
+
+TEST(Rng, LogNormalMedian) {
+  Rng rng(13);
+  std::vector<double> xs;
+  for (int i = 0; i < 4001; ++i) xs.push_back(rng.NextLogNormal(std::log(0.02), 0.3));
+  std::sort(xs.begin(), xs.end());
+  EXPECT_NEAR(xs[xs.size() / 2], 0.02, 0.002);
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng rng(17);
+  double sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += rng.NextExponential(3.0);
+  EXPECT_NEAR(sum / n, 3.0, 0.15);
+}
+
+TEST(Rng, ForkIndependence) {
+  Rng base(42);
+  Rng f1 = base.Fork(1);
+  Rng f2 = base.Fork(2);
+  Rng f1_again = base.Fork(1);
+  EXPECT_EQ(f1.Next(), f1_again.Next());
+  EXPECT_NE(f1.Next(), f2.Next());
+}
+
+TEST(Strings, Format) {
+  EXPECT_EQ(StrFormat("a%db", 7), "a7b");
+  EXPECT_EQ(StrFormat("%s-%0.2f", "x", 1.5), "x-1.50");
+}
+
+TEST(Strings, HumanBytes) {
+  EXPECT_EQ(HumanBytes(512), "512.00 B");
+  EXPECT_EQ(HumanBytes(2048), "2.00 KiB");
+  EXPECT_EQ(HumanBytes(3.5 * 1024 * 1024), "3.50 MiB");
+}
+
+TEST(Strings, HumanDollars) {
+  EXPECT_EQ(HumanDollars(0.35), "$0.3500");
+  EXPECT_EQ(HumanDollars(0.0), "$0.0000");
+  EXPECT_EQ(HumanDollars(1e-6), "$1.000e-06");
+}
+
+TEST(Bytes, ReaderRoundtrip) {
+  Bytes buf;
+  AppendRaw<uint32_t>(&buf, 0xDEADBEEF);
+  AppendRaw<float>(&buf, 1.5f);
+  ByteReader reader(buf);
+  EXPECT_EQ(*reader.Read<uint32_t>(), 0xDEADBEEFu);
+  EXPECT_EQ(*reader.Read<float>(), 1.5f);
+  EXPECT_TRUE(reader.exhausted());
+  EXPECT_FALSE(reader.Read<uint8_t>().ok());
+}
+
+TEST(Bytes, ReadBytesBoundsChecked) {
+  Bytes buf = {1, 2, 3};
+  ByteReader reader(buf);
+  auto got = reader.ReadBytes(2);
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(*got, (Bytes{1, 2}));
+  EXPECT_FALSE(reader.ReadBytes(2).ok());
+  EXPECT_TRUE(reader.ReadBytes(1).ok());
+}
+
+}  // namespace
+}  // namespace fsd

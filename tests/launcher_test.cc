@@ -1,0 +1,107 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <queue>
+#include <set>
+#include <tuple>
+
+#include "core/launcher.h"
+
+namespace fsd::core {
+namespace {
+
+TEST(Launcher, TreeChildrenOfRoot) {
+  EXPECT_EQ(TreeChildren(0, 4, 62), (std::vector<int32_t>{1, 2, 3, 4}));
+  EXPECT_EQ(TreeChildren(0, 2, 3), (std::vector<int32_t>{1, 2}));
+  EXPECT_EQ(TreeChildren(0, 4, 1), (std::vector<int32_t>{}));
+}
+
+TEST(Launcher, TreeParentInverse) {
+  EXPECT_EQ(TreeParent(0, 4), -1);
+  for (int32_t id = 1; id < 100; ++id) {
+    const int32_t parent = TreeParent(id, 4);
+    const auto children = TreeChildren(parent, 4, 1000);
+    EXPECT_NE(std::find(children.begin(), children.end(), id),
+              children.end())
+        << id;
+  }
+}
+
+class LaunchCoverage
+    : public ::testing::TestWithParam<std::tuple<LaunchStrategy, int, int>> {};
+
+TEST_P(LaunchCoverage, EveryWorkerInvokedExactlyOnce) {
+  auto [strategy, branching, num_workers] = GetParam();
+  // Simulate the invocation cascade: coordinator first, then each invoked
+  // worker invokes its own children.
+  std::vector<int> invoked(num_workers, 0);
+  std::queue<int32_t> frontier;
+  for (int32_t id : CoordinatorInvokes(strategy, num_workers)) {
+    ++invoked[id];
+    frontier.push(id);
+  }
+  int32_t hops = 0;  // longest chain bound (sanity against cycles)
+  while (!frontier.empty() && hops < num_workers + 2) {
+    const size_t level = frontier.size();
+    for (size_t i = 0; i < level; ++i) {
+      const int32_t id = frontier.front();
+      frontier.pop();
+      for (int32_t child :
+           ChildrenToInvoke(strategy, id, branching, num_workers)) {
+        ASSERT_GE(child, 0);
+        ASSERT_LT(child, num_workers);
+        ++invoked[child];
+        frontier.push(child);
+      }
+    }
+    ++hops;
+  }
+  for (int32_t id = 0; id < num_workers; ++id) {
+    EXPECT_EQ(invoked[id], 1) << "worker " << id;
+  }
+  if (strategy == LaunchStrategy::kHierarchical && num_workers > 1) {
+    // Tree depth is logarithmic.
+    const double depth_bound =
+        std::ceil(std::log(num_workers * (branching - 1.0) + 1) /
+                  std::log(static_cast<double>(branching))) +
+        1;
+    EXPECT_LE(hops, depth_bound + 1);
+  }
+  if (strategy == LaunchStrategy::kCentralized) {
+    EXPECT_LE(hops, 1);  // flat: nobody invokes anybody else
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, LaunchCoverage,
+    ::testing::Combine(::testing::Values(LaunchStrategy::kHierarchical,
+                                         LaunchStrategy::kTwoLevel,
+                                         LaunchStrategy::kCentralized),
+                       ::testing::Values(2, 4, 8),
+                       ::testing::Values(1, 2, 8, 20, 42, 62, 63)));
+
+TEST(Launcher, CoordinatorInvokesRootOnlyForTrees) {
+  EXPECT_EQ(CoordinatorInvokes(LaunchStrategy::kHierarchical, 62).size(), 1u);
+  EXPECT_EQ(CoordinatorInvokes(LaunchStrategy::kTwoLevel, 62).size(), 1u);
+  EXPECT_EQ(CoordinatorInvokes(LaunchStrategy::kCentralized, 62).size(), 62u);
+}
+
+TEST(ConfigNames, Strings) {
+  EXPECT_EQ(VariantName(Variant::kSerial), "FSD-Inf-Serial");
+  EXPECT_EQ(VariantName(Variant::kQueue), "FSD-Inf-Queue");
+  EXPECT_EQ(VariantName(Variant::kObject), "FSD-Inf-Object");
+  EXPECT_EQ(LaunchStrategyName(LaunchStrategy::kHierarchical),
+            "hierarchical");
+}
+
+TEST(Config, DefaultWorkerMemorySchedule) {
+  // The paper's sizing: 1000/1500/2000/4000 MB by N; serial gets the max.
+  EXPECT_EQ(DefaultWorkerMemoryMb(1024, Variant::kQueue), 1000);
+  EXPECT_EQ(DefaultWorkerMemoryMb(4096, Variant::kQueue), 1500);
+  EXPECT_EQ(DefaultWorkerMemoryMb(16384, Variant::kObject), 2000);
+  EXPECT_EQ(DefaultWorkerMemoryMb(65536, Variant::kObject), 4000);
+  EXPECT_EQ(DefaultWorkerMemoryMb(1024, Variant::kSerial), 10240);
+}
+
+}  // namespace
+}  // namespace fsd::core

@@ -1,0 +1,216 @@
+#include <gtest/gtest.h>
+
+#include "model/input_gen.h"
+#include "model/reference.h"
+#include "model/sparse_dnn.h"
+
+namespace fsd::model {
+namespace {
+
+TEST(SparseDnnGenerator, GraphChallengeDegreeInvariant) {
+  SparseDnnConfig config;
+  config.neurons = 512;
+  config.layers = 6;
+  auto dnn = GenerateSparseDnn(config);
+  ASSERT_TRUE(dnn.ok());
+  ASSERT_EQ(dnn->weights.size(), 6u);
+  for (const auto& w : dnn->weights) {
+    EXPECT_EQ(w.rows(), 512);
+    EXPECT_EQ(w.cols(), 512);
+    for (int32_t i = 0; i < w.rows(); ++i) {
+      EXPECT_EQ(w.RowNnz(i), 32) << "row " << i;
+    }
+  }
+  EXPECT_EQ(dnn->TotalNnz(), 6 * 512 * 32);
+}
+
+TEST(SparseDnnGenerator, DeterministicForSeed) {
+  SparseDnnConfig config;
+  config.neurons = 256;
+  config.layers = 3;
+  auto a = GenerateSparseDnn(config);
+  auto b = GenerateSparseDnn(config);
+  ASSERT_TRUE(a.ok() && b.ok());
+  for (int k = 0; k < 3; ++k) {
+    EXPECT_EQ(a->weights[k].col_idx(), b->weights[k].col_idx());
+    EXPECT_EQ(a->weights[k].values(), b->weights[k].values());
+  }
+  config.seed += 1;
+  auto c = GenerateSparseDnn(config);
+  EXPECT_NE(a->weights[0].col_idx(), c->weights[0].col_idx());
+}
+
+TEST(SparseDnnGenerator, LocalityStructure) {
+  SparseDnnConfig config;
+  config.neurons = 2048;
+  config.layers = 1;
+  config.window = 48;
+  auto dnn = GenerateSparseDnn(config);
+  ASSERT_TRUE(dnn.ok());
+  // Most links should be near the diagonal (mod wrap-around).
+  int64_t local = 0, total = 0;
+  const auto& w = dnn->weights[0];
+  for (int32_t i = 0; i < w.rows(); ++i) {
+    w.ForEachInRow(i, [&](int32_t j, float) {
+      int32_t d = std::abs(j - i);
+      d = std::min(d, w.cols() - d);
+      if (d <= config.window) ++local;
+      ++total;
+    });
+  }
+  EXPECT_GT(static_cast<double>(local) / total, 0.5);
+  EXPECT_LT(static_cast<double>(local) / total, 0.95);  // long links exist
+}
+
+TEST(SparseDnnGenerator, ValidatesConfig) {
+  SparseDnnConfig config;
+  config.neurons = 4;
+  EXPECT_FALSE(GenerateSparseDnn(config).ok());
+  config.neurons = 64;
+  config.nnz_per_row = 65;
+  EXPECT_FALSE(GenerateSparseDnn(config).ok());
+  config.nnz_per_row = 32;
+  config.bias = 0.5f;  // positive bias breaks the sparse kernel contract
+  EXPECT_FALSE(GenerateSparseDnn(config).ok());
+  config.bias = SparseDnnConfig::kAutoBias;
+  config.long_range_fraction = 1.5;
+  EXPECT_FALSE(GenerateSparseDnn(config).ok());
+}
+
+TEST(SparseDnnGenerator, DefaultBiasSchedule) {
+  // Per-N schedule (re-calibrated Graph Challenge ladder): magnitude grows
+  // with N, and all values are strictly negative.
+  EXPECT_FLOAT_EQ(DefaultBias(256), -0.08f);
+  EXPECT_FLOAT_EQ(DefaultBias(1024), -0.10f);
+  EXPECT_FLOAT_EQ(DefaultBias(4096), -0.10f);
+  EXPECT_FLOAT_EQ(DefaultBias(16384), -0.12f);
+  EXPECT_FLOAT_EQ(DefaultBias(65536), -0.12f);
+  EXPECT_LE(DefaultBias(1024), DefaultBias(256));
+  EXPECT_LE(DefaultBias(65536), DefaultBias(1024));
+}
+
+TEST(InputGenerator, DensityAndShape) {
+  InputConfig config;
+  config.neurons = 1024;
+  config.batch = 32;
+  config.density = 0.2;
+  auto input = GenerateInputBatch(config);
+  ASSERT_TRUE(input.ok());
+  int64_t nnz = 0;
+  for (const auto& [row, vec] : *input) {
+    EXPECT_GE(row, 0);
+    EXPECT_LT(row, 1024);
+    EXPECT_EQ(vec.dim, 32);
+    for (size_t j = 0; j + 1 < vec.idx.size(); ++j) {
+      EXPECT_LT(vec.idx[j], vec.idx[j + 1]);  // sorted, unique
+    }
+    for (float v : vec.val) EXPECT_EQ(v, 1.0f);
+    nnz += static_cast<int64_t>(vec.nnz());
+  }
+  const double density =
+      static_cast<double>(nnz) / (1024.0 * 32.0);
+  EXPECT_GT(density, 0.08);
+  EXPECT_LT(density, 0.30);
+}
+
+TEST(InputGenerator, Deterministic) {
+  InputConfig config;
+  config.neurons = 256;
+  config.batch = 8;
+  auto a = GenerateInputBatch(config);
+  auto b = GenerateInputBatch(config);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a->size(), b->size());
+  for (const auto& [row, vec] : *a) {
+    EXPECT_EQ(vec, b->at(row));
+  }
+}
+
+TEST(ReferenceInference, ActivationsSurviveDeepNetworks) {
+  // The core calibration property: with default weights/bias, activation
+  // density must stabilize mid-range across many layers — neither dying
+  // out nor saturating (matches Graph Challenge behaviour).
+  SparseDnnConfig config;
+  config.neurons = 1024;
+  config.layers = 60;
+  auto dnn = GenerateSparseDnn(config);
+  ASSERT_TRUE(dnn.ok());
+  InputConfig input_config;
+  input_config.neurons = 1024;
+  input_config.batch = 16;
+  auto input = GenerateInputBatch(input_config);
+  ASSERT_TRUE(input.ok());
+
+  ReferenceStats stats;
+  auto out = ReferenceInference(*dnn, *input, &stats);
+  ASSERT_TRUE(out.ok());
+  ASSERT_EQ(stats.rows_per_layer.size(), 60u);
+  // Every layer keeps a live population of neurons (no die-out), and the
+  // activation matrix never degenerates to a handful of values.
+  for (size_t k = 0; k < stats.rows_per_layer.size(); ++k) {
+    EXPECT_GT(stats.rows_per_layer[k], 1024 / 10) << "layer " << k;
+    EXPECT_LE(stats.rows_per_layer[k], 1024) << "layer " << k;
+    EXPECT_GT(stats.nnz_per_layer[k], 1024 * 16 / 100) << "layer " << k;
+  }
+  EXPECT_FALSE(out->empty());
+  EXPECT_GT(stats.total_macs, 0.0);
+}
+
+TEST(ReferenceInference, PerLayerCallbackObservesEveryLayer) {
+  SparseDnnConfig config;
+  config.neurons = 128;
+  config.layers = 5;
+  auto dnn = GenerateSparseDnn(config);
+  ASSERT_TRUE(dnn.ok());
+  InputConfig ic;
+  ic.neurons = 128;
+  ic.batch = 4;
+  auto input = GenerateInputBatch(ic);
+  int32_t calls = 0;
+  auto out = ReferenceInference(
+      *dnn, *input, nullptr,
+      [&](int32_t k, const linalg::ActivationMap&) { EXPECT_EQ(k, calls++); });
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(calls, 5);
+}
+
+TEST(ReferenceInference, RejectsEmptyInput) {
+  SparseDnnConfig config;
+  config.neurons = 128;
+  config.layers = 2;
+  auto dnn = GenerateSparseDnn(config);
+  linalg::ActivationMap empty;
+  EXPECT_FALSE(ReferenceInference(*dnn, empty).ok());
+}
+
+TEST(ReferenceInference, SampleScores) {
+  linalg::ActivationMap final_layer;
+  linalg::SparseVector a;
+  a.dim = 3;
+  a.idx = {0, 2};
+  a.val = {1.0f, 2.0f};
+  final_layer.emplace(5, a);
+  linalg::SparseVector b;
+  b.dim = 3;
+  b.idx = {2};
+  b.val = {0.5f};
+  final_layer.emplace(9, b);
+  const std::vector<double> scores = SampleScores(final_layer, 3);
+  EXPECT_DOUBLE_EQ(scores[0], 1.0);
+  EXPECT_DOUBLE_EQ(scores[1], 0.0);
+  EXPECT_DOUBLE_EQ(scores[2], 2.5);
+}
+
+TEST(SparseDnn, WeightBytesTracksNnz) {
+  SparseDnnConfig config;
+  config.neurons = 256;
+  config.layers = 4;
+  auto dnn = GenerateSparseDnn(config);
+  ASSERT_TRUE(dnn.ok());
+  EXPECT_EQ(dnn->WeightBytes(),
+            static_cast<uint64_t>(dnn->TotalNnz()) * 8 +
+                4ull * (256 + 1) * 8);
+}
+
+}  // namespace
+}  // namespace fsd::model

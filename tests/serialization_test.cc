@@ -1,0 +1,129 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/serialization.h"
+
+namespace fsd::core {
+namespace {
+
+linalg::ActivationMap MakeRows(int32_t rows, int32_t dim, double density,
+                               uint64_t seed) {
+  Rng rng(seed);
+  linalg::ActivationMap out;
+  for (int32_t r = 0; r < rows; ++r) {
+    linalg::SparseVector vec;
+    vec.dim = dim;
+    for (int32_t s = 0; s < dim; ++s) {
+      if (rng.NextBool(density)) {
+        vec.idx.push_back(s);
+        vec.val.push_back(static_cast<float>(rng.NextUniform(0.01, 32.0)));
+      }
+    }
+    if (!vec.empty()) out.emplace(r * 3, std::move(vec));  // sparse ids
+  }
+  return out;
+}
+
+std::vector<int32_t> AllIds(const linalg::ActivationMap& rows) {
+  std::vector<int32_t> ids;
+  for (const auto& [id, vec] : rows) ids.push_back(id);
+  return ids;
+}
+
+class SerializationRoundtrip
+    : public ::testing::TestWithParam<std::tuple<bool, int, double>> {};
+
+TEST_P(SerializationRoundtrip, EncodeDecodeIdentity) {
+  auto [compress, rows, density] = GetParam();
+  const linalg::ActivationMap original = MakeRows(rows, 64, density, 42);
+  EncodeResult encoded = EncodeRows(original, AllIds(original),
+                                    /*max_chunk_bytes=*/0, compress, {});
+  ASSERT_EQ(encoded.chunks.size(), 1u);
+  linalg::ActivationMap decoded;
+  ASSERT_TRUE(
+      DecodeRows(encoded.chunks[0].wire, compress, &decoded).ok());
+  ASSERT_EQ(decoded.size(), original.size());
+  for (const auto& [id, vec] : original) {
+    EXPECT_EQ(decoded.at(id), vec) << "row " << id;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, SerializationRoundtrip,
+    ::testing::Combine(::testing::Bool(), ::testing::Values(1, 16, 200),
+                       ::testing::Values(0.05, 0.5, 1.0)));
+
+TEST(Serialization, ChunkingRespectsCap) {
+  const linalg::ActivationMap rows = MakeRows(400, 256, 0.8, 7);
+  const uint64_t cap = 4096;
+  EncodeResult encoded = EncodeRows(rows, AllIds(rows), cap,
+                                    /*compress=*/false, {});
+  EXPECT_GT(encoded.chunks.size(), 1u);
+  linalg::ActivationMap decoded;
+  for (const RowChunk& chunk : encoded.chunks) {
+    // Raw payload honors the NNZ-heuristic cap (estimate-based, so allow
+    // one row of slack; single oversized rows may exceed alone).
+    if (chunk.num_rows > 1) {
+      EXPECT_LE(chunk.raw_bytes, cap + 2048);
+    }
+    ASSERT_TRUE(DecodeRows(chunk.wire, false, &decoded).ok());
+  }
+  EXPECT_EQ(decoded.size(), rows.size());
+}
+
+TEST(Serialization, SkipsInactiveAndMissingRows) {
+  linalg::ActivationMap rows = MakeRows(10, 16, 1.0, 3);
+  std::vector<int32_t> ids = AllIds(rows);
+  ids.push_back(9999);  // never present
+  EncodeResult encoded = EncodeRows(rows, ids, 0, false, {});
+  EXPECT_EQ(encoded.active_rows, static_cast<int32_t>(rows.size()));
+  linalg::ActivationMap decoded;
+  ASSERT_TRUE(DecodeRows(encoded.chunks[0].wire, false, &decoded).ok());
+  EXPECT_FALSE(decoded.contains(9999));
+}
+
+TEST(Serialization, EmptySendProducesExplicitMarkerChunk) {
+  linalg::ActivationMap empty;
+  EncodeResult encoded = EncodeRows(empty, {1, 2, 3}, 1024, true, {});
+  ASSERT_EQ(encoded.chunks.size(), 1u);  // receiver needs a signal
+  EXPECT_EQ(encoded.active_rows, 0);
+  linalg::ActivationMap decoded;
+  ASSERT_TRUE(DecodeRows(encoded.chunks[0].wire, true, &decoded).ok());
+  EXPECT_TRUE(decoded.empty());
+}
+
+TEST(Serialization, CompressionShrinksRepetitiveRows) {
+  // Saturated activations (clamped at 32) compress well.
+  linalg::ActivationMap rows;
+  for (int32_t r = 0; r < 64; ++r) {
+    linalg::SparseVector vec;
+    vec.dim = 512;
+    for (int32_t s = 0; s < 512; ++s) {
+      vec.idx.push_back(s);
+      vec.val.push_back(32.0f);
+    }
+    rows.emplace(r, std::move(vec));
+  }
+  EncodeResult plain = EncodeRows(rows, AllIds(rows), 0, false, {});
+  EncodeResult packed = EncodeRows(rows, AllIds(rows), 0, true, {});
+  EXPECT_LT(packed.chunks[0].wire.size(), plain.chunks[0].wire.size() / 3);
+}
+
+TEST(Serialization, DecodeRejectsCorruption) {
+  linalg::ActivationMap rows = MakeRows(20, 32, 0.7, 9);
+  EncodeResult encoded = EncodeRows(rows, AllIds(rows), 0, true, {});
+  Bytes wire = encoded.chunks[0].wire;
+  wire[wire.size() / 2] ^= 0xFF;
+  linalg::ActivationMap decoded;
+  EXPECT_FALSE(DecodeRows(wire, true, &decoded).ok());
+  EXPECT_FALSE(DecodeRows(Bytes{}, true, &decoded).ok());
+  EXPECT_FALSE(DecodeRows(Bytes{9, 9, 9}, true, &decoded).ok());
+}
+
+TEST(Serialization, EstimateRowBytesMonotonic) {
+  EXPECT_LT(EstimateRowBytes(1), EstimateRowBytes(100));
+  EXPECT_GE(EstimateRowBytes(0), 1u);
+}
+
+}  // namespace
+}  // namespace fsd::core

@@ -1,0 +1,225 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/simulation.h"
+
+namespace fsd::sim {
+namespace {
+
+TEST(Simulation, HoldAdvancesVirtualTimeOnly) {
+  Simulation sim;
+  double observed = -1.0;
+  sim.AddProcess("p", [&]() {
+    EXPECT_EQ(sim.Now(), 0.0);
+    sim.Hold(1.5);
+    EXPECT_EQ(sim.Now(), 1.5);
+    sim.Hold(0.0);
+    observed = sim.Now();
+  });
+  sim.Run();
+  EXPECT_EQ(observed, 1.5);
+}
+
+TEST(Simulation, EventsOrderedByTimeThenSeq) {
+  Simulation sim;
+  std::vector<int> order;
+  sim.ScheduleCallback(2.0, [&] { order.push_back(3); });
+  sim.ScheduleCallback(1.0, [&] { order.push_back(1); });
+  sim.ScheduleCallback(1.0, [&] { order.push_back(2); });  // same t: FIFO
+  sim.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Simulation, ProcessesInterleaveDeterministically) {
+  auto run_once = [] {
+    Simulation sim;
+    std::vector<int> trace;
+    sim.AddProcess("a", [&]() {
+      trace.push_back(1);
+      sim.Hold(2.0);
+      trace.push_back(3);
+    });
+    sim.AddProcess("b", [&]() {
+      trace.push_back(2);
+      sim.Hold(3.0);
+      trace.push_back(4);
+    });
+    sim.Run();
+    return trace;
+  };
+  const auto t1 = run_once();
+  const auto t2 = run_once();
+  EXPECT_EQ(t1, (std::vector<int>{1, 2, 3, 4}));
+  EXPECT_EQ(t1, t2);
+}
+
+TEST(Simulation, SignalWakesWaiter) {
+  Simulation sim;
+  auto signal = sim.MakeSignal();
+  double woke_at = -1.0;
+  sim.AddProcess("waiter", [&]() {
+    EXPECT_TRUE(sim.WaitSignal(signal.get()));
+    woke_at = sim.Now();
+  });
+  sim.AddProcess("firer", [&]() {
+    sim.Hold(5.0);
+    signal->Fire();
+  });
+  sim.Run();
+  EXPECT_EQ(woke_at, 5.0);
+}
+
+TEST(Simulation, SignalTimeoutExpires) {
+  Simulation sim;
+  auto signal = sim.MakeSignal();
+  bool fired = true;
+  double woke_at = -1.0;
+  sim.AddProcess("waiter", [&]() {
+    fired = sim.WaitSignal(signal.get(), 2.0);
+    woke_at = sim.Now();
+  });
+  sim.Run();
+  EXPECT_FALSE(fired);
+  EXPECT_EQ(woke_at, 2.0);
+}
+
+TEST(Simulation, TimedOutWaiterNotWokenByLaterFire) {
+  Simulation sim;
+  auto signal = sim.MakeSignal();
+  int wakes = 0;
+  sim.AddProcess("waiter", [&]() {
+    EXPECT_FALSE(sim.WaitSignal(signal.get(), 1.0));
+    ++wakes;
+    sim.Hold(10.0);  // a stale Fire wake would cut this short
+    EXPECT_EQ(sim.Now(), 11.0);
+    ++wakes;
+  });
+  sim.AddProcess("firer", [&]() {
+    sim.Hold(3.0);
+    signal->Fire();
+  });
+  sim.Run();
+  EXPECT_EQ(wakes, 2);
+}
+
+TEST(Simulation, FiredSignalReturnsImmediately) {
+  Simulation sim;
+  auto signal = sim.MakeSignal();
+  signal->Fire();
+  double waited = -1.0;
+  sim.AddProcess("p", [&]() {
+    EXPECT_TRUE(sim.WaitSignal(signal.get(), 100.0));
+    waited = sim.Now();
+  });
+  sim.Run();
+  EXPECT_EQ(waited, 0.0);
+}
+
+TEST(Simulation, SpawnAndJoin) {
+  Simulation sim;
+  double child_done = -1.0, parent_done = -1.0;
+  sim.AddProcess("parent", [&]() {
+    ProcessHandle child = sim.Spawn("child", [&]() {
+      sim.Hold(4.0);
+      child_done = sim.Now();
+    });
+    sim.Hold(1.0);
+    sim.Join(child);
+    parent_done = sim.Now();
+  });
+  sim.Run();
+  EXPECT_EQ(child_done, 4.0);
+  EXPECT_EQ(parent_done, 4.0);
+}
+
+TEST(Simulation, JoinFinishedProcessReturnsImmediately) {
+  Simulation sim;
+  sim.AddProcess("parent", [&]() {
+    ProcessHandle child = sim.Spawn("child", [] {});
+    sim.Hold(10.0);
+    sim.Join(child);  // already done
+    EXPECT_EQ(sim.Now(), 10.0);
+  });
+  sim.Run();
+}
+
+TEST(Simulation, RunUntilStopsEarlyAndResumes) {
+  Simulation sim;
+  int steps = 0;
+  sim.AddProcess("p", [&]() {
+    for (int i = 0; i < 5; ++i) {
+      sim.Hold(1.0);
+      ++steps;
+    }
+  });
+  sim.Run(2.5);
+  EXPECT_EQ(steps, 2);
+  EXPECT_EQ(sim.Now(), 2.5);
+  sim.Run();
+  EXPECT_EQ(steps, 5);
+  EXPECT_EQ(sim.Now(), 5.0);
+}
+
+TEST(Simulation, StartDelayHonored) {
+  Simulation sim;
+  double started = -1.0;
+  sim.AddProcess("late", [&]() { started = sim.Now(); }, /*start=*/7.0);
+  sim.Run();
+  EXPECT_EQ(started, 7.0);
+}
+
+TEST(Simulation, ManyProcessesDeterministicEventCount) {
+  auto count_events = [] {
+    Simulation sim;
+    for (int i = 0; i < 50; ++i) {
+      sim.AddProcess("w", [&sim]() {
+        for (int k = 0; k < 20; ++k) sim.Hold(0.01);
+      });
+    }
+    sim.Run();
+    return sim.events_dispatched();
+  };
+  const uint64_t e1 = count_events();
+  EXPECT_EQ(e1, count_events());
+  EXPECT_GE(e1, 50u * 20u);
+}
+
+TEST(Simulation, TeardownUnwindsBlockedProcesses) {
+  // A process blocked on a never-fired signal must not hang destruction.
+  auto signal_holder = std::make_shared<std::shared_ptr<SimSignal>>();
+  {
+    Simulation sim;
+    *signal_holder = sim.MakeSignal();
+    sim.AddProcess("stuck", [&sim, signal_holder]() {
+      sim.WaitSignal(signal_holder->get());
+    });
+    sim.Run();
+    EXPECT_EQ(sim.live_processes(), 1);
+  }  // destructor must join the stuck thread without deadlock
+  SUCCEED();
+}
+
+TEST(ParallelMakespan, SingleLaneSums) {
+  EXPECT_DOUBLE_EQ(ParallelMakespan({1.0, 2.0, 3.0}, 1), 6.0);
+}
+
+TEST(ParallelMakespan, ManyLanesTakeMax) {
+  EXPECT_DOUBLE_EQ(ParallelMakespan({1.0, 2.0, 3.0}, 3), 3.0);
+  EXPECT_DOUBLE_EQ(ParallelMakespan({1.0, 2.0, 3.0}, 8), 3.0);
+}
+
+TEST(ParallelMakespan, GreedyAssignment) {
+  // lanes=2: [4] | [1,2] -> makespan 4; greedy puts 2 after 1.
+  EXPECT_DOUBLE_EQ(ParallelMakespan({4.0, 1.0, 2.0}, 2), 4.0);
+  // lanes=2 submission order matters (list scheduling, not optimal).
+  EXPECT_DOUBLE_EQ(ParallelMakespan({1.0, 1.0, 4.0}, 2), 5.0);
+}
+
+TEST(ParallelMakespan, EdgeCases) {
+  EXPECT_DOUBLE_EQ(ParallelMakespan({}, 4), 0.0);
+  EXPECT_DOUBLE_EQ(ParallelMakespan({2.0}, 0), 2.0);  // lanes clamped to 1
+}
+
+}  // namespace
+}  // namespace fsd::sim
