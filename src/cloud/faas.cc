@@ -92,6 +92,7 @@ FaasService::InvokeOutcome FaasService::InvokeAsync(const std::string& name,
     ctx.memory_mb_ = fn.config.memory_mb;
     ctx.started_at_ = sim_->Now();
     ctx.deadline_ = sim_->Now() + fn.config.timeout_s;
+    ctx.cold_start_ = cold;
     ctx.payload_ = std::move(payload);
     fn.config.handler(&ctx);
     // Billing: runtime is capped at the timeout (timed-out functions are

@@ -67,6 +67,8 @@ class FaasContext {
   const std::string& function_name() const { return function_name_; }
   double started_at() const { return started_at_; }
   double deadline() const { return deadline_; }
+  /// Whether this invocation paid a cold start (no warm instance available).
+  bool cold_start() const { return cold_start_; }
 
   /// Charges `flops` of compute to virtual time; fails with
   /// DeadlineExceeded once the runtime cap is hit.
@@ -95,6 +97,7 @@ class FaasContext {
   int memory_mb_ = 128;
   double started_at_ = 0.0;
   double deadline_ = 0.0;
+  bool cold_start_ = false;
   Bytes payload_;
   Status result_;
 };

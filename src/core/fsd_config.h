@@ -3,6 +3,7 @@
 #define FSD_CORE_FSD_CONFIG_H_
 
 #include <cstdint>
+#include <string>
 #include <string_view>
 
 #include "codec/lz.h"
@@ -41,6 +42,11 @@ struct FsdOptions {
   /// bucket-{n%10}).
   int32_t num_topics = 10;
   int32_t num_buckets = 10;
+
+  /// Prefix namespacing every channel resource (topics, queues, buckets) of
+  /// a run. Empty reproduces the paper's shared names; the serving runtime
+  /// assigns a per-query scope so concurrent queries cannot cross-deliver.
+  std::string channel_scope;
 
   /// IPC thread-pool lanes per worker (ThreadPoolExecutor in the paper).
   int32_t io_lanes = 8;

@@ -1,5 +1,8 @@
 #include "core/metrics.h"
 
+#include <algorithm>
+#include <cmath>
+
 #include "common/strings.h"
 
 namespace fsd::core {
@@ -44,12 +47,14 @@ void RunMetrics::Finalize() {
   totals = LayerMetrics{};
   mean_worker_s = 0.0;
   max_worker_s = 0.0;
+  cold_starts = 0;
   for (WorkerMetrics& w : workers) {
     w.Finalize();
     totals.Add(w.totals);
     const double d = w.duration_s();
     mean_worker_s += d;
     if (d > max_worker_s) max_worker_s = d;
+    if (w.cold_start) ++cold_starts;
   }
   if (!workers.empty()) mean_worker_s /= static_cast<double>(workers.size());
 }
@@ -71,6 +76,69 @@ std::string RunMetrics::Summary() const {
       static_cast<long long>(totals.lists),
       static_cast<long long>(totals.gets),
       static_cast<long long>(totals.recv_rows));
+}
+
+double Percentile(std::vector<double> values, double pct) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  if (pct <= 0.0) return values.front();
+  if (pct >= 100.0) return values.back();
+  // Nearest-rank: ceil(p/100 * n), 1-indexed.
+  const size_t rank = static_cast<size_t>(
+      std::ceil(pct / 100.0 * static_cast<double>(values.size())));
+  return values[rank == 0 ? 0 : rank - 1];
+}
+
+void FleetStats::AddQuery(double arrival_s, double finish_s, double latency_s,
+                          bool ok, const RunMetrics& metrics) {
+  if (queries == 0 || arrival_s < first_arrival_s_) {
+    first_arrival_s_ = arrival_s;
+  }
+  if (queries == 0 || finish_s > last_finish_s_) last_finish_s_ = finish_s;
+  ++queries;
+  if (!ok) {
+    ++failed;
+    return;
+  }
+  latencies_.push_back(latency_s);
+  worker_invocations += static_cast<int64_t>(metrics.workers.size());
+  cold_starts += metrics.cold_starts;
+}
+
+void FleetStats::Finalize() {
+  makespan_s = last_finish_s_ - first_arrival_s_;
+  const int32_t completed = queries - failed;
+  throughput_qps =
+      makespan_s > 0.0 ? static_cast<double>(completed) / makespan_s : 0.0;
+  latency_mean_s = 0.0;
+  for (double l : latencies_) latency_mean_s += l;
+  if (!latencies_.empty()) {
+    latency_mean_s /= static_cast<double>(latencies_.size());
+  }
+  latency_p50_s = Percentile(latencies_, 50.0);
+  latency_p95_s = Percentile(latencies_, 95.0);
+  latency_p99_s = Percentile(latencies_, 99.0);
+  latency_max_s = Percentile(latencies_, 100.0);
+  cold_start_ratio =
+      worker_invocations > 0
+          ? static_cast<double>(cold_starts) /
+                static_cast<double>(worker_invocations)
+          : 0.0;
+  cost_per_query =
+      completed > 0 ? total_cost / static_cast<double>(completed) : 0.0;
+  daily_cost =
+      makespan_s > 0.0 ? total_cost * (86400.0 / makespan_s) : total_cost;
+}
+
+std::string FleetStats::Summary() const {
+  return StrFormat(
+      "queries=%d (%d failed) makespan=%.2fs throughput=%.3f qps "
+      "latency p50/p95/p99/max=%.3f/%.3f/%.3f/%.3fs cold=%.1f%% "
+      "cost=%s (%s/query, %s/day)",
+      queries, failed, makespan_s, throughput_qps, latency_p50_s,
+      latency_p95_s, latency_p99_s, latency_max_s, 100.0 * cold_start_ratio,
+      HumanDollars(total_cost).c_str(), HumanDollars(cost_per_query).c_str(),
+      HumanDollars(daily_cost).c_str());
 }
 
 }  // namespace fsd::core

@@ -74,9 +74,54 @@ struct RunMetrics {
   LayerMetrics totals;
   double mean_worker_s = 0.0;  ///< T-bar in the cost model
   double max_worker_s = 0.0;
+  int64_t cold_starts = 0;     ///< worker invocations that paid a cold start
 
   void Finalize();
   std::string Summary() const;
+};
+
+/// Nearest-rank percentile (pct in [0, 100]) over an unsorted sample;
+/// returns 0 for an empty sample. Sorts a copy.
+double Percentile(std::vector<double> values, double pct);
+
+/// Fleet-level aggregation over a serving workload: the SLO-facing view
+/// (tail latency, throughput, cold-start ratio, projected daily cost) of
+/// many queries sharing one cloud deployment.
+struct FleetStats {
+  int32_t queries = 0;
+  int32_t failed = 0;
+  double makespan_s = 0.0;        ///< first arrival -> last completion
+  double throughput_qps = 0.0;    ///< completed queries / makespan
+
+  // Per-query end-to-end latency distribution (successful queries).
+  double latency_mean_s = 0.0;
+  double latency_p50_s = 0.0;
+  double latency_p95_s = 0.0;
+  double latency_p99_s = 0.0;
+  double latency_max_s = 0.0;
+
+  // FaaS instance reuse across the workload.
+  int64_t worker_invocations = 0;
+  int64_t cold_starts = 0;
+  double cold_start_ratio = 0.0;  ///< cold / worker invocations
+
+  // Dollars (filled from the workload's billing-ledger delta).
+  double total_cost = 0.0;
+  double cost_per_query = 0.0;
+  double daily_cost = 0.0;        ///< total_cost extrapolated to 24 h
+
+  /// Accumulates one completed query; callers then call Finalize once.
+  void AddQuery(double arrival_s, double finish_s, double latency_s, bool ok,
+                const RunMetrics& metrics);
+  /// Computes the distribution/ratio/throughput fields; `total_cost` must
+  /// already be set for the dollar fields.
+  void Finalize();
+  std::string Summary() const;
+
+ private:
+  std::vector<double> latencies_;
+  double first_arrival_s_ = 0.0;
+  double last_finish_s_ = 0.0;
 };
 
 }  // namespace fsd::core

@@ -10,7 +10,8 @@ namespace fsd::core {
 
 std::string ObjectChannel::BucketName(int32_t target,
                                       const FsdOptions& options) {
-  return StrFormat("bucket-%d", target % options.num_buckets);
+  return StrFormat("%sbucket-%d", options.channel_scope.c_str(),
+                   target % options.num_buckets);
 }
 
 std::string ObjectChannel::ObjectKey(int32_t phase, int32_t source,
@@ -22,7 +23,8 @@ std::string ObjectChannel::ObjectKey(int32_t phase, int32_t source,
 Status ObjectChannel::Provision(cloud::CloudEnv* cloud,
                                 const FsdOptions& options) {
   for (int32_t b = 0; b < options.num_buckets; ++b) {
-    const std::string bucket = StrFormat("bucket-%d", b);
+    const std::string bucket =
+        StrFormat("%sbucket-%d", options.channel_scope.c_str(), b);
     if (!cloud->objects().BucketExists(bucket)) {
       FSD_RETURN_IF_ERROR(cloud->objects().CreateBucket(bucket));
     }

@@ -18,23 +18,26 @@ constexpr char kAttrTotal[] = "total";
 
 std::string QueueChannel::TopicName(int32_t source,
                                     const FsdOptions& options) {
-  return StrFormat("topic-%d", source % options.num_topics);
+  return StrFormat("%stopic-%d", options.channel_scope.c_str(),
+                   source % options.num_topics);
 }
 
-std::string QueueChannel::QueueName(int32_t worker) {
-  return StrFormat("queue-%d", worker);
+std::string QueueChannel::QueueName(int32_t worker,
+                                    const FsdOptions& options) {
+  return StrFormat("%squeue-%d", options.channel_scope.c_str(), worker);
 }
 
 Status QueueChannel::Provision(cloud::CloudEnv* cloud,
                                const FsdOptions& options) {
+  const std::string& scope = options.channel_scope;
   for (int32_t t = 0; t < options.num_topics; ++t) {
-    const std::string topic = StrFormat("topic-%d", t);
+    const std::string topic = StrFormat("%stopic-%d", scope.c_str(), t);
     if (!cloud->pubsub().TopicExists(topic)) {
       FSD_RETURN_IF_ERROR(cloud->pubsub().CreateTopic(topic));
     }
   }
   for (int32_t n = 0; n < options.num_workers; ++n) {
-    const std::string queue = QueueName(n);
+    const std::string queue = QueueName(n, options);
     if (!cloud->queues().QueueExists(queue)) {
       FSD_RETURN_IF_ERROR(cloud->queues().CreateQueue(queue));
     }
@@ -43,8 +46,8 @@ Status QueueChannel::Provision(cloud::CloudEnv* cloud,
     cloud::FilterPolicy policy;
     policy.equals[kAttrTarget] = {StrFormat("%d", n)};
     for (int32_t t = 0; t < options.num_topics; ++t) {
-      FSD_RETURN_IF_ERROR(
-          cloud->pubsub().Subscribe(StrFormat("topic-%d", t), queue, policy));
+      FSD_RETURN_IF_ERROR(cloud->pubsub().Subscribe(
+          StrFormat("%stopic-%d", scope.c_str(), t), queue, policy));
     }
   }
   return Status::OK();
@@ -220,7 +223,7 @@ Result<linalg::ActivationMap> QueueChannel::ReceivePhase(
     stash_.erase(it);
   }
 
-  const std::string my_queue = QueueName(env->worker_id);
+  const std::string my_queue = QueueName(env->worker_id, options);
   while (!pending.empty()) {
     FSD_RETURN_IF_ERROR(env->CheckAbort());
     FSD_RETURN_IF_ERROR(env->faas->CheckDeadline());

@@ -38,7 +38,7 @@ class QueueChannel : public CommChannel {
   static Status Provision(cloud::CloudEnv* cloud, const FsdOptions& options);
 
   static std::string TopicName(int32_t source, const FsdOptions& options);
-  static std::string QueueName(int32_t worker);
+  static std::string QueueName(int32_t worker, const FsdOptions& options);
 
   std::string_view name() const override { return "queue"; }
 

@@ -12,37 +12,6 @@ namespace {
 
 std::atomic<uint64_t> g_run_counter{0};
 
-std::vector<cloud::BillingLine> SnapshotLedger(
-    const cloud::BillingLedger& ledger) {
-  std::vector<cloud::BillingLine> lines;
-  for (int i = 0; i < static_cast<int>(cloud::BillingDimension::kDimensionCount);
-       ++i) {
-    lines.push_back(ledger.line(static_cast<cloud::BillingDimension>(i)));
-  }
-  return lines;
-}
-
-BillingDelta DiffLedger(const std::vector<cloud::BillingLine>& before,
-                        const cloud::BillingLedger& after) {
-  BillingDelta delta;
-  for (int i = 0; i < static_cast<int>(cloud::BillingDimension::kDimensionCount);
-       ++i) {
-    const auto dim = static_cast<cloud::BillingDimension>(i);
-    const cloud::BillingLine& b = before[i];
-    const cloud::BillingLine& a = after.line(dim);
-    const double cost = a.cost - b.cost;
-    delta.quantities[i] = a.quantity - b.quantity;
-    delta.total_cost += cost;
-    if (dim == cloud::BillingDimension::kFaasInvocation ||
-        dim == cloud::BillingDimension::kFaasRuntimeMbSec) {
-      delta.faas_cost += cost;
-    } else if (dim != cloud::BillingDimension::kVmSecond) {
-      delta.comm_cost += cost;
-    }
-  }
-  return delta;
-}
-
 Status Validate(const InferenceRequest& request) {
   if (request.dnn == nullptr || request.partition == nullptr) {
     return Status::InvalidArgument("request needs a model and a partition");
@@ -77,94 +46,206 @@ Status Validate(const InferenceRequest& request) {
 
 }  // namespace
 
-Result<InferenceReport> RunInference(cloud::CloudEnv* cloud,
-                                     const InferenceRequest& request) {
+std::vector<cloud::BillingLine> SnapshotLedger(
+    const cloud::BillingLedger& ledger) {
+  std::vector<cloud::BillingLine> lines;
+  for (int i = 0; i < static_cast<int>(cloud::BillingDimension::kDimensionCount);
+       ++i) {
+    lines.push_back(ledger.line(static_cast<cloud::BillingDimension>(i)));
+  }
+  return lines;
+}
+
+BillingDelta DiffLedger(const std::vector<cloud::BillingLine>& before,
+                        const cloud::BillingLedger& after) {
+  BillingDelta delta;
+  for (int i = 0; i < static_cast<int>(cloud::BillingDimension::kDimensionCount);
+       ++i) {
+    const auto dim = static_cast<cloud::BillingDimension>(i);
+    const cloud::BillingLine& b = before[i];
+    const cloud::BillingLine& a = after.line(dim);
+    const double cost = a.cost - b.cost;
+    delta.quantities[i] = a.quantity - b.quantity;
+    delta.total_cost += cost;
+    if (dim == cloud::BillingDimension::kFaasInvocation ||
+        dim == cloud::BillingDimension::kFaasRuntimeMbSec) {
+      delta.faas_cost += cost;
+    } else if (dim != cloud::BillingDimension::kVmSecond) {
+      delta.comm_cost += cost;
+    }
+  }
+  return delta;
+}
+
+uint64_t AllocateRunId() { return g_run_counter.fetch_add(1); }
+
+Result<std::unique_ptr<RunState>> PrepareRunState(
+    cloud::CloudEnv* cloud, const InferenceRequest& request,
+    uint64_t run_id) {
   FSD_RETURN_IF_ERROR(Validate(request));
   FsdOptions options = request.options;
   if (options.worker_memory_mb <= 0) {
     options.worker_memory_mb =
         DefaultWorkerMemoryMb(request.dnn->neurons(), options.variant);
   }
+  if (options.channel_scope.empty()) {
+    // Default to a per-run scope. Shared unscoped resources leak state
+    // between runs on one CloudEnv: a later run's receiver can list a
+    // previous run's leftover object for the same (phase, source, target)
+    // and then race the overwriting PUT's visibility window.
+    options.channel_scope =
+        StrFormat("r%llu-", static_cast<unsigned long long>(run_id));
+  }
 
-  // --- offline provisioning (pre-created resources; not billed/timed) ---
+  // Offline provisioning (pre-created resources; not billed/timed). Scoped
+  // names keep concurrent runs' channels isolated from one another.
   if (options.variant == Variant::kQueue) {
     FSD_RETURN_IF_ERROR(QueueChannel::Provision(cloud, options));
   } else if (options.variant == Variant::kObject) {
     FSD_RETURN_IF_ERROR(ObjectChannel::Provision(cloud, options));
   }
 
-  // --- per-run state ---
   auto state = std::make_unique<RunState>();
+  state->run_id = run_id;
   state->dnn = request.dnn;
   state->partition = request.partition;
   state->batches = request.batches;
-  state->options = options;
+  state->options = std::move(options);
   state->cloud = cloud;
   state->outputs.resize(request.batches.size());
-  state->metrics.workers.resize(options.num_workers);
-  state->worker_status.assign(options.num_workers,
+  state->metrics.workers.resize(state->options.num_workers);
+  state->worker_status.assign(state->options.num_workers,
                               Status::Internal("worker never completed"));
   state->done = cloud->sim()->MakeSignal();
+  state->quiesced = cloud->sim()->MakeSignal();
+  return state;
+}
 
-  const uint64_t run_id = g_run_counter.fetch_add(1);
-  state->worker_function = StrFormat("fsd-worker-%llu",
-                                     static_cast<unsigned long long>(run_id));
+void RunCoordinator(cloud::FaasContext* ctx, RunState* state) {
+  // While the coordinator is alive it may launch more workers, so the run
+  // cannot quiesce before it exits (see RunState::MaybeQuiesce).
+  ++state->coordinators_active;
+  Status status;
+  if (state->abort) {
+    // The workload was aborted before this query started: drain without
+    // launching a worker tree that would only unwind again. Stamp worker 0
+    // so the collected report carries the abort reason instead of the
+    // opaque "never completed" placeholder.
+    status = Status::Unavailable("run aborted before start");
+    state->worker_status[0] = status;
+    state->done->Fire();
+  } else {
+    // Parse request (tiny CPU), then invoke the first layer of workers.
+    status = ctx->Burn(2e6);
+    Rng rng(state->options.seed ^ 0xC00Dull);
+    const std::vector<int32_t> first =
+        CoordinatorInvokes(state->options.launch, state->options.num_workers);
+    for (int32_t id : first) {
+      if (!status.ok()) break;
+      if (state->abort) {
+        status = Status::Unavailable("run aborted during launch");
+        break;
+      }
+      status =
+          ctx->SleepFor(state->cloud->latency().faas_invoke_api.Sample(&rng));
+      if (!status.ok()) break;
+      cloud::FaasService::InvokeOutcome outcome =
+          state->cloud->faas().InvokeAsync(
+              state->worker_function,
+              EncodeWorkerPayload(state->run_id, id));
+      status = outcome.status;
+      if (status.ok()) ++state->workers_launched;
+    }
+    if (!status.ok()) {
+      state->abort = true;
+      state->done->Fire();
+    }
+  }
+  ctx->set_result(status);
+  --state->coordinators_active;
+  state->MaybeQuiesce();
+}
+
+InferenceReport CollectReport(RunState* state, double t0, double t1) {
+  InferenceReport report;
+  report.latency_s = t1 - t0;
+  report.launch_complete_s = state->launch_complete_s - t0;
+  report.worker_memory_mb = state->options.worker_memory_mb;
+  report.status = Status::OK();
+  for (const Status& s : state->worker_status) {
+    if (!s.ok() && report.status.ok()) report.status = s;
+  }
+  if (state->options.variant == Variant::kSerial) {
+    // Only worker 0 exists; its status decides.
+    report.status = state->worker_status[0];
+  }
+  report.outputs = std::move(state->outputs);
+  report.metrics = std::move(state->metrics);
+  report.metrics.Finalize();
+
+  int32_t samples = 0;
+  for (const auto* batch : state->batches) {
+    if (!batch->empty()) samples += batch->begin()->second.dim;
+  }
+  report.total_samples = samples;
+  report.per_sample_ms =
+      samples > 0 ? report.latency_s * 1000.0 / samples : 0.0;
+  report.predicted = PredictFromMetrics(
+      state->cloud->billing().pricing(), state->options, report.metrics,
+      state->options.worker_memory_mb);
+  return report;
+}
+
+Result<InferenceReport> RunInference(cloud::CloudEnv* cloud,
+                                     const InferenceRequest& request) {
+  const uint64_t run_id = AllocateRunId();
+  FSD_ASSIGN_OR_RETURN(std::unique_ptr<RunState> state,
+                       PrepareRunState(cloud, request, run_id));
+  RunState* raw_state = state.get();
+
+  state->worker_function = StrFormat(
+      "fsd-worker-%llu", static_cast<unsigned long long>(run_id));
   const std::string coordinator_fn = StrFormat(
       "fsd-coordinator-%llu", static_cast<unsigned long long>(run_id));
 
-  RunState* raw_state = state.get();
   cloud::FaasFunctionConfig worker_config;
   worker_config.name = state->worker_function;
-  worker_config.memory_mb = options.worker_memory_mb;
-  worker_config.timeout_s = options.worker_timeout_s;
+  worker_config.memory_mb = state->options.worker_memory_mb;
+  worker_config.timeout_s = state->options.worker_timeout_s;
   worker_config.handler = [raw_state](cloud::FaasContext* ctx) {
-    RunFsiWorker(ctx, raw_state);
+    Result<WorkerPayload> payload = DecodeWorkerPayload(ctx->payload());
+    if (!payload.ok()) {
+      ctx->set_result(payload.status());
+      return;
+    }
+    RunFsiWorker(ctx, raw_state, payload->worker_id);
   };
   FSD_RETURN_IF_ERROR(cloud->faas().RegisterFunction(worker_config));
 
   // Coordinator: lightweight parser + first-level launcher (paper §VI-A1).
   cloud::FaasFunctionConfig coord_config;
   coord_config.name = coordinator_fn;
-  coord_config.memory_mb = options.coordinator_memory_mb;
+  coord_config.memory_mb = state->options.coordinator_memory_mb;
   coord_config.timeout_s = 900.0;
   coord_config.handler = [raw_state](cloud::FaasContext* ctx) {
-    // Parse request (tiny CPU), then invoke the first layer of workers.
-    Status status = ctx->Burn(2e6);
-    Rng rng(raw_state->options.seed ^ 0xC00Dull);
-    const std::vector<int32_t> first = CoordinatorInvokes(
-        raw_state->options.launch, raw_state->options.num_workers);
-    for (int32_t id : first) {
-      if (!status.ok()) break;
-      status = ctx->SleepFor(
-          raw_state->cloud->latency().faas_invoke_api.Sample(&rng));
-      if (!status.ok()) break;
-      cloud::FaasService::InvokeOutcome outcome =
-          raw_state->cloud->faas().InvokeAsync(raw_state->worker_function,
-                                               EncodeWorkerPayload(id));
-      status = outcome.status;
-    }
-    ctx->set_result(status);
-    if (!status.ok()) {
-      raw_state->abort = true;
-      raw_state->done->Fire();
-    }
+    RunCoordinator(ctx, raw_state);
   };
   FSD_RETURN_IF_ERROR(cloud->faas().RegisterFunction(coord_config));
 
   // --- submit the query and drive the simulation to completion ---
   const std::vector<cloud::BillingLine> before =
       SnapshotLedger(cloud->billing());
-  auto report = std::make_unique<InferenceReport>();
+  Status client_status = Status::OK();
   double t0 = 0.0;
   double t1 = -1.0;
   cloud->sim()->AddProcess(
       StrFormat("client-%llu", static_cast<unsigned long long>(run_id)),
       [&, raw_state]() {
         t0 = cloud->sim()->Now();
-        cloud::FaasService::InvokeOutcome outcome =
-            cloud->faas().InvokeAsync(coordinator_fn, Bytes{});
+        cloud::FaasService::InvokeOutcome outcome = cloud->faas().InvokeAsync(
+            coordinator_fn, EncodeWorkerPayload(raw_state->run_id, 0));
         if (!outcome.status.ok()) {
-          report->status = outcome.status;
+          client_status = outcome.status;
           return;
         }
         cloud->sim()->WaitSignal(raw_state->done.get());
@@ -172,38 +253,14 @@ Result<InferenceReport> RunInference(cloud::CloudEnv* cloud,
       });
   cloud->sim()->Run();
 
+  FSD_RETURN_IF_ERROR(client_status);
   if (t1 < 0.0) {
     return Status::Internal("inference run never completed (deadlock?)");
   }
 
-  // --- collect results ---
-  report->latency_s = t1 - t0;
-  report->launch_complete_s = raw_state->launch_complete_s - t0;
-  report->worker_memory_mb = options.worker_memory_mb;
-  report->status = Status::OK();
-  for (const Status& s : raw_state->worker_status) {
-    if (!s.ok() && report->status.ok()) report->status = s;
-  }
-  if (options.variant == Variant::kSerial) {
-    // Only worker 0 exists; its status decides.
-    report->status = raw_state->worker_status[0];
-  }
-  report->outputs = std::move(raw_state->outputs);
-  report->metrics = std::move(raw_state->metrics);
-  report->metrics.Finalize();
-  report->billing = DiffLedger(before, cloud->billing());
-
-  int32_t samples = 0;
-  for (const auto* batch : request.batches) {
-    if (!batch->empty()) samples += batch->begin()->second.dim;
-  }
-  report->total_samples = samples;
-  report->per_sample_ms =
-      samples > 0 ? report->latency_s * 1000.0 / samples : 0.0;
-  report->predicted = PredictFromMetrics(cloud->billing().pricing(), options,
-                                         report->metrics,
-                                         options.worker_memory_mb);
-  return std::move(*report);
+  InferenceReport report = CollectReport(raw_state, t0, t1);
+  report.billing = DiffLedger(before, cloud->billing());
+  return report;
 }
 
 }  // namespace fsd::core

@@ -62,6 +62,41 @@ struct InferenceReport {
 Result<InferenceReport> RunInference(cloud::CloudEnv* cloud,
                                      const InferenceRequest& request);
 
+/// ---- building blocks shared by RunInference and ServingRuntime ----
+/// (serving.h runs many requests as overlapping processes in one
+/// Simulation; these pieces keep the two paths byte-identical.)
+
+/// Allocates a process-unique run id. Both entry points draw from the same
+/// counter so resource names never collide on a shared CloudEnv.
+uint64_t AllocateRunId();
+
+/// Validates `request`, applies option defaults (worker memory), provisions
+/// the channel resources named by `options.channel_scope`, and builds the
+/// per-run shared state. Does NOT register FaaS functions: RunInference
+/// registers per-run functions while ServingRuntime registers shared
+/// dispatchers (one warm pool across queries); callers must set
+/// `RunState::worker_function` before the coordinator executes.
+Result<std::unique_ptr<RunState>> PrepareRunState(
+    cloud::CloudEnv* cloud, const InferenceRequest& request, uint64_t run_id);
+
+/// Coordinator handler body (paper §VI-A1): parses the request and invokes
+/// the first level of the worker tree. Fires the run's done-signal on
+/// failure or when the run was aborted before it started.
+void RunCoordinator(cloud::FaasContext* ctx, RunState* state);
+
+/// Assembles the per-query report (latency, outputs, metrics, cost-model
+/// prediction) once the run's done-signal has fired; `t0`/`t1` are the
+/// submission and completion virtual times. Consumes the state's outputs
+/// and metrics. Billing is the caller's concern: under concurrent runs only
+/// workload-level ledger diffs are meaningful.
+InferenceReport CollectReport(RunState* state, double t0, double t1);
+
+/// Ledger snapshot/diff used to attribute "actual" charges to an interval.
+std::vector<cloud::BillingLine> SnapshotLedger(
+    const cloud::BillingLedger& ledger);
+BillingDelta DiffLedger(const std::vector<cloud::BillingLine>& before,
+                        const cloud::BillingLedger& after);
+
 }  // namespace fsd::core
 
 #endif  // FSD_CORE_RUNTIME_H_

@@ -1,0 +1,222 @@
+#include "core/serving.h"
+
+#include <atomic>
+
+#include "common/strings.h"
+
+namespace fsd::core {
+namespace {
+
+std::atomic<uint64_t> g_instance_counter{0};
+
+}  // namespace
+
+ServingRuntime::ServingRuntime(cloud::CloudEnv* cloud, ServingOptions options)
+    : cloud_(cloud),
+      options_(options),
+      instance_id_(g_instance_counter.fetch_add(1)) {}
+
+Result<std::string> ServingRuntime::EnsureWorkerFunction(
+    const FsdOptions& options) {
+  // %g keeps the timeout exact in the key: queries whose timeouts merely
+  // round to the same integer must NOT share a function (the registered
+  // config's timeout is what the FaaS service enforces).
+  const std::string group =
+      options_.share_functions
+          ? StrFormat("w-m%d-t%g", options.worker_memory_mb,
+                      options.worker_timeout_s)
+          : StrFormat("w-q%llu", static_cast<unsigned long long>(
+                                     AllocateRunId()));
+  auto it = function_groups_.find(group);
+  if (it != function_groups_.end()) return it->second;
+
+  cloud::FaasFunctionConfig config;
+  config.name = StrFormat("fsd-srv%llu-%s",
+                          static_cast<unsigned long long>(instance_id_),
+                          group.c_str());
+  config.memory_mb = options.worker_memory_mb;
+  config.timeout_s = options.worker_timeout_s;
+  // One registered function serves every query in the group: the payload
+  // names the run, so a warm instance released by one query picks up the
+  // next query's invocation.
+  config.handler = [this](cloud::FaasContext* ctx) {
+    Result<WorkerPayload> payload = DecodeWorkerPayload(ctx->payload());
+    if (!payload.ok()) {
+      ctx->set_result(payload.status());
+      return;
+    }
+    auto query = queries_.find(payload->run_id);
+    if (query == queries_.end()) {
+      ctx->set_result(
+          Status::NotFound("worker invoked for an unknown run"));
+      return;
+    }
+    RunFsiWorker(ctx, query->second->state.get(), payload->worker_id);
+  };
+  FSD_RETURN_IF_ERROR(cloud_->faas().RegisterFunction(config));
+  function_groups_.emplace(group, config.name);
+  return config.name;
+}
+
+Result<std::string> ServingRuntime::EnsureCoordinatorFunction(
+    const FsdOptions& options) {
+  const std::string group =
+      options_.share_functions
+          ? StrFormat("c-m%d", options.coordinator_memory_mb)
+          : StrFormat("c-q%llu", static_cast<unsigned long long>(
+                                     AllocateRunId()));
+  auto it = function_groups_.find(group);
+  if (it != function_groups_.end()) return it->second;
+
+  cloud::FaasFunctionConfig config;
+  config.name = StrFormat("fsd-srv%llu-%s",
+                          static_cast<unsigned long long>(instance_id_),
+                          group.c_str());
+  config.memory_mb = options.coordinator_memory_mb;
+  config.timeout_s = 900.0;
+  config.handler = [this](cloud::FaasContext* ctx) {
+    Result<WorkerPayload> payload = DecodeWorkerPayload(ctx->payload());
+    if (!payload.ok()) {
+      ctx->set_result(payload.status());
+      return;
+    }
+    auto query = queries_.find(payload->run_id);
+    if (query == queries_.end()) {
+      ctx->set_result(
+          Status::NotFound("coordinator invoked for an unknown run"));
+      return;
+    }
+    RunCoordinator(ctx, query->second->state.get());
+  };
+  FSD_RETURN_IF_ERROR(cloud_->faas().RegisterFunction(config));
+  function_groups_.emplace(group, config.name);
+  return config.name;
+}
+
+Result<uint64_t> ServingRuntime::Submit(const InferenceRequest& request,
+                                        double arrival_s) {
+  if (arrival_s < 0.0) {
+    return Status::InvalidArgument("arrival time must be >= 0");
+  }
+  const uint64_t run_id = AllocateRunId();
+
+  // Per-query channel scope: concurrent queries must never share topics,
+  // queues or buckets (phase ids restart at 0 for every query).
+  InferenceRequest scoped = request;
+  scoped.options.channel_scope =
+      StrFormat("%sq%llu-", request.options.channel_scope.c_str(),
+                static_cast<unsigned long long>(run_id));
+
+  FSD_ASSIGN_OR_RETURN(std::unique_ptr<RunState> state,
+                       PrepareRunState(cloud_, scoped, run_id));
+  FSD_ASSIGN_OR_RETURN(state->worker_function,
+                       EnsureWorkerFunction(state->options));
+  FSD_ASSIGN_OR_RETURN(const std::string coordinator_fn,
+                       EnsureCoordinatorFunction(state->options));
+
+  auto query = std::make_unique<Query>();
+  query->state = std::move(state);
+  query->outcome.query_id = run_id;
+  query->outcome.arrival_s = cloud_->sim()->Now() + arrival_s;
+  Query* raw = query.get();
+  queries_.emplace(run_id, std::move(query));
+  submission_order_.push_back(run_id);
+
+  cloud_->sim()->AddProcess(
+      StrFormat("serve-client-%llu", static_cast<unsigned long long>(run_id)),
+      [this, raw, coordinator_fn]() {
+        RunState* state = raw->state.get();
+        raw->outcome.arrival_s = cloud_->sim()->Now();
+        cloud::FaasService::InvokeOutcome invoke = cloud_->faas().InvokeAsync(
+            coordinator_fn, EncodeWorkerPayload(state->run_id, 0));
+        if (invoke.status.ok()) {
+          cloud_->sim()->WaitSignal(state->done.get());
+          raw->outcome.finish_s = cloud_->sim()->Now();
+          // Collecting moves the state's outputs/metrics, so wait until
+          // every launched worker (stragglers included) has exited too.
+          cloud_->sim()->WaitSignal(state->quiesced.get());
+          raw->outcome.report =
+              CollectReport(state, raw->outcome.arrival_s,
+                            raw->outcome.finish_s);
+        } else {
+          raw->outcome.finish_s = cloud_->sim()->Now();
+          raw->outcome.report.status = invoke.status;
+        }
+        raw->finished = true;
+        if (!raw->outcome.report.status.ok() && options_.stop_on_failure) {
+          AbortAll();
+        }
+      },
+      arrival_s);
+  return run_id;
+}
+
+void ServingRuntime::AbortAll() {
+  for (auto& [id, query] : queries_) {
+    if (!query->finished) query->state->abort = true;
+  }
+}
+
+Result<ServingReport> ServingRuntime::Drain() {
+  return Drain(options_.run_until);
+}
+
+Result<ServingReport> ServingRuntime::Drain(double run_until) {
+  const std::vector<cloud::BillingLine> before =
+      SnapshotLedger(cloud_->billing());
+  cloud_->sim()->Run(run_until);
+
+  ServingReport report;
+  report.billing = DiffLedger(before, cloud_->billing());
+  accumulated_cost_ += report.billing.total_cost;
+  for (uint64_t id : submission_order_) {
+    Query* query = queries_.at(id).get();
+    if (!query->finished) {
+      // Stopped by run_until (or a deadlock upstream): report the query as
+      // incomplete but leave it live — a later Drain() may finish it.
+      query->outcome.finish_s = cloud_->sim()->Now();
+      query->outcome.report.status = Status::DeadlineExceeded(
+          "query still in flight when Drain() stopped");
+    }
+    report.queries.push_back(query->outcome);
+    report.fleet.AddQuery(query->outcome.arrival_s, query->outcome.finish_s,
+                          query->outcome.report.latency_s,
+                          query->outcome.report.status.ok(),
+                          query->outcome.report.metrics);
+  }
+  // FleetStats spans every query submitted so far, so its dollar figures
+  // must span every Drain call too (this call's ledger delta alone would
+  // understate cost_per_query after a resumed drain).
+  report.fleet.total_cost = accumulated_cost_;
+  report.fleet.Finalize();
+  return report;
+}
+
+std::vector<double> PoissonArrivals(double rate_qps, int32_t count,
+                                    uint64_t seed) {
+  FSD_CHECK_GT(rate_qps, 0.0);
+  std::vector<double> arrivals;
+  arrivals.reserve(static_cast<size_t>(count > 0 ? count : 0));
+  Rng rng(seed ^ 0xA221C0DEull);
+  double t = 0.0;
+  for (int32_t i = 0; i < count; ++i) {
+    t += rng.NextExponential(1.0 / rate_qps);
+    arrivals.push_back(t);
+  }
+  return arrivals;
+}
+
+std::vector<double> BurstArrivals(int32_t bursts, int32_t per_burst,
+                                  double gap_s, double start_s) {
+  std::vector<double> arrivals;
+  arrivals.reserve(static_cast<size_t>(bursts) *
+                   static_cast<size_t>(per_burst));
+  for (int32_t b = 0; b < bursts; ++b) {
+    for (int32_t q = 0; q < per_burst; ++q) {
+      arrivals.push_back(start_s + gap_s * static_cast<double>(b));
+    }
+  }
+  return arrivals;
+}
+
+}  // namespace fsd::core

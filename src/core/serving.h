@@ -1,0 +1,132 @@
+// ServingRuntime: concurrent multi-query serving on one simulated cloud.
+//
+// RunInference answers one query and drives the simulation to completion;
+// a serving deployment instead faces a *stream* of queries whose executions
+// overlap. ServingRuntime schedules each submitted request as its own
+// client process inside one Simulation/CloudEnv, so in-flight queries
+// interleave exactly as concurrent Lambda fleets do:
+//
+//  - FaaS warm pools are shared: all queries of one function group (same
+//    worker memory/timeout) run behind ONE registered function, so an
+//    instance freed by query i serves query j warm. Payloads carry
+//    (run_id, worker_id) and the shared handler dispatches to the right
+//    run's state.
+//  - Channels stay isolated: every query gets a channel_scope prefixing
+//    its topics/queues/buckets, so overlapping queries can never
+//    cross-deliver activation rows (the FMI lesson: shared communication
+//    machinery must stay correct under many concurrent groups).
+//  - Billing is shared: per-query "actual" dollars are not separable on a
+//    concurrent ledger, so the report carries the workload-level ledger
+//    delta plus per-query cost-model attributions.
+//
+// Submitted request pointers (model, partition, batches) must stay alive
+// until Drain() returns.
+#ifndef FSD_CORE_SERVING_H_
+#define FSD_CORE_SERVING_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cloud/cloud.h"
+#include "core/runtime.h"
+#include "core/worker.h"
+
+namespace fsd::core {
+
+struct ServingOptions {
+  /// Register one worker/coordinator function per (memory, timeout) group
+  /// instead of per query: enables warm-start reuse across queries.
+  /// Disabling reproduces the one-function-per-run behaviour (ablation).
+  bool share_functions = true;
+  /// Abort every in-flight and future query as soon as one fails.
+  bool stop_on_failure = false;
+  /// Stop the simulation at this virtual time even if queries are still in
+  /// flight (< 0 runs to completion). Unfinished queries report errors.
+  double run_until = -1.0;
+};
+
+/// One query's result within a workload.
+struct QueryOutcome {
+  uint64_t query_id = 0;
+  double arrival_s = 0.0;  ///< virtual submission time
+  double finish_s = 0.0;   ///< virtual completion time
+  InferenceReport report;  ///< latency_s measured from submission
+};
+
+struct ServingReport {
+  std::vector<QueryOutcome> queries;  ///< in submission order
+  FleetStats fleet;
+  BillingDelta billing;  ///< whole-workload ledger delta
+};
+
+class ServingRuntime {
+ public:
+  explicit ServingRuntime(cloud::CloudEnv* cloud,
+                          ServingOptions options = {});
+
+  ServingRuntime(const ServingRuntime&) = delete;
+  ServingRuntime& operator=(const ServingRuntime&) = delete;
+
+  /// Schedules `request` to arrive at virtual time `arrival_s` (relative to
+  /// the simulation clock at submission). Validates and provisions
+  /// immediately; execution happens during Drain(). Returns the query id.
+  Result<uint64_t> Submit(const InferenceRequest& request, double arrival_s);
+
+  /// Drives the simulation until all submitted queries completed (or a
+  /// virtual-time horizon) and aggregates per-query and fleet results.
+  /// `run_until` overrides options_.run_until for this call (pass a later
+  /// absolute time — or a negative value for run-to-completion — to resume
+  /// queries a previous horizon cut off). May be called repeatedly; the
+  /// report covers all queries submitted so far, `billing` is the ledger
+  /// delta since the previous call, and fleet dollar figures accumulate
+  /// across calls.
+  Result<ServingReport> Drain();
+  Result<ServingReport> Drain(double run_until);
+
+  /// Marks every unfinished query aborted so in-flight workers drain
+  /// promptly instead of blocking on peers (kill path).
+  void AbortAll();
+
+  int32_t queries_submitted() const {
+    return static_cast<int32_t>(queries_.size());
+  }
+
+ private:
+  struct Query {
+    std::unique_ptr<RunState> state;
+    QueryOutcome outcome;
+    bool finished = false;
+  };
+
+  /// Registers (once) and names the shared worker/coordinator pair for the
+  /// request's function group.
+  Result<std::string> EnsureWorkerFunction(const FsdOptions& options);
+  Result<std::string> EnsureCoordinatorFunction(const FsdOptions& options);
+
+  cloud::CloudEnv* cloud_;
+  ServingOptions options_;
+  uint64_t instance_id_ = 0;  ///< uniques function names on a shared cloud
+  std::map<uint64_t, std::unique_ptr<Query>> queries_;  ///< by run id
+  std::vector<uint64_t> submission_order_;
+  std::map<std::string, std::string> function_groups_;  ///< group -> name
+  double accumulated_cost_ = 0.0;  ///< workload dollars across Drain calls
+};
+
+/// Poisson arrival process: `count` arrival times with exponential
+/// inter-arrival gaps at `rate_qps` (deterministic per seed).
+std::vector<double> PoissonArrivals(double rate_qps, int32_t count,
+                                    uint64_t seed);
+
+/// Burst trace: `bursts` groups of `per_burst` arrivals `gap_s` apart, with
+/// queries inside a burst arriving simultaneously (+ arrivals start at
+/// `start_s`). Models the sporadic traffic of the paper's motivating
+/// scenario.
+std::vector<double> BurstArrivals(int32_t bursts, int32_t per_burst,
+                                  double gap_s, double start_s = 0.0);
+
+}  // namespace fsd::core
+
+#endif  // FSD_CORE_SERVING_H_

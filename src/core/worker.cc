@@ -54,9 +54,10 @@ Status InvokeChildren(cloud::FaasContext* ctx, RunState* state,
         state->cloud->latency().faas_invoke_api.Sample(&rng);
     FSD_RETURN_IF_ERROR(ctx->SleepFor(api));
     cloud::FaasService::InvokeOutcome outcome =
-        state->cloud->faas().InvokeAsync(state->worker_function,
-                                         EncodeWorkerPayload(child));
+        state->cloud->faas().InvokeAsync(
+            state->worker_function, EncodeWorkerPayload(state->run_id, child));
     FSD_RETURN_IF_ERROR(outcome.status);
+    ++state->workers_launched;
   }
   metrics->launch_children_s = ctx->sim()->Now() - start;
   return Status::OK();
@@ -246,28 +247,36 @@ Status RunBatch(cloud::FaasContext* ctx, RunState* state,
 
 }  // namespace
 
-Bytes EncodeWorkerPayload(int32_t worker_id) {
+Bytes EncodeWorkerPayload(uint64_t run_id, int32_t worker_id) {
   Bytes out;
+  codec::PutVarint64(&out, run_id);
   codec::PutVarint64(&out, static_cast<uint64_t>(worker_id));
   return out;
 }
 
-Result<int32_t> DecodeWorkerPayload(const Bytes& payload) {
+Result<WorkerPayload> DecodeWorkerPayload(const Bytes& payload) {
   ByteReader reader(payload);
+  WorkerPayload decoded;
+  FSD_ASSIGN_OR_RETURN(decoded.run_id, codec::GetVarint64(&reader));
   FSD_ASSIGN_OR_RETURN(uint64_t id, codec::GetVarint64(&reader));
-  return static_cast<int32_t>(id);
+  decoded.worker_id = static_cast<int32_t>(id);
+  return decoded;
 }
 
-void RunFsiWorker(cloud::FaasContext* ctx, RunState* state) {
-  Result<int32_t> id = DecodeWorkerPayload(ctx->payload());
-  if (!id.ok()) {
-    ctx->set_result(id.status());
+void RunFsiWorker(cloud::FaasContext* ctx, RunState* state,
+                  int32_t worker_id) {
+  if (worker_id < 0 || worker_id >= state->options.num_workers) {
+    ctx->set_result(Status::InvalidArgument(
+        StrFormat("worker id %d outside [0, %d)", worker_id,
+                  state->options.num_workers)));
+    ++state->workers_completed;
+    state->MaybeQuiesce();
     return;
   }
-  const int32_t worker_id = *id;
   WorkerMetrics& metrics = state->metrics.workers[worker_id];
   metrics.worker_id = worker_id;
   metrics.start_time = ctx->sim()->Now();
+  metrics.cold_start = ctx->cold_start();
   state->launch_complete_s =
       std::max(state->launch_complete_s, metrics.start_time);
 
@@ -289,6 +298,8 @@ void RunFsiWorker(cloud::FaasContext* ctx, RunState* state) {
             status.ToString().c_str());
   }
   if (worker_id == 0) state->done->Fire();
+  ++state->workers_completed;
+  state->MaybeQuiesce();
 }
 
 }  // namespace fsd::core

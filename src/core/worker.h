@@ -19,6 +19,10 @@ namespace fsd::core {
 /// Shared state of one inference run (owned by the runtime; read-mostly from
 /// workers; the root writes outputs and fires `done`).
 struct RunState {
+  /// Uniques this run within the cloud: channel scopes and worker payloads
+  /// carry it so shared (warm-pool-reusing) functions can dispatch among
+  /// concurrently executing runs.
+  uint64_t run_id = 0;
   const model::SparseDnn* dnn = nullptr;
   const part::ModelPartition* partition = nullptr;
   /// One activation map per inference batch (successive batches reuse the
@@ -38,18 +42,48 @@ struct RunState {
   double launch_complete_s = 0.0;  ///< latest worker start time (virtual)
   bool abort = false;              ///< any worker failed; drain quickly
 
+  /// --- quiescence tracking ---
+  /// `done` fires when the ROOT finishes, but siblings (or workers still in
+  /// their start delay), and even the coordinator mid-launch-loop, may
+  /// outlive the root. Concurrent serving must not collect (and move out
+  /// of) this state until nothing can touch it anymore; `quiesced` fires at
+  /// that point. Mutated only inside the simulation (single-threaded by
+  /// construction).
+  int32_t workers_launched = 0;    ///< successful worker InvokeAsync calls
+  int32_t workers_completed = 0;   ///< worker handlers that returned
+  int32_t coordinators_active = 0; ///< coordinator handlers in flight
+  std::shared_ptr<sim::SimSignal> quiesced;
+
+  /// Fires `quiesced` once the run is finished, no launched worker is
+  /// still in flight, and no coordinator could launch more. Called after
+  /// every worker and coordinator exit.
+  void MaybeQuiesce() {
+    if (done->fired() && coordinators_active == 0 &&
+        workers_completed == workers_launched) {
+      quiesced->Fire();
+    }
+  }
+
   /// Phases per batch: L layers + barrier arrive/release + reduce + spare.
   int32_t PhasesPerBatch() const { return dnn->layers() + 4; }
 };
 
-/// Encodes/decodes the worker invocation payload (the child's worker id).
-Bytes EncodeWorkerPayload(int32_t worker_id);
-Result<int32_t> DecodeWorkerPayload(const Bytes& payload);
+/// Worker invocation payload: which run this invocation belongs to and the
+/// invoked worker's id. The run id lets one registered FaaS function (and
+/// therefore one warm-instance pool) serve many concurrent runs.
+struct WorkerPayload {
+  uint64_t run_id = 0;
+  int32_t worker_id = 0;
+};
 
-/// The FaaS handler body for a worker invocation. Invokes its children
-/// (hierarchical launch), loads its model share, then runs the FSI loop for
-/// every batch and participates in barrier + reduce.
-void RunFsiWorker(cloud::FaasContext* ctx, RunState* state);
+Bytes EncodeWorkerPayload(uint64_t run_id, int32_t worker_id);
+Result<WorkerPayload> DecodeWorkerPayload(const Bytes& payload);
+
+/// The FaaS handler body for a worker invocation (payload already decoded
+/// and routed to its run). Invokes its children (hierarchical launch), loads
+/// its model share, then runs the FSI loop for every batch and participates
+/// in barrier + reduce.
+void RunFsiWorker(cloud::FaasContext* ctx, RunState* state, int32_t worker_id);
 
 }  // namespace fsd::core
 

@@ -17,6 +17,10 @@ const std::string kSchedulerName = "scheduler";
 }  // namespace
 
 void SimSignal::Fire() {
+  // During teardown, destructors on concurrently unwinding process stacks
+  // may fire signals; waking waiters then would race on the event heap
+  // (and the waiters are being killed anyway).
+  if (sim_->tearing_down()) return;
   if (fired_) return;
   fired_ = true;
   for (uint64_t pid : waiting_pids_) sim_->WakeNow(pid);
@@ -24,6 +28,9 @@ void SimSignal::Fire() {
 }
 
 Simulation::~Simulation() {
+  // Make every kernel entry point inert before waking the victims: their
+  // unwinding stacks may re-enter the simulation (see tearing_down()).
+  tearing_down_.store(true, std::memory_order_release);
   // Unwind any still-blocked processes so their threads can be joined.
   for (auto& p : processes_) {
     if (p->finished || !p->thread.joinable()) continue;
@@ -43,6 +50,9 @@ Simulation::~Simulation() {
 ProcessHandle Simulation::AddProcess(std::string name,
                                      std::function<void()> body,
                                      SimTime start) {
+  // Spawning a thread while the destructor joins the existing ones would
+  // mutate processes_ under its feet; refuse with an inert handle.
+  if (tearing_down()) return ProcessHandle(std::make_shared<SimSignal>(this));
   auto proc = std::make_unique<Process>();
   Process* p = proc.get();
   p->pid = next_pid_++;
@@ -173,6 +183,7 @@ void Simulation::ScheduleWake(Process* p, SimTime delay, bool is_timeout,
 }
 
 void Simulation::WakeNow(uint64_t pid) {
+  if (tearing_down()) return;
   Process* p = FindProcess(pid);
   if (p == nullptr || p->finished) return;
   p->wait_satisfied = true;
@@ -181,6 +192,7 @@ void Simulation::WakeNow(uint64_t pid) {
 }
 
 void Simulation::ScheduleCallback(SimTime delay, std::function<void()> fn) {
+  if (tearing_down()) return;  // no scheduler will ever dispatch it
   FSD_CHECK_GE(delay, 0.0);
   Event ev;
   ev.time = now_ + delay;
@@ -193,6 +205,7 @@ void Simulation::ScheduleCallback(SimTime delay, std::function<void()> fn) {
 }
 
 void Simulation::Hold(SimTime dt) {
+  if (tearing_down()) return;  // called from a destructor mid-unwind
   Process* p = running_;
   FSD_CHECK(p != nullptr);
   ScheduleWake(p, dt, /*is_timeout=*/false, /*epoch=*/0);
@@ -200,6 +213,7 @@ void Simulation::Hold(SimTime dt) {
 }
 
 bool Simulation::WaitSignal(SimSignal* signal, SimTime timeout) {
+  if (tearing_down()) return signal->fired();
   if (signal->fired()) return true;
   Process* p = running_;
   FSD_CHECK(p != nullptr);

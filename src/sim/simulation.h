@@ -10,6 +10,7 @@
 #ifndef FSD_SIM_SIMULATION_H_
 #define FSD_SIM_SIMULATION_H_
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <functional>
@@ -109,6 +110,16 @@ class Simulation {
   /// Number of processes that have not yet finished.
   int live_processes() const { return live_processes_; }
 
+  /// True while the destructor unwinds still-blocked processes. Kernel
+  /// entry points become inert no-ops in this window so that destructors
+  /// running on killed-process stacks (which may legitimately call Hold,
+  /// fire signals or schedule callbacks) can never deadlock, crash on a
+  /// missing scheduler, or race on kernel state from concurrently
+  /// unwinding threads.
+  bool tearing_down() const {
+    return tearing_down_.load(std::memory_order_acquire);
+  }
+
   /// Total events dispatched (diagnostic).
   uint64_t events_dispatched() const { return events_dispatched_; }
 
@@ -165,6 +176,7 @@ class Simulation {
   std::vector<std::unique_ptr<Process>> processes_;
   Process* running_ = nullptr;
   bool in_run_ = false;
+  std::atomic<bool> tearing_down_{false};
 };
 
 /// Computes the virtual-time makespan of running `latencies` on `lanes`

@@ -269,7 +269,14 @@ TEST_F(ChannelTest, ObjectKeyNamingMatchesPaperScheme) {
   EXPECT_EQ(ObjectChannel::ObjectKey(5, 2, 13, false), "5/13/2_13.dat");
   EXPECT_EQ(ObjectChannel::ObjectKey(5, 2, 13, true), "5/13/2_13.nul");
   EXPECT_EQ(QueueChannel::TopicName(13, options), "topic-3");
-  EXPECT_EQ(QueueChannel::QueueName(7), "queue-7");
+  EXPECT_EQ(QueueChannel::QueueName(7, options), "queue-7");
+
+  // A channel scope namespaces every resource (per-query isolation in the
+  // serving runtime) without changing the paper's shard layout.
+  options.channel_scope = "q7-";
+  EXPECT_EQ(ObjectChannel::BucketName(13, options), "q7-bucket-3");
+  EXPECT_EQ(QueueChannel::TopicName(13, options), "q7-topic-3");
+  EXPECT_EQ(QueueChannel::QueueName(7, options), "q7-queue-7");
 }
 
 TEST_F(ChannelTest, ObjectScanBackoffBoundsListCalls) {

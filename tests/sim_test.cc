@@ -200,6 +200,64 @@ TEST(Simulation, TeardownUnwindsBlockedProcesses) {
   SUCCEED();
 }
 
+TEST(Simulation, TeardownWithManyConcurrentLiveProcesses) {
+  // A serving workload aborting mid-flight leaves MANY processes blocked at
+  // once — holds, signal waits, and join chains all unwinding together.
+  auto signal_holder = std::make_shared<std::shared_ptr<SimSignal>>();
+  {
+    Simulation sim;
+    *signal_holder = sim.MakeSignal();
+    for (int i = 0; i < 8; ++i) {
+      sim.AddProcess("holder", [&sim]() { sim.Hold(1e9); });
+      sim.AddProcess("waiter", [&sim, signal_holder]() {
+        sim.WaitSignal(signal_holder->get());
+      });
+      sim.AddProcess("parent", [&sim]() {
+        ProcessHandle child = sim.Spawn("child", [&sim]() { sim.Hold(1e9); });
+        sim.Join(child);
+      });
+    }
+    // A process that never got to start at all (event beyond the horizon).
+    sim.AddProcess("never-started", [&sim]() { sim.Hold(1.0); },
+                   /*start=*/1e12);
+    sim.Run(/*until=*/5.0);
+    EXPECT_GT(sim.live_processes(), 30);
+  }  // destructor must unwind and join every thread without deadlock
+  SUCCEED();
+}
+
+TEST(Simulation, KillPathToleratesSimCallsFromUnwindingDestructors) {
+  // Destructors on a killed process's stack may re-enter the kernel (hold a
+  // drain delay, fire a completion signal, schedule a cleanup callback,
+  // spawn a reaper). During teardown these must be inert, not crash/hang.
+  struct ReentrantGuard {
+    Simulation* sim;
+    std::shared_ptr<SimSignal> done;
+    ~ReentrantGuard() {
+      sim->Hold(0.5);
+      done->Fire();
+      sim->ScheduleCallback(0.1, [] {});
+      ProcessHandle reaper = sim->Spawn("reaper", [] {});
+      sim->Join(reaper);
+      (void)sim->WaitSignal(done.get(), 1.0);
+    }
+  };
+  auto done_holder = std::make_shared<std::shared_ptr<SimSignal>>();
+  {
+    Simulation sim;
+    *done_holder = sim.MakeSignal();
+    for (int i = 0; i < 4; ++i) {
+      sim.AddProcess("guarded", [&sim, done_holder]() {
+        ReentrantGuard guard{&sim, *done_holder};
+        sim.Hold(1e9);  // blocked here when the Simulation dies
+      });
+    }
+    sim.Run(/*until=*/1.0);
+    EXPECT_EQ(sim.live_processes(), 4);
+  }
+  SUCCEED();
+}
+
 TEST(ParallelMakespan, SingleLaneSums) {
   EXPECT_DOUBLE_EQ(ParallelMakespan({1.0, 2.0, 3.0}, 1), 6.0);
 }
