@@ -40,8 +40,8 @@ void Report(const char* label, const core::InferenceReport& report,
 
 int main() {
   const ScaleConfig scale = ScaleConfig::FromEnv();
-  const int32_t neurons = 4096;
-  const int32_t workers = 20;
+  const int32_t neurons = scale.NeuronsOr(4096);
+  const int32_t workers = scale.WorkersOr(20);
   const bench::Workload& workload = bench::GetWorkload(neurons, scale);
   const part::ModelPartition& partition = bench::GetPartition(
       neurons, workers, part::PartitionScheme::kHypergraph, scale);

@@ -227,6 +227,7 @@ ScaleConfig ScaleConfig::FromEnv() {
   ScaleConfig scale;
   const char* env = std::getenv("FSD_BENCH_SCALE");
   scale.paper_scale = (env != nullptr && std::strcmp(env, "paper") == 0);
+  scale.tiny = (env != nullptr && std::strcmp(env, "tiny") == 0);
   return scale;
 }
 

@@ -29,11 +29,17 @@ namespace fsd::bench {
 
 struct ScaleConfig {
   bool paper_scale = false;
+  /// FSD_BENCH_SCALE=tiny: the CTest smoke configuration. Every bench
+  /// binary runs its full code path in seconds so benches cannot bit-rot
+  /// silently; magnitudes are meaningless at this scale, shapes are not
+  /// asserted.
+  bool tiny = false;
   /// Layer count for a given model width. Both compute and communication
   /// scale linearly in L, so per-sample ratios and crossovers are
   /// L-invariant; the default trims depth for single-core wall clock.
   int32_t LayersFor(int32_t neurons) const {
     if (paper_scale) return 120;
+    if (tiny) return 4;
     return neurons >= 65536 ? 8 : 16;
   }
   /// Batch size (samples per inference query). N=16384 keeps a batch large
@@ -43,16 +49,31 @@ struct ScaleConfig {
   /// shapes ("fewer workers win") are batch-robust.
   int32_t BatchFor(int32_t neurons) const {
     if (paper_scale) return 2048;  // still below 10k; see EXPERIMENTS.md
+    if (tiny) return 32;
     if (neurons >= 65536) return 192;
     if (neurons >= 16384) return 768;
     return 256;
   }
   /// Model widths included in sweeps.
   std::vector<int32_t> NeuronCounts() const {
+    if (tiny) return {1024};
     return {1024, 4096, 16384, 65536};
   }
   /// Worker counts (the paper's P values).
-  std::vector<int32_t> WorkerCounts() const { return {8, 20, 42, 62}; }
+  std::vector<int32_t> WorkerCounts() const {
+    if (tiny) return {4, 8};
+    return {8, 20, 42, 62};
+  }
+  /// Two P points bracketing the parallel optimum for quick sweeps.
+  std::vector<int32_t> RepresentativeWorkers() const {
+    if (tiny) return {4, 8};
+    return {20, 62};
+  }
+  /// Clamp a bench's fixed model width / worker count to the smoke scale.
+  int32_t NeuronsOr(int32_t neurons) const { return tiny ? 1024 : neurons; }
+  int32_t WorkersOr(int32_t workers) const {
+    return tiny && workers > 8 ? 8 : workers;
+  }
 
   static ScaleConfig FromEnv();
 };

@@ -48,7 +48,7 @@ int main() {
     for (core::Variant variant :
          {core::Variant::kQueue, core::Variant::kObject}) {
       // Paper-preferred parallelism for cost: a moderate P.
-      const int32_t workers = 20;
+      const int32_t workers = scale.WorkersOr(20);
       const part::ModelPartition& partition = bench::GetPartition(
           neurons, workers, part::PartitionScheme::kHypergraph, scale);
       core::FsdOptions options;

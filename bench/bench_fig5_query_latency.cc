@@ -59,7 +59,7 @@ int main() {
       // Two representative P points bracket the optimum (the full sweep is
       // bench_fig6_scaling's job).
       auto sweep = bench::SweepWorkers(neurons, core::Variant::kQueue, scale,
-                                       {20, 62});
+                                       scale.RepresentativeWorkers());
       for (auto& [workers, report] : sweep) {
         if (!report.status.ok()) continue;
         if (fsd < 0.0 || report.latency_s < fsd) fsd = report.latency_s;

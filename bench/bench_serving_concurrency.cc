@@ -121,8 +121,10 @@ ModeResult RunOverlapping(const bench::Workload& workload,
 int main() {
   const ScaleConfig scale = ScaleConfig::FromEnv();
   const int32_t kWorkers = 8;
-  const int32_t kQueries = scale.paper_scale ? 24 : 10;
-  const std::vector<double> rates_qps = {0.25, 1.0, 4.0};
+  const int32_t kQueries = scale.paper_scale ? 24 : (scale.tiny ? 4 : 10);
+  const std::vector<double> rates_qps =
+      scale.tiny ? std::vector<double>{1.0}
+                 : std::vector<double>{0.25, 1.0, 4.0};
 
   bench::PrintHeader(
       "SERVING CONCURRENCY — overlapping multi-query execution vs the "
@@ -131,7 +133,10 @@ int main() {
                 "arrivals; paper_scale=%d",
                 kWorkers, kQueries, scale.paper_scale ? 1 : 0));
 
-  for (int32_t neurons : {1024, 4096}) {
+  const std::vector<int32_t> widths =
+      scale.tiny ? std::vector<int32_t>{1024} : std::vector<int32_t>{1024,
+                                                                     4096};
+  for (int32_t neurons : widths) {
     const bench::Workload& workload = bench::GetWorkload(neurons, scale);
     const part::ModelPartition& partition = bench::GetPartition(
         neurons, kWorkers, part::PartitionScheme::kHypergraph, scale);

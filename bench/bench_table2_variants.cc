@@ -34,18 +34,19 @@ int main() {
       // Two representative P points bracket the optimum (the full sweep is
       // bench_fig6_scaling's job).
       auto sweep = bench::SweepWorkers(neurons, core::Variant::kQueue, scale,
-                                       {20, 62});
+                                       scale.RepresentativeWorkers());
       for (auto& [workers, report] : sweep) {
         if (!report.status.ok()) continue;
         if (best_parallel < 0.0 || report.per_sample_ms < best_parallel) {
           best_parallel = report.per_sample_ms;
         }
       }
+      const int32_t p_object = scale.WorkersOr(42);
       const part::ModelPartition& p42 = bench::GetPartition(
-          neurons, 42, part::PartitionScheme::kHypergraph, scale);
+          neurons, p_object, part::PartitionScheme::kHypergraph, scale);
       core::FsdOptions options;
       options.variant = core::Variant::kObject;
-      options.num_workers = 42;
+      options.num_workers = p_object;
       core::InferenceReport report =
           bench::RunFsd(workload, p42, options);
       if (report.status.ok() &&

@@ -16,11 +16,11 @@ using bench::ScaleConfig;
 
 int main() {
   const ScaleConfig scale = ScaleConfig::FromEnv();
-  const int32_t neurons = 16384;
-  const int32_t workers = 42;
+  const int32_t neurons = scale.NeuronsOr(16384);
+  const int32_t workers = scale.WorkersOr(42);
   // Random partitioning moves ~an OOM more data; a reduced batch keeps the
   // RP run tractable while both volume and runtime ratios are preserved.
-  if (!scale.paper_scale) bench::OverrideBatch(neurons, 256);
+  if (!scale.paper_scale && !scale.tiny) bench::OverrideBatch(neurons, 256);
   const bench::Workload& workload = bench::GetWorkload(neurons, scale);
 
   bench::PrintHeader(

@@ -1,6 +1,7 @@
 // Channel comparison: the same inference request over FSD-Inf-Serial,
-// FSD-Inf-Queue and FSD-Inf-Object, with the per-channel service metrics
-// and bills side by side (paper §III / §VI-D in miniature).
+// FSD-Inf-Queue, FSD-Inf-Object and FSD-Inf-KV, with the per-channel
+// service metrics and bills side by side (paper §III / §VI-D in
+// miniature).
 //
 //   $ ./examples/channel_comparison
 #include <cstdio>
@@ -32,7 +33,7 @@ int main() {
               "channel activity");
   for (core::Variant variant :
        {core::Variant::kSerial, core::Variant::kQueue,
-        core::Variant::kObject}) {
+        core::Variant::kObject, core::Variant::kKv}) {
     sim::Simulation sim;
     cloud::CloudEnv cloud(&sim);
     core::InferenceRequest request;
@@ -60,6 +61,10 @@ int main() {
                            static_cast<long long>(t.puts_dat + t.puts_nul),
                            static_cast<long long>(t.gets),
                            static_cast<long long>(t.lists));
+    } else if (variant == core::Variant::kKv) {
+      activity = StrFormat("%lld pushes, %lld pops",
+                           static_cast<long long>(t.kv_pushes),
+                           static_cast<long long>(t.kv_pops));
     } else {
       activity = "none (single instance)";
     }

@@ -22,6 +22,12 @@ std::string_view BillingDimensionName(BillingDimension dim) {
       return "object.get";
     case BillingDimension::kObjectList:
       return "object.list";
+    case BillingDimension::kKvRequest:
+      return "kv.requests";
+    case BillingDimension::kKvProcessedByte:
+      return "kv.processed_bytes";
+    case BillingDimension::kKvNodeSecond:
+      return "kv.node_seconds";
     case BillingDimension::kVmSecond:
       return "vm.seconds";
     case BillingDimension::kDimensionCount:
@@ -48,6 +54,12 @@ double BillingLedger::UnitPrice(BillingDimension dim) const {
       return pricing_.object_per_get;
     case BillingDimension::kObjectList:
       return pricing_.object_per_list;
+    case BillingDimension::kKvRequest:
+      return pricing_.kv_per_request;
+    case BillingDimension::kKvProcessedByte:
+      return pricing_.kv_per_processed_byte;
+    case BillingDimension::kKvNodeSecond:
+      return 0.0;  // priced per hour at record time
     case BillingDimension::kVmSecond:
       return 0.0;  // priced per instance type at record time
     case BillingDimension::kDimensionCount:
@@ -73,7 +85,10 @@ double BillingLedger::CommunicationCost() const {
          line(BillingDimension::kQueueApiCall).cost +
          line(BillingDimension::kObjectPut).cost +
          line(BillingDimension::kObjectGet).cost +
-         line(BillingDimension::kObjectList).cost;
+         line(BillingDimension::kObjectList).cost +
+         line(BillingDimension::kKvRequest).cost +
+         line(BillingDimension::kKvProcessedByte).cost +
+         line(BillingDimension::kKvNodeSecond).cost;
 }
 
 std::string BillingLedger::ToString() const {

@@ -25,6 +25,9 @@ enum class BillingDimension : int {
   kObjectPut,            ///< V
   kObjectGet,            ///< R
   kObjectList,           ///< L
+  kKvRequest,            ///< K (KV push/pop/set/get requests)
+  kKvProcessedByte,      ///< B (payload bytes processed by the cache)
+  kKvNodeSecond,         ///< cache-node seconds (priced per hour)
   kVmSecond,             ///< VM runtime seconds (priced per type)
   kDimensionCount,
 };

@@ -10,6 +10,7 @@
 
 #include "cloud/billing.h"
 #include "cloud/faas.h"
+#include "cloud/kvstore.h"
 #include "cloud/latency.h"
 #include "cloud/objectstore.h"
 #include "cloud/pricing.h"
@@ -41,7 +42,8 @@ class CloudEnv {
         faas_(sim, this, &billing_, &config_.latency, &config_.compute,
               rng_.Fork(4)),
         vms_(sim, &billing_, &config_.latency, &config_.pricing,
-             rng_.Fork(5)) {}
+             rng_.Fork(5)),
+        kv_(sim, &billing_, &config_.latency, rng_.Fork(6)) {}
 
   CloudEnv(const CloudEnv&) = delete;
   CloudEnv& operator=(const CloudEnv&) = delete;
@@ -55,6 +57,7 @@ class CloudEnv {
   ObjectStore& objects() { return objects_; }
   FaasService& faas() { return faas_; }
   VmService& vms() { return vms_; }
+  KvStore& kv() { return kv_; }
   const LatencyConfig& latency() const { return config_.latency; }
   const ComputeModelConfig& compute() const { return config_.compute; }
 
@@ -68,6 +71,7 @@ class CloudEnv {
   ObjectStore objects_;
   FaasService faas_;
   VmService vms_;
+  KvStore kv_;
 };
 
 }  // namespace fsd::cloud

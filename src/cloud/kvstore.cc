@@ -1,0 +1,231 @@
+#include "cloud/kvstore.h"
+
+#include <algorithm>
+#include <functional>
+
+namespace fsd::cloud {
+
+Status KvStore::CreateNamespace(const std::string& name,
+                                KvNamespaceOptions options) {
+  if (namespaces_.contains(name)) {
+    return Status::AlreadyExists("kv namespace exists: " + name);
+  }
+  FSD_CHECK_GE(options.num_shards, 1);
+  Namespace ns;
+  ns.options = options;
+  for (int s = 0; s < options.num_shards; ++s) {
+    ns.shard_limiters.push_back(
+        std::make_unique<RateLimiter>(latency_->kv_ops_rps_per_shard));
+  }
+  namespaces_.emplace(name, std::move(ns));
+  return Status::OK();
+}
+
+bool KvStore::NamespaceExists(const std::string& name) const {
+  return namespaces_.contains(name);
+}
+
+Status KvStore::DeleteNamespace(const std::string& name) {
+  auto it = namespaces_.find(name);
+  if (it == namespaces_.end()) {
+    return Status::NotFound("no such kv namespace: " + name);
+  }
+  // The namespace's node time is what a request-priced service never
+  // charges: bill the active window (first use -> teardown) on the way
+  // out so ledger deltas capture the standing cost of keeping a cache
+  // around for the run. Pre-provisioned-but-idle time is free.
+  const double seconds =
+      it->second.first_use_at >= 0.0 ? sim_->Now() - it->second.first_use_at
+                                     : 0.0;
+  billing_->RecordCost(BillingDimension::kKvNodeSecond, seconds,
+                       seconds * billing_->pricing().kv_node_hourly / 3600.0);
+  // Wake any blocked poppers; they observe NotFound on re-entry.
+  for (auto& [key, list] : it->second.lists) {
+    if (list.arrival_signal != nullptr) list.arrival_signal->Fire();
+  }
+  namespaces_.erase(it);
+  return Status::OK();
+}
+
+KvStore::Namespace* KvStore::Find(const std::string& name) {
+  auto it = namespaces_.find(name);
+  return it == namespaces_.end() ? nullptr : &it->second;
+}
+
+const KvStore::Namespace* KvStore::Find(const std::string& name) const {
+  auto it = namespaces_.find(name);
+  return it == namespaces_.end() ? nullptr : &it->second;
+}
+
+double KvStore::ShardDelay(Namespace* ns, const std::string& key) {
+  const size_t shard =
+      std::hash<std::string>{}(key) % ns->shard_limiters.size();
+  return ns->shard_limiters[shard]->AdmissionDelay(sim_->Now());
+}
+
+void KvStore::BillRequest(Namespace* ns, uint64_t bytes) {
+  if (ns->first_use_at < 0.0) ns->first_use_at = sim_->Now();
+  billing_->Record(BillingDimension::kKvRequest, 1);
+  if (bytes > 0) {
+    billing_->Record(BillingDimension::kKvProcessedByte,
+                     static_cast<double>(bytes));
+  }
+}
+
+KvStore::PushOutcome KvStore::Push(const std::string& ns_name,
+                                   const std::string& key, Bytes value) {
+  PushOutcome outcome;
+  Namespace* ns = Find(ns_name);
+  if (ns == nullptr) {
+    outcome.status = Status::NotFound("no such kv namespace: " + ns_name);
+    return outcome;
+  }
+  BillRequest(ns, value.size());
+  const double queueing = ShardDelay(ns, key);
+  outcome.latency =
+      queueing + latency_->kv_push.Sample(&rng_, value.size());
+
+  ListEntry& list = ns->lists[key];
+  if (list.arrival_signal == nullptr) {
+    list.arrival_signal = sim_->MakeSignal();
+  }
+  StoredValue stored{std::move(value), sim_->Now() + outcome.latency};
+  list.values.push_back(std::move(stored));
+  // Wake long-pollers when the value becomes visible, then re-arm.
+  std::string ns_copy = ns_name;
+  std::string key_copy = key;
+  sim_->ScheduleCallback(outcome.latency, [this, ns_copy, key_copy]() {
+    Namespace* target = Find(ns_copy);
+    if (target == nullptr) return;  // namespace torn down in flight
+    auto it = target->lists.find(key_copy);
+    if (it == target->lists.end()) return;
+    it->second.arrival_signal->Fire();
+    it->second.arrival_signal = sim_->MakeSignal();
+  });
+  outcome.status = Status::OK();
+  return outcome;
+}
+
+Result<std::vector<Bytes>> KvStore::BlockingPopAll(const std::string& ns_name,
+                                                   const std::string& key,
+                                                   int max_values,
+                                                   double wait_s) {
+  if (max_values < 1 || max_values > kMaxValuesPerPop) {
+    return Status::InvalidArgument("max_values must be in [1, 64]");
+  }
+  Namespace* ns = Find(ns_name);
+  if (ns == nullptr) {
+    return Status::NotFound("no such kv namespace: " + ns_name);
+  }
+  const double queueing = ShardDelay(ns, key);
+  if (queueing > 0.0) {
+    sim_->Hold(queueing);
+    // Holding yielded to the scheduler: the namespace may have been torn
+    // down while this popper waited for shard admission.
+    ns = Find(ns_name);
+    if (ns == nullptr) {
+      return Status::NotFound("kv namespace deleted: " + ns_name);
+    }
+  }
+
+  auto gather = [&](Namespace* space) {
+    std::vector<Bytes> out;
+    auto it = space->lists.find(key);
+    if (it == space->lists.end()) return out;
+    const double now = sim_->Now();
+    std::deque<StoredValue>& values = it->second.values;
+    while (!values.empty() &&
+           static_cast<int>(out.size()) < max_values &&
+           values.front().visible_at <= now) {
+      out.push_back(std::move(values.front().body));
+      values.pop_front();
+    }
+    return out;
+  };
+
+  std::vector<Bytes> got = gather(ns);
+  const double deadline = sim_->Now() + wait_s;
+  while (got.empty()) {
+    const double remaining = deadline - sim_->Now();
+    if (remaining <= 0.0) break;
+    ListEntry& list = ns->lists[key];
+    if (list.arrival_signal == nullptr) {
+      list.arrival_signal = sim_->MakeSignal();
+    }
+    std::shared_ptr<sim::SimSignal> signal = list.arrival_signal;
+    if (!sim_->WaitSignal(signal.get(), remaining)) break;
+    // Re-resolve: the namespace may have been torn down while we slept.
+    ns = Find(ns_name);
+    if (ns == nullptr) {
+      return Status::NotFound("kv namespace deleted: " + ns_name);
+    }
+    got = gather(ns);
+  }
+
+  uint64_t bytes = 0;
+  for (const Bytes& v : got) bytes += v.size();
+  BillRequest(ns, bytes);
+  sim_->Hold(latency_->kv_pop.Sample(&rng_, bytes));
+  return got;
+}
+
+Status KvStore::Set(const std::string& ns_name, const std::string& key,
+                    Bytes value) {
+  Namespace* ns = Find(ns_name);
+  if (ns == nullptr) {
+    return Status::NotFound("no such kv namespace: " + ns_name);
+  }
+  BillRequest(ns, value.size());
+  const double latency = ShardDelay(ns, key) +
+                         latency_->kv_push.Sample(&rng_, value.size());
+  ns->kv[key] = StoredValue{std::move(value), sim_->Now() + latency};
+  sim_->Hold(latency);
+  return Status::OK();
+}
+
+Result<Bytes> KvStore::Get(const std::string& ns_name,
+                           const std::string& key) {
+  Namespace* ns = Find(ns_name);
+  if (ns == nullptr) {
+    return Status::NotFound("no such kv namespace: " + ns_name);
+  }
+  const double queueing = ShardDelay(ns, key);
+  auto it = ns->kv.find(key);
+  if (it == ns->kv.end() || it->second.visible_at > sim_->Now()) {
+    BillRequest(ns, 0);
+    sim_->Hold(queueing + latency_->kv_pop.Sample(&rng_));
+    return Status::NotFound("no such kv key: " + key);
+  }
+  Bytes body = it->second.body;
+  BillRequest(ns, body.size());
+  sim_->Hold(queueing + latency_->kv_pop.Sample(&rng_, body.size()));
+  return body;
+}
+
+Result<size_t> KvStore::ListLength(const std::string& ns_name,
+                                   const std::string& key) const {
+  const Namespace* ns = Find(ns_name);
+  if (ns == nullptr) {
+    return Status::NotFound("no such kv namespace: " + ns_name);
+  }
+  auto it = ns->lists.find(key);
+  if (it == ns->lists.end()) return static_cast<size_t>(0);
+  size_t visible = 0;
+  for (const StoredValue& v : it->second.values) {
+    if (v.visible_at <= sim_->Now()) ++visible;
+  }
+  return visible;
+}
+
+uint64_t KvStore::TotalBytes() const {
+  uint64_t total = 0;
+  for (const auto& [name, ns] : namespaces_) {
+    for (const auto& [key, list] : ns.lists) {
+      for (const StoredValue& v : list.values) total += v.body.size();
+    }
+    for (const auto& [key, v] : ns.kv) total += v.body.size();
+  }
+  return total;
+}
+
+}  // namespace fsd::cloud

@@ -55,6 +55,11 @@ struct LatencyConfig {
   OpLatency object_get{0.018, 0.30, 110.0e6};
   OpLatency object_list{0.025, 0.25, 0.0};
 
+  // In-memory KV (ElastiCache/Redis in-VPC): sub-millisecond ops, the
+  // latency class queue/object APIs cannot reach.
+  OpLatency kv_push{0.0009, 0.30, 220.0e6};
+  OpLatency kv_pop{0.0008, 0.30, 260.0e6};
+
   // VM lifecycle (EC2 + image boot)
   OpLatency vm_boot{45.0, 0.15, 0.0};
   /// EBS sequential read bandwidth for "hot-ish" model loads (bytes/s).
@@ -67,6 +72,8 @@ struct LatencyConfig {
   double object_put_rps_per_bucket = 3500.0;
   double object_get_rps_per_bucket = 5500.0;
   double object_list_rps_per_bucket = 100.0;
+  /// Per-shard op cap of a KV namespace (cluster slot throughput).
+  double kv_ops_rps_per_shard = 90000.0;
 };
 
 /// Leaky-bucket rate limiter: returns the queueing delay an arrival at

@@ -40,6 +40,16 @@ struct PricingConfig {
   /// C_S3(List): cost per LIST request ($0.005 per 1K).
   double object_per_list = 0.005 / 1e3;
 
+  // --- In-memory KV (ElastiCache/Redis-style serverless cache) ---
+  /// C_KV(Req): cost per KV API request (push/pop/set/get).
+  double kv_per_request = 0.20 / 1e6;
+  /// C_KV(Byte): cost per payload byte processed by the cache (ECPU-style
+  /// per-KB metering makes throughput the expensive dimension).
+  double kv_per_processed_byte = 0.34 / (1024.0 * 1024.0 * 1024.0);
+  /// C_KV(Node): standing $/hour for a provisioned namespace (serverless
+  /// cache floor) — the term request-priced object storage never pays.
+  double kv_node_hourly = 0.09;
+
   // --- VMs (AWS EC2 on-demand, us-east-1) ---
   /// $/hour by instance type; used by the server-based baselines.
   std::map<std::string, double> vm_hourly = {

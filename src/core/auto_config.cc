@@ -61,7 +61,19 @@ double EstimateLatency(const cloud::CloudEnv& cloud,
                                  (base.compress ? 0.6 : 1.0);
   const double per_worker_layer_bytes = bytes_per_layer / workers;
   double per_layer_comm;
-  if (variant == Variant::kQueue) {
+  if (variant == Variant::kKv) {
+    // Sub-millisecond push/pop round trips; pops drain many values, so the
+    // receive side pays ~one op plus the transfer tail.
+    const double chunks = std::max(
+        1.0, per_worker_layer_bytes / static_cast<double>(
+                                          base.kv_max_value_bytes));
+    const double pushes = chunks * latency.kv_push.median_s /
+                          std::max(1, base.io_lanes);
+    const double pops = std::max(1.0, chunks / cloud::kMaxValuesPerPop) *
+                        latency.kv_pop.median_s;
+    per_layer_comm = pushes + latency.kv_pop.median_s + pops +
+                     per_worker_layer_bytes / latency.kv_pop.bytes_per_s;
+  } else if (variant == Variant::kQueue) {
     const double chunks = std::max(
         1.0, per_worker_layer_bytes / static_cast<double>(
                                           base.max_message_bytes));
@@ -114,7 +126,7 @@ Result<AutoSelectResult> AutoSelectConfiguration(
     if (workers <= 1) {
       variants = {Variant::kSerial};
     } else {
-      variants = {Variant::kQueue, Variant::kObject};
+      variants = {Variant::kQueue, Variant::kObject, Variant::kKv};
     }
     for (Variant variant : variants) {
       ConfigCandidate candidate;
@@ -163,6 +175,18 @@ Result<AutoSelectResult> AutoSelectConfiguration(
           candidate.predicted_cost =
               ObjectCost(pricing, workers, candidate.predicted_latency_s,
                          memory_mb, puts, gets, lists);
+          break;
+        }
+        case Variant::kKv: {
+          const double chunks = std::max(
+              pairs, total_bytes /
+                         static_cast<double>(
+                             request.base_options.kv_max_value_bytes));
+          const double requests = chunks + 1.2 * pairs;
+          // The run's namespace stays provisioned for the query duration.
+          candidate.predicted_cost = KvCost(
+              pricing, workers, candidate.predicted_latency_s, memory_mb,
+              requests, 2.0 * total_bytes, candidate.predicted_latency_s);
           break;
         }
       }

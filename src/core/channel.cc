@@ -1,0 +1,46 @@
+#include "core/channel.h"
+
+#include "core/kv_channel.h"
+#include "core/object_channel.h"
+#include "core/queue_channel.h"
+
+namespace fsd::core {
+
+std::unique_ptr<CommChannel> MakeCommChannel(Variant variant) {
+  switch (variant) {
+    case Variant::kQueue:
+      return std::make_unique<QueueChannel>();
+    case Variant::kObject:
+      return std::make_unique<ObjectChannel>();
+    case Variant::kKv:
+      return std::make_unique<KvChannel>();
+    case Variant::kSerial:
+      return nullptr;
+  }
+  return nullptr;
+}
+
+Status ProvisionChannelResources(cloud::CloudEnv* cloud,
+                                 const FsdOptions& options) {
+  switch (options.variant) {
+    case Variant::kQueue:
+      return QueueChannel::Provision(cloud, options);
+    case Variant::kObject:
+      return ObjectChannel::Provision(cloud, options);
+    case Variant::kKv:
+      return KvChannel::Provision(cloud, options);
+    case Variant::kSerial:
+      return Status::OK();
+  }
+  return Status::OK();
+}
+
+Status TeardownChannelResources(cloud::CloudEnv* cloud,
+                                const FsdOptions& options) {
+  if (options.variant == Variant::kKv) {
+    return KvChannel::Teardown(cloud, options);
+  }
+  return Status::OK();
+}
+
+}  // namespace fsd::core

@@ -13,6 +13,7 @@
 #define FSD_CORE_CHANNEL_H_
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "cloud/cloud.h"
@@ -68,6 +69,23 @@ class CommChannel {
   virtual Result<linalg::ActivationMap> ReceivePhase(
       WorkerEnv* env, int32_t phase, const std::vector<int32_t>& sources) = 0;
 };
+
+/// Builds the channel implementation for a variant (nullptr for kSerial,
+/// which performs no communication). One instance per worker: channels
+/// carry per-worker receive state.
+std::unique_ptr<CommChannel> MakeCommChannel(Variant variant);
+
+/// Pre-creates the communication resources named by `options.channel_scope`
+/// for the variant (topics/queues, buckets, or the KV namespace). Offline
+/// step: not billed per request and not timed, matching the paper.
+Status ProvisionChannelResources(cloud::CloudEnv* cloud,
+                                 const FsdOptions& options);
+
+/// Releases per-run channel resources. Queue/object resources are
+/// request-priced and free to keep, so this is a no-op for them; the KV
+/// namespace is deleted, which bills its node time.
+Status TeardownChannelResources(cloud::CloudEnv* cloud,
+                                const FsdOptions& options);
 
 /// Phase-id layout shared by workers and collectives.
 constexpr int32_t kPhaseBarrierArrive(int32_t layers) { return layers; }

@@ -14,9 +14,9 @@ std::string_view TraitSupportSymbol(TraitSupport support) {
   return "?";
 }
 
-const std::array<ChannelTraits, 7>& ChannelTraitMatrix() {
+const std::array<ChannelTraits, 8>& ChannelTraitMatrix() {
   using enum TraitSupport;
-  static const std::array<ChannelTraits, 7> matrix = {{
+  static const std::array<ChannelTraits, 8> matrix = {{
       {"Stream", kPartial, kYes, kPartial, kNo, kPartial, kNo, kYes,
        "provisioned shards; producer/consumer and API-rate caps"},
       {"Stream (ETL)", kYes, kYes, kYes, kNo, kYes, kYes, kNo,
@@ -31,6 +31,9 @@ const std::array<ChannelTraits, 7>& ChannelTraitMatrix() {
        "SELECTED: FSD-Inf-Queue (filtered fan-out + per-worker queues)"},
       {"Object Storage", kYes, kYes, kPartial, kYes, kYes, kNo, kYes,
        "SELECTED: FSD-Inf-Object (size-free payloads; per-request billing)"},
+      {"In-Memory KV", kPartial, kYes, kPartial, kNo, kYes, kNo, kYes,
+       "SELECTED: FSD-Inf-KV (sub-ms ops for small payloads; standing "
+       "node cost + per-byte metering)"},
   }};
   return matrix;
 }

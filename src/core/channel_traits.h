@@ -24,8 +24,9 @@ struct ChannelTraits {
   std::string_view verdict;
 };
 
-/// The seven service categories of Table I, in paper order.
-const std::array<ChannelTraits, 7>& ChannelTraitMatrix();
+/// The seven service categories of Table I in paper order, plus the
+/// in-memory KV row backing the FSD-Inf-KV extension.
+const std::array<ChannelTraits, 8>& ChannelTraitMatrix();
 
 std::string_view TraitSupportSymbol(TraitSupport support);
 

@@ -48,6 +48,19 @@ CostBreakdown ObjectCost(const cloud::PricingConfig& pricing,
   return out;
 }
 
+CostBreakdown KvCost(const cloud::PricingConfig& pricing, int32_t num_workers,
+                     double mean_runtime_s, int32_t memory_mb,
+                     double requests, double processed_bytes,
+                     double node_seconds) {
+  CostBreakdown out;
+  out.compute = FaasCost(pricing, num_workers, mean_runtime_s, memory_mb);
+  out.communication = requests * pricing.kv_per_request +
+                      processed_bytes * pricing.kv_per_processed_byte +
+                      node_seconds * pricing.kv_node_hourly / 3600.0;
+  out.total = out.compute + out.communication;
+  return out;
+}
+
 CostBreakdown SerialCost(const cloud::PricingConfig& pricing,
                          double runtime_s, int32_t memory_mb) {
   CostBreakdown out;
@@ -79,6 +92,18 @@ CostBreakdown PredictFromMetrics(const cloud::PricingConfig& pricing,
                         static_cast<double>(t.puts_dat + t.puts_nul),
                         static_cast<double>(t.gets),
                         static_cast<double>(t.lists));
+    case Variant::kKv: {
+      // B: processed bytes = wire bytes both directions plus the ~3-byte
+      // (source, seq, total) value header per chunk per direction. Node
+      // seconds are billed at namespace teardown, outside the per-run
+      // metrics, so they are not predicted here.
+      const double processed =
+          static_cast<double>(t.send_wire_bytes + t.recv_wire_bytes) +
+          static_cast<double>(t.send_chunks) * 6.0;
+      return KvCost(pricing, options.num_workers, metrics.mean_worker_s,
+                    memory_mb, static_cast<double>(t.kv_pushes + t.kv_pops),
+                    processed, /*node_seconds=*/0.0);
+    }
   }
   return {};
 }
@@ -112,6 +137,12 @@ WorkloadEstimate EstimateWorkload(const model::SparseDnn& dnn,
         // Object: one PUT per pair; one GET per non-empty pair.
         est.puts += 1.0;
         est.gets += (rows_active >= 0.5) ? 1.0 : 0.0;
+        // KV: value-capped pushes plus the processed bytes (both
+        // directions pass through the cache).
+        est.kv_requests += std::max(
+            1.0, std::ceil(bytes / static_cast<double>(
+                                       options.kv_max_value_bytes)));
+        est.kv_processed_bytes += 2.0 * bytes;
       }
     }
   }
@@ -120,6 +151,8 @@ WorkloadEstimate EstimateWorkload(const model::SparseDnn& dnn,
   est.queue_api_calls = 2.2 * static_cast<double>(pairs) /
                         static_cast<double>(cloud::kMaxMessagesPerReceive) *
                         10.0 / 4.0;
+  // KV pops drain many values per call; ~one pop per pair covers waits.
+  est.kv_requests += 1.2 * static_cast<double>(pairs);
   // LISTs: a few scans per worker-layer until peers publish.
   est.lists = 1.8 * static_cast<double>(dnn.layers()) * partition.num_parts;
   (void)pairs;

@@ -40,6 +40,16 @@ CostBreakdown ObjectCost(const cloud::PricingConfig& pricing,
                          int32_t memory_mb, double puts, double gets,
                          double lists);
 
+/// C_KV = C_lambda + K*C_req + B*C_byte + T_ns*C_node/3600 — the KV
+/// analogue of Eqs. 5-7: request and processed-byte metering plus the
+/// standing node-hour cost of the run's cache namespace. Pass
+/// node_seconds = 0 when the namespace's lifetime is accounted separately
+/// (the billing ledger bills it at teardown).
+CostBreakdown KvCost(const cloud::PricingConfig& pricing, int32_t num_workers,
+                     double mean_runtime_s, int32_t memory_mb,
+                     double requests, double processed_bytes,
+                     double node_seconds);
+
 /// C_Serial = C_lambda (Eq. 3).
 CostBreakdown SerialCost(const cloud::PricingConfig& pricing,
                          double runtime_s, int32_t memory_mb);
@@ -61,6 +71,8 @@ struct WorkloadEstimate {
   double puts = 0.0;
   double gets = 0.0;
   double lists = 0.0;
+  double kv_requests = 0.0;
+  double kv_processed_bytes = 0.0;
   double est_bytes_per_batch = 0.0;
 };
 

@@ -10,6 +10,8 @@ std::string_view VariantName(Variant variant) {
       return "FSD-Inf-Queue";
     case Variant::kObject:
       return "FSD-Inf-Object";
+    case Variant::kKv:
+      return "FSD-Inf-KV";
   }
   return "unknown";
 }

@@ -10,11 +10,13 @@
 
 namespace fsd::core {
 
-/// The three FSD-Inference variants evaluated in the paper.
+/// The three FSD-Inference variants evaluated in the paper, plus the
+/// in-memory KV extension (FMI-style low-latency channel).
 enum class Variant : int {
   kSerial = 0,  ///< single FaaS instance, no communication (FSD-Inf-Serial)
   kQueue = 1,   ///< pub-sub + queueing channel (FSD-Inf-Queue)
   kObject = 2,  ///< object storage channel (FSD-Inf-Object)
+  kKv = 3,      ///< in-memory KV channel (FSD-Inf-KV)
 };
 
 std::string_view VariantName(Variant variant);
@@ -73,6 +75,17 @@ struct FsdOptions {
   /// Skip 0-byte ".nul" markers when reading (object channel optimization;
   /// ablation knob).
   bool nul_markers = true;
+
+  /// KV channel: per-value payload cap (in-memory caches favor small
+  /// items; large values monopolize a cluster slot).
+  uint64_t kv_max_value_bytes = 128 * 1024;
+  /// Blocking-pop wait for the KV channel (BLPOP timeout analogue). Short
+  /// relative to poll_wait_s: KV wakeups are cheap, and short waits keep
+  /// abort draining prompt.
+  double kv_poll_wait_s = 1.0;
+  /// Cluster shards of the per-run KV namespace (raises the aggregate
+  /// request-rate cap, like topic/bucket sharding).
+  int32_t kv_shards = 4;
 
   /// Worker function sizing. <= 0 selects the paper's schedule via
   /// DefaultWorkerMemoryMb(neurons).

@@ -1,0 +1,206 @@
+#include "core/kv_channel.h"
+
+#include <algorithm>
+#include <map>
+
+#include "codec/varint.h"
+#include "common/strings.h"
+#include "sim/simulation.h"
+
+namespace fsd::core {
+namespace {
+
+/// Value layout: varint(source), varint(seq), varint(total), chunk wire.
+Bytes EncodeValue(int32_t source, int32_t seq, int32_t total, Bytes wire) {
+  Bytes out;
+  out.reserve(wire.size() + 6);
+  codec::PutVarint64(&out, static_cast<uint64_t>(source));
+  codec::PutVarint64(&out, static_cast<uint64_t>(seq));
+  codec::PutVarint64(&out, static_cast<uint64_t>(total));
+  out.insert(out.end(), wire.begin(), wire.end());
+  return out;
+}
+
+struct DecodedValue {
+  int32_t source = 0;
+  int32_t seq = 0;
+  int32_t total = 0;
+  Bytes body;
+};
+
+Result<DecodedValue> DecodeValue(const Bytes& value) {
+  ByteReader reader(value);
+  DecodedValue decoded;
+  FSD_ASSIGN_OR_RETURN(uint64_t source, codec::GetVarint64(&reader));
+  FSD_ASSIGN_OR_RETURN(uint64_t seq, codec::GetVarint64(&reader));
+  FSD_ASSIGN_OR_RETURN(uint64_t total, codec::GetVarint64(&reader));
+  decoded.source = static_cast<int32_t>(source);
+  decoded.seq = static_cast<int32_t>(seq);
+  decoded.total = static_cast<int32_t>(total);
+  FSD_ASSIGN_OR_RETURN(decoded.body, reader.ReadBytes(reader.remaining()));
+  return decoded;
+}
+
+}  // namespace
+
+std::string KvChannel::NamespaceName(const FsdOptions& options) {
+  return StrFormat("%skv", options.channel_scope.c_str());
+}
+
+std::string KvChannel::InboxKey(int32_t phase, int32_t target) {
+  return StrFormat("p%d/w%d", phase, target);
+}
+
+Status KvChannel::Provision(cloud::CloudEnv* cloud,
+                            const FsdOptions& options) {
+  const std::string ns = NamespaceName(options);
+  if (!cloud->kv().NamespaceExists(ns)) {
+    cloud::KvNamespaceOptions ns_options;
+    ns_options.num_shards = std::max<int32_t>(1, options.kv_shards);
+    FSD_RETURN_IF_ERROR(cloud->kv().CreateNamespace(ns, ns_options));
+  }
+  return Status::OK();
+}
+
+Status KvChannel::Teardown(cloud::CloudEnv* cloud, const FsdOptions& options) {
+  const std::string ns = NamespaceName(options);
+  if (!cloud->kv().NamespaceExists(ns)) return Status::OK();
+  return cloud->kv().DeleteNamespace(ns);
+}
+
+Status KvChannel::SendPhase(WorkerEnv* env, int32_t phase,
+                            const linalg::ActivationMap& source,
+                            const std::vector<SendSpec>& sends) {
+  if (sends.empty()) return Status::OK();
+  const FsdOptions& options = *env->options;
+  LayerMetrics& metrics = env->metrics->Layer(phase);
+  metrics.send_targets += static_cast<int64_t>(sends.size());
+
+  // 1) Encode per-target chunk lists (value-capped, NNZ heuristic). An
+  // empty send still produces one marker chunk so the receiver's per-source
+  // accounting completes without data.
+  struct Outgoing {
+    std::string key;
+    Bytes value;
+  };
+  std::vector<Outgoing> outgoing;
+  uint64_t serialize_bytes = 0;
+  for (const SendSpec& send : sends) {
+    metrics.send_rows_mapped += static_cast<int64_t>(send.rows->size());
+    EncodeResult encoded =
+        EncodeRows(source, *send.rows, options.kv_max_value_bytes,
+                   options.compress, options.codec);
+    metrics.send_rows_active += encoded.active_rows;
+    const int32_t total = static_cast<int32_t>(encoded.chunks.size());
+    for (int32_t seq = 0; seq < total; ++seq) {
+      RowChunk& chunk = encoded.chunks[seq];
+      metrics.send_chunks += 1;
+      metrics.send_raw_bytes += static_cast<int64_t>(chunk.raw_bytes);
+      metrics.send_wire_bytes += static_cast<int64_t>(chunk.wire.size());
+      serialize_bytes += chunk.raw_bytes;
+      outgoing.push_back(
+          {InboxKey(phase, send.target),
+           EncodeValue(env->worker_id, seq, total, std::move(chunk.wire))});
+    }
+  }
+
+  // 2) Serialization/compression CPU (parallel over IPC lanes).
+  const auto& compute = env->cloud->compute();
+  const double serialize_s =
+      static_cast<double>(serialize_bytes) / compute.serialize_bytes_per_s;
+  std::vector<double> lane_costs;
+  if (!outgoing.empty()) {
+    lane_costs.assign(outgoing.size(),
+                      serialize_s / static_cast<double>(outgoing.size()));
+  }
+  const double serialize_makespan =
+      sim::ParallelMakespan(lane_costs, options.io_lanes);
+  metrics.serialize_s += serialize_makespan;
+  FSD_RETURN_IF_ERROR(env->faas->SleepFor(serialize_makespan));
+
+  // 3) Lane-scheduled pushes: each lane issues its next push when the
+  // previous completes, using the median op latency as the lane estimate.
+  const double estimate = env->cloud->latency().kv_push.median_s;
+  std::vector<double> lane_free(static_cast<size_t>(
+      std::max<int32_t>(1, options.io_lanes)), 0.0);
+  metrics.kv_pushes += static_cast<int64_t>(outgoing.size());
+  const std::string ns = NamespaceName(options);
+  for (Outgoing& out : outgoing) {
+    auto lane = std::min_element(lane_free.begin(), lane_free.end());
+    const double offset = *lane;
+    *lane += estimate;
+    cloud::CloudEnv* cloud = env->cloud;
+    env->cloud->sim()->ScheduleCallback(
+        offset, [cloud, ns, key = std::move(out.key),
+                 value = std::move(out.value)]() mutable {
+          cloud->kv().Push(ns, key, std::move(value));
+        });
+  }
+  // The worker only pays the pipelined dispatch overhead; the op round
+  // trips ride on the lanes above.
+  const double dispatch_s = 0.0002 * static_cast<double>(outgoing.size());
+  FSD_RETURN_IF_ERROR(env->faas->SleepFor(dispatch_s));
+  return Status::OK();
+}
+
+Result<linalg::ActivationMap> KvChannel::ReceivePhase(
+    WorkerEnv* env, int32_t phase, const std::vector<int32_t>& sources) {
+  linalg::ActivationMap received;
+  if (sources.empty()) return received;
+  const FsdOptions& options = *env->options;
+  LayerMetrics& metrics = env->metrics->Layer(phase);
+  const double start = env->cloud->sim()->Now();
+  const auto& compute = env->cloud->compute();
+
+  struct Progress {
+    int32_t expected = -1;
+    int32_t got = 0;
+  };
+  std::map<int32_t, Progress> pending;
+  for (int32_t s : sources) pending.emplace(s, Progress{});
+
+  const std::string ns = NamespaceName(options);
+  const std::string inbox = InboxKey(phase, env->worker_id);
+  while (!pending.empty()) {
+    FSD_RETURN_IF_ERROR(env->CheckAbort());
+    FSD_RETURN_IF_ERROR(env->faas->CheckDeadline());
+    FSD_ASSIGN_OR_RETURN(
+        std::vector<Bytes> values,
+        env->cloud->kv().BlockingPopAll(ns, inbox, cloud::kMaxValuesPerPop,
+                                        options.kv_poll_wait_s));
+    ++metrics.kv_pops;
+    if (values.empty()) {
+      ++metrics.kv_empty_pops;
+      continue;
+    }
+    uint64_t popped_bytes = 0;
+    for (const Bytes& value : values) {
+      FSD_ASSIGN_OR_RETURN(DecodedValue decoded, DecodeValue(value));
+      auto it = pending.find(decoded.source);
+      if (it == pending.end()) {
+        // Pops are destructive, so a duplicate can only mean a stray value
+        // from a mis-scoped sender; count it like the other channels do.
+        ++metrics.redundant_skipped;
+        continue;
+      }
+      it->second.expected = decoded.total;
+      ++it->second.got;
+      metrics.recv_wire_bytes += static_cast<int64_t>(decoded.body.size());
+      popped_bytes += decoded.body.size();
+      const size_t before = received.size();
+      FSD_RETURN_IF_ERROR(
+          DecodeRows(decoded.body, options.compress, &received));
+      metrics.recv_rows += static_cast<int64_t>(received.size() - before);
+      if (it->second.got == it->second.expected) pending.erase(it);
+    }
+    const double deser_s =
+        static_cast<double>(popped_bytes) / compute.deserialize_bytes_per_s;
+    metrics.deserialize_s += deser_s;
+    FSD_RETURN_IF_ERROR(env->faas->SleepFor(deser_s));
+  }
+
+  metrics.recv_wait_s += env->cloud->sim()->Now() - start;
+  return received;
+}
+
+}  // namespace fsd::core

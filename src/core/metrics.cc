@@ -18,6 +18,7 @@ void LayerMetrics::Add(const LayerMetrics& other) {
   publish_chunks += other.publish_chunks;
   puts_dat += other.puts_dat;
   puts_nul += other.puts_nul;
+  kv_pushes += other.kv_pushes;
   serialize_s += other.serialize_s;
   polls += other.polls;
   empty_polls += other.empty_polls;
@@ -25,6 +26,8 @@ void LayerMetrics::Add(const LayerMetrics& other) {
   msgs_received += other.msgs_received;
   lists += other.lists;
   gets += other.gets;
+  kv_pops += other.kv_pops;
+  kv_empty_pops += other.kv_empty_pops;
   nul_skipped += other.nul_skipped;
   redundant_skipped += other.redundant_skipped;
   recv_wire_bytes += other.recv_wire_bytes;
@@ -63,7 +66,7 @@ std::string RunMetrics::Summary() const {
   return StrFormat(
       "workers=%zu Tbar=%.3fs Tmax=%.3fs sent=%lld chunks (%s wire, %s raw) "
       "publishes=%lld puts=%lld/%lld polls=%lld (%lld empty) lists=%lld "
-      "gets=%lld recv_rows=%lld",
+      "gets=%lld kv=%lld/%lld recv_rows=%lld",
       workers.size(), mean_worker_s, max_worker_s,
       static_cast<long long>(totals.send_chunks),
       HumanBytes(static_cast<double>(totals.send_wire_bytes)).c_str(),
@@ -75,6 +78,8 @@ std::string RunMetrics::Summary() const {
       static_cast<long long>(totals.empty_polls),
       static_cast<long long>(totals.lists),
       static_cast<long long>(totals.gets),
+      static_cast<long long>(totals.kv_pushes),
+      static_cast<long long>(totals.kv_pops),
       static_cast<long long>(totals.recv_rows));
 }
 

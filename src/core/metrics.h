@@ -23,6 +23,7 @@ struct LayerMetrics {
   int64_t publish_chunks = 0;     ///< billed 64 KiB publish chunks
   int64_t puts_dat = 0;           ///< object .dat PUTs
   int64_t puts_nul = 0;           ///< object .nul marker PUTs
+  int64_t kv_pushes = 0;          ///< KV push (RPUSH) requests
   double serialize_s = 0.0;       ///< worker CPU spent packing/compressing
 
   // --- receive side ---
@@ -32,6 +33,8 @@ struct LayerMetrics {
   int64_t msgs_received = 0;
   int64_t lists = 0;              ///< object LIST calls
   int64_t gets = 0;               ///< object GET calls
+  int64_t kv_pops = 0;            ///< KV blocking-pop requests
+  int64_t kv_empty_pops = 0;      ///< pops whose wait expired empty
   int64_t nul_skipped = 0;        ///< .nul markers skipped without GET
   int64_t redundant_skipped = 0;  ///< already-received sources skipped
   int64_t recv_wire_bytes = 0;

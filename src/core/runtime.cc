@@ -3,9 +3,8 @@
 #include <atomic>
 
 #include "common/strings.h"
+#include "core/channel.h"
 #include "core/launcher.h"
-#include "core/object_channel.h"
-#include "core/queue_channel.h"
 
 namespace fsd::core {
 namespace {
@@ -99,11 +98,7 @@ Result<std::unique_ptr<RunState>> PrepareRunState(
 
   // Offline provisioning (pre-created resources; not billed/timed). Scoped
   // names keep concurrent runs' channels isolated from one another.
-  if (options.variant == Variant::kQueue) {
-    FSD_RETURN_IF_ERROR(QueueChannel::Provision(cloud, options));
-  } else if (options.variant == Variant::kObject) {
-    FSD_RETURN_IF_ERROR(ObjectChannel::Provision(cloud, options));
-  }
+  FSD_RETURN_IF_ERROR(ProvisionChannelResources(cloud, options));
 
   auto state = std::make_unique<RunState>();
   state->run_id = run_id;
@@ -220,7 +215,13 @@ Result<InferenceReport> RunInference(cloud::CloudEnv* cloud,
     }
     RunFsiWorker(ctx, raw_state, payload->worker_id);
   };
-  FSD_RETURN_IF_ERROR(cloud->faas().RegisterFunction(worker_config));
+  // On any failure from here on, per-run channel resources provisioned by
+  // PrepareRunState must still be released (KV namespaces are stateful).
+  Status status = cloud->faas().RegisterFunction(worker_config);
+  if (!status.ok()) {
+    TeardownChannelResources(cloud, raw_state->options).ok();
+    return status;
+  }
 
   // Coordinator: lightweight parser + first-level launcher (paper §VI-A1).
   cloud::FaasFunctionConfig coord_config;
@@ -230,7 +231,11 @@ Result<InferenceReport> RunInference(cloud::CloudEnv* cloud,
   coord_config.handler = [raw_state](cloud::FaasContext* ctx) {
     RunCoordinator(ctx, raw_state);
   };
-  FSD_RETURN_IF_ERROR(cloud->faas().RegisterFunction(coord_config));
+  status = cloud->faas().RegisterFunction(coord_config);
+  if (!status.ok()) {
+    TeardownChannelResources(cloud, raw_state->options).ok();
+    return status;
+  }
 
   // --- submit the query and drive the simulation to completion ---
   const std::vector<cloud::BillingLine> before =
@@ -253,11 +258,16 @@ Result<InferenceReport> RunInference(cloud::CloudEnv* cloud,
       });
   cloud->sim()->Run();
 
+  // Release per-run channel resources before diffing the ledger so the KV
+  // namespace's node time is attributed to this run — on failure paths
+  // too, or a long-lived CloudEnv would accumulate dead namespaces.
+  const Status teardown =
+      TeardownChannelResources(cloud, raw_state->options);
   FSD_RETURN_IF_ERROR(client_status);
   if (t1 < 0.0) {
     return Status::Internal("inference run never completed (deadlock?)");
   }
-
+  FSD_RETURN_IF_ERROR(teardown);
   InferenceReport report = CollectReport(raw_state, t0, t1);
   report.billing = DiffLedger(before, cloud->billing());
   return report;

@@ -2,7 +2,9 @@
 
 #include <atomic>
 
+#include "common/logging.h"
 #include "common/strings.h"
+#include "core/channel.h"
 
 namespace fsd::core {
 namespace {
@@ -109,10 +111,16 @@ Result<uint64_t> ServingRuntime::Submit(const InferenceRequest& request,
 
   FSD_ASSIGN_OR_RETURN(std::unique_ptr<RunState> state,
                        PrepareRunState(cloud_, scoped, run_id));
-  FSD_ASSIGN_OR_RETURN(state->worker_function,
-                       EnsureWorkerFunction(state->options));
-  FSD_ASSIGN_OR_RETURN(const std::string coordinator_fn,
-                       EnsureCoordinatorFunction(state->options));
+  // From here the query owns provisioned channel resources; release them
+  // if registration fails and the query never becomes schedulable.
+  Result<std::string> worker_fn = EnsureWorkerFunction(state->options);
+  Result<std::string> coordinator = EnsureCoordinatorFunction(state->options);
+  if (!worker_fn.ok() || !coordinator.ok()) {
+    TeardownChannelResources(cloud_, state->options).ok();
+    return worker_fn.ok() ? coordinator.status() : worker_fn.status();
+  }
+  state->worker_function = std::move(*worker_fn);
+  const std::string coordinator_fn = std::move(*coordinator);
 
   auto query = std::make_unique<Query>();
   query->state = std::move(state);
@@ -141,6 +149,16 @@ Result<uint64_t> ServingRuntime::Submit(const InferenceRequest& request,
         } else {
           raw->outcome.finish_s = cloud_->sim()->Now();
           raw->outcome.report.status = invoke.status;
+        }
+        // Release the query's channel resources (bills the KV namespace's
+        // node time) whether the query succeeded or not. Failure must not
+        // fail the query.
+        const Status teardown =
+            TeardownChannelResources(cloud_, state->options);
+        if (!teardown.ok()) {
+          FSD_LOG(kWarn, "channel teardown for run %llu failed: %s",
+                  static_cast<unsigned long long>(state->run_id),
+                  teardown.ToString().c_str());
         }
         raw->finished = true;
         if (!raw->outcome.report.status.ok() && options_.stop_on_failure) {

@@ -6,8 +6,6 @@
 #include "common/logging.h"
 #include "common/strings.h"
 #include "core/launcher.h"
-#include "core/object_channel.h"
-#include "core/queue_channel.h"
 
 namespace fsd::core {
 namespace {
@@ -25,18 +23,6 @@ WorkerEnv MakeEnv(cloud::FaasContext* ctx, RunState* state, int32_t worker_id,
   env.worker_id = worker_id;
   env.abort = &state->abort;
   return env;
-}
-
-std::unique_ptr<CommChannel> MakeChannel(Variant variant) {
-  switch (variant) {
-    case Variant::kQueue:
-      return std::make_unique<QueueChannel>();
-    case Variant::kObject:
-      return std::make_unique<ObjectChannel>();
-    case Variant::kSerial:
-      return nullptr;
-  }
-  return nullptr;
 }
 
 /// Invokes this worker's children per the launch strategy; each invoke call
@@ -280,7 +266,8 @@ void RunFsiWorker(cloud::FaasContext* ctx, RunState* state,
   state->launch_complete_s =
       std::max(state->launch_complete_s, metrics.start_time);
 
-  std::unique_ptr<CommChannel> channel = MakeChannel(state->options.variant);
+  std::unique_ptr<CommChannel> channel =
+      MakeCommChannel(state->options.variant);
 
   Status status = InvokeChildren(ctx, state, worker_id, &metrics);
   if (status.ok()) status = LoadModelShare(ctx, state, worker_id, &metrics);

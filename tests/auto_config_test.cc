@@ -47,8 +47,8 @@ TEST_F(AutoConfigTest, RankingIsSortedAndComplete) {
   request.dnn = &dnn;
   auto result = AutoSelectConfiguration(cloud_, request);
   ASSERT_TRUE(result.ok());
-  // 1 serial + 2 variants x 4 parallel P values.
-  EXPECT_EQ(result->ranking.size(), 9u);
+  // 1 serial + 3 variants x 4 parallel P values.
+  EXPECT_EQ(result->ranking.size(), 13u);
   for (size_t i = 1; i < result->ranking.size(); ++i) {
     EXPECT_LE(result->ranking[i - 1].score, result->ranking[i].score);
   }
@@ -89,13 +89,36 @@ TEST_F(AutoConfigTest, CostCrossoverBetweenQueueAndObject) {
   request.batch = 2000;  // moderate volume: queue is the cheap channel
   auto moderate = AutoSelectConfiguration(cloud_, request);
   ASSERT_TRUE(moderate.ok());
-  ASSERT_EQ(moderate->ranking.size(), 2u);
+  ASSERT_EQ(moderate->ranking.size(), 3u);
   EXPECT_EQ(moderate->best.variant, Variant::kQueue);
 
   request.batch = 40000;  // huge volume: per-byte charges flip the choice
   auto huge = AutoSelectConfiguration(cloud_, request);
   ASSERT_TRUE(huge.ok());
   EXPECT_EQ(huge->best.variant, Variant::kObject);
+}
+
+TEST_F(AutoConfigTest, LatencyWeightedWorkloadPicksKv) {
+  // The KV channel's sub-millisecond ops make it the latency-optimal
+  // parallel channel; a pure-latency priority must surface it even though
+  // its per-byte metering makes it pricier than the queue channel.
+  model::SparseDnn dnn = MakeModel(16384, 16);
+  AutoSelectRequest request;
+  request.dnn = &dnn;
+  request.batch = 2048;
+  request.latency_weight = 1.0;
+  auto result = AutoSelectConfiguration(cloud_, request);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->best.variant, Variant::kKv);
+  EXPECT_GT(result->best.workers, 1);
+
+  // Same workload under pure cost priority must NOT pick KV: the standing
+  // node cost and processed-byte charges hand the win back to the
+  // request-priced channels.
+  request.latency_weight = 0.0;
+  auto cheapest = AutoSelectConfiguration(cloud_, request);
+  ASSERT_TRUE(cheapest.ok());
+  EXPECT_NE(cheapest->best.variant, Variant::kKv);
 }
 
 TEST_F(AutoConfigTest, ValidatesArguments) {

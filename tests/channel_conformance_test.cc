@@ -1,0 +1,470 @@
+// Backend-parameterized conformance suite for the CommChannel contract:
+// one set of behavioural guarantees, verified against every production
+// backend (queue, object, KV). Anything a worker or collective may rely on
+// — delivery exactness, phase separation, chunk reassembly, empty-send
+// markers, compression/lane configuration independence, collective
+// semantics, abort draining, and channel_scope isolation — is pinned here,
+// so a new backend is done when this suite passes.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <functional>
+#include <vector>
+
+#include "cloud/cloud.h"
+#include "common/strings.h"
+#include "core/channel.h"
+#include "core/collectives.h"
+#include "core/kv_channel.h"
+
+namespace fsd::core {
+namespace {
+
+linalg::ActivationMap MakeRows(std::vector<int32_t> ids, int32_t dim,
+                               int32_t nnz, float salt = 0.0f) {
+  linalg::ActivationMap out;
+  for (int32_t id : ids) {
+    linalg::SparseVector vec;
+    vec.dim = dim;
+    for (int32_t j = 0; j < nnz; ++j) {
+      vec.idx.push_back(j);
+      vec.val.push_back(static_cast<float>(id) + 0.25f * j + salt);
+    }
+    out.emplace(id, std::move(vec));
+  }
+  return out;
+}
+
+/// One simulated worker of a conformance scenario.
+struct WorkerSpec {
+  std::function<void(WorkerEnv*, CommChannel*)> body;
+  /// Channel configuration (defaults to the fixture's options_). Distinct
+  /// pointers model concurrent runs with their own channel_scope.
+  const FsdOptions* options = nullptr;
+  /// Worker id within its options' run (defaults to the spec index).
+  int32_t worker_id = -1;
+};
+
+class ChannelConformanceTest : public ::testing::TestWithParam<Variant> {
+ protected:
+  ChannelConformanceTest() : cloud_(&sim_) {}
+
+  void SetUp() override {
+    options_.variant = GetParam();
+    options_.num_workers = 4;
+    options_.poll_wait_s = 2.0;
+    options_.kv_poll_wait_s = 0.5;
+    options_.object_scan_interval_s = 0.01;
+  }
+
+  /// Runs each spec's body inside its own FaaS handler with a fresh
+  /// channel instance bound to the spec's options. May be called several
+  /// times per test (each call provisions and drives to quiescence).
+  void RunWorkers(std::vector<WorkerSpec> specs) {
+    const int epoch = run_counter_++;
+    std::vector<const FsdOptions*> provisioned;
+    for (size_t i = 0; i < specs.size(); ++i) {
+      const FsdOptions* options =
+          specs[i].options != nullptr ? specs[i].options : &options_;
+      if (std::find(provisioned.begin(), provisioned.end(), options) ==
+          provisioned.end()) {
+        FSD_CHECK_OK(ProvisionChannelResources(&cloud_, *options));
+        provisioned.push_back(options);
+      }
+      metrics_.emplace_back(std::make_unique<WorkerMetrics>());
+      WorkerMetrics* metrics = metrics_.back().get();
+      const int32_t worker_id = specs[i].worker_id >= 0
+                                    ? specs[i].worker_id
+                                    : static_cast<int32_t>(i);
+      auto body = specs[i].body;
+      cloud::FaasFunctionConfig fn;
+      fn.name = StrFormat("e%d-w%zu", epoch, i);
+      fn.memory_mb = 2048;
+      fn.timeout_s = 600.0;
+      fn.handler = [this, body, options, metrics,
+                    worker_id](cloud::FaasContext* ctx) {
+        std::unique_ptr<CommChannel> channel =
+            MakeCommChannel(options->variant);
+        WorkerEnv env;
+        env.faas = ctx;
+        env.cloud = &cloud_;
+        env.options = options;
+        env.metrics = metrics;
+        env.worker_id = worker_id;
+        env.abort = &abort_;
+        body(&env, channel.get());
+        ctx->set_result(Status::OK());
+      };
+      FSD_CHECK_OK(cloud_.faas().RegisterFunction(fn));
+    }
+    sim_.AddProcess(StrFormat("kickoff-%d", epoch),
+                    [this, epoch, n = specs.size()]() {
+                      for (size_t i = 0; i < n; ++i) {
+                        cloud_.faas().InvokeAsync(
+                            StrFormat("e%d-w%zu", epoch, i), {});
+                      }
+                    });
+    sim_.Run();
+  }
+
+  sim::Simulation sim_;
+  cloud::CloudEnv cloud_;
+  FsdOptions options_;
+  bool abort_ = false;
+  int run_counter_ = 0;
+  std::vector<std::unique_ptr<WorkerMetrics>> metrics_;
+};
+
+std::string BackendName(const ::testing::TestParamInfo<Variant>& info) {
+  switch (info.param) {
+    case Variant::kQueue:
+      return "Queue";
+    case Variant::kObject:
+      return "Object";
+    case Variant::kKv:
+      return "Kv";
+    default:
+      return "Unknown";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBackends, ChannelConformanceTest,
+                         ::testing::Values(Variant::kQueue, Variant::kObject,
+                                           Variant::kKv),
+                         BackendName);
+
+TEST_P(ChannelConformanceTest, RoundtripDeliversExactRows) {
+  const linalg::ActivationMap rows = MakeRows({3, 7, 11}, 16, 4);
+  static const std::vector<int32_t> ids = {3, 7, 11};
+  linalg::ActivationMap received;
+  RunWorkers({
+      {[&](WorkerEnv* env, CommChannel* channel) {
+        std::vector<SendSpec> sends{{1, &ids}};
+        ASSERT_TRUE(channel->SendPhase(env, 0, rows, sends).ok());
+      }},
+      {[&](WorkerEnv* env, CommChannel* channel) {
+        auto got = channel->ReceivePhase(env, 0, {0});
+        ASSERT_TRUE(got.ok()) << got.status().ToString();
+        received = std::move(*got);
+      }},
+  });
+  ASSERT_EQ(received.size(), 3u);
+  for (int32_t id : ids) EXPECT_EQ(received.at(id), rows.at(id));
+}
+
+TEST_P(ChannelConformanceTest, PhasesDeliverInOrderWithoutCrossTalk) {
+  // All three phases are in flight before the receiver starts phase 0: a
+  // conforming backend neither loses nor cross-delivers early phases.
+  constexpr int kPhases = 3;
+  std::vector<linalg::ActivationMap> sent;
+  for (int p = 0; p < kPhases; ++p) {
+    sent.push_back(MakeRows({p + 1, p + 10}, 8, 3,
+                            /*salt=*/0.5f * static_cast<float>(p)));
+  }
+  static const std::vector<std::vector<int32_t>> ids = {
+      {1, 10}, {2, 11}, {3, 12}};
+  std::vector<linalg::ActivationMap> received(kPhases);
+  RunWorkers({
+      {[&](WorkerEnv* env, CommChannel* channel) {
+        for (int p = 0; p < kPhases; ++p) {
+          std::vector<SendSpec> sends{{1, &ids[p]}};
+          ASSERT_TRUE(channel->SendPhase(env, p, sent[p], sends).ok());
+        }
+      }},
+      {[&](WorkerEnv* env, CommChannel* channel) {
+        ASSERT_TRUE(env->faas->SleepFor(1.0).ok());  // let all phases land
+        for (int p = 0; p < kPhases; ++p) {
+          auto got = channel->ReceivePhase(env, p, {0});
+          ASSERT_TRUE(got.ok()) << got.status().ToString();
+          received[p] = std::move(*got);
+        }
+      }},
+  });
+  for (int p = 0; p < kPhases; ++p) {
+    EXPECT_EQ(received[p], sent[p]) << "phase " << p;
+  }
+}
+
+TEST_P(ChannelConformanceTest, ChunkedPayloadsReassemble) {
+  // Force chunking on the size-capped backends; the object channel ships
+  // one unbounded object either way. Values must reassemble exactly.
+  options_.max_message_bytes = 512;
+  options_.kv_max_value_bytes = 512;
+  std::vector<int32_t> ids;
+  for (int32_t i = 0; i < 40; ++i) ids.push_back(i);
+  const linalg::ActivationMap rows = MakeRows(ids, 64, 48);
+  linalg::ActivationMap received;
+  int64_t send_chunks = 0;
+  RunWorkers({
+      {[&](WorkerEnv* env, CommChannel* channel) {
+        std::vector<SendSpec> sends{{1, &ids}};
+        ASSERT_TRUE(channel->SendPhase(env, 0, rows, sends).ok());
+        send_chunks = env->metrics->Layer(0).send_chunks;
+      }},
+      {[&](WorkerEnv* env, CommChannel* channel) {
+        auto got = channel->ReceivePhase(env, 0, {0});
+        ASSERT_TRUE(got.ok()) << got.status().ToString();
+        received = std::move(*got);
+      }},
+  });
+  if (GetParam() != Variant::kObject) {
+    EXPECT_GT(send_chunks, 5);
+  }
+  ASSERT_EQ(received.size(), ids.size());
+  for (int32_t id : ids) EXPECT_EQ(received.at(id), rows.at(id));
+}
+
+TEST_P(ChannelConformanceTest, EmptySendCompletesReceiver) {
+  // A source with nothing to transmit must still complete the receiver
+  // (marker message / .nul object / header-only value).
+  const linalg::ActivationMap empty;
+  static const std::vector<int32_t> ids = {5, 6};
+  bool receiver_done = false;
+  RunWorkers({
+      {[&](WorkerEnv* env, CommChannel* channel) {
+        std::vector<SendSpec> sends{{1, &ids}};
+        ASSERT_TRUE(channel->SendPhase(env, 0, empty, sends).ok());
+      }},
+      {[&](WorkerEnv* env, CommChannel* channel) {
+        auto got = channel->ReceivePhase(env, 0, {0});
+        ASSERT_TRUE(got.ok()) << got.status().ToString();
+        EXPECT_TRUE(got->empty());
+        receiver_done = true;
+      }},
+  });
+  EXPECT_TRUE(receiver_done);
+}
+
+TEST_P(ChannelConformanceTest, FanOutDeliversDisjointSubsets) {
+  // One SendPhase call with three targets: each receiver sees exactly its
+  // subset, nothing more.
+  const linalg::ActivationMap rows = MakeRows({1, 2, 3}, 8, 4);
+  static const std::vector<std::vector<int32_t>> subsets = {{1}, {2}, {3}};
+  std::vector<linalg::ActivationMap> received(3);
+  RunWorkers({
+      {[&](WorkerEnv* env, CommChannel* channel) {
+        std::vector<SendSpec> sends{
+            {1, &subsets[0]}, {2, &subsets[1]}, {3, &subsets[2]}};
+        ASSERT_TRUE(channel->SendPhase(env, 0, rows, sends).ok());
+      }},
+      {[&](WorkerEnv* env, CommChannel* channel) {
+        auto got = channel->ReceivePhase(env, 0, {0});
+        ASSERT_TRUE(got.ok());
+        received[0] = std::move(*got);
+      }},
+      {[&](WorkerEnv* env, CommChannel* channel) {
+        auto got = channel->ReceivePhase(env, 0, {0});
+        ASSERT_TRUE(got.ok());
+        received[1] = std::move(*got);
+      }},
+      {[&](WorkerEnv* env, CommChannel* channel) {
+        auto got = channel->ReceivePhase(env, 0, {0});
+        ASSERT_TRUE(got.ok());
+        received[2] = std::move(*got);
+      }},
+  });
+  for (int n = 0; n < 3; ++n) {
+    ASSERT_EQ(received[n].size(), 1u) << "target " << n + 1;
+    EXPECT_EQ(received[n].at(n + 1), rows.at(n + 1));
+  }
+}
+
+TEST_P(ChannelConformanceTest, CompressionOnAndOffBothRoundtrip) {
+  static const std::vector<int32_t> ids = {4, 9, 20};
+  const linalg::ActivationMap rows = MakeRows(ids, 32, 24);
+  for (bool compress : {true, false}) {
+    FsdOptions options = options_;
+    options.compress = compress;
+    options.channel_scope = compress ? "cmp-" : "raw-";
+    linalg::ActivationMap received;
+    RunWorkers({
+        {[&](WorkerEnv* env, CommChannel* channel) {
+          std::vector<SendSpec> sends{{1, &ids}};
+          ASSERT_TRUE(channel->SendPhase(env, 0, rows, sends).ok());
+        }, &options},
+        {[&](WorkerEnv* env, CommChannel* channel) {
+          auto got = channel->ReceivePhase(env, 0, {0});
+          ASSERT_TRUE(got.ok()) << got.status().ToString();
+          received = std::move(*got);
+        }, &options},
+    });
+    ASSERT_EQ(received.size(), ids.size()) << "compress=" << compress;
+    for (int32_t id : ids) {
+      EXPECT_EQ(received.at(id), rows.at(id)) << "compress=" << compress;
+    }
+  }
+}
+
+TEST_P(ChannelConformanceTest, LaneCountDoesNotChangeValues) {
+  static const std::vector<int32_t> ids = {0, 1, 2, 3, 4, 5, 6, 7};
+  const linalg::ActivationMap rows = MakeRows(ids, 64, 32);
+  std::vector<linalg::ActivationMap> received(2);
+  int lane_run = 0;
+  for (int32_t lanes : {1, 8}) {
+    FsdOptions options = options_;
+    options.io_lanes = lanes;
+    options.channel_scope = StrFormat("lanes%d-", lanes);
+    RunWorkers({
+        {[&, lanes](WorkerEnv* env, CommChannel* channel) {
+          std::vector<SendSpec> sends{{1, &ids}};
+          ASSERT_TRUE(channel->SendPhase(env, 0, rows, sends).ok());
+        }, &options},
+        {[&, idx = lane_run](WorkerEnv* env, CommChannel* channel) {
+          auto got = channel->ReceivePhase(env, 0, {0});
+          ASSERT_TRUE(got.ok());
+          received[idx] = std::move(*got);
+        }, &options},
+    });
+    ++lane_run;
+  }
+  EXPECT_EQ(received[0], received[1]);
+  EXPECT_EQ(received[0], rows);
+}
+
+TEST_P(ChannelConformanceTest, BarrierReleasesNobodyBeforeLastArrival) {
+  constexpr int32_t kWorkers = 4;
+  std::vector<double> arrived(kWorkers, 0.0);
+  std::vector<double> released(kWorkers, 0.0);
+  std::vector<WorkerSpec> specs;
+  for (int32_t w = 0; w < kWorkers; ++w) {
+    specs.push_back({[&, w](WorkerEnv* env, CommChannel* channel) {
+      // Staggered arrivals: the barrier must hold everyone until the
+      // slowest worker shows up.
+      ASSERT_TRUE(env->faas->SleepFor(0.3 * w).ok());
+      arrived[w] = env->cloud->sim()->Now();
+      ASSERT_TRUE(Barrier(channel, env, /*phase=*/0, kWorkers).ok());
+      released[w] = env->cloud->sim()->Now();
+    }});
+  }
+  RunWorkers(std::move(specs));
+  const double last_arrival =
+      *std::max_element(arrived.begin(), arrived.end());
+  for (int32_t w = 0; w < kWorkers; ++w) {
+    EXPECT_GE(released[w], last_arrival) << "worker " << w;
+  }
+}
+
+TEST_P(ChannelConformanceTest, ReduceGathersEveryWorkersRows) {
+  constexpr int32_t kWorkers = 4;
+  linalg::ActivationMap gathered;
+  std::vector<WorkerSpec> specs;
+  for (int32_t w = 0; w < kWorkers; ++w) {
+    specs.push_back({[&, w](WorkerEnv* env, CommChannel* channel) {
+      // Disjoint row ownership, as the row-wise decomposition guarantees.
+      const linalg::ActivationMap mine = MakeRows({w}, 8, 3);
+      auto got = Reduce(channel, env, /*phase=*/0, kWorkers, mine);
+      ASSERT_TRUE(got.ok()) << got.status().ToString();
+      if (w == 0) {
+        gathered = std::move(*got);
+      } else {
+        EXPECT_TRUE(got->empty());
+      }
+    }});
+  }
+  RunWorkers(std::move(specs));
+  ASSERT_EQ(gathered.size(), static_cast<size_t>(kWorkers));
+  for (int32_t w = 0; w < kWorkers; ++w) {
+    EXPECT_EQ(gathered.at(w), MakeRows({w}, 8, 3).at(w));
+  }
+}
+
+TEST_P(ChannelConformanceTest, BroadcastDeliversRootRowsToAll) {
+  constexpr int32_t kWorkers = 4;
+  const linalg::ActivationMap root_rows = MakeRows({2, 5}, 8, 4);
+  std::vector<linalg::ActivationMap> got_rows(kWorkers);
+  std::vector<WorkerSpec> specs;
+  for (int32_t w = 0; w < kWorkers; ++w) {
+    specs.push_back({[&, w](WorkerEnv* env, CommChannel* channel) {
+      const linalg::ActivationMap mine =
+          w == 0 ? root_rows : linalg::ActivationMap{};
+      auto got = Broadcast(channel, env, /*phase=*/0, kWorkers, mine);
+      ASSERT_TRUE(got.ok()) << got.status().ToString();
+      got_rows[w] = std::move(*got);
+    }});
+  }
+  RunWorkers(std::move(specs));
+  for (int32_t w = 0; w < kWorkers; ++w) {
+    EXPECT_EQ(got_rows[w], root_rows) << "worker " << w;
+  }
+}
+
+TEST_P(ChannelConformanceTest, AbortUnblocksPendingReceive) {
+  // Worker 1 waits for a source that never sends; the abort flag (set when
+  // a peer fails) must drain the receive promptly instead of letting it
+  // poll until the runtime cap.
+  Status receive_status = Status::OK();
+  double unblocked_at = 0.0;
+  sim_.AddProcess("abort-setter", [this]() {
+    sim_.Hold(0.5);
+    abort_ = true;
+  });
+  RunWorkers({
+      {[&](WorkerEnv*, CommChannel*) { /* never sends */ }},
+      {[&](WorkerEnv* env, CommChannel* channel) {
+        auto got = channel->ReceivePhase(env, 0, {0});
+        receive_status = got.status();
+        unblocked_at = env->cloud->sim()->Now();
+      }},
+  });
+  EXPECT_FALSE(receive_status.ok());
+  EXPECT_EQ(receive_status.code(), StatusCode::kUnavailable)
+      << receive_status.ToString();
+  // Bounded by one poll/pop wait after the abort, with scheduling slack.
+  EXPECT_LT(unblocked_at, 0.5 + 2.0 * options_.poll_wait_s + 1.0);
+}
+
+TEST_P(ChannelConformanceTest, ChannelScopeIsolatesConcurrentRuns) {
+  // Two runs with identical (phase, source -> target) traffic but
+  // different scopes: each receiver must see exactly its own run's rows.
+  FsdOptions run_a = options_;
+  run_a.channel_scope = "runA-";
+  FsdOptions run_b = options_;
+  run_b.channel_scope = "runB-";
+  static const std::vector<int32_t> ids = {7};
+  const linalg::ActivationMap rows_a = MakeRows({7}, 8, 3, /*salt=*/0.0f);
+  const linalg::ActivationMap rows_b = MakeRows({7}, 8, 3, /*salt=*/100.0f);
+  linalg::ActivationMap got_a, got_b;
+  RunWorkers({
+      {[&](WorkerEnv* env, CommChannel* channel) {
+        std::vector<SendSpec> sends{{1, &ids}};
+        ASSERT_TRUE(channel->SendPhase(env, 0, rows_a, sends).ok());
+      }, &run_a, /*worker_id=*/0},
+      {[&](WorkerEnv* env, CommChannel* channel) {
+        auto got = channel->ReceivePhase(env, 0, {0});
+        ASSERT_TRUE(got.ok());
+        got_a = std::move(*got);
+      }, &run_a, /*worker_id=*/1},
+      {[&](WorkerEnv* env, CommChannel* channel) {
+        std::vector<SendSpec> sends{{1, &ids}};
+        ASSERT_TRUE(channel->SendPhase(env, 0, rows_b, sends).ok());
+      }, &run_b, /*worker_id=*/0},
+      {[&](WorkerEnv* env, CommChannel* channel) {
+        auto got = channel->ReceivePhase(env, 0, {0});
+        ASSERT_TRUE(got.ok());
+        got_b = std::move(*got);
+      }, &run_b, /*worker_id=*/1},
+  });
+  ASSERT_EQ(got_a.size(), 1u);
+  ASSERT_EQ(got_b.size(), 1u);
+  EXPECT_EQ(got_a.at(7), rows_a.at(7));
+  EXPECT_EQ(got_b.at(7), rows_b.at(7));
+  EXPECT_NE(got_a.at(7), got_b.at(7));
+}
+
+TEST_P(ChannelConformanceTest, TeardownReleasesPerRunResources) {
+  // Teardown must be idempotent and, for the KV backend, actually delete
+  // the run's namespace (billing its node time).
+  FSD_CHECK_OK(ProvisionChannelResources(&cloud_, options_));
+  ASSERT_TRUE(TeardownChannelResources(&cloud_, options_).ok());
+  ASSERT_TRUE(TeardownChannelResources(&cloud_, options_).ok());
+  if (GetParam() == Variant::kKv) {
+    EXPECT_FALSE(
+        cloud_.kv().NamespaceExists(KvChannel::NamespaceName(options_)));
+    EXPECT_GT(
+        cloud_.billing().line(cloud::BillingDimension::kKvNodeSecond).events,
+        0u);
+  }
+}
+
+}  // namespace
+}  // namespace fsd::core

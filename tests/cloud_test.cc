@@ -481,5 +481,118 @@ TEST_F(CloudTest, VmUnknownTypeRejected) {
   InProcess([&] { EXPECT_FALSE(cloud_.vms().Launch("m7g.huge").ok()); });
 }
 
+// ---------------------------------------------------------------------------
+// KV store (ElastiCache/Redis-style)
+// ---------------------------------------------------------------------------
+
+TEST_F(CloudTest, KvPushPopRoundtripPreservesFifoOrder) {
+  ASSERT_TRUE(cloud_.kv().CreateNamespace("ns").ok());
+  InProcess([&] {
+    cloud_.kv().Push("ns", "list", Bytes{1});
+    cloud_.kv().Push("ns", "list", Bytes{2});
+    cloud_.kv().Push("ns", "list", Bytes{3});
+    sim_.Hold(0.1);  // all three pushes become visible
+    auto got = cloud_.kv().BlockingPopAll("ns", "list", 10, /*wait_s=*/1.0);
+    ASSERT_TRUE(got.ok());
+    ASSERT_EQ(got->size(), 3u);
+    EXPECT_EQ((*got)[0], Bytes{1});
+    EXPECT_EQ((*got)[1], Bytes{2});
+    EXPECT_EQ((*got)[2], Bytes{3});
+    // Pops are destructive: nothing remains.
+    auto empty = cloud_.kv().BlockingPopAll("ns", "list", 10, 0.0);
+    ASSERT_TRUE(empty.ok());
+    EXPECT_TRUE(empty->empty());
+  });
+}
+
+TEST_F(CloudTest, KvBlockingPopWakesOnArrival) {
+  ASSERT_TRUE(cloud_.kv().CreateNamespace("ns").ok());
+  double received_at = -1.0;
+  sim_.AddProcess("consumer", [&] {
+    auto got = cloud_.kv().BlockingPopAll("ns", "list", 10, /*wait_s=*/20.0);
+    ASSERT_TRUE(got.ok());
+    EXPECT_EQ(got->size(), 1u);
+    received_at = sim_.Now();
+  });
+  sim_.AddProcess("producer", [&] {
+    sim_.Hold(3.0);
+    cloud_.kv().Push("ns", "list", Bytes{9});
+  });
+  sim_.Run();
+  EXPECT_GE(received_at, 3.0);
+  // Sub-millisecond ops: the wake + pop tail is far tighter than a queue
+  // receive round trip.
+  EXPECT_LT(received_at, 3.1);
+}
+
+TEST_F(CloudTest, KvBillsRequestsAndProcessedBytes) {
+  ASSERT_TRUE(cloud_.kv().CreateNamespace("ns").ok());
+  InProcess([&] {
+    cloud_.kv().Push("ns", "list", Bytes(1000, 7));
+    auto got = cloud_.kv().BlockingPopAll("ns", "list", 10, /*wait_s=*/1.0);
+    ASSERT_TRUE(got.ok());
+    const auto& requests =
+        cloud_.billing().line(BillingDimension::kKvRequest);
+    const auto& bytes =
+        cloud_.billing().line(BillingDimension::kKvProcessedByte);
+    EXPECT_EQ(requests.quantity, 2.0);  // one push + one pop
+    EXPECT_EQ(bytes.quantity, 2000.0);  // 1000 in + 1000 out
+    EXPECT_GT(requests.cost + bytes.cost, 0.0);
+  });
+}
+
+TEST_F(CloudTest, KvDeleteNamespaceBillsNodeLifetime) {
+  ASSERT_TRUE(cloud_.kv().CreateNamespace("ns").ok());
+  InProcess([&] {
+    // Pre-provisioned idle time is free; billing spans first use -> delete.
+    sim_.Hold(40.0);
+    cloud_.kv().Push("ns", "list", Bytes{1});
+    sim_.Hold(120.0);
+    ASSERT_TRUE(cloud_.kv().DeleteNamespace("ns").ok());
+    const auto& line =
+        cloud_.billing().line(BillingDimension::kKvNodeSecond);
+    EXPECT_NEAR(line.quantity, 120.0, 1e-9);
+    EXPECT_NEAR(line.cost,
+                120.0 * cloud_.billing().pricing().kv_node_hourly / 3600.0,
+                1e-12);
+    // Gone: subsequent data-plane calls observe NotFound.
+    EXPECT_FALSE(cloud_.kv().NamespaceExists("ns"));
+    EXPECT_FALSE(cloud_.kv().Push("ns", "list", Bytes{1}).status.ok());
+    EXPECT_FALSE(cloud_.kv().DeleteNamespace("ns").ok());
+  });
+}
+
+TEST_F(CloudTest, KvDeleteNamespaceUnblocksWaiters) {
+  ASSERT_TRUE(cloud_.kv().CreateNamespace("ns").ok());
+  Status pop_status = Status::OK();
+  sim_.AddProcess("consumer", [&] {
+    auto got = cloud_.kv().BlockingPopAll("ns", "list", 10, /*wait_s=*/60.0);
+    pop_status = got.status();
+  });
+  sim_.AddProcess("deleter", [&] {
+    sim_.Hold(1.0);
+    ASSERT_TRUE(cloud_.kv().DeleteNamespace("ns").ok());
+  });
+  sim_.Run();
+  EXPECT_EQ(pop_status.code(), StatusCode::kNotFound)
+      << pop_status.ToString();
+  EXPECT_EQ(sim_.live_processes(), 0);
+}
+
+TEST_F(CloudTest, KvSetGetRoundtripAndValidation) {
+  ASSERT_TRUE(cloud_.kv().CreateNamespace("ns").ok());
+  EXPECT_FALSE(cloud_.kv().CreateNamespace("ns").ok());  // AlreadyExists
+  InProcess([&] {
+    ASSERT_TRUE(cloud_.kv().Set("ns", "k", Bytes{4, 2}).ok());
+    auto got = cloud_.kv().Get("ns", "k");
+    ASSERT_TRUE(got.ok());
+    EXPECT_EQ(*got, (Bytes{4, 2}));
+    EXPECT_FALSE(cloud_.kv().Get("ns", "missing").ok());
+    EXPECT_FALSE(
+        cloud_.kv().BlockingPopAll("ns", "list", 0, 0.0).ok());  // bad count
+    EXPECT_FALSE(cloud_.kv().BlockingPopAll("nope", "list", 1, 0.0).ok());
+  });
+}
+
 }  // namespace
 }  // namespace fsd::cloud

@@ -114,6 +114,23 @@ TEST(EndToEnd, ObjectMatchesReference) {
   EXPECT_GT(report.billing.comm_cost, 0.0);
 }
 
+TEST(EndToEnd, KvMatchesReference) {
+  Workload w = MakeWorkload(256, 12, 16);
+  part::ModelPartition partition = MakePartition(w.dnn, 4);
+  InferenceReport report = RunVariant(w, partition, Variant::kKv, 4);
+  ASSERT_EQ(report.outputs.size(), 1u);
+  ExpectSameActivations(w.expected, report.outputs[0]);
+  EXPECT_GT(report.metrics.totals.kv_pushes, 0);
+  EXPECT_GT(report.metrics.totals.kv_pops, 0);
+  // No queue/object traffic leaks onto the KV path.
+  EXPECT_EQ(report.metrics.totals.publishes, 0);
+  EXPECT_EQ(report.metrics.totals.puts_dat, 0);
+  EXPECT_GT(report.billing.comm_cost, 0.0);
+  // Teardown billed the run's namespace node time.
+  EXPECT_GT(report.billing.quantity(cloud::BillingDimension::kKvNodeSecond),
+            0.0);
+}
+
 // ---------------------------------------------------------------------------
 // Parameterized correctness sweep: (variant, P, partition scheme).
 // ---------------------------------------------------------------------------
@@ -136,7 +153,7 @@ TEST_P(DistributedCorrectness, MatchesSerialReference) {
 INSTANTIATE_TEST_SUITE_P(
     Sweep, DistributedCorrectness,
     ::testing::Combine(
-        ::testing::Values(Variant::kQueue, Variant::kObject),
+        ::testing::Values(Variant::kQueue, Variant::kObject, Variant::kKv),
         ::testing::Values(2, 3, 8, 13),
         ::testing::Values(part::PartitionScheme::kHypergraph,
                           part::PartitionScheme::kRandom)));
@@ -242,17 +259,22 @@ TEST(EndToEnd, CostModelPredictionMatchesLedger) {
   // metrics must match the billing ledger's actuals for both channels.
   Workload w = MakeWorkload(384, 10, 16);
   part::ModelPartition partition = MakePartition(w.dnn, 5);
-  for (Variant variant : {Variant::kQueue, Variant::kObject}) {
+  for (Variant variant :
+       {Variant::kQueue, Variant::kObject, Variant::kKv}) {
     Workload local = MakeWorkload(384, 10, 16);
     InferenceReport report = RunVariant(local, partition, variant, 5);
     // Communication: the prediction counts IPC only; the ledger delta also
-    // contains the one-off model-load GETs, so compare with that removed.
+    // contains the one-off model-load GETs and (for KV) the namespace's
+    // node time billed at teardown, so compare with those removed.
     const double model_load_gets =
         report.billing.quantity(cloud::BillingDimension::kObjectGet) -
         static_cast<double>(report.metrics.totals.gets);
+    const double node_cost =
+        report.billing.quantity(cloud::BillingDimension::kKvNodeSecond) *
+        cloud::PricingConfig{}.kv_node_hourly / 3600.0;
     const double ledger_ipc =
         report.billing.comm_cost -
-        model_load_gets * cloud::PricingConfig{}.object_per_get;
+        model_load_gets * cloud::PricingConfig{}.object_per_get - node_cost;
     EXPECT_NEAR(report.predicted.communication, ledger_ipc,
                 0.02 * std::max(1e-9, ledger_ipc) + 1e-7)
         << VariantName(variant);

@@ -138,10 +138,31 @@ TEST(CostModel, EstimateWorkloadScalesWithParallelism) {
   ASSERT_TRUE(p4.ok() && p16.ok());
   const WorkloadEstimate e4 = EstimateWorkload(*dnn, *p4, options, 0.3, 64);
   const WorkloadEstimate e16 = EstimateWorkload(*dnn, *p16, options, 0.3, 64);
-  // More workers -> more pairs -> more PUTs and publish chunks.
+  // More workers -> more pairs -> more PUTs, publish chunks, KV requests.
   EXPECT_GT(e16.puts, e4.puts);
   EXPECT_GT(e16.publish_chunks, e4.publish_chunks);
+  EXPECT_GT(e16.kv_requests, e4.kv_requests);
   EXPECT_GT(e4.puts, 0.0);
+  EXPECT_GT(e4.kv_requests, 0.0);
+  // Both directions pass through the cache.
+  EXPECT_NEAR(e4.kv_processed_bytes, 2.0 * e4.est_bytes_per_batch, 1e-9);
+}
+
+TEST(CostModel, KvCostTerms) {
+  const cloud::PricingConfig pricing = Pricing();
+  const CostBreakdown cost =
+      KvCost(pricing, 8, 10.0, 1000, /*requests=*/50000,
+             /*processed_bytes=*/3.0e9, /*node_seconds=*/7200.0);
+  EXPECT_DOUBLE_EQ(cost.communication,
+                   50000 * pricing.kv_per_request +
+                       3.0e9 * pricing.kv_per_processed_byte +
+                       7200.0 * pricing.kv_node_hourly / 3600.0);
+  EXPECT_DOUBLE_EQ(cost.total, cost.compute + cost.communication);
+  // The design claim the recommender rests on: KV requests are the
+  // cheapest per call, but its per-byte metering dwarfs the pub-sub
+  // delivery charge, and the node term has no queue/object analogue.
+  EXPECT_LT(pricing.kv_per_request, pricing.queue_per_api_call);
+  EXPECT_GT(pricing.kv_per_processed_byte, pricing.pubsub_per_byte);
 }
 
 TEST(CostModel, BreakdownToString) {
