@@ -1,0 +1,58 @@
+#!/usr/bin/env bash
+# Docs gate (the CI `docs` job; also registered as the `docs_check` CTest
+# test so it runs locally with the suite):
+#   1. every src/* subdirectory and bench/ carries a README.md
+#   2. intra-repo markdown links ([text](path)) in tracked *.md files
+#      resolve to existing files/directories (anchors and external URLs
+#      are skipped)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+fail=0
+
+for dir in src/*/ bench/; do
+  if [ ! -f "${dir}README.md" ]; then
+    echo "MISSING README: ${dir}README.md"
+    fail=1
+  fi
+done
+
+if git rev-parse --is-inside-work-tree >/dev/null 2>&1; then
+  # Tracked + newly added markdown (so the gate sees files pre-commit).
+  files=$(git ls-files --cached --others --exclude-standard '*.md')
+else
+  files=$(find . -name '*.md' -not -path './build*' | sed 's|^\./||')
+fi
+
+while IFS= read -r file; do
+  [ -n "$file" ] || continue
+  case "$file" in
+    # Exemplar snippets / retrieval dumps quote other repositories'
+    # relative links verbatim; they are reference material, not repo docs.
+    SNIPPETS.md | PAPERS.md) continue ;;
+  esac
+  dir=$(dirname "$file")
+  # Inline links only (reference-style links are not used in this repo),
+  # with fenced code blocks stripped so quoted examples don't trip the
+  # checker.
+  while IFS= read -r target; do
+    [ -n "$target" ] || continue
+    case "$target" in
+      http://* | https://* | mailto:* | '#'*) continue ;;
+    esac
+    path="${target%%#*}"  # strip in-page anchor
+    [ -n "$path" ] || continue
+    if [ ! -e "$dir/$path" ]; then
+      echo "BROKEN LINK: $file -> $target"
+      fail=1
+    fi
+  done < <(awk '/^[[:space:]]*```/ { in_fence = !in_fence; next }
+                !in_fence' "$file" |
+           grep -o '\[[^]]*\]([^)]*)' 2>/dev/null |
+           sed 's/.*](\([^)]*\))$/\1/')
+done <<< "$files"
+
+if [ "$fail" -ne 0 ]; then
+  echo "docs check FAILED"
+  exit 1
+fi
+echo "docs check OK"

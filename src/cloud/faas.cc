@@ -68,20 +68,29 @@ FaasService::InvokeOutcome FaasService::InvokeAsync(const std::string& name,
   outcome.completion = sim_->MakeSignal();
   billing_->Record(BillingDimension::kFaasInvocation, 1);
 
-  // Warm-instance pool: reclaim expired entries, then try to grab one.
+  // Warm-instance pool: reclaim expired instances (their state dies with
+  // them), then try to grab the most recently released one (LIFO reuse).
   const double now = sim_->Now();
-  auto& pool = fn.warm_until;
-  pool.erase(std::remove_if(pool.begin(), pool.end(),
-                            [now](double until) { return until <= now; }),
+  auto& pool = fn.warm;
+  pool.erase(std::remove_if(
+                 pool.begin(), pool.end(),
+                 [now](const Instance& i) { return i.warm_until <= now; }),
              pool.end());
-  bool cold = pool.empty();
-  if (!cold) pool.pop_back();
+  const bool cold = pool.empty();
+  Instance instance;
+  if (cold) {
+    instance.id = next_instance_id_++;
+  } else {
+    instance = std::move(pool.back());
+    pool.pop_back();
+  }
 
   const double start_delay = cold ? latency_->faas_cold_start.Sample(&rng_)
                                   : latency_->faas_warm_start.Sample(&rng_);
 
   auto completion = outcome.completion;
   auto body = [this, &fn, request_id, completion, cold,
+               instance = std::move(instance),
                payload = std::move(payload)]() mutable {
     FaasContext ctx;
     ctx.sim_ = sim_;
@@ -93,6 +102,8 @@ FaasService::InvokeOutcome FaasService::InvokeAsync(const std::string& name,
     ctx.started_at_ = sim_->Now();
     ctx.deadline_ = sim_->Now() + fn.config.timeout_s;
     ctx.cold_start_ = cold;
+    ctx.instance_id_ = instance.id;
+    ctx.instance_state_ = std::move(instance.state);
     ctx.payload_ = std::move(payload);
     fn.config.handler(&ctx);
     // Billing: runtime is capped at the timeout (timed-out functions are
@@ -103,8 +114,11 @@ FaasService::InvokeOutcome FaasService::InvokeAsync(const std::string& name,
                      duration * fn.config.memory_mb);
     completions_[request_id] =
         CompletionRecord{ctx.result(), duration, cold};
-    // Instance becomes warm and reusable.
-    fn.warm_until.push_back(sim_->Now() + keep_alive_s_);
+    // The instance becomes warm and reusable, carrying whatever state the
+    // handler left in it.
+    instance.state = std::move(ctx.instance_state_);
+    instance.warm_until = sim_->Now() + keep_alive_s_;
+    fn.warm.push_back(std::move(instance));
     completion->Fire();
   };
 
@@ -130,8 +144,8 @@ int FaasService::WarmCount(const std::string& function) const {
   if (it == functions_.end()) return 0;
   const double now = sim_->Now();
   int count = 0;
-  for (double until : it->second.warm_until) {
-    if (until > now) ++count;
+  for (const Instance& instance : it->second.warm) {
+    if (instance.warm_until > now) ++count;
   }
   return count;
 }

@@ -7,12 +7,16 @@
 //  - a hard per-invocation runtime cap (15 minutes) — workers must check
 //    the deadline and abort, exactly like real Lambda functions time out
 //  - billing: per invocation + per MB-second of runtime (Eq. 4)
+//  - instance-local state: an execution environment that is reused warm
+//    keeps whatever state the previous invocation left in it (the
+//    λScale-style warm-state lever the partition cache builds on)
 #ifndef FSD_CLOUD_FAAS_H_
 #define FSD_CLOUD_FAAS_H_
 
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -69,6 +73,22 @@ class FaasContext {
   double deadline() const { return deadline_; }
   /// Whether this invocation paid a cold start (no warm instance available).
   bool cold_start() const { return cold_start_; }
+  /// Identity of the execution environment running this invocation. Stable
+  /// across warm reuse: two invocations that report the same instance id
+  /// ran in the same environment (and therefore share instance state).
+  uint64_t instance_id() const { return instance_id_; }
+
+  /// Instance-local state surviving warm reuse. A cold instance starts with
+  /// nullptr; whatever a handler leaves here is visible to the next
+  /// invocation that reuses this instance warm — exactly the in-memory
+  /// residue (loaded libraries, caches, model weights) real FaaS handlers
+  /// exploit. Reclaimed with the instance when the keep-alive expires.
+  const std::shared_ptr<void>& instance_state() const {
+    return instance_state_;
+  }
+  void set_instance_state(std::shared_ptr<void> state) {
+    instance_state_ = std::move(state);
+  }
 
   /// Charges `flops` of compute to virtual time; fails with
   /// DeadlineExceeded once the runtime cap is hit.
@@ -98,6 +118,8 @@ class FaasContext {
   double started_at_ = 0.0;
   double deadline_ = 0.0;
   bool cold_start_ = false;
+  uint64_t instance_id_ = 0;
+  std::shared_ptr<void> instance_state_;
   Bytes payload_;
   Status result_;
 };
@@ -158,10 +180,19 @@ class FaasService {
   const ComputeModelConfig& compute_model() const { return *compute_; }
 
  private:
+  /// An idle execution environment: identity + the state its last
+  /// invocation left behind, reusable until the keep-alive expires.
+  struct Instance {
+    uint64_t id = 0;
+    double warm_until = 0.0;
+    std::shared_ptr<void> state;
+  };
   struct Function {
     FaasFunctionConfig config;
-    /// Times at which idle warm instances become reclaimed.
-    std::vector<double> warm_until;
+    /// Idle warm instances, in release order (most recent last; warm
+    /// invocations take the most recently released instance, as Lambda's
+    /// LIFO reuse does).
+    std::vector<Instance> warm;
   };
 
   sim::Simulation* sim_;
@@ -172,6 +203,7 @@ class FaasService {
   Rng rng_;
   double keep_alive_s_ = 600.0;
   uint64_t next_request_id_ = 1;
+  uint64_t next_instance_id_ = 1;
   std::map<std::string, Function> functions_;
   std::map<uint64_t, CompletionRecord> completions_;
 };

@@ -69,6 +69,24 @@ CostBreakdown SerialCost(const cloud::PricingConfig& pricing,
   return out;
 }
 
+namespace {
+
+/// Adds the cache-aware model-read term to a variant's IPC breakdown: the
+/// share GETs actually issued (cache hits issued none) at C_S3(Get). Kept
+/// for every variant — queue/KV runs read their shares from object storage
+/// too, which is why the ledger shows object GETs for them.
+CostBreakdown AddModelReads(CostBreakdown cost,
+                            const cloud::PricingConfig& pricing,
+                            const RunMetrics& metrics) {
+  const double model_read_cost =
+      static_cast<double>(metrics.model_get_parts) * pricing.object_per_get;
+  cost.communication += model_read_cost;
+  cost.total += model_read_cost;
+  return cost;
+}
+
+}  // namespace
+
 CostBreakdown PredictFromMetrics(const cloud::PricingConfig& pricing,
                                  const FsdOptions& options,
                                  const RunMetrics& metrics,
@@ -76,22 +94,28 @@ CostBreakdown PredictFromMetrics(const cloud::PricingConfig& pricing,
   const LayerMetrics& t = metrics.totals;
   switch (options.variant) {
     case Variant::kSerial:
-      return SerialCost(pricing, metrics.mean_worker_s, memory_mb);
+      return AddModelReads(
+          SerialCost(pricing, metrics.mean_worker_s, memory_mb), pricing,
+          metrics);
     case Variant::kQueue: {
       // Z: bytes delivered from pub-sub to queues = wire bytes + envelope.
       const double delivery_bytes = static_cast<double>(t.send_wire_bytes) +
                                     static_cast<double>(t.send_chunks) * 96.0;
       const double api_calls = static_cast<double>(t.polls + t.deletes);
-      return QueueCost(pricing, options.num_workers, metrics.mean_worker_s,
-                       memory_mb, static_cast<double>(t.publish_chunks),
-                       delivery_bytes, api_calls);
+      return AddModelReads(
+          QueueCost(pricing, options.num_workers, metrics.mean_worker_s,
+                    memory_mb, static_cast<double>(t.publish_chunks),
+                    delivery_bytes, api_calls),
+          pricing, metrics);
     }
     case Variant::kObject:
-      return ObjectCost(pricing, options.num_workers, metrics.mean_worker_s,
-                        memory_mb,
-                        static_cast<double>(t.puts_dat + t.puts_nul),
-                        static_cast<double>(t.gets),
-                        static_cast<double>(t.lists));
+      return AddModelReads(
+          ObjectCost(pricing, options.num_workers, metrics.mean_worker_s,
+                     memory_mb,
+                     static_cast<double>(t.puts_dat + t.puts_nul),
+                     static_cast<double>(t.gets),
+                     static_cast<double>(t.lists)),
+          pricing, metrics);
     case Variant::kKv: {
       // B: processed bytes = wire bytes both directions plus the ~3-byte
       // (source, seq, total) value header per chunk per direction. Node
@@ -100,12 +124,32 @@ CostBreakdown PredictFromMetrics(const cloud::PricingConfig& pricing,
       const double processed =
           static_cast<double>(t.send_wire_bytes + t.recv_wire_bytes) +
           static_cast<double>(t.send_chunks) * 6.0;
-      return KvCost(pricing, options.num_workers, metrics.mean_worker_s,
-                    memory_mb, static_cast<double>(t.kv_pushes + t.kv_pops),
-                    processed, /*node_seconds=*/0.0);
+      return AddModelReads(
+          KvCost(pricing, options.num_workers, metrics.mean_worker_s,
+                 memory_mb, static_cast<double>(t.kv_pushes + t.kv_pops),
+                 processed, /*node_seconds=*/0.0),
+          pricing, metrics);
     }
   }
   return {};
+}
+
+ModelReadEstimate EstimateModelReads(const cloud::PricingConfig& pricing,
+                                     const model::SparseDnn& dnn,
+                                     const part::ModelPartition& partition,
+                                     double hit_ratio) {
+  ModelReadEstimate est;
+  const double h = std::min(1.0, std::max(0.0, hit_ratio));
+  double total_parts = 0.0;
+  for (int32_t m = 0; m < partition.num_parts; ++m) {
+    total_parts += static_cast<double>(
+        ModelReadGetParts(partition.WeightShareBytes(dnn, m)));
+  }
+  est.gets_saved = total_parts * h;
+  est.get_parts = total_parts - est.gets_saved;
+  est.cost = est.get_parts * pricing.object_per_get;
+  est.savings = est.gets_saved * pricing.object_per_get;
+  return est;
 }
 
 WorkloadEstimate EstimateWorkload(const model::SparseDnn& dnn,

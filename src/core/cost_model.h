@@ -55,11 +55,32 @@ CostBreakdown SerialCost(const cloud::PricingConfig& pricing,
                          double runtime_s, int32_t memory_mb);
 
 /// Predicts the run's cost from its measured metrics (the §VI-F validation
-/// path: fine-grained counters -> predicted dollars).
+/// path: fine-grained counters -> predicted dollars). Includes the
+/// cache-aware model-read term: the multipart GETs each worker issued for
+/// its weight share (metrics.model_get_parts — zero for workers whose
+/// partition-cache lookup hit) priced at C_S3(Get), on top of the
+/// variant's IPC terms.
 CostBreakdown PredictFromMetrics(const cloud::PricingConfig& pricing,
                                  const FsdOptions& options,
                                  const RunMetrics& metrics,
                                  int32_t memory_mb);
+
+/// A-priori model-read GET accounting for one query of a partitioned model
+/// under an expected partition-cache hit ratio (the cache-aware term of
+/// the recommender): cold serving pays `get_parts` multipart GETs per
+/// query; a warm fleet hitting the cache on a fraction `hit_ratio` of
+/// worker loads saves that fraction of them.
+struct ModelReadEstimate {
+  double get_parts = 0.0;   ///< GETs issued per query at this hit ratio
+  double gets_saved = 0.0;  ///< GETs the cache avoids per query
+  double cost = 0.0;        ///< get_parts * C_S3(Get)
+  double savings = 0.0;     ///< gets_saved * C_S3(Get)
+};
+
+ModelReadEstimate EstimateModelReads(const cloud::PricingConfig& pricing,
+                                     const model::SparseDnn& dnn,
+                                     const part::ModelPartition& partition,
+                                     double hit_ratio);
 
 /// A-priori workload estimate (before any execution): sizes the paper's
 /// S/Z/Q or V/R/L quantities from the partition maps and an expected

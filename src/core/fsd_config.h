@@ -87,6 +87,29 @@ struct FsdOptions {
   /// request-rate cap, like topic/bucket sharding).
   int32_t kv_shards = 4;
 
+  /// --- cross-query partition cache (λScale-style warm-state reuse) ---
+  /// A warm worker instance that already deserialized its model share for
+  /// an earlier query of the same family skips the object-storage read.
+  /// Off reproduces the paper's every-query-reads behaviour (ablation).
+  bool partition_cache = true;
+  /// Per-instance byte budget for cached shares; LRU eviction beyond it.
+  /// The effective budget is additionally capped at half the worker
+  /// instance's memory (a 1000 MB function cannot keep 2 GiB of shares
+  /// resident), so this default simply means "as much as the instance
+  /// affords". 0 disables caching outright.
+  uint64_t partition_cache_budget_bytes = 2ull * 1024 * 1024 * 1024;
+  /// Identity of the model this request serves. Queries sharing a family
+  /// (and version) may reuse each other's cached shares, so the family
+  /// must uniquely identify the weights. Empty derives a stable identity
+  /// from the full generator config in PrepareRunState; either way the
+  /// runtime additionally qualifies the family with a fingerprint of the
+  /// partition layout, so different partitionings never alias.
+  std::string model_family;
+  /// Version of the family's weights. Bump on any weight update: a warm
+  /// instance holding a share of another version invalidates it and
+  /// re-reads (stale weights must never serve).
+  uint64_t model_version = 0;
+
   /// Worker function sizing. <= 0 selects the paper's schedule via
   /// DefaultWorkerMemoryMb(neurons).
   int32_t worker_memory_mb = 0;
@@ -100,6 +123,18 @@ struct FsdOptions {
 /// The paper's memory schedule: 1000/1500/2000/4000 MB for
 /// N = 1024/4096/16384/65536; FSD-Inf-Serial uses the 10240 MB maximum.
 int32_t DefaultWorkerMemoryMb(int32_t neurons, Variant variant);
+
+/// S3 multipart read chunk used when streaming a model share from object
+/// storage. Shared by the worker read path and the cost model's GET
+/// sizing: one billed GET per started part.
+inline constexpr uint64_t kModelReadPartBytes = 16ull * 1024 * 1024;
+
+/// Billed multipart GETs for a share of `share_bytes` bytes.
+inline constexpr uint64_t ModelReadGetParts(uint64_t share_bytes) {
+  const uint64_t parts =
+      (share_bytes + kModelReadPartBytes - 1) / kModelReadPartBytes;
+  return parts > 0 ? parts : 1;
+}
 
 }  // namespace fsd::core
 

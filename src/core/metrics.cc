@@ -51,6 +51,14 @@ void RunMetrics::Finalize() {
   mean_worker_s = 0.0;
   max_worker_s = 0.0;
   cold_starts = 0;
+  model_get_parts = 0;
+  model_bytes_read = 0;
+  model_gets_saved = 0;
+  model_bytes_saved = 0;
+  cache_hits = 0;
+  cache_misses = 0;
+  cache_evictions = 0;
+  cache_invalidations = 0;
   for (WorkerMetrics& w : workers) {
     w.Finalize();
     totals.Add(w.totals);
@@ -58,6 +66,14 @@ void RunMetrics::Finalize() {
     mean_worker_s += d;
     if (d > max_worker_s) max_worker_s = d;
     if (w.cold_start) ++cold_starts;
+    model_get_parts += w.model_get_parts;
+    model_bytes_read += w.model_bytes_read;
+    model_gets_saved += w.model_gets_saved;
+    model_bytes_saved += w.model_bytes_saved;
+    cache_hits += w.cache_hits;
+    cache_misses += w.cache_misses;
+    cache_evictions += w.cache_evictions;
+    cache_invalidations += w.cache_invalidations;
   }
   if (!workers.empty()) mean_worker_s /= static_cast<double>(workers.size());
 }
@@ -66,7 +82,8 @@ std::string RunMetrics::Summary() const {
   return StrFormat(
       "workers=%zu Tbar=%.3fs Tmax=%.3fs sent=%lld chunks (%s wire, %s raw) "
       "publishes=%lld puts=%lld/%lld polls=%lld (%lld empty) lists=%lld "
-      "gets=%lld kv=%lld/%lld recv_rows=%lld",
+      "gets=%lld kv=%lld/%lld recv_rows=%lld cache=%lld/%lld hit/miss "
+      "(%s saved)",
       workers.size(), mean_worker_s, max_worker_s,
       static_cast<long long>(totals.send_chunks),
       HumanBytes(static_cast<double>(totals.send_wire_bytes)).c_str(),
@@ -80,7 +97,10 @@ std::string RunMetrics::Summary() const {
       static_cast<long long>(totals.gets),
       static_cast<long long>(totals.kv_pushes),
       static_cast<long long>(totals.kv_pops),
-      static_cast<long long>(totals.recv_rows));
+      static_cast<long long>(totals.recv_rows),
+      static_cast<long long>(cache_hits),
+      static_cast<long long>(cache_misses),
+      HumanBytes(static_cast<double>(model_bytes_saved)).c_str());
 }
 
 double Percentile(std::vector<double> values, double pct) {
@@ -108,6 +128,12 @@ void FleetStats::AddQuery(double arrival_s, double finish_s, double latency_s,
   latencies_.push_back(latency_s);
   worker_invocations += static_cast<int64_t>(metrics.workers.size());
   cold_starts += metrics.cold_starts;
+  cache_hits += metrics.cache_hits;
+  cache_misses += metrics.cache_misses;
+  cache_evictions += metrics.cache_evictions;
+  cache_invalidations += metrics.cache_invalidations;
+  model_gets_saved += metrics.model_gets_saved;
+  model_bytes_saved += metrics.model_bytes_saved;
 }
 
 void FleetStats::Finalize() {
@@ -129,6 +155,11 @@ void FleetStats::Finalize() {
           ? static_cast<double>(cold_starts) /
                 static_cast<double>(worker_invocations)
           : 0.0;
+  const int64_t lookups = cache_hits + cache_misses;
+  cache_hit_ratio =
+      lookups > 0 ? static_cast<double>(cache_hits) /
+                        static_cast<double>(lookups)
+                  : 0.0;
   cost_per_query =
       completed > 0 ? total_cost / static_cast<double>(completed) : 0.0;
   daily_cost =
@@ -139,9 +170,12 @@ std::string FleetStats::Summary() const {
   return StrFormat(
       "queries=%d (%d failed) makespan=%.2fs throughput=%.3f qps "
       "latency p50/p95/p99/max=%.3f/%.3f/%.3f/%.3fs cold=%.1f%% "
+      "cache=%.1f%% hit (%lld evicted, %s saved) "
       "cost=%s (%s/query, %s/day)",
       queries, failed, makespan_s, throughput_qps, latency_p50_s,
       latency_p95_s, latency_p99_s, latency_max_s, 100.0 * cold_start_ratio,
+      100.0 * cache_hit_ratio, static_cast<long long>(cache_evictions),
+      HumanBytes(static_cast<double>(model_bytes_saved)).c_str(),
       HumanDollars(total_cost).c_str(), HumanDollars(cost_per_query).c_str(),
       HumanDollars(daily_cost).c_str());
 }

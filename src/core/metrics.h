@@ -60,6 +60,17 @@ struct WorkerMetrics {
   double model_load_s = 0.0;
   double launch_children_s = 0.0;
   bool cold_start = false;
+
+  /// --- model-share load + partition cache (cross-query warm reuse) ---
+  int64_t model_get_parts = 0;    ///< multipart GETs issued for the share
+  int64_t model_bytes_read = 0;   ///< share bytes read from object storage
+  int64_t model_gets_saved = 0;   ///< GETs skipped on a cache hit
+  int64_t model_bytes_saved = 0;  ///< share bytes a cache hit skipped
+  int64_t cache_hits = 0;
+  int64_t cache_misses = 0;
+  int64_t cache_evictions = 0;    ///< entries this worker's insert evicted
+  int64_t cache_invalidations = 0;  ///< stale-version entries dropped
+
   std::vector<LayerMetrics> layers;
   LayerMetrics totals;            ///< sum over layers
 
@@ -78,6 +89,18 @@ struct RunMetrics {
   double mean_worker_s = 0.0;  ///< T-bar in the cost model
   double max_worker_s = 0.0;
   int64_t cold_starts = 0;     ///< worker invocations that paid a cold start
+
+  /// Model-share load + partition-cache totals across workers (model reads
+  /// happen once per worker per run, outside the layer loop, so they are
+  /// not part of the per-layer totals).
+  int64_t model_get_parts = 0;
+  int64_t model_bytes_read = 0;
+  int64_t model_gets_saved = 0;
+  int64_t model_bytes_saved = 0;
+  int64_t cache_hits = 0;
+  int64_t cache_misses = 0;
+  int64_t cache_evictions = 0;
+  int64_t cache_invalidations = 0;
 
   void Finalize();
   std::string Summary() const;
@@ -107,6 +130,15 @@ struct FleetStats {
   int64_t worker_invocations = 0;
   int64_t cold_starts = 0;
   double cold_start_ratio = 0.0;  ///< cold / worker invocations
+
+  // Cross-query partition cache (model-share warm reuse).
+  int64_t cache_hits = 0;
+  int64_t cache_misses = 0;
+  int64_t cache_evictions = 0;
+  int64_t cache_invalidations = 0;
+  double cache_hit_ratio = 0.0;    ///< hits / (hits + misses)
+  int64_t model_gets_saved = 0;    ///< object GETs the cache avoided
+  int64_t model_bytes_saved = 0;   ///< share bytes the cache avoided
 
   // Dollars (filled from the workload's billing-ledger delta).
   double total_cost = 0.0;

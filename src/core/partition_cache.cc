@@ -1,0 +1,54 @@
+#include "core/partition_cache.h"
+
+namespace fsd::core {
+
+void PartitionCache::Erase(
+    std::map<Key, std::list<Entry>::iterator>::iterator it) {
+  bytes_cached_ -= it->second->bytes;
+  lru_.erase(it->second);
+  index_.erase(it);
+}
+
+PartitionCache::Lookup PartitionCache::Find(const std::string& family,
+                                            int32_t partition_id,
+                                            uint64_t version) {
+  auto it = index_.find(Key{family, partition_id});
+  if (it == index_.end()) {
+    ++misses_;
+    return Lookup::kMiss;
+  }
+  if (it->second->version != version) {
+    // The family moved to another version: the resident share is dead
+    // weight, drop it now rather than letting it squat on the budget.
+    Erase(it);
+    ++invalidations_;
+    ++misses_;
+    return Lookup::kStale;
+  }
+  lru_.splice(lru_.begin(), lru_, it->second);
+  ++hits_;
+  return Lookup::kHit;
+}
+
+int64_t PartitionCache::Insert(const std::string& family,
+                               int32_t partition_id, uint64_t version,
+                               uint64_t bytes) {
+  const Key key{family, partition_id};
+  auto it = index_.find(key);
+  if (it != index_.end()) Erase(it);
+  if (bytes > budget_bytes_) return 0;  // can never fit; don't thrash
+  int64_t evicted = 0;
+  while (!lru_.empty() && bytes_cached_ + bytes > budget_bytes_) {
+    index_.erase(lru_.back().key);
+    bytes_cached_ -= lru_.back().bytes;
+    lru_.pop_back();
+    ++evictions_;
+    ++evicted;
+  }
+  lru_.push_front(Entry{key, version, bytes});
+  index_[key] = lru_.begin();
+  bytes_cached_ += bytes;
+  return evicted;
+}
+
+}  // namespace fsd::core

@@ -1,0 +1,94 @@
+// PartitionCache: per-FaaS-instance cache of deserialized model shares,
+// enabling λScale-style warm-state reuse across queries (arXiv:2502.09922).
+//
+// Every FSI worker must hold its partition's weight share in memory before
+// the layer loop starts. Reading that share from object storage dominates
+// warm-query latency once the serving runtime dispatches repeated queries
+// of one model family to the same warm instances — the share those
+// instances deserialized for the previous query is still sitting in their
+// memory. The cache tracks exactly that residue: entries are keyed by
+// (model_family, partition_id) and carry the model version they were
+// loaded at, so a warm worker can skip the multipart GETs + deserialization
+// when it serves another query of the same family at the same version.
+//
+// The cache stores *sizes*, not weights: model bytes live in the shared
+// in-memory SparseDnn (the storage objects are phantom, see worker.cc), so
+// a hit simply skips the simulated read. Accounting is therefore the whole
+// point — hits, misses, evictions under the byte budget, and stale-version
+// invalidations all feed the run metrics, FleetStats and the cost model's
+// GET-savings term.
+//
+// Lifetime: one cache per FaaS instance, held as instance-local state
+// (cloud::FaasContext::instance_state), so it lives exactly as long as the
+// warm instance does and is reclaimed with it. The simulation is
+// single-threaded by construction; no locking.
+#ifndef FSD_CORE_PARTITION_CACHE_H_
+#define FSD_CORE_PARTITION_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <map>
+#include <string>
+#include <utility>
+
+namespace fsd::core {
+
+class PartitionCache {
+ public:
+  /// `budget_bytes` caps the sum of cached share sizes; inserting past the
+  /// budget evicts least-recently-used entries. A zero budget caches
+  /// nothing (every lookup misses).
+  explicit PartitionCache(uint64_t budget_bytes)
+      : budget_bytes_(budget_bytes) {}
+
+  enum class Lookup {
+    kHit,    ///< share resident at the wanted version; skip the read
+    kMiss,   ///< share absent; read and Insert()
+    kStale,  ///< share resident at another version: invalidated, re-read
+  };
+
+  /// Checks whether worker `partition_id`'s share of `family` is resident
+  /// at `version`. A hit refreshes recency; a resident entry at any other
+  /// version is dropped immediately (a version change means the weights
+  /// changed — the stale share can never be served again).
+  Lookup Find(const std::string& family, int32_t partition_id,
+              uint64_t version);
+
+  /// Records a completed share read of `bytes` bytes, evicting LRU entries
+  /// until the budget holds. Shares larger than the whole budget are not
+  /// cached. Returns the number of entries evicted by this insert.
+  int64_t Insert(const std::string& family, int32_t partition_id,
+                 uint64_t version, uint64_t bytes);
+
+  // --- accounting ---
+  uint64_t budget_bytes() const { return budget_bytes_; }
+  uint64_t bytes_cached() const { return bytes_cached_; }
+  int64_t entries() const { return static_cast<int64_t>(index_.size()); }
+  int64_t hits() const { return hits_; }
+  int64_t misses() const { return misses_; }
+  int64_t evictions() const { return evictions_; }
+  int64_t invalidations() const { return invalidations_; }
+
+ private:
+  using Key = std::pair<std::string, int32_t>;  // (family, partition_id)
+  struct Entry {
+    Key key;
+    uint64_t version = 0;
+    uint64_t bytes = 0;
+  };
+
+  void Erase(std::map<Key, std::list<Entry>::iterator>::iterator it);
+
+  uint64_t budget_bytes_;
+  uint64_t bytes_cached_ = 0;
+  int64_t hits_ = 0;
+  int64_t misses_ = 0;
+  int64_t evictions_ = 0;
+  int64_t invalidations_ = 0;
+  std::list<Entry> lru_;  ///< most recently used first
+  std::map<Key, std::list<Entry>::iterator> index_;
+};
+
+}  // namespace fsd::core
+
+#endif  // FSD_CORE_PARTITION_CACHE_H_

@@ -1,6 +1,7 @@
 #include "core/runtime.h"
 
 #include <atomic>
+#include <cstring>
 
 #include "common/strings.h"
 #include "core/channel.h"
@@ -10,6 +11,50 @@ namespace fsd::core {
 namespace {
 
 std::atomic<uint64_t> g_run_counter{0};
+
+uint64_t MixHash(uint64_t h, uint64_t v) {
+  return h ^ (v + 0x9E3779B97F4A7C15ull + (h << 6) + (h >> 2));
+}
+
+uint64_t FloatBits(double d) {
+  uint64_t bits = 0;
+  std::memcpy(&bits, &d, sizeof(bits));
+  return bits;
+}
+
+/// Order-sensitive fingerprint over every weight-determining generator
+/// field: any config change that alters the generated weights must change
+/// the derived cache family, or a warm instance would serve a share of a
+/// different model as a hit.
+uint64_t ModelConfigFingerprint(const model::SparseDnnConfig& c) {
+  uint64_t h = 0xF5DCAFEull;
+  h = MixHash(h, static_cast<uint64_t>(c.neurons));
+  h = MixHash(h, static_cast<uint64_t>(c.layers));
+  h = MixHash(h, static_cast<uint64_t>(c.nnz_per_row));
+  h = MixHash(h, FloatBits(c.relu_cap));
+  h = MixHash(h, FloatBits(c.bias));
+  h = MixHash(h, static_cast<uint64_t>(c.window));
+  h = MixHash(h, FloatBits(c.long_range_fraction));
+  h = MixHash(h, static_cast<uint64_t>(c.num_global_offsets));
+  h = MixHash(h, FloatBits(c.weight_min));
+  h = MixHash(h, FloatBits(c.weight_max));
+  h = MixHash(h, c.seed);
+  return h;
+}
+
+/// Fingerprint of the partition layout (row ownership per part). Two
+/// partitionings of one model — even at the same P, e.g. hypergraph vs
+/// random — own different rows, so their shares must never alias in the
+/// cache; function groups share warm instances across all of them.
+uint64_t PartitionFingerprint(const part::ModelPartition& partition) {
+  uint64_t h = MixHash(0xA9717ull,
+                       static_cast<uint64_t>(partition.num_parts));
+  for (const auto& rows : partition.owned_rows) {
+    h = MixHash(h, rows.size());
+    for (int32_t row : rows) h = MixHash(h, static_cast<uint64_t>(row));
+  }
+  return h;
+}
 
 Status Validate(const InferenceRequest& request) {
   if (request.dnn == nullptr || request.partition == nullptr) {
@@ -104,6 +149,23 @@ Result<std::unique_ptr<RunState>> PrepareRunState(
   state->run_id = run_id;
   state->dnn = request.dnn;
   state->partition = request.partition;
+  if (options.partition_cache && options.partition_cache_budget_bytes > 0) {
+    // Effective cache family: the caller's identity (or a fingerprint of
+    // the full generator config, which uniquely determines synthetic
+    // weights), always qualified with the partition-layout fingerprint —
+    // shares of the same model under a different partitioning (different
+    // P, or different scheme at the same P) must never alias.
+    const std::string family =
+        options.model_family.empty()
+            ? StrFormat("dnn-%016llx",
+                        static_cast<unsigned long long>(
+                            ModelConfigFingerprint(request.dnn->config)))
+            : options.model_family;
+    state->cache_family =
+        StrFormat("%s@%016llx", family.c_str(),
+                  static_cast<unsigned long long>(
+                      PartitionFingerprint(*request.partition)));
+  }
   state->batches = request.batches;
   state->options = std::move(options);
   state->cloud = cloud;

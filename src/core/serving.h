@@ -18,6 +18,14 @@
 //  - Billing is shared: per-query "actual" dollars are not separable on a
 //    concurrent ledger, so the report carries the workload-level ledger
 //    delta plus per-query cost-model attributions.
+//  - Warm state is reused: because function groups share warm pools, a
+//    worker instance freed by one query carries its instance-local
+//    PartitionCache into the next query it serves — repeated queries of
+//    one model family skip their model-share reads (FleetStats reports
+//    the hit ratio and bytes saved). The cache budget is part of the
+//    function-group key, so queries with different
+//    partition_cache_budget_bytes never share warm instances (an
+//    instance's cache is created by whichever run touches it first).
 //
 // Submitted request pointers (model, partition, batches) must stay alive
 // until Drain() returns.

@@ -6,12 +6,10 @@
 #include "common/logging.h"
 #include "common/strings.h"
 #include "core/launcher.h"
+#include "core/partition_cache.h"
 
 namespace fsd::core {
 namespace {
-
-/// S3 multipart read chunk used when streaming the model share.
-constexpr uint64_t kModelReadPartBytes = 16ull * 1024 * 1024;
 
 WorkerEnv MakeEnv(cloud::FaasContext* ctx, RunState* state, int32_t worker_id,
                   WorkerMetrics* metrics) {
@@ -49,22 +47,79 @@ Status InvokeChildren(cloud::FaasContext* ctx, RunState* state,
   return Status::OK();
 }
 
+/// Returns this instance's partition cache, creating it on first use (a
+/// cold instance starts empty). The cache rides the FaaS instance-local
+/// state, so it survives exactly as long as the warm instance does. The
+/// budget is fixed by whichever run first touches the instance; concurrent
+/// runs on one shared function should agree on it.
+PartitionCache* InstancePartitionCache(cloud::FaasContext* ctx,
+                                       const FsdOptions& options) {
+  if (!options.partition_cache ||
+      options.partition_cache_budget_bytes == 0) {
+    return nullptr;
+  }
+  // Cached shares live inside the instance's memory alongside the working
+  // set, so the configured budget is capped at half the instance's actual
+  // memory — a 1000 MB function cannot keep 2 GiB of shares resident, and
+  // the simulation must not report hit ratios a real fleet could never
+  // reach. Queries sharing a function group agree on the budget by
+  // construction (it is part of the serving group key) and on the memory
+  // (ditto), so every run sees the same effective budget here.
+  const uint64_t memory_cap =
+      static_cast<uint64_t>(ctx->memory_mb()) * 1024 * 1024 / 2;
+  const uint64_t budget =
+      std::min(options.partition_cache_budget_bytes, memory_cap);
+  if (budget == 0) return nullptr;
+  auto cache = std::static_pointer_cast<PartitionCache>(ctx->instance_state());
+  if (cache == nullptr) {
+    cache = std::make_shared<PartitionCache>(budget);
+    ctx->set_instance_state(cache);
+  }
+  return cache.get();
+}
+
 /// Models reading this worker's weight + map share from object storage
 /// (multipart GETs on the IPC lanes) plus deserialization CPU. The actual
 /// weight data is accessed from the shared in-memory model: storage holds
 /// the bytes only notionally (phantom objects), which keeps the simulation
 /// faithful on latency/billing without duplicating gigabytes.
+///
+/// Read-through partition cache: a warm instance that deserialized this
+/// (family, partition) share at this version for an earlier query still
+/// holds it in memory, so the read (and its GET billing) is skipped
+/// entirely. The cache changes WHEN a share is read, never its contents —
+/// outputs stay byte-identical with the cache on or off.
 Status LoadModelShare(cloud::FaasContext* ctx, RunState* state,
                       int32_t worker_id, WorkerMetrics* metrics) {
   const double start = ctx->sim()->Now();
   const uint64_t bytes =
       state->partition->WeightShareBytes(*state->dnn, worker_id);
-  const uint64_t parts =
-      std::max<uint64_t>(1, (bytes + kModelReadPartBytes - 1) /
-                                kModelReadPartBytes);
+  const uint64_t parts = ModelReadGetParts(bytes);
+
+  PartitionCache* cache = state->cache_family.empty()
+                              ? nullptr
+                              : InstancePartitionCache(ctx, state->options);
+  if (cache != nullptr) {
+    const PartitionCache::Lookup found = cache->Find(
+        state->cache_family, worker_id, state->options.model_version);
+    if (found == PartitionCache::Lookup::kHit) {
+      ++metrics->cache_hits;
+      metrics->model_gets_saved += static_cast<int64_t>(parts);
+      metrics->model_bytes_saved += static_cast<int64_t>(bytes);
+      metrics->model_load_s = ctx->sim()->Now() - start;
+      return Status::OK();
+    }
+    ++metrics->cache_misses;
+    if (found == PartitionCache::Lookup::kStale) {
+      ++metrics->cache_invalidations;
+    }
+  }
+
   auto& ledger = state->cloud->billing();
   ledger.Record(cloud::BillingDimension::kObjectGet,
                 static_cast<double>(parts));
+  metrics->model_get_parts += static_cast<int64_t>(parts);
+  metrics->model_bytes_read += static_cast<int64_t>(bytes);
   Rng rng(state->options.seed ^ (0xA11Dull * (worker_id + 1)));
   std::vector<double> latencies;
   uint64_t remaining = bytes;
@@ -78,7 +133,13 @@ Status LoadModelShare(cloud::FaasContext* ctx, RunState* state,
       sim::ParallelMakespan(latencies, state->options.io_lanes);
   const double deser_s = static_cast<double>(bytes) /
                          state->cloud->compute().deserialize_bytes_per_s;
+  // An interrupted read (deadline mid-transfer) must not populate the
+  // cache: only a fully deserialized share is resident and reusable.
   FSD_RETURN_IF_ERROR(ctx->SleepFor(get_makespan + deser_s));
+  if (cache != nullptr) {
+    metrics->cache_evictions += cache->Insert(
+        state->cache_family, worker_id, state->options.model_version, bytes);
+  }
   metrics->model_load_s = ctx->sim()->Now() - start;
   return Status::OK();
 }

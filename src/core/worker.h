@@ -34,6 +34,14 @@ struct RunState {
   /// Name of the registered worker function (unique per run).
   std::string worker_function;
 
+  /// Effective partition-cache family for this run: options.model_family
+  /// (or an identity derived from the generator config) qualified with a
+  /// fingerprint of the partition's row-ownership layout, so shares under
+  /// a different partitioning — another P, or another scheme at the same
+  /// P — can never alias. Set by PrepareRunState; empty disables caching
+  /// for the run.
+  std::string cache_family;
+
   /// --- outputs ---
   std::vector<linalg::ActivationMap> outputs;  // per batch, written by root
   std::shared_ptr<sim::SimSignal> done;        // fired by root

@@ -392,6 +392,76 @@ TEST_F(CloudTest, FaasWarmStartReusesInstance) {
   });
 }
 
+TEST_F(CloudTest, FaasInstanceStateSurvivesWarmReuse) {
+  // Instance-local state is the warm residue real handlers exploit: set by
+  // one invocation, visible to the next one reusing the instance warm,
+  // gone once the keep-alive reclaims the instance.
+  FaasFunctionConfig fn;
+  fn.name = "f";
+  fn.memory_mb = 512;
+  fn.timeout_s = 10.0;
+  std::vector<uint64_t> instance_ids;
+  std::vector<int> seen_values;
+  fn.handler = [&](FaasContext* ctx) {
+    instance_ids.push_back(ctx->instance_id());
+    auto state = std::static_pointer_cast<int>(ctx->instance_state());
+    seen_values.push_back(state == nullptr ? -1 : *state);
+    ctx->set_instance_state(std::make_shared<int>(
+        static_cast<int>(seen_values.size())));
+    ctx->set_result(Status::OK());
+  };
+  ASSERT_TRUE(cloud_.faas().RegisterFunction(fn).ok());
+  InProcess([&] {
+    auto first = cloud_.faas().InvokeAsync("f", {});
+    sim_.WaitSignal(first.completion.get());
+    auto second = cloud_.faas().InvokeAsync("f", {});
+    sim_.WaitSignal(second.completion.get());
+    // Outlive the keep-alive: the third invocation is cold with no state.
+    sim_.Hold(601.0);
+    auto third = cloud_.faas().InvokeAsync("f", {});
+    sim_.WaitSignal(third.completion.get());
+    EXPECT_TRUE(cloud_.faas().completion(third.request_id)->cold_start);
+  });
+  ASSERT_EQ(seen_values.size(), 3u);
+  EXPECT_EQ(seen_values[0], -1);  // cold: fresh environment
+  EXPECT_EQ(seen_values[1], 1);   // warm: previous invocation's state
+  EXPECT_EQ(seen_values[2], -1);  // reclaimed: state died with the instance
+  EXPECT_EQ(instance_ids[0], instance_ids[1]);
+  EXPECT_NE(instance_ids[0], instance_ids[2]);
+}
+
+TEST_F(CloudTest, FaasConcurrentInvocationsGetDistinctInstances) {
+  // Concurrent invocations occupy distinct instances (each with its own
+  // instance state); once both are released, a later invocation reuses
+  // one of them warm instead of minting a third environment.
+  FaasFunctionConfig fn;
+  fn.name = "f";
+  fn.memory_mb = 512;
+  fn.timeout_s = 10.0;
+  std::vector<uint64_t> instance_ids;
+  fn.handler = [&](FaasContext* ctx) {
+    instance_ids.push_back(ctx->instance_id());
+    ctx->sim()->Hold(1.0);
+    ctx->set_result(Status::OK());
+  };
+  ASSERT_TRUE(cloud_.faas().RegisterFunction(fn).ok());
+  InProcess([&] {
+    auto a = cloud_.faas().InvokeAsync("f", {});
+    auto b = cloud_.faas().InvokeAsync("f", {});
+    sim_.WaitSignal(a.completion.get());
+    sim_.WaitSignal(b.completion.get());
+    EXPECT_EQ(cloud_.faas().WarmCount("f"), 2);
+    auto c = cloud_.faas().InvokeAsync("f", {});
+    sim_.WaitSignal(c.completion.get());
+    EXPECT_FALSE(cloud_.faas().completion(c.request_id)->cold_start);
+  });
+  ASSERT_EQ(instance_ids.size(), 3u);
+  EXPECT_NE(instance_ids[0], instance_ids[1]);  // overlapped: two instances
+  // The third run reused one of the released environments.
+  EXPECT_TRUE(instance_ids[2] == instance_ids[0] ||
+              instance_ids[2] == instance_ids[1]);
+}
+
 TEST_F(CloudTest, FaasDeadlineExceededSurfaces) {
   FaasFunctionConfig fn;
   fn.name = "slow";

@@ -263,20 +263,23 @@ TEST(EndToEnd, CostModelPredictionMatchesLedger) {
        {Variant::kQueue, Variant::kObject, Variant::kKv}) {
     Workload local = MakeWorkload(384, 10, 16);
     InferenceReport report = RunVariant(local, partition, variant, 5);
-    // Communication: the prediction counts IPC only; the ledger delta also
-    // contains the one-off model-load GETs and (for KV) the namespace's
-    // node time billed at teardown, so compare with those removed.
-    const double model_load_gets =
-        report.billing.quantity(cloud::BillingDimension::kObjectGet) -
-        static_cast<double>(report.metrics.totals.gets);
+    // Communication: the prediction counts IPC plus the cache-aware
+    // model-read GET term (the share GETs each worker actually issued);
+    // the ledger delta additionally contains (for KV) the namespace's node
+    // time billed at teardown, so compare with that removed.
     const double node_cost =
         report.billing.quantity(cloud::BillingDimension::kKvNodeSecond) *
         cloud::PricingConfig{}.kv_node_hourly / 3600.0;
-    const double ledger_ipc =
-        report.billing.comm_cost -
-        model_load_gets * cloud::PricingConfig{}.object_per_get - node_cost;
+    const double ledger_ipc = report.billing.comm_cost - node_cost;
     EXPECT_NEAR(report.predicted.communication, ledger_ipc,
                 0.02 * std::max(1e-9, ledger_ipc) + 1e-7)
+        << VariantName(variant);
+    // The model-read GETs in the metrics reconcile exactly with the
+    // ledger: object GETs = channel GETs + share GETs.
+    EXPECT_DOUBLE_EQ(
+        report.billing.quantity(cloud::BillingDimension::kObjectGet),
+        static_cast<double>(report.metrics.totals.gets +
+                            report.metrics.model_get_parts))
         << VariantName(variant);
     // Compute: same Tbar-based formula on both sides.
     EXPECT_NEAR(report.predicted.compute, report.billing.faas_cost,
