@@ -218,6 +218,16 @@ int main() {
   FSD_CHECK_LT(kv_small.p50_ms, queue_small.p50_ms);
   FSD_CHECK_LT(object_large.actual_comm_per_round,
                kv_large.actual_comm_per_round);
+  bench::WriteBenchJson(
+      "channel_backends",
+      {{"queue_small_p50_ms", queue_small.p50_ms},
+       {"queue_small_p95_ms", queue_small.p95_ms},
+       {"kv_small_p50_ms", kv_small.p50_ms},
+       {"kv_small_p95_ms", kv_small.p95_ms},
+       {"kv_small_speedup_vs_queue",
+        queue_small.p50_ms / kv_small.p50_ms},
+       {"object_large_comm_per_round", object_large.actual_comm_per_round},
+       {"kv_large_comm_per_round", kv_large.actual_comm_per_round}});
   std::printf(
       "\n%s\n",
       bench::PaperNote(

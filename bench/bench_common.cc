@@ -1,5 +1,6 @@
 #include "bench/bench_common.h"
 
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -377,6 +378,38 @@ bool SerialFitsPaperScale(int32_t neurons) {
   const double activations_mb =
       static_cast<double>(neurons) * 10000.0 * 8.0 * 2.0 / (1024.0 * 1024.0);
   return model_mb + activations_mb < 10240.0;
+}
+
+void WriteBenchJson(
+    const std::string& bench_name,
+    const std::vector<std::pair<std::string, double>>& metrics) {
+  const char* env = std::getenv("FSD_BENCH_JSON");
+  if (env == nullptr || env[0] == '\0') return;
+  std::error_code ec;
+  std::filesystem::create_directories(env, ec);
+  const std::filesystem::path path =
+      std::filesystem::path(env) / ("BENCH_" + bench_name + ".json");
+  const char* scale_env = std::getenv("FSD_BENCH_SCALE");
+  const std::string scale =
+      (scale_env != nullptr && scale_env[0] != '\0') ? scale_env : "quick";
+
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    std::fprintf(stderr, "FSD_BENCH_JSON: cannot write %s\n",
+                 path.string().c_str());
+    return;
+  }
+  out << "{\n  \"bench\": \"" << bench_name << "\",\n  \"scale\": \""
+      << scale << "\",\n  \"metrics\": {";
+  for (size_t i = 0; i < metrics.size(); ++i) {
+    out << (i == 0 ? "\n" : ",\n") << "    \"" << metrics[i].first << "\": ";
+    if (std::isfinite(metrics[i].second)) {
+      out << StrFormat("%.9g", metrics[i].second);
+    } else {
+      out << "null";
+    }
+  }
+  out << "\n  }\n}\n";
 }
 
 void PrintHeader(const std::string& title, const std::string& subtitle) {

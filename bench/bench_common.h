@@ -126,6 +126,17 @@ uint64_t PaperScaleModelBytes(int32_t neurons);
 /// paper reports N=65536 failing it).
 bool SerialFitsPaperScale(int32_t neurons);
 
+/// ---- machine-readable results ----
+
+/// When the env var FSD_BENCH_JSON names a directory, writes
+/// `<dir>/BENCH_<bench_name>.json` with the bench's headline numbers
+/// (typically p50/p95 latency, throughput, daily cost) plus the scale tier
+/// it ran at, so CI can archive the perf trajectory per commit. No-op when
+/// the env var is unset. Non-finite values are emitted as null.
+void WriteBenchJson(
+    const std::string& bench_name,
+    const std::vector<std::pair<std::string, double>>& metrics);
+
 /// ---- table formatting ----
 
 void PrintHeader(const std::string& title, const std::string& subtitle);

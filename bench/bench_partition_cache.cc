@@ -151,6 +151,18 @@ int main() {
               off.p50_s / on.p50_s, off.daily_cost / on.daily_cost,
               (off.outputs_ok && on.outputs_ok) ? "IDENTICAL" : "MISMATCH");
 
+  bench::WriteBenchJson(
+      "partition_cache",
+      {{"cache_off_p50_latency_s", off.p50_s},
+       {"cache_off_p95_latency_s", off.p95_s},
+       {"cache_off_daily_cost", off.daily_cost},
+       {"cache_on_p50_latency_s", on.p50_s},
+       {"cache_on_p95_latency_s", on.p95_s},
+       {"cache_on_daily_cost", on.daily_cost},
+       {"cache_hit_ratio", on.hit_ratio},
+       {"p50_speedup", off.p50_s / on.p50_s},
+       {"get_savings_rel_err", rel_err}});
+
   // The acceptance claims, asserted.
   FSD_CHECK(off.outputs_ok);
   FSD_CHECK(on.outputs_ok);

@@ -1,0 +1,220 @@
+// Cross-query batching benchmark: at high same-family arrival rates,
+// coalescing concurrent queries into shared worker trees amortizes the
+// per-query launch — P invocations, P model-share loads (GETs + billed
+// deserialization runtime), the invocation tree — across every member of
+// the batch.
+//
+// The workload is the regime the aggregator targets: interactive queries
+// (small sample batches) against a HEAVY model, arriving faster than one
+// worker tree turns around. Per-query cost is then dominated by the fixed
+// tree launch (model loads above all), which batching divides by the
+// occupancy; the per-batch compute/communication that cannot amortize is
+// small. Two modes on the identical Poisson trace, identical options:
+//  - unbatched: batch_window_s = 0, one worker tree per query (PR 1-3
+//    serving; at these rates queries overlap, so instances are rarely
+//    reused warm and every tree re-reads its model shares)
+//  - batched:   same-family queries coalesce, up to 8 per tree
+//
+// Asserted shapes:
+//  - per-query outputs byte-identical across the two modes (and vs the
+//    serial reference)
+//  - >= 30% cost-per-query reduction (or >= 1.5x throughput) at full
+//    scale; latency pays the coalescing window, printed not hidden
+//  - workload-level cost-model reconciliation: summed per-member
+//    predictions match the ledger's communication charges to < 0.1%
+//    (member metric slices sum exactly to run totals; the queue channel's
+//    billed-byte counters meter the pub-sub Z term exactly)
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "common/strings.h"
+#include "core/serving.h"
+
+using namespace fsd;
+using bench::ScaleConfig;
+
+namespace {
+
+struct ModeResult {
+  double throughput_qps = 0.0;
+  double p50_s = 0.0;
+  double p95_s = 0.0;
+  double queue_wait_p95_s = 0.0;
+  double occupancy = 0.0;
+  int32_t runs = 0;
+  int64_t invocations = 0;
+  double object_gets = 0.0;
+  double cost = 0.0;
+  double cost_per_query = 0.0;
+  double daily_cost = 0.0;
+  double predicted_comm = 0.0;  ///< summed per-query comm predictions
+  double ledger_comm = 0.0;
+  bool outputs_ok = true;
+};
+
+ModeResult RunMode(const bench::Workload& workload,
+                   const part::ModelPartition& partition,
+                   const std::vector<double>& arrivals,
+                   double batch_window_s) {
+  sim::Simulation sim;
+  cloud::CloudEnv cloud(&sim);
+  core::ServingOptions serving_options;
+  serving_options.batch_window_s = batch_window_s;
+  serving_options.max_batch_queries = 8;
+  core::ServingRuntime serving(&cloud, serving_options);
+
+  core::InferenceRequest request;
+  request.dnn = &workload.dnn;
+  request.partition = &partition;
+  request.batches = {&workload.input};
+  // Queue variant: per-batch IPC is API-call priced (the cheap dimension),
+  // so the model-share reads and tree launch — exactly what batching
+  // amortizes — carry their real weight in the bill.
+  request.options.variant = core::Variant::kQueue;
+  request.options.num_workers = partition.num_parts;
+  for (double arrival : arrivals) {
+    FSD_CHECK_OK(serving.Submit(request, arrival).status());
+  }
+  auto report = serving.Drain();
+  FSD_CHECK_OK(report.status());
+
+  ModeResult result;
+  for (const core::QueryOutcome& outcome : report->queries) {
+    FSD_CHECK_OK(outcome.report.status);
+    result.outputs_ok &= outcome.report.outputs.size() == 1 &&
+                         outcome.report.outputs[0] == workload.expected;
+    result.predicted_comm += outcome.report.predicted.communication;
+  }
+  result.throughput_qps = report->fleet.throughput_qps;
+  result.p50_s = report->fleet.latency_p50_s;
+  result.p95_s = report->fleet.latency_p95_s;
+  result.queue_wait_p95_s = report->fleet.queue_wait_p95_s;
+  result.occupancy = report->fleet.batch_occupancy_mean;
+  result.runs = report->fleet.runs;
+  result.invocations = report->fleet.worker_invocations;
+  result.object_gets =
+      report->billing.quantity(cloud::BillingDimension::kObjectGet);
+  result.cost = report->billing.total_cost;
+  result.cost_per_query = report->fleet.cost_per_query;
+  result.daily_cost = report->fleet.daily_cost;
+  result.ledger_comm = report->billing.comm_cost;
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  const ScaleConfig scale = ScaleConfig::FromEnv();
+  // Wide model, few workers: big shares make the per-query tree launch
+  // (model reads above all) the dominant cost. P=2 is the cost-lean
+  // deployment the recommender favours for interactive volumes (Table II:
+  // fewer workers win at small batches); per-query batches are 8 samples.
+  const int32_t neurons = scale.NeuronsOr(65536);
+  const int32_t workers = scale.tiny ? 4 : 2;
+  const int32_t queries = scale.tiny ? 8 : 24;
+  const double rate_qps = 24.0;
+  const double window_s = 0.5;
+  bench::OverrideBatch(neurons, 8);
+  const bench::Workload& workload = bench::GetWorkload(neurons, scale);
+  const part::ModelPartition& partition = bench::GetPartition(
+      neurons, workers, part::PartitionScheme::kHypergraph, scale);
+
+  bench::PrintHeader(
+      StrFormat("CROSS-QUERY BATCHING — N=%d, P=%d, %d same-family "
+                "8-sample queries at %.0f qps",
+                neurons, workers, queries, rate_qps),
+      StrFormat("shared worker trees (window=%.2fs, <=8 queries/tree) vs "
+                "one tree per query",
+                window_s));
+
+  const std::vector<double> arrivals =
+      core::PoissonArrivals(rate_qps, queries, /*seed=*/4242);
+  const ModeResult solo = RunMode(workload, partition, arrivals, 0.0);
+  const ModeResult batched = RunMode(workload, partition, arrivals, window_s);
+
+  std::printf("%-10s | %-8s %-8s %-8s %-8s | %-5s %-6s %-8s | %-10s %-10s\n",
+              "mode", "qps", "p50", "p95", "qwait95", "trees", "occ",
+              "GETs", "$/query", "daily $");
+  bench::PrintRule();
+  for (const auto& [name, r] :
+       {std::pair<const char*, const ModeResult&>{"unbatched", solo},
+        std::pair<const char*, const ModeResult&>{"batched", batched}}) {
+    std::printf(
+        "%-10s | %8.3f %7.3fs %7.3fs %7.3fs | %5d %6.2f %8.0f | %-10s %-10s\n",
+        name, r.throughput_qps, r.p50_s, r.p95_s, r.queue_wait_p95_s,
+        r.runs, r.occupancy, r.object_gets,
+        HumanDollars(r.cost_per_query).c_str(),
+        HumanDollars(r.daily_cost).c_str());
+  }
+
+  const double cost_reduction = 1.0 - batched.cost_per_query /
+                                          solo.cost_per_query;
+  const double throughput_gain =
+      batched.throughput_qps / solo.throughput_qps;
+  const double rel_err =
+      std::abs(batched.predicted_comm - batched.ledger_comm) /
+      std::max(1e-12, batched.ledger_comm);
+  const double rel_err_solo =
+      std::abs(solo.predicted_comm - solo.ledger_comm) /
+      std::max(1e-12, solo.ledger_comm);
+
+  std::printf(
+      "\ninvocations %lld -> %lld (%.1fx fewer), model GETs %.0f -> %.0f, "
+      "cost/query -%.1f%%, throughput %.2fx\n",
+      static_cast<long long>(solo.invocations),
+      static_cast<long long>(batched.invocations),
+      static_cast<double>(solo.invocations) /
+          static_cast<double>(batched.invocations),
+      solo.object_gets, batched.object_gets, 100.0 * cost_reduction,
+      throughput_gain);
+  std::printf(
+      "cost-model reconciliation (summed per-member comm predictions vs "
+      "ledger): batched rel.err %.4f%%, unbatched %.4f%%\n",
+      100.0 * rel_err, 100.0 * rel_err_solo);
+  std::printf("outputs %s\n",
+              (solo.outputs_ok && batched.outputs_ok) ? "IDENTICAL"
+                                                      : "MISMATCH");
+
+  bench::WriteBenchJson(
+      "query_batching",
+      {{"unbatched_throughput_qps", solo.throughput_qps},
+       {"unbatched_p50_latency_s", solo.p50_s},
+       {"unbatched_p95_latency_s", solo.p95_s},
+       {"unbatched_cost_per_query", solo.cost_per_query},
+       {"unbatched_daily_cost", solo.daily_cost},
+       {"batched_throughput_qps", batched.throughput_qps},
+       {"batched_p50_latency_s", batched.p50_s},
+       {"batched_p95_latency_s", batched.p95_s},
+       {"batched_queue_wait_p95_s", batched.queue_wait_p95_s},
+       {"batched_cost_per_query", batched.cost_per_query},
+       {"batched_daily_cost", batched.daily_cost},
+       {"batch_occupancy_mean", batched.occupancy},
+       {"cost_per_query_reduction", cost_reduction},
+       {"throughput_gain", throughput_gain},
+       {"comm_prediction_rel_err", rel_err}});
+
+  // The acceptance claims, asserted. (Tiny smoke runs the full code path
+  // but its 1024-wide model has no meaningful fixed cost to amortize, so —
+  // as everywhere in bench/ — magnitudes are not asserted at that scale.)
+  FSD_CHECK(solo.outputs_ok);
+  FSD_CHECK(batched.outputs_ok);
+  FSD_CHECK_GT(batched.occupancy, 1.0);
+  FSD_CHECK_LT(batched.invocations, solo.invocations);
+  FSD_CHECK_LT(rel_err, 0.001);
+  FSD_CHECK_LT(rel_err_solo, 0.001);
+  if (!scale.tiny) {
+    // >= 30% cost-per-query reduction OR >= 1.5x throughput.
+    FSD_CHECK(cost_reduction >= 0.30 || throughput_gain >= 1.5);
+  }
+
+  std::printf(
+      "\n%s\n",
+      bench::PaperNote(
+          "the paper launches one worker tree per query; request "
+          "coalescing is the serving extension (cf. lambda-scale fast "
+          "scaling and serverless-MoE request batching)")
+          .c_str());
+  return 0;
+}

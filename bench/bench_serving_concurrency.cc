@@ -136,6 +136,8 @@ int main() {
   const std::vector<int32_t> widths =
       scale.tiny ? std::vector<int32_t>{1024} : std::vector<int32_t>{1024,
                                                                      4096};
+  ModeResult last_seq, last_warm;  // top (width, rate) cell, for the JSON
+  double last_rate = 0.0;
   for (int32_t neurons : widths) {
     const bench::Workload& workload = bench::GetWorkload(neurons, scale);
     const part::ModelPartition& partition = bench::GetPartition(
@@ -172,8 +174,23 @@ int main() {
           billing_ok ? "" : " billing=NEGATIVE");
       FSD_CHECK(outputs_ok);
       FSD_CHECK(billing_ok);
+      last_seq = seq;
+      last_warm = warm;
+      last_rate = rate;
     }
   }
+  bench::WriteBenchJson(
+      "serving_concurrency",
+      {{"rate_qps", last_rate},
+       {"sequential_throughput_qps", last_seq.throughput_qps},
+       {"sequential_p50_latency_s", last_seq.p50_s},
+       {"sequential_p95_latency_s", last_seq.p95_s},
+       {"overlap_warm_throughput_qps", last_warm.throughput_qps},
+       {"overlap_warm_p50_latency_s", last_warm.p50_s},
+       {"overlap_warm_p95_latency_s", last_warm.p95_s},
+       {"overlap_warm_cold_start_ratio", last_warm.cold_ratio},
+       {"overlap_warm_speedup",
+        last_warm.throughput_qps / last_seq.throughput_qps}});
   std::printf(
       "\n%s\n",
       bench::PaperNote("the paper serves one query per deployed stack; "

@@ -85,6 +85,25 @@ CostBreakdown AddModelReads(CostBreakdown cost,
   return cost;
 }
 
+/// Per-query attribution under cross-query batching: a member of a shared
+/// worker tree is billed its batch share of the P invocations, not all P
+/// (FaasCost's per-invocation term assumed one tree per query). Worker
+/// durations in a member's sliced metrics are already share-scaled, so the
+/// runtime term needs no correction; member predictions then sum exactly to
+/// the whole tree's prediction and workload-level predictions keep
+/// reconciling with the ledger.
+CostBreakdown ApplyTreeShare(CostBreakdown cost,
+                             const cloud::PricingConfig& pricing,
+                             const FsdOptions& options,
+                             const RunMetrics& metrics) {
+  if (metrics.tree_share >= 1.0) return cost;
+  const double credit = (1.0 - metrics.tree_share) * options.num_workers *
+                        pricing.faas_per_invocation;
+  cost.compute -= credit;
+  cost.total -= credit;
+  return cost;
+}
+
 }  // namespace
 
 CostBreakdown PredictFromMetrics(const cloud::PricingConfig& pricing,
@@ -94,41 +113,59 @@ CostBreakdown PredictFromMetrics(const cloud::PricingConfig& pricing,
   const LayerMetrics& t = metrics.totals;
   switch (options.variant) {
     case Variant::kSerial:
-      return AddModelReads(
-          SerialCost(pricing, metrics.mean_worker_s, memory_mb), pricing,
-          metrics);
+      return ApplyTreeShare(
+          AddModelReads(SerialCost(pricing, metrics.mean_worker_s, memory_mb),
+                        pricing, metrics),
+          pricing, options, metrics);
     case Variant::kQueue: {
-      // Z: bytes delivered from pub-sub to queues = wire bytes + envelope.
-      const double delivery_bytes = static_cast<double>(t.send_wire_bytes) +
-                                    static_cast<double>(t.send_chunks) * 96.0;
+      // Z: bytes delivered from pub-sub to queues. Measured runs carry the
+      // exact billed bytes (payload + per-message attribute envelope) in
+      // send_billed_bytes; hand-built metrics (unit tests, estimates) fall
+      // back to the mean-envelope approximation.
+      const double delivery_bytes =
+          t.send_billed_bytes > 0
+              ? static_cast<double>(t.send_billed_bytes)
+              : static_cast<double>(t.send_wire_bytes) +
+                    static_cast<double>(t.send_chunks) * 96.0;
       const double api_calls = static_cast<double>(t.polls + t.deletes);
-      return AddModelReads(
-          QueueCost(pricing, options.num_workers, metrics.mean_worker_s,
-                    memory_mb, static_cast<double>(t.publish_chunks),
-                    delivery_bytes, api_calls),
-          pricing, metrics);
+      return ApplyTreeShare(
+          AddModelReads(
+              QueueCost(pricing, options.num_workers, metrics.mean_worker_s,
+                        memory_mb, static_cast<double>(t.publish_chunks),
+                        delivery_bytes, api_calls),
+              pricing, metrics),
+          pricing, options, metrics);
     }
     case Variant::kObject:
-      return AddModelReads(
-          ObjectCost(pricing, options.num_workers, metrics.mean_worker_s,
-                     memory_mb,
-                     static_cast<double>(t.puts_dat + t.puts_nul),
-                     static_cast<double>(t.gets),
-                     static_cast<double>(t.lists)),
-          pricing, metrics);
+      return ApplyTreeShare(
+          AddModelReads(
+              ObjectCost(pricing, options.num_workers, metrics.mean_worker_s,
+                         memory_mb,
+                         static_cast<double>(t.puts_dat + t.puts_nul),
+                         static_cast<double>(t.gets),
+                         static_cast<double>(t.lists)),
+              pricing, metrics),
+          pricing, options, metrics);
     case Variant::kKv: {
-      // B: processed bytes = wire bytes both directions plus the ~3-byte
-      // (source, seq, total) value header per chunk per direction. Node
-      // seconds are billed at namespace teardown, outside the per-run
-      // metrics, so they are not predicted here.
+      // B: processed bytes, both directions. Measured runs carry the exact
+      // billed bytes (values incl. chunk headers, as pushed and as popped)
+      // in send/recv_billed_bytes; hand-built metrics fall back to wire
+      // bytes plus the ~3-byte (source, seq, total) header per chunk per
+      // direction. Node seconds are billed at namespace teardown, outside
+      // the per-run metrics, so they are not predicted here.
       const double processed =
-          static_cast<double>(t.send_wire_bytes + t.recv_wire_bytes) +
-          static_cast<double>(t.send_chunks) * 6.0;
-      return AddModelReads(
-          KvCost(pricing, options.num_workers, metrics.mean_worker_s,
-                 memory_mb, static_cast<double>(t.kv_pushes + t.kv_pops),
-                 processed, /*node_seconds=*/0.0),
-          pricing, metrics);
+          t.send_billed_bytes + t.recv_billed_bytes > 0
+              ? static_cast<double>(t.send_billed_bytes +
+                                    t.recv_billed_bytes)
+              : static_cast<double>(t.send_wire_bytes + t.recv_wire_bytes) +
+                    static_cast<double>(t.send_chunks) * 6.0;
+      return ApplyTreeShare(
+          AddModelReads(
+              KvCost(pricing, options.num_workers, metrics.mean_worker_s,
+                     memory_mb, static_cast<double>(t.kv_pushes + t.kv_pops),
+                     processed, /*node_seconds=*/0.0),
+              pricing, metrics),
+          pricing, options, metrics);
     }
   }
   return {};

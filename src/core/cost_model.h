@@ -59,7 +59,10 @@ CostBreakdown SerialCost(const cloud::PricingConfig& pricing,
 /// cache-aware model-read term: the multipart GETs each worker issued for
 /// its weight share (metrics.model_get_parts — zero for workers whose
 /// partition-cache lookup hit) priced at C_S3(Get), on top of the
-/// variant's IPC terms.
+/// variant's IPC terms. When `metrics` is a batched member's sliced view
+/// (metrics.tree_share < 1), the per-invocation FaaS term is scaled to the
+/// member's batch share of its shared worker tree, so member predictions
+/// sum exactly to the tree's whole-run prediction.
 CostBreakdown PredictFromMetrics(const cloud::PricingConfig& pricing,
                                  const FsdOptions& options,
                                  const RunMetrics& metrics,

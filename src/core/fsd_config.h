@@ -32,6 +32,10 @@ enum class LaunchStrategy : int {
 
 std::string_view LaunchStrategyName(LaunchStrategy strategy);
 
+/// NOTE: when adding a field here, also add it to the serving runtime's
+/// BatchFamilyKey (serving.cc) — the cross-query batching aggregator may
+/// only coalesce queries whose options fully agree, and the key is an
+/// explicit field enumeration.
 struct FsdOptions {
   Variant variant = Variant::kQueue;
   /// P: concurrent FaaS workers (the model must be partitioned for this P).
@@ -109,6 +113,15 @@ struct FsdOptions {
   /// instance holding a share of another version invalidates it and
   /// re-reads (stale weights must never serve).
   uint64_t model_version = 0;
+
+  /// --- cross-query batching (serving-layer coalescing) ---
+  /// Whether the serving runtime's batch aggregator may coalesce this
+  /// query with concurrent same-family queries into one shared worker
+  /// tree (ServingOptions::batch_window_s must also be > 0). Opt out for
+  /// latency-critical queries that must never wait out a coalescing
+  /// window behind peers. Per-query outputs are byte-identical either
+  /// way; only scheduling and cost attribution change.
+  bool cross_query_batching = true;
 
   /// Worker function sizing. <= 0 selects the paper's schedule via
   /// DefaultWorkerMemoryMb(neurons).

@@ -124,6 +124,11 @@ Status KvChannel::SendPhase(WorkerEnv* env, int32_t phase,
   std::vector<double> lane_free(static_cast<size_t>(
       std::max<int32_t>(1, options.io_lanes)), 0.0);
   metrics.kv_pushes += static_cast<int64_t>(outgoing.size());
+  // The cache meters processed bytes per request: a push processes the
+  // whole value (header + chunk) — mirrored exactly for the cost model.
+  for (const Outgoing& out : outgoing) {
+    metrics.send_billed_bytes += static_cast<int64_t>(out.value.size());
+  }
   const std::string ns = NamespaceName(options);
   for (Outgoing& out : outgoing) {
     auto lane = std::min_element(lane_free.begin(), lane_free.end());
@@ -175,6 +180,10 @@ Result<linalg::ActivationMap> KvChannel::ReceivePhase(
     }
     uint64_t popped_bytes = 0;
     for (const Bytes& value : values) {
+      // Processed bytes the pop was billed for: the full value, header
+      // included — counted before any skip, because the service meters
+      // what it moved, not what the receiver could use.
+      metrics.recv_billed_bytes += static_cast<int64_t>(value.size());
       FSD_ASSIGN_OR_RETURN(DecodedValue decoded, DecodeValue(value));
       auto it = pending.find(decoded.source);
       if (it == pending.end()) {

@@ -14,6 +14,7 @@ void LayerMetrics::Add(const LayerMetrics& other) {
   send_chunks += other.send_chunks;
   send_raw_bytes += other.send_raw_bytes;
   send_wire_bytes += other.send_wire_bytes;
+  send_billed_bytes += other.send_billed_bytes;
   publishes += other.publishes;
   publish_chunks += other.publish_chunks;
   puts_dat += other.puts_dat;
@@ -31,6 +32,7 @@ void LayerMetrics::Add(const LayerMetrics& other) {
   nul_skipped += other.nul_skipped;
   redundant_skipped += other.redundant_skipped;
   recv_wire_bytes += other.recv_wire_bytes;
+  recv_billed_bytes += other.recv_billed_bytes;
   recv_rows += other.recv_rows;
   recv_wait_s += other.recv_wait_s;
   deserialize_s += other.deserialize_s;
@@ -115,7 +117,8 @@ double Percentile(std::vector<double> values, double pct) {
 }
 
 void FleetStats::AddQuery(double arrival_s, double finish_s, double latency_s,
-                          bool ok, const RunMetrics& metrics) {
+                          double queue_wait_s, bool ok,
+                          const RunMetrics& metrics) {
   if (queries == 0 || arrival_s < first_arrival_s_) {
     first_arrival_s_ = arrival_s;
   }
@@ -126,14 +129,25 @@ void FleetStats::AddQuery(double arrival_s, double finish_s, double latency_s,
     return;
   }
   latencies_.push_back(latency_s);
-  worker_invocations += static_cast<int64_t>(metrics.workers.size());
-  cold_starts += metrics.cold_starts;
+  queue_waits_.push_back(queue_wait_s);
   cache_hits += metrics.cache_hits;
   cache_misses += metrics.cache_misses;
   cache_evictions += metrics.cache_evictions;
   cache_invalidations += metrics.cache_invalidations;
   model_gets_saved += metrics.model_gets_saved;
   model_bytes_saved += metrics.model_bytes_saved;
+}
+
+void FleetStats::AddRun(int32_t member_queries, int64_t invocations,
+                        int64_t cold, bool ok) {
+  if (!ok) return;
+  ++runs;
+  if (member_queries > 1) batched_queries += member_queries;
+  if (member_queries > batch_occupancy_max) {
+    batch_occupancy_max = member_queries;
+  }
+  worker_invocations += invocations;
+  cold_starts += cold;
 }
 
 void FleetStats::Finalize() {
@@ -150,6 +164,18 @@ void FleetStats::Finalize() {
   latency_p95_s = Percentile(latencies_, 95.0);
   latency_p99_s = Percentile(latencies_, 99.0);
   latency_max_s = Percentile(latencies_, 100.0);
+  queue_wait_mean_s = 0.0;
+  for (double w : queue_waits_) queue_wait_mean_s += w;
+  if (!queue_waits_.empty()) {
+    queue_wait_mean_s /= static_cast<double>(queue_waits_.size());
+  }
+  queue_wait_p50_s = Percentile(queue_waits_, 50.0);
+  queue_wait_p95_s = Percentile(queue_waits_, 95.0);
+  queue_wait_max_s = Percentile(queue_waits_, 100.0);
+  batch_occupancy_mean =
+      runs > 0 ? static_cast<double>(queries - failed) /
+                     static_cast<double>(runs)
+               : 0.0;
   cold_start_ratio =
       worker_invocations > 0
           ? static_cast<double>(cold_starts) /
@@ -168,12 +194,16 @@ void FleetStats::Finalize() {
 
 std::string FleetStats::Summary() const {
   return StrFormat(
-      "queries=%d (%d failed) makespan=%.2fs throughput=%.3f qps "
-      "latency p50/p95/p99/max=%.3f/%.3f/%.3f/%.3fs cold=%.1f%% "
+      "queries=%d (%d failed) runs=%d occupancy=%.2f (max %d) "
+      "makespan=%.2fs throughput=%.3f qps "
+      "latency p50/p95/p99/max=%.3f/%.3f/%.3f/%.3fs "
+      "queue-wait p50/p95=%.3f/%.3fs cold=%.1f%% "
       "cache=%.1f%% hit (%lld evicted, %s saved) "
       "cost=%s (%s/query, %s/day)",
-      queries, failed, makespan_s, throughput_qps, latency_p50_s,
-      latency_p95_s, latency_p99_s, latency_max_s, 100.0 * cold_start_ratio,
+      queries, failed, runs, batch_occupancy_mean, batch_occupancy_max,
+      makespan_s, throughput_qps, latency_p50_s,
+      latency_p95_s, latency_p99_s, latency_max_s, queue_wait_p50_s,
+      queue_wait_p95_s, 100.0 * cold_start_ratio,
       100.0 * cache_hit_ratio, static_cast<long long>(cache_evictions),
       HumanBytes(static_cast<double>(model_bytes_saved)).c_str(),
       HumanDollars(total_cost).c_str(), HumanDollars(cost_per_query).c_str(),

@@ -19,6 +19,13 @@ struct LayerMetrics {
   int64_t send_chunks = 0;        ///< byte strings / objects written
   int64_t send_raw_bytes = 0;     ///< pre-compression payload bytes
   int64_t send_wire_bytes = 0;    ///< on-the-wire payload bytes
+  /// Service-billed bytes as metered on the send side: pub-sub delivery
+  /// bytes including the per-message attribute envelope (queue channel) or
+  /// pushed value bytes including the chunk header (KV channel). Lets the
+  /// cost model predict byte-metered dimensions exactly instead of via the
+  /// mean-envelope approximation. 0 for backends without a send-side
+  /// byte dimension (object storage bills per request).
+  int64_t send_billed_bytes = 0;
   int64_t publishes = 0;          ///< pub-sub publish API calls
   int64_t publish_chunks = 0;     ///< billed 64 KiB publish chunks
   int64_t puts_dat = 0;           ///< object .dat PUTs
@@ -38,6 +45,9 @@ struct LayerMetrics {
   int64_t nul_skipped = 0;        ///< .nul markers skipped without GET
   int64_t redundant_skipped = 0;  ///< already-received sources skipped
   int64_t recv_wire_bytes = 0;
+  /// Service-billed bytes metered on the receive side (KV: bytes processed
+  /// by blocking pops). 0 for queue/object (deliveries bill at send time).
+  int64_t recv_billed_bytes = 0;
   int64_t recv_rows = 0;
   double recv_wait_s = 0.0;       ///< virtual time blocked receiving
   double deserialize_s = 0.0;
@@ -90,6 +100,14 @@ struct RunMetrics {
   double max_worker_s = 0.0;
   int64_t cold_starts = 0;     ///< worker invocations that paid a cold start
 
+  /// This view's share of its worker tree's per-invocation costs: 1 for a
+  /// whole run; a member of a cross-query-batched run carries its batch
+  /// share (member cols / run cols) so per-query cost predictions bill the
+  /// member its fraction of the P invocations — member predictions then sum
+  /// to the whole tree's. Worker durations in a member view are already
+  /// share-scaled, so only the per-invocation term needs this.
+  double tree_share = 1.0;
+
   /// Model-share load + partition-cache totals across workers (model reads
   /// happen once per worker per run, outside the layer loop, so they are
   /// not part of the per-layer totals).
@@ -131,6 +149,21 @@ struct FleetStats {
   int64_t cold_starts = 0;
   double cold_start_ratio = 0.0;  ///< cold / worker invocations
 
+  // Cross-query batching: worker trees launched and how full they ran.
+  // Without batching every query is its own run, so runs == completed
+  // queries and occupancy is 1.
+  int32_t runs = 0;                  ///< shared worker trees launched
+  int32_t batched_queries = 0;       ///< queries that shared a tree (>1 peer)
+  double batch_occupancy_mean = 0.0; ///< queries per tree
+  int32_t batch_occupancy_max = 0;
+
+  // Queue wait (submission -> the serving tree actually launching): the
+  // price of the coalescing window, included in every per-query latency.
+  double queue_wait_mean_s = 0.0;
+  double queue_wait_p50_s = 0.0;
+  double queue_wait_p95_s = 0.0;
+  double queue_wait_max_s = 0.0;
+
   // Cross-query partition cache (model-share warm reuse).
   int64_t cache_hits = 0;
   int64_t cache_misses = 0;
@@ -146,8 +179,17 @@ struct FleetStats {
   double daily_cost = 0.0;        ///< total_cost extrapolated to 24 h
 
   /// Accumulates one completed query; callers then call Finalize once.
-  void AddQuery(double arrival_s, double finish_s, double latency_s, bool ok,
-                const RunMetrics& metrics);
+  /// `metrics` may be a whole run's or a batched member's sliced view —
+  /// member slices sum exactly to run totals, so fleet cache counters stay
+  /// exact either way. `queue_wait_s` is the submission -> tree-launch gap
+  /// (0 when the query ran unbatched).
+  void AddQuery(double arrival_s, double finish_s, double latency_s,
+                double queue_wait_s, bool ok, const RunMetrics& metrics);
+  /// Accumulates one completed worker tree (a run serving `member_queries`
+  /// coalesced queries — 1 without batching). Invocations and cold starts
+  /// are per-tree facts, not per-query facts, so they are counted here.
+  void AddRun(int32_t member_queries, int64_t worker_invocations,
+              int64_t cold_starts, bool ok);
   /// Computes the distribution/ratio/throughput fields; `total_cost` must
   /// already be set for the dollar fields.
   void Finalize();
@@ -155,6 +197,7 @@ struct FleetStats {
 
  private:
   std::vector<double> latencies_;
+  std::vector<double> queue_waits_;
   double first_arrival_s_ = 0.0;
   double last_finish_s_ = 0.0;
 };

@@ -154,6 +154,10 @@ Status QueueChannel::SendPhase(WorkerEnv* env, int32_t phase,
     }
     metrics.publish_chunks += static_cast<int64_t>(
         std::max<uint64_t>(1, (batch_bytes + increment - 1) / increment));
+    // Every message fans out to exactly one queue (its target's filter),
+    // so the service bills delivery bytes = message sizes incl. attribute
+    // envelopes — mirrored here so the cost model's Z term is exact.
+    metrics.send_billed_bytes += static_cast<int64_t>(batch_bytes);
     auto lane = std::min_element(lane_free.begin(), lane_free.end());
     const double offset = *lane;
     *lane += estimate;

@@ -1,6 +1,8 @@
 #include "core/runtime.h"
 
+#include <algorithm>
 #include <atomic>
+#include <cmath>
 #include <cstring>
 
 #include "common/strings.h"
@@ -54,6 +56,15 @@ uint64_t PartitionFingerprint(const part::ModelPartition& partition) {
     for (int32_t row : rows) h = MixHash(h, static_cast<uint64_t>(row));
   }
   return h;
+}
+
+/// Apportions an integer tree-level counter to the cumulative-share
+/// interval [cum_before, cum_after]: member slices telescope, so summing
+/// over members reproduces `total` exactly (the last member's cum_after is
+/// exactly 1.0 because the share denominators are identical).
+int64_t Apportion(int64_t total, double cum_before, double cum_after) {
+  return std::llround(static_cast<double>(total) * cum_after) -
+         std::llround(static_cast<double>(total) * cum_before);
 }
 
 Status Validate(const InferenceRequest& request) {
@@ -123,6 +134,18 @@ BillingDelta DiffLedger(const std::vector<cloud::BillingLine>& before,
 
 uint64_t AllocateRunId() { return g_run_counter.fetch_add(1); }
 
+Status ValidateInferenceRequest(const InferenceRequest& request) {
+  return Validate(request);
+}
+
+int32_t RequestSampleCols(const InferenceRequest& request) {
+  int32_t cols = 0;
+  for (const auto* batch : request.batches) {
+    cols += batch->begin()->second.dim;
+  }
+  return cols;
+}
+
 Result<std::unique_ptr<RunState>> PrepareRunState(
     cloud::CloudEnv* cloud, const InferenceRequest& request,
     uint64_t run_id) {
@@ -167,6 +190,15 @@ Result<std::unique_ptr<RunState>> PrepareRunState(
                       PartitionFingerprint(*request.partition)));
   }
   state->batches = request.batches;
+  // Default membership: ONE query spanning every batch. The serving
+  // runtime's batch aggregator overwrites this with the per-query slices
+  // of a coalesced run.
+  RunState::Member member;
+  member.query_id = run_id;
+  member.batch_begin = 0;
+  member.batch_count = static_cast<int32_t>(request.batches.size());
+  member.cols = RequestSampleCols(request);
+  state->members = {member};
   state->options = std::move(options);
   state->cloud = cloud;
   state->outputs.resize(request.batches.size());
@@ -223,7 +255,20 @@ void RunCoordinator(cloud::FaasContext* ctx, RunState* state) {
   state->MaybeQuiesce();
 }
 
-InferenceReport CollectReport(RunState* state, double t0, double t1) {
+InferenceReport CollectMemberReport(RunState* state, size_t member_index,
+                                    double t0, double t1) {
+  const RunState::Member& member = state->members[member_index];
+  const double total_cols =
+      std::max<double>(1.0, static_cast<double>(state->TotalCols()));
+  double cols_before = 0.0;
+  for (size_t i = 0; i < member_index; ++i) {
+    cols_before += static_cast<double>(state->members[i].cols);
+  }
+  const double cum_before = cols_before / total_cols;
+  const double cum_after =
+      (cols_before + static_cast<double>(member.cols)) / total_cols;
+  const double share = cum_after - cum_before;
+
   InferenceReport report;
   report.latency_s = t1 - t0;
   report.launch_complete_s = state->launch_complete_s - t0;
@@ -236,21 +281,67 @@ InferenceReport CollectReport(RunState* state, double t0, double t1) {
     // Only worker 0 exists; its status decides.
     report.status = state->worker_status[0];
   }
-  report.outputs = std::move(state->outputs);
-  report.metrics = std::move(state->metrics);
+
+  // The member's slice of the outputs (one map per of its batches).
+  report.outputs.reserve(static_cast<size_t>(member.batch_count));
+  for (int32_t b = 0; b < member.batch_count; ++b) {
+    report.outputs.push_back(std::move(
+        state->outputs[static_cast<size_t>(member.batch_begin + b)]));
+  }
+
+  // Metric attribution. Per-layer counters are exact — the member's batches
+  // own the phase range [batch_begin, batch_begin + batch_count) * PPB.
+  // Tree-level costs are split by batch share; integer counters by
+  // cumulative rounding so member slices sum exactly to run totals.
+  const int32_t ppb = state->PhasesPerBatch();
+  const int32_t phase_begin = member.batch_begin * ppb;
+  const int32_t phase_end = (member.batch_begin + member.batch_count) * ppb;
+  report.metrics.workers.reserve(state->metrics.workers.size());
+  for (const WorkerMetrics& w : state->metrics.workers) {
+    WorkerMetrics out;
+    out.worker_id = w.worker_id;
+    // Cold starts happened once per tree; the first member carries them so
+    // fleet-level cold-start counts stay exact under batching.
+    out.cold_start = member_index == 0 && w.cold_start;
+    const double duration = w.duration_s();
+    out.start_time = w.start_time + cum_before * duration;
+    out.end_time = w.start_time + cum_after * duration;
+    out.model_load_s = w.model_load_s * share;
+    out.launch_children_s = w.launch_children_s * share;
+    out.model_get_parts = Apportion(w.model_get_parts, cum_before, cum_after);
+    out.model_bytes_read =
+        Apportion(w.model_bytes_read, cum_before, cum_after);
+    out.model_gets_saved =
+        Apportion(w.model_gets_saved, cum_before, cum_after);
+    out.model_bytes_saved =
+        Apportion(w.model_bytes_saved, cum_before, cum_after);
+    out.cache_hits = Apportion(w.cache_hits, cum_before, cum_after);
+    out.cache_misses = Apportion(w.cache_misses, cum_before, cum_after);
+    out.cache_evictions = Apportion(w.cache_evictions, cum_before, cum_after);
+    out.cache_invalidations =
+        Apportion(w.cache_invalidations, cum_before, cum_after);
+    const int32_t layer_end = std::min(
+        phase_end, static_cast<int32_t>(w.layers.size()));
+    for (int32_t phase = phase_begin; phase < layer_end; ++phase) {
+      // Re-based so a member's metrics read like an unbatched run's.
+      out.Layer(phase - phase_begin) = w.layers[static_cast<size_t>(phase)];
+    }
+    report.metrics.workers.push_back(std::move(out));
+  }
+  report.metrics.tree_share = share;
   report.metrics.Finalize();
 
-  int32_t samples = 0;
-  for (const auto* batch : state->batches) {
-    if (!batch->empty()) samples += batch->begin()->second.dim;
-  }
-  report.total_samples = samples;
+  report.total_samples = member.cols;
   report.per_sample_ms =
-      samples > 0 ? report.latency_s * 1000.0 / samples : 0.0;
+      member.cols > 0 ? report.latency_s * 1000.0 / member.cols : 0.0;
   report.predicted = PredictFromMetrics(
       state->cloud->billing().pricing(), state->options, report.metrics,
       state->options.worker_memory_mb);
   return report;
+}
+
+InferenceReport CollectReport(RunState* state, double t0, double t1) {
+  return CollectMemberReport(state, 0, t0, t1);
 }
 
 Result<InferenceReport> RunInference(cloud::CloudEnv* cloud,

@@ -70,6 +70,18 @@ Result<InferenceReport> RunInference(cloud::CloudEnv* cloud,
 /// counter so resource names never collide on a shared CloudEnv.
 uint64_t AllocateRunId();
 
+/// Request validation alone (model/partition/batch shape checks), without
+/// provisioning anything. The serving runtime's batch aggregator validates
+/// at Submit() but defers PrepareRunState until the batch flushes, so
+/// callers still get synchronous errors for malformed requests.
+Status ValidateInferenceRequest(const InferenceRequest& request);
+
+/// Sample columns across a validated request's batches (a batch's width is
+/// its first row's SparseVector dim). The batching size-cap currency and
+/// the per-member cost-attribution denominator — one definition so the two
+/// can never diverge.
+int32_t RequestSampleCols(const InferenceRequest& request);
+
 /// Validates `request`, applies option defaults (worker memory), provisions
 /// the channel resources named by `options.channel_scope`, and builds the
 /// per-run shared state. Does NOT register FaaS functions: RunInference
@@ -84,11 +96,29 @@ Result<std::unique_ptr<RunState>> PrepareRunState(
 /// failure or when the run was aborted before it started.
 void RunCoordinator(cloud::FaasContext* ctx, RunState* state);
 
-/// Assembles the per-query report (latency, outputs, metrics, cost-model
-/// prediction) once the run's done-signal has fired; `t0`/`t1` are the
-/// submission and completion virtual times. Consumes the state's outputs
-/// and metrics. Billing is the caller's concern: under concurrent runs only
-/// workload-level ledger diffs are meaningful.
+/// Assembles one member query's report (latency, outputs, metrics,
+/// cost-model prediction) once the run's done-signal has fired; `t0`/`t1`
+/// are the member's submission and the run's completion virtual times.
+/// Moves the member's slice of the outputs out of the state; metrics are
+/// sliced by attribution, not consumed:
+///  - per-layer counters (communication, compute) are attributed exactly —
+///    each batch's phases belong to exactly one member;
+///  - tree-level costs every member shares (worker durations, model-share
+///    reads, cache counters, launch time) are split by batch share
+///    (member cols / total cols), with integer counters apportioned by
+///    cumulative rounding so member slices always sum exactly to the run's
+///    totals (workload-level predictions must reconcile with the ledger);
+///  - cold starts are attributed to the first member (they happened once).
+/// The sliced RunMetrics carries the member's share in `tree_share` so
+/// PredictFromMetrics bills the member its fraction of the P worker
+/// invocations. Billing is the caller's concern: under concurrent runs
+/// only workload-level ledger diffs are meaningful.
+InferenceReport CollectMemberReport(RunState* state, size_t member_index,
+                                    double t0, double t1);
+
+/// Single-member convenience (RunInference's whole-run collection): the
+/// run's one member spans every batch, so this is CollectMemberReport of
+/// member 0 — byte-identical to pre-batching collection.
 InferenceReport CollectReport(RunState* state, double t0, double t1);
 
 /// Ledger snapshot/diff used to attribute "actual" charges to an interval.

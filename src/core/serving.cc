@@ -1,6 +1,8 @@
 #include "core/serving.h"
 
+#include <algorithm>
 #include <atomic>
+#include <cstring>
 
 #include "common/logging.h"
 #include "common/strings.h"
@@ -10,6 +12,52 @@ namespace fsd::core {
 namespace {
 
 std::atomic<uint64_t> g_instance_counter{0};
+
+/// Coalescing identity: two queries may share one worker tree only when a
+/// single RunState could serve both — same model and partition objects and
+/// the same execution-relevant options (everything in FsdOptions except the
+/// per-run channel scope the runtime assigns itself). This is strictly
+/// finer than the warm-pool function-group key and subsumes the
+/// partition-cache family (which is derived from the model config, the
+/// partition layout and the cache options fingerprinted here).
+///
+/// KEEP IN SYNC WITH FsdOptions: every field added there must be added to
+/// this key (or queries differing in the new knob will silently coalesce
+/// into a RunState that cannot honour both settings) — fsd_config.h points
+/// back here.
+///
+/// The key must be injective over the covered fields: doubles are encoded
+/// by bit pattern (no %g rounding that could merge nearby timeouts) and
+/// strings are length-prefixed (a model_family containing a delimiter can
+/// never alias the adjacent fields).
+std::string BatchFamilyKey(const InferenceRequest& request) {
+  const FsdOptions& o = request.options;
+  auto bits = [](double d) {
+    uint64_t b = 0;
+    std::memcpy(&b, &d, sizeof(b));
+    return static_cast<unsigned long long>(b);
+  };
+  return StrFormat(
+      "%p|%p|v%d|w%d|b%d|l%d|t%d.%d|io%d|pw%016llx|os%016llx|mm%llu|"
+      "gp%d|c%d|lz%d.%zu|nm%d|kv%llu.%016llx.%d|pc%d.%llu|"
+      "mf%zu:%s@%llu|m%d|wt%016llx|cm%d|s%llu|sc%zu:[%s]",
+      static_cast<const void*>(request.dnn),
+      static_cast<const void*>(request.partition), static_cast<int>(o.variant),
+      o.num_workers, o.branching, static_cast<int>(o.launch), o.num_topics,
+      o.num_buckets, o.io_lanes, bits(o.poll_wait_s),
+      bits(o.object_scan_interval_s),
+      static_cast<unsigned long long>(o.max_message_bytes),
+      o.greedy_packing ? 1 : 0, o.compress ? 1 : 0, o.codec.max_chain_probes,
+      o.codec.min_compress_size, o.nul_markers ? 1 : 0,
+      static_cast<unsigned long long>(o.kv_max_value_bytes),
+      bits(o.kv_poll_wait_s), o.kv_shards, o.partition_cache ? 1 : 0,
+      static_cast<unsigned long long>(o.partition_cache_budget_bytes),
+      o.model_family.size(), o.model_family.c_str(),
+      static_cast<unsigned long long>(o.model_version), o.worker_memory_mb,
+      bits(o.worker_timeout_s), o.coordinator_memory_mb,
+      static_cast<unsigned long long>(o.seed), o.channel_scope.size(),
+      o.channel_scope.c_str());
+}
 
 }  // namespace
 
@@ -46,22 +94,22 @@ Result<std::string> ServingRuntime::EnsureWorkerFunction(
                           group.c_str());
   config.memory_mb = options.worker_memory_mb;
   config.timeout_s = options.worker_timeout_s;
-  // One registered function serves every query in the group: the payload
-  // names the run, so a warm instance released by one query picks up the
-  // next query's invocation.
+  // One registered function serves every run in the group: the payload
+  // names the run, so a warm instance released by one run picks up the
+  // next run's invocation.
   config.handler = [this](cloud::FaasContext* ctx) {
     Result<WorkerPayload> payload = DecodeWorkerPayload(ctx->payload());
     if (!payload.ok()) {
       ctx->set_result(payload.status());
       return;
     }
-    auto query = queries_.find(payload->run_id);
-    if (query == queries_.end()) {
+    auto run = runs_.find(payload->run_id);
+    if (run == runs_.end()) {
       ctx->set_result(
           Status::NotFound("worker invoked for an unknown run"));
       return;
     }
-    RunFsiWorker(ctx, query->second->state.get(), payload->worker_id);
+    RunFsiWorker(ctx, run->second->state.get(), payload->worker_id);
   };
   FSD_RETURN_IF_ERROR(cloud_->faas().RegisterFunction(config));
   function_groups_.emplace(group, config.name);
@@ -90,37 +138,53 @@ Result<std::string> ServingRuntime::EnsureCoordinatorFunction(
       ctx->set_result(payload.status());
       return;
     }
-    auto query = queries_.find(payload->run_id);
-    if (query == queries_.end()) {
+    auto run = runs_.find(payload->run_id);
+    if (run == runs_.end()) {
       ctx->set_result(
           Status::NotFound("coordinator invoked for an unknown run"));
       return;
     }
-    RunCoordinator(ctx, query->second->state.get());
+    RunCoordinator(ctx, run->second->state.get());
   };
   FSD_RETURN_IF_ERROR(cloud_->faas().RegisterFunction(config));
   function_groups_.emplace(group, config.name);
   return config.name;
 }
 
-Result<uint64_t> ServingRuntime::Submit(const InferenceRequest& request,
-                                        double arrival_s) {
-  if (arrival_s < 0.0) {
-    return Status::InvalidArgument("arrival time must be >= 0");
+Result<ServingRuntime::Run*> ServingRuntime::BuildRun(
+    uint64_t run_id, const std::vector<uint64_t>& member_ids) {
+  // The merged request: the lead member's model/partition/options with the
+  // concatenation of every member's batch list. Members may only reach one
+  // run through a shared BatchFamilyKey, so the non-batch fields agree.
+  const InferenceRequest& proto = queries_.at(member_ids[0])->request;
+  InferenceRequest merged;
+  merged.dnn = proto.dnn;
+  merged.partition = proto.partition;
+  merged.options = proto.options;
+  std::vector<RunState::Member> members;
+  members.reserve(member_ids.size());
+  for (uint64_t id : member_ids) {
+    const InferenceRequest& request = queries_.at(id)->request;
+    RunState::Member member;
+    member.query_id = id;
+    member.batch_begin = static_cast<int32_t>(merged.batches.size());
+    member.batch_count = static_cast<int32_t>(request.batches.size());
+    member.cols = RequestSampleCols(request);
+    members.push_back(member);
+    merged.batches.insert(merged.batches.end(), request.batches.begin(),
+                          request.batches.end());
   }
-  const uint64_t run_id = AllocateRunId();
 
-  // Per-query channel scope: concurrent queries must never share topics,
-  // queues or buckets (phase ids restart at 0 for every query).
-  InferenceRequest scoped = request;
-  scoped.options.channel_scope =
-      StrFormat("%sq%llu-", request.options.channel_scope.c_str(),
+  // Per-run channel scope: concurrent runs must never share topics, queues
+  // or buckets (phase ids restart at 0 for every run).
+  merged.options.channel_scope =
+      StrFormat("%sq%llu-", proto.options.channel_scope.c_str(),
                 static_cast<unsigned long long>(run_id));
 
   FSD_ASSIGN_OR_RETURN(std::unique_ptr<RunState> state,
-                       PrepareRunState(cloud_, scoped, run_id));
-  // From here the query owns provisioned channel resources; release them
-  // if registration fails and the query never becomes schedulable.
+                       PrepareRunState(cloud_, merged, run_id));
+  // From here the run owns provisioned channel resources; release them if
+  // registration fails and the run never becomes schedulable.
   Result<std::string> worker_fn = EnsureWorkerFunction(state->options);
   Result<std::string> coordinator = EnsureCoordinatorFunction(state->options);
   if (!worker_fn.ok() || !coordinator.ok()) {
@@ -128,58 +192,233 @@ Result<uint64_t> ServingRuntime::Submit(const InferenceRequest& request,
     return worker_fn.ok() ? coordinator.status() : worker_fn.status();
   }
   state->worker_function = std::move(*worker_fn);
-  const std::string coordinator_fn = std::move(*coordinator);
+  state->members = std::move(members);
+
+  auto run = std::make_unique<Run>();
+  run->state = std::move(state);
+  run->member_ids = member_ids;
+  run->coordinator_function = std::move(*coordinator);
+  for (uint64_t id : member_ids) {
+    Query* query = queries_.at(id).get();
+    query->state = run->state.get();
+    query->outcome.run_id = run_id;
+    query->outcome.batch_peers = static_cast<int32_t>(member_ids.size());
+    if (query->aborted) run->state->abort = true;
+  }
+  Run* raw = run.get();
+  runs_.emplace(run_id, std::move(run));
+  return raw;
+}
+
+void ServingRuntime::ExecuteRun(Run* run) {
+  RunState* state = run->state.get();
+  const double launch_s = cloud_->sim()->Now();
+  for (uint64_t id : run->member_ids) {
+    Query* query = queries_.at(id).get();
+    query->outcome.queue_wait_s = launch_s - query->outcome.arrival_s;
+  }
+  cloud::FaasService::InvokeOutcome invoke = cloud_->faas().InvokeAsync(
+      run->coordinator_function, EncodeWorkerPayload(state->run_id, 0));
+  if (invoke.status.ok()) {
+    cloud_->sim()->WaitSignal(state->done.get());
+    const double finish_s = cloud_->sim()->Now();
+    // Collecting moves a member's slice of the outputs, so wait until
+    // every launched worker (stragglers included) has exited too.
+    cloud_->sim()->WaitSignal(state->quiesced.get());
+    run->worker_invocations =
+        static_cast<int64_t>(state->metrics.workers.size());
+    for (const WorkerMetrics& w : state->metrics.workers) {
+      if (w.cold_start) ++run->cold_starts;
+    }
+    run->ok = true;
+    for (size_t i = 0; i < run->member_ids.size(); ++i) {
+      Query* query = queries_.at(run->member_ids[i]).get();
+      query->outcome.finish_s = finish_s;
+      query->outcome.report = CollectMemberReport(
+          state, i, query->outcome.arrival_s, finish_s);
+      run->ok &= query->outcome.report.status.ok();
+    }
+  } else {
+    const double finish_s = cloud_->sim()->Now();
+    for (uint64_t id : run->member_ids) {
+      Query* query = queries_.at(id).get();
+      query->outcome.finish_s = finish_s;
+      query->outcome.report.status = invoke.status;
+    }
+  }
+  // Release the run's channel resources (bills the KV namespace's node
+  // time) whether the run succeeded or not. Failure must not fail the run.
+  const Status teardown = TeardownChannelResources(cloud_, state->options);
+  if (!teardown.ok()) {
+    FSD_LOG(kWarn, "channel teardown for run %llu failed: %s",
+            static_cast<unsigned long long>(state->run_id),
+            teardown.ToString().c_str());
+  }
+  for (uint64_t id : run->member_ids) queries_.at(id)->finished = true;
+  run->finished = true;
+  if (!run->ok && options_.stop_on_failure) AbortAll();
+}
+
+void ServingRuntime::JoinBatch(uint64_t query_id) {
+  Query* query = queries_.at(query_id).get();
+  const std::string family = BatchFamilyKey(query->request);
+  const int32_t cols = RequestSampleCols(query->request);
+
+  PendingBatch* batch = nullptr;
+  uint64_t batch_id = 0;
+  auto open = open_batch_by_family_.find(family);
+  if (open != open_batch_by_family_.end()) {
+    PendingBatch& candidate = pending_batches_.at(open->second);
+    const bool fits =
+        static_cast<int32_t>(candidate.member_ids.size()) <
+            options_.max_batch_queries &&
+        candidate.total_cols + cols <=
+            static_cast<int64_t>(options_.max_batch_cols);
+    if (fits) {
+      batch = &candidate;
+      batch_id = open->second;
+    } else {
+      // The incoming query would overflow the open batch: flush it now
+      // (its window process wakes at this same virtual time) and start a
+      // fresh batch for this query.
+      open_batch_by_family_.erase(open);
+      candidate.flush_now->Fire();
+    }
+  }
+  if (batch == nullptr) {
+    batch_id = next_batch_id_++;
+    PendingBatch fresh;
+    fresh.family = family;
+    fresh.flush_now = cloud_->sim()->MakeSignal();
+    batch = &pending_batches_.emplace(batch_id, std::move(fresh))
+                 .first->second;
+    open_batch_by_family_[family] = batch_id;
+    // The batch's window process: launches the shared tree when the window
+    // elapses, or immediately when the batch fills (flush_now).
+    cloud_->sim()->Spawn(
+        StrFormat("serve-batch-%llu",
+                  static_cast<unsigned long long>(batch_id)),
+        [this, batch_id]() {
+          auto it = pending_batches_.find(batch_id);
+          if (it == pending_batches_.end()) return;
+          cloud_->sim()->WaitSignal(it->second.flush_now.get(),
+                                    options_.batch_window_s);
+          FlushBatch(batch_id);
+        });
+  }
+
+  batch->member_ids.push_back(query_id);
+  batch->total_cols += cols;
+  const bool full =
+      static_cast<int32_t>(batch->member_ids.size()) >=
+          options_.max_batch_queries ||
+      batch->total_cols >= static_cast<int64_t>(options_.max_batch_cols);
+  if (full) {
+    open_batch_by_family_.erase(batch->family);
+    batch->flush_now->Fire();
+  }
+}
+
+void ServingRuntime::FlushBatch(uint64_t batch_id) {
+  auto it = pending_batches_.find(batch_id);
+  if (it == pending_batches_.end()) return;
+  std::vector<uint64_t> member_ids = std::move(it->second.member_ids);
+  auto open = open_batch_by_family_.find(it->second.family);
+  if (open != open_batch_by_family_.end() && open->second == batch_id) {
+    open_batch_by_family_.erase(open);
+  }
+  pending_batches_.erase(it);
+
+  // Queries aborted while they waited in the window never launch: nothing
+  // was provisioned for them yet, so they simply report the abort (the
+  // same status a pre-start coordinator abort stamps).
+  std::vector<uint64_t> live;
+  std::vector<uint64_t> aborted;
+  for (uint64_t id : member_ids) {
+    (queries_.at(id)->aborted ? aborted : live).push_back(id);
+  }
+  if (!aborted.empty()) {
+    FailQueries(aborted, Status::Unavailable("run aborted before start"));
+  }
+  if (live.empty()) return;
+
+  Result<Run*> run = BuildRun(AllocateRunId(), live);
+  if (!run.ok()) {
+    FailQueries(live, run.status());
+    return;
+  }
+  ExecuteRun(*run);
+}
+
+void ServingRuntime::FailQueries(const std::vector<uint64_t>& ids,
+                                 const Status& status) {
+  for (uint64_t id : ids) {
+    Query* query = queries_.at(id).get();
+    query->outcome.finish_s = cloud_->sim()->Now();
+    query->outcome.report.status = status;
+    query->finished = true;
+  }
+  if (options_.stop_on_failure) AbortAll();
+}
+
+Result<uint64_t> ServingRuntime::Submit(const InferenceRequest& request,
+                                        double arrival_s) {
+  if (arrival_s < 0.0) {
+    return Status::InvalidArgument("arrival time must be >= 0");
+  }
+  const bool batching = options_.batch_window_s > 0.0 &&
+                        request.options.cross_query_batching;
+  // Validate up front on BOTH paths: a malformed request fails at Submit
+  // (not mid-window), and run construction may then read batch shapes
+  // (RequestSampleCols) before PrepareRunState re-validates.
+  FSD_RETURN_IF_ERROR(ValidateInferenceRequest(request));
+  const uint64_t query_id = AllocateRunId();
 
   auto query = std::make_unique<Query>();
-  query->state = std::move(state);
-  query->outcome.query_id = run_id;
+  query->request = request;
+  query->outcome.query_id = query_id;
   query->outcome.arrival_s = cloud_->sim()->Now() + arrival_s;
   Query* raw = query.get();
-  queries_.emplace(run_id, std::move(query));
-  submission_order_.push_back(run_id);
+  queries_.emplace(query_id, std::move(query));
 
+  if (batching) {
+    submission_order_.push_back(query_id);
+    cloud_->sim()->AddProcess(
+        StrFormat("serve-arrive-%llu",
+                  static_cast<unsigned long long>(query_id)),
+        [this, raw, query_id]() {
+          raw->outcome.arrival_s = cloud_->sim()->Now();
+          JoinBatch(query_id);
+        },
+        arrival_s);
+    return query_id;
+  }
+
+  // Unbatched: provision immediately (synchronous errors) and launch the
+  // run at its arrival time; the query IS the run.
+  Result<Run*> run = BuildRun(query_id, {query_id});
+  if (!run.ok()) {
+    queries_.erase(query_id);
+    return run.status();
+  }
+  submission_order_.push_back(query_id);
+  Run* raw_run = *run;
   cloud_->sim()->AddProcess(
-      StrFormat("serve-client-%llu", static_cast<unsigned long long>(run_id)),
-      [this, raw, coordinator_fn]() {
-        RunState* state = raw->state.get();
+      StrFormat("serve-client-%llu",
+                static_cast<unsigned long long>(query_id)),
+      [this, raw, raw_run]() {
         raw->outcome.arrival_s = cloud_->sim()->Now();
-        cloud::FaasService::InvokeOutcome invoke = cloud_->faas().InvokeAsync(
-            coordinator_fn, EncodeWorkerPayload(state->run_id, 0));
-        if (invoke.status.ok()) {
-          cloud_->sim()->WaitSignal(state->done.get());
-          raw->outcome.finish_s = cloud_->sim()->Now();
-          // Collecting moves the state's outputs/metrics, so wait until
-          // every launched worker (stragglers included) has exited too.
-          cloud_->sim()->WaitSignal(state->quiesced.get());
-          raw->outcome.report =
-              CollectReport(state, raw->outcome.arrival_s,
-                            raw->outcome.finish_s);
-        } else {
-          raw->outcome.finish_s = cloud_->sim()->Now();
-          raw->outcome.report.status = invoke.status;
-        }
-        // Release the query's channel resources (bills the KV namespace's
-        // node time) whether the query succeeded or not. Failure must not
-        // fail the query.
-        const Status teardown =
-            TeardownChannelResources(cloud_, state->options);
-        if (!teardown.ok()) {
-          FSD_LOG(kWarn, "channel teardown for run %llu failed: %s",
-                  static_cast<unsigned long long>(state->run_id),
-                  teardown.ToString().c_str());
-        }
-        raw->finished = true;
-        if (!raw->outcome.report.status.ok() && options_.stop_on_failure) {
-          AbortAll();
-        }
+        ExecuteRun(raw_run);
       },
       arrival_s);
-  return run_id;
+  return query_id;
 }
 
 void ServingRuntime::AbortAll() {
   for (auto& [id, query] : queries_) {
-    if (!query->finished) query->state->abort = true;
+    if (query->finished) continue;
+    query->aborted = true;
+    if (query->state != nullptr) query->state->abort = true;
   }
 }
 
@@ -207,8 +446,14 @@ Result<ServingReport> ServingRuntime::Drain(double run_until) {
     report.queries.push_back(query->outcome);
     report.fleet.AddQuery(query->outcome.arrival_s, query->outcome.finish_s,
                           query->outcome.report.latency_s,
+                          query->outcome.queue_wait_s,
                           query->outcome.report.status.ok(),
                           query->outcome.report.metrics);
+  }
+  for (const auto& [id, run] : runs_) {
+    if (!run->finished) continue;
+    report.fleet.AddRun(static_cast<int32_t>(run->member_ids.size()),
+                        run->worker_invocations, run->cold_starts, run->ok);
   }
   // FleetStats spans every query submitted so far, so its dollar figures
   // must span every Drain call too (this call's ledger delta alone would

@@ -11,8 +11,8 @@
 //    instance freed by query i serves query j warm. Payloads carry
 //    (run_id, worker_id) and the shared handler dispatches to the right
 //    run's state.
-//  - Channels stay isolated: every query gets a channel_scope prefixing
-//    its topics/queues/buckets, so overlapping queries can never
+//  - Channels stay isolated: every run gets a channel_scope prefixing
+//    its topics/queues/buckets, so overlapping runs can never
 //    cross-deliver activation rows (the FMI lesson: shared communication
 //    machinery must stay correct under many concurrent groups).
 //  - Billing is shared: per-query "actual" dollars are not separable on a
@@ -26,6 +26,18 @@
 //    function-group key, so queries with different
 //    partition_cache_budget_bytes never share warm instances (an
 //    instance's cache is created by whichever run touches it first).
+//  - Concurrent same-family queries are batched: with batch_window_s > 0,
+//    queries whose requests could run in one worker tree (same model,
+//    partition and execution options) and whose arrivals fall inside the
+//    window coalesce into ONE run whose batch list is the concatenation
+//    of the members' batches. The tree is launched once (P invocations,
+//    P model-share loads) and processes every member's batches; the root
+//    slices outputs back per query, metrics and cost are attributed per
+//    member (exact per batch, batch-share for tree-level costs), and each
+//    QueryOutcome's latency runs from its own submission — the coalescing
+//    wait is visible as queue_wait_s, never hidden. Outputs are
+//    byte-identical to unbatched serving: the FSI loop is per batch, so
+//    concatenation changes WHEN a batch runs, never its values.
 //
 // Submitted request pointers (model, partition, batches) must stay alive
 // until Drain() returns.
@@ -54,6 +66,18 @@ struct ServingOptions {
   /// Stop the simulation at this virtual time even if queries are still in
   /// flight (< 0 runs to completion). Unfinished queries report errors.
   double run_until = -1.0;
+
+  /// --- cross-query batching ---
+  /// How long the first query of a batch family waits for same-family
+  /// peers before its worker tree launches. 0 disables batching entirely
+  /// (every query runs its own tree — the pre-batching behaviour).
+  double batch_window_s = 0.0;
+  /// Most queries one shared tree may serve; a full batch flushes
+  /// immediately instead of waiting out the window.
+  int32_t max_batch_queries = 8;
+  /// Cap on the summed sample columns of a shared tree's batches (bounds
+  /// worker working-set growth); a batch at the cap flushes immediately.
+  int32_t max_batch_cols = 8192;
 };
 
 /// One query's result within a workload.
@@ -61,6 +85,11 @@ struct QueryOutcome {
   uint64_t query_id = 0;
   double arrival_s = 0.0;  ///< virtual submission time
   double finish_s = 0.0;   ///< virtual completion time
+  /// Submission -> worker-tree launch (the batching window wait; 0 when
+  /// the query ran unbatched). Included in report.latency_s.
+  double queue_wait_s = 0.0;
+  uint64_t run_id = 0;     ///< the worker tree that served this query
+  int32_t batch_peers = 1; ///< queries sharing that tree (1 = ran alone)
   InferenceReport report;  ///< latency_s measured from submission
 };
 
@@ -79,8 +108,11 @@ class ServingRuntime {
   ServingRuntime& operator=(const ServingRuntime&) = delete;
 
   /// Schedules `request` to arrive at virtual time `arrival_s` (relative to
-  /// the simulation clock at submission). Validates and provisions
-  /// immediately; execution happens during Drain(). Returns the query id.
+  /// the simulation clock at submission). Validates immediately; execution
+  /// happens during Drain(). Without batching the run is provisioned
+  /// immediately; with batching (batch_window_s > 0 and the request's
+  /// cross_query_batching) provisioning happens when the query's batch
+  /// flushes. Returns the query id.
   Result<uint64_t> Submit(const InferenceRequest& request, double arrival_s);
 
   /// Drives the simulation until all submitted queries completed (or a
@@ -95,7 +127,8 @@ class ServingRuntime {
   Result<ServingReport> Drain(double run_until);
 
   /// Marks every unfinished query aborted so in-flight workers drain
-  /// promptly instead of blocking on peers (kill path).
+  /// promptly instead of blocking on peers (kill path). Queries still
+  /// waiting in a batch window abort when their batch flushes.
   void AbortAll();
 
   int32_t queries_submitted() const {
@@ -104,9 +137,32 @@ class ServingRuntime {
 
  private:
   struct Query {
-    std::unique_ptr<RunState> state;
+    InferenceRequest request;  ///< kept for deferred (batched) preparation
     QueryOutcome outcome;
+    RunState* state = nullptr;  ///< set once the query's run exists
+    bool aborted = false;
     bool finished = false;
+  };
+
+  /// One worker tree (possibly serving several coalesced queries).
+  struct Run {
+    std::unique_ptr<RunState> state;
+    std::vector<uint64_t> member_ids;  ///< queries, in batch order
+    std::string coordinator_function;
+    bool finished = false;
+    bool ok = false;
+    int64_t worker_invocations = 0;
+    int64_t cold_starts = 0;
+  };
+
+  /// Same-family queries waiting out the batching window together.
+  struct PendingBatch {
+    std::string family;
+    std::vector<uint64_t> member_ids;
+    int64_t total_cols = 0;
+    /// Fired when the batch fills before the window elapses (the window
+    /// process waits on it with the window as timeout).
+    std::shared_ptr<sim::SimSignal> flush_now;
   };
 
   /// Registers (once) and names the shared worker/coordinator pair for the
@@ -114,12 +170,31 @@ class ServingRuntime {
   Result<std::string> EnsureWorkerFunction(const FsdOptions& options);
   Result<std::string> EnsureCoordinatorFunction(const FsdOptions& options);
 
+  /// Builds the (possibly multi-member) run: merges the member requests,
+  /// provisions channels, registers functions, and stores the Run.
+  Result<Run*> BuildRun(uint64_t run_id,
+                        const std::vector<uint64_t>& member_ids);
+  /// Runs one worker tree to completion and collects every member's
+  /// report. Must be called from inside a simulation process.
+  void ExecuteRun(Run* run);
+  /// Called at a query's virtual arrival time (batching path): joins or
+  /// opens the family's pending batch, flushing on size caps.
+  void JoinBatch(uint64_t query_id);
+  /// Flushes batch `batch_id` (if still pending): builds its run and
+  /// executes it in the calling process.
+  void FlushBatch(uint64_t batch_id);
+  void FailQueries(const std::vector<uint64_t>& ids, const Status& status);
+
   cloud::CloudEnv* cloud_;
   ServingOptions options_;
   uint64_t instance_id_ = 0;  ///< uniques function names on a shared cloud
-  std::map<uint64_t, std::unique_ptr<Query>> queries_;  ///< by run id
+  std::map<uint64_t, std::unique_ptr<Query>> queries_;  ///< by query id
+  std::map<uint64_t, std::unique_ptr<Run>> runs_;       ///< by run id
   std::vector<uint64_t> submission_order_;
   std::map<std::string, std::string> function_groups_;  ///< group -> name
+  std::map<uint64_t, PendingBatch> pending_batches_;    ///< by batch id
+  std::map<std::string, uint64_t> open_batch_by_family_;
+  uint64_t next_batch_id_ = 0;
   double accumulated_cost_ = 0.0;  ///< workload dollars across Drain calls
 };
 

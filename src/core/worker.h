@@ -26,8 +26,31 @@ struct RunState {
   const model::SparseDnn* dnn = nullptr;
   const part::ModelPartition* partition = nullptr;
   /// One activation map per inference batch (successive batches reuse the
-  /// worker tree, as in the paper).
+  /// worker tree, as in the paper). Under cross-query batching this is the
+  /// concatenation of several queries' batch lists; `members` records which
+  /// contiguous slice belongs to which query.
   std::vector<const linalg::ActivationMap*> batches;
+
+  /// One query served by this run. A plain run has exactly one member
+  /// spanning every batch; a batched serving run has one member per
+  /// coalesced query, each owning the contiguous slice
+  /// [batch_begin, batch_begin + batch_count) of `batches`/`outputs`.
+  /// Workers never look at members — the FSI loop is per batch — only
+  /// report collection does, to slice outputs and attribute metrics.
+  struct Member {
+    uint64_t query_id = 0;
+    int32_t batch_begin = 0;
+    int32_t batch_count = 0;
+    int32_t cols = 0;  ///< sample columns across the member's batches
+  };
+  std::vector<Member> members;
+
+  /// Sum of members' cols (the attribution denominator).
+  int64_t TotalCols() const {
+    int64_t total = 0;
+    for (const Member& m : members) total += m.cols;
+    return total;
+  }
   FsdOptions options;
   cloud::CloudEnv* cloud = nullptr;
 

@@ -21,6 +21,11 @@ ActivationMap LayerForwardImpl(const RowSource& source,
   touched.reserve(batch);
   double macs = 0.0;
   int64_t output_nnz = 0;
+  // Hoisted out of the row loop: rows that produce no output (or whose
+  // touched positions all cancel/deactivate) reuse the buffers' capacity
+  // instead of reallocating per row; emplaced rows reserve exactly
+  // touched.size() up front instead of growth-doubling.
+  SparseVector row;
 
   for (size_t local = 0; local < source.size(); ++local) {
     // Sparse accumulation: only positions touched by some input row are
@@ -42,8 +47,11 @@ ActivationMap LayerForwardImpl(const RowSource& source,
     // Untouched positions evaluate to ReLU(bias); with the benchmark's
     // non-positive biases that is exactly 0, so skipping them is correct
     // (callers must not rely on positive biases activating silent rows).
-    SparseVector row;
     row.dim = batch;
+    row.idx.clear();
+    row.val.clear();
+    row.idx.reserve(touched.size());
+    row.val.reserve(touched.size());
     int32_t prev_pos = -1;
     for (int32_t pos : touched) {
       if (pos == prev_pos) continue;  // duplicate from exact cancellation

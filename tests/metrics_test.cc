@@ -1,0 +1,138 @@
+// Metrics-layer unit tests: percentile edge cases, FleetStats on tiny
+// sample counts (0/1/2 queries), batch-occupancy accounting, and the
+// determinism of the arrival-trace generators.
+#include <gtest/gtest.h>
+
+#include "core/metrics.h"
+#include "core/serving.h"
+
+namespace fsd::core {
+namespace {
+
+TEST(Percentile, EmptySampleIsZero) {
+  EXPECT_DOUBLE_EQ(Percentile({}, 50.0), 0.0);
+  EXPECT_DOUBLE_EQ(Percentile({}, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(Percentile({}, 100.0), 0.0);
+}
+
+TEST(Percentile, SingleSampleIsEveryPercentile) {
+  for (double pct : {0.0, 1.0, 50.0, 95.0, 99.0, 100.0}) {
+    EXPECT_DOUBLE_EQ(Percentile({3.5}, pct), 3.5) << pct;
+  }
+}
+
+TEST(Percentile, TwoSamplesSplitAtTheMedian) {
+  const std::vector<double> two{2.0, 1.0};  // unsorted on purpose
+  // Nearest-rank: ceil(p/100 * 2) picks the 1st value up to p50, the 2nd
+  // beyond it.
+  EXPECT_DOUBLE_EQ(Percentile(two, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(Percentile(two, 50.0), 1.0);
+  EXPECT_DOUBLE_EQ(Percentile(two, 50.1), 2.0);
+  EXPECT_DOUBLE_EQ(Percentile(two, 95.0), 2.0);
+  EXPECT_DOUBLE_EQ(Percentile(two, 100.0), 2.0);
+}
+
+TEST(FleetStats, EmptyWorkloadFinalizesToZeros) {
+  FleetStats fleet;
+  fleet.Finalize();
+  EXPECT_EQ(fleet.queries, 0);
+  EXPECT_DOUBLE_EQ(fleet.throughput_qps, 0.0);
+  EXPECT_DOUBLE_EQ(fleet.latency_p50_s, 0.0);
+  EXPECT_DOUBLE_EQ(fleet.latency_p99_s, 0.0);
+  EXPECT_DOUBLE_EQ(fleet.queue_wait_p95_s, 0.0);
+  EXPECT_DOUBLE_EQ(fleet.cold_start_ratio, 0.0);
+  EXPECT_DOUBLE_EQ(fleet.batch_occupancy_mean, 0.0);
+  EXPECT_DOUBLE_EQ(fleet.cost_per_query, 0.0);
+}
+
+TEST(FleetStats, SingleQueryDistributionsCollapseToThatQuery) {
+  FleetStats fleet;
+  RunMetrics metrics;
+  fleet.AddQuery(/*arrival_s=*/1.0, /*finish_s=*/3.0, /*latency_s=*/2.0,
+                 /*queue_wait_s=*/0.5, /*ok=*/true, metrics);
+  fleet.AddRun(/*member_queries=*/1, /*worker_invocations=*/4,
+               /*cold_starts=*/4, /*ok=*/true);
+  fleet.total_cost = 0.01;
+  fleet.Finalize();
+  EXPECT_EQ(fleet.queries, 1);
+  EXPECT_EQ(fleet.failed, 0);
+  EXPECT_DOUBLE_EQ(fleet.makespan_s, 2.0);
+  for (double p : {fleet.latency_p50_s, fleet.latency_p95_s,
+                   fleet.latency_p99_s, fleet.latency_max_s}) {
+    EXPECT_DOUBLE_EQ(p, 2.0);
+  }
+  for (double p : {fleet.queue_wait_p50_s, fleet.queue_wait_p95_s,
+                   fleet.queue_wait_max_s, fleet.queue_wait_mean_s}) {
+    EXPECT_DOUBLE_EQ(p, 0.5);
+  }
+  EXPECT_DOUBLE_EQ(fleet.batch_occupancy_mean, 1.0);
+  EXPECT_EQ(fleet.batch_occupancy_max, 1);
+  EXPECT_DOUBLE_EQ(fleet.cold_start_ratio, 1.0);
+  EXPECT_DOUBLE_EQ(fleet.cost_per_query, 0.01);
+}
+
+TEST(FleetStats, TwoQueriesSplitPercentilesAndOccupancy) {
+  FleetStats fleet;
+  RunMetrics metrics;
+  fleet.AddQuery(0.0, 1.0, 1.0, 0.0, true, metrics);
+  fleet.AddQuery(0.5, 4.5, 4.0, 1.5, true, metrics);
+  // Both queries were served by ONE shared tree (occupancy 2).
+  fleet.AddRun(/*member_queries=*/2, /*worker_invocations=*/4,
+               /*cold_starts=*/2, /*ok=*/true);
+  fleet.Finalize();
+  EXPECT_EQ(fleet.queries, 2);
+  EXPECT_DOUBLE_EQ(fleet.makespan_s, 4.5);
+  EXPECT_DOUBLE_EQ(fleet.latency_p50_s, 1.0);   // nearest rank: 1st of 2
+  EXPECT_DOUBLE_EQ(fleet.latency_p95_s, 4.0);   // 2nd of 2
+  EXPECT_DOUBLE_EQ(fleet.latency_max_s, 4.0);
+  EXPECT_DOUBLE_EQ(fleet.queue_wait_p50_s, 0.0);
+  EXPECT_DOUBLE_EQ(fleet.queue_wait_p95_s, 1.5);
+  EXPECT_DOUBLE_EQ(fleet.queue_wait_mean_s, 0.75);
+  EXPECT_EQ(fleet.runs, 1);
+  EXPECT_EQ(fleet.batched_queries, 2);
+  EXPECT_DOUBLE_EQ(fleet.batch_occupancy_mean, 2.0);
+  EXPECT_EQ(fleet.batch_occupancy_max, 2);
+  EXPECT_DOUBLE_EQ(fleet.cold_start_ratio, 0.5);
+}
+
+TEST(FleetStats, FailedQueriesAndRunsAreExcludedFromDistributions) {
+  FleetStats fleet;
+  RunMetrics metrics;
+  fleet.AddQuery(0.0, 1.0, 1.0, 0.0, true, metrics);
+  fleet.AddQuery(0.0, 9.0, 9.0, 0.0, false, metrics);  // failed: excluded
+  fleet.AddRun(1, 4, 0, true);
+  fleet.AddRun(1, 4, 4, false);  // failed run: no invocations counted
+  fleet.Finalize();
+  EXPECT_EQ(fleet.queries, 2);
+  EXPECT_EQ(fleet.failed, 1);
+  EXPECT_DOUBLE_EQ(fleet.latency_max_s, 1.0);
+  EXPECT_EQ(fleet.runs, 1);
+  EXPECT_EQ(fleet.worker_invocations, 4);
+  EXPECT_EQ(fleet.cold_starts, 0);
+  // Makespan still spans every query (the failed one finished last).
+  EXPECT_DOUBLE_EQ(fleet.makespan_s, 9.0);
+}
+
+TEST(Arrivals, PoissonIsDeterministicPerSeed) {
+  const auto a = PoissonArrivals(2.0, 64, 42);
+  const auto b = PoissonArrivals(2.0, 64, 42);
+  EXPECT_EQ(a, b);
+  const auto c = PoissonArrivals(2.0, 64, 43);
+  EXPECT_NE(a, c);
+  ASSERT_EQ(a.size(), 64u);
+  // Strictly increasing, positive gaps.
+  for (size_t i = 1; i < a.size(); ++i) EXPECT_GT(a[i], a[i - 1]);
+  EXPECT_GT(a.front(), 0.0);
+  // Mean inter-arrival roughly 1/rate (loose: 64 samples).
+  EXPECT_NEAR(a.back() / 64.0, 0.5, 0.25);
+}
+
+TEST(Arrivals, BurstTraceIsExactAndDeterministic) {
+  const auto a = BurstArrivals(3, 2, 10.0, /*start_s=*/1.0);
+  const std::vector<double> expected{1.0, 1.0, 11.0, 11.0, 21.0, 21.0};
+  EXPECT_EQ(a, expected);
+  EXPECT_EQ(a, BurstArrivals(3, 2, 10.0, 1.0));
+}
+
+}  // namespace
+}  // namespace fsd::core
