@@ -10,92 +10,17 @@
 namespace fsd::core {
 namespace {
 
-/// Analytic latency estimate for one candidate. Deliberately coarse — the
-/// selector needs relative ordering, not absolute accuracy — but built from
-/// the same mechanisms the simulator models: launch tree depth, model-share
-/// load, per-layer compute/communication overlap.
+/// Analytic latency estimate for one candidate — the cost model's shared
+/// estimator (EstimateQueryLatency) at this request's workload point. The
+/// selector needs relative ordering, not absolute accuracy; the same
+/// estimate sizes sustainable throughput for serving admission control.
 double EstimateLatency(const cloud::CloudEnv& cloud,
                        const AutoSelectRequest& request, Variant variant,
                        int32_t workers) {
-  const model::SparseDnn& dnn = *request.dnn;
-  const auto& latency = cloud.latency();
-  const auto& compute = cloud.config().compute;
-  const FsdOptions& base = request.base_options;
-  const int32_t memory_mb =
-      DefaultWorkerMemoryMb(dnn.neurons(), variant);
-
-  const double flops = 2.0 * static_cast<double>(dnn.TotalNnz()) *
-                       request.batch * request.activation_density;
-  const double model_bytes = static_cast<double>(dnn.WeightBytes());
-
-  // Launch: tree depth levels of (invoke + cold start).
-  double launch = latency.faas_cold_start.median_s;
-  if (workers > 1) {
-    const double depth = std::ceil(
-        std::log(static_cast<double>(workers)) /
-        std::log(static_cast<double>(std::max(2, base.branching))));
-    launch += depth * (latency.faas_cold_start.median_s +
-                       base.branching * latency.faas_invoke_api.median_s);
-  }
-
-  // Model share load (parallel multipart GETs) + deserialization.
-  const double share_bytes = model_bytes / workers;
-  const double load =
-      latency.object_get.median_s +
-      share_bytes / latency.object_get.bytes_per_s / base.io_lanes +
-      share_bytes / compute.deserialize_bytes_per_s;
-
-  // Compute: evenly partitioned (hypergraph balancing) across workers.
-  const double compute_s =
-      compute.FaasComputeSeconds(flops / workers, memory_mb);
-  if (variant == Variant::kSerial || workers == 1) {
-    return launch + load + compute_s;
-  }
-
-  // Communication: volume scales with the cross-worker activation rows.
-  // With the structured models ~min(1, P/8) of rows cross boundaries.
-  const double cross_fraction = std::min(1.0, workers / 8.0) * 0.35;
-  const double bytes_per_layer = static_cast<double>(dnn.neurons()) *
-                                 cross_fraction * request.activation_density *
-                                 request.batch * 6.0 *
-                                 (base.compress ? 0.6 : 1.0);
-  const double per_worker_layer_bytes = bytes_per_layer / workers;
-  double per_layer_comm;
-  if (variant == Variant::kKv) {
-    // Sub-millisecond push/pop round trips; pops drain many values, so the
-    // receive side pays ~one op plus the transfer tail.
-    const double chunks = std::max(
-        1.0, per_worker_layer_bytes / static_cast<double>(
-                                          base.kv_max_value_bytes));
-    const double pushes = chunks * latency.kv_push.median_s /
-                          std::max(1, base.io_lanes);
-    const double pops = std::max(1.0, chunks / cloud::kMaxValuesPerPop) *
-                        latency.kv_pop.median_s;
-    per_layer_comm = pushes + latency.kv_pop.median_s + pops +
-                     per_worker_layer_bytes / latency.kv_pop.bytes_per_s;
-  } else if (variant == Variant::kQueue) {
-    const double chunks = std::max(
-        1.0, per_worker_layer_bytes / static_cast<double>(
-                                          base.max_message_bytes));
-    const double publish = chunks / 10.0 * latency.pubsub_publish.median_s /
-                           std::max(1, base.io_lanes);
-    const double polls =
-        std::max(1.0, chunks / 10.0) * latency.queue_receive.median_s;
-    per_layer_comm = publish + latency.pubsub_fanout.median_s + polls +
-                     per_worker_layer_bytes / latency.pubsub_fanout.bytes_per_s;
-  } else {
-    const double gets = std::max(1.0, std::min<double>(workers - 1, 8));
-    per_layer_comm = latency.object_put.median_s +
-                     latency.object_list.median_s * 1.5 +
-                     gets * latency.object_get.median_s /
-                         std::max(1, base.io_lanes) +
-                     per_worker_layer_bytes / latency.object_get.bytes_per_s;
-  }
-  // Compute overlaps the sends; the receive tail adds to each layer.
-  const double per_layer_compute = compute_s / dnn.layers();
-  const double per_layer =
-      std::max(per_layer_compute, per_layer_comm * 0.5) + per_layer_comm * 0.5;
-  return launch + load + per_layer * dnn.layers();
+  return EstimateQueryLatency(*request.dnn, request.base_options,
+                              cloud.latency(), cloud.config().compute,
+                              request.activation_density, request.batch,
+                              variant, workers);
 }
 
 }  // namespace

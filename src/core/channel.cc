@@ -1,10 +1,39 @@
 #include "core/channel.h"
 
+#include <algorithm>
+
 #include "core/kv_channel.h"
 #include "core/object_channel.h"
 #include "core/queue_channel.h"
+#include "sim/simulation.h"
 
 namespace fsd::core {
+
+Status ChargeSerializeCpu(WorkerEnv* env, LayerMetrics* metrics,
+                          uint64_t serialize_bytes, size_t items) {
+  const double serialize_s =
+      static_cast<double>(serialize_bytes) /
+      env->cloud->compute().serialize_bytes_per_s;
+  std::vector<double> lane_costs;  // rough per-item split for makespan
+  if (items > 0) {
+    lane_costs.assign(items, serialize_s / static_cast<double>(items));
+  }
+  const double serialize_makespan =
+      sim::ParallelMakespan(lane_costs, env->options->io_lanes);
+  metrics->serialize_s += serialize_makespan;
+  return env->faas->SleepFor(serialize_makespan);
+}
+
+double DispatchLanes::NextOffset() {
+  auto lane = std::min_element(lane_free_.begin(), lane_free_.end());
+  const double offset = *lane;
+  *lane += estimate_;
+  return offset;
+}
+
+Status ChargeDispatchOverhead(WorkerEnv* env, size_t calls) {
+  return env->faas->SleepFor(0.0002 * static_cast<double>(calls));
+}
 
 std::unique_ptr<CommChannel> MakeCommChannel(Variant variant) {
   switch (variant) {

@@ -20,6 +20,7 @@
 #include "common/result.h"
 #include "core/fsd_config.h"
 #include "core/metrics.h"
+#include "core/serialization.h"
 #include "linalg/spmm.h"
 
 namespace fsd::core {
@@ -86,6 +87,62 @@ Status ProvisionChannelResources(cloud::CloudEnv* cloud,
 /// namespace is deleted, which bills its node time.
 Status TeardownChannelResources(cloud::CloudEnv* cloud,
                                 const FsdOptions& options);
+
+/// ---- shared send-side accounting (one definition across backends) ----
+/// Every backend meters the same quantities on its send path: per-chunk
+/// raw/wire bytes, serialization CPU split over the IPC lanes,
+/// least-loaded-lane dispatch offsets for the async API calls, the
+/// per-call dispatch overhead, and the service-billed bytes (including
+/// billing-increment rounding). These helpers are that arithmetic,
+/// verbatim — the ledger and the cost model's billed-byte counters must
+/// stay byte-identical whichever backend runs them.
+
+/// Accounts one encoded chunk on the send side (send_chunks, raw and wire
+/// bytes); returns the chunk's raw bytes for the caller's
+/// serialization-CPU accumulator.
+inline uint64_t AccountSendChunk(LayerMetrics* metrics,
+                                 const RowChunk& chunk) {
+  metrics->send_chunks += 1;
+  metrics->send_raw_bytes += static_cast<int64_t>(chunk.raw_bytes);
+  metrics->send_wire_bytes += static_cast<int64_t>(chunk.wire.size());
+  return chunk.raw_bytes;
+}
+
+/// Billed increments for one request moving `bytes` bytes under a
+/// `increment_bytes` billing granularity (>= 1 increment per request —
+/// the pub-sub 64 KiB publish-chunk rule).
+inline int64_t BilledIncrementChunks(uint64_t bytes,
+                                     uint64_t increment_bytes) {
+  const uint64_t chunks = (bytes + increment_bytes - 1) / increment_bytes;
+  return static_cast<int64_t>(chunks > 0 ? chunks : 1);
+}
+
+/// Charges the serialization/compression CPU for `serialize_bytes` of
+/// payload split over `items` parallel work items on the worker's IPC
+/// lanes (the makespan lands in metrics->serialize_s and virtual time).
+Status ChargeSerializeCpu(WorkerEnv* env, LayerMetrics* metrics,
+                          uint64_t serialize_bytes, size_t items);
+
+/// Least-loaded-lane scheduler for asynchronous channel dispatch: each
+/// call returns the virtual-time offset at which the next API call may
+/// start on the least-loaded IPC lane, advancing that lane by the op's
+/// median latency (the estimate; the true latency is sampled at dispatch).
+class DispatchLanes {
+ public:
+  DispatchLanes(int32_t lanes, double op_estimate_s)
+      : lane_free_(static_cast<size_t>(lanes > 1 ? lanes : 1), 0.0),
+        estimate_(op_estimate_s) {}
+  double NextOffset();
+
+ private:
+  std::vector<double> lane_free_;
+  double estimate_;
+};
+
+/// The small per-call overhead the worker itself pays to hand `calls`
+/// asynchronous API calls to its IPC pool (the round trips ride the
+/// lanes, not the worker).
+Status ChargeDispatchOverhead(WorkerEnv* env, size_t calls);
 
 /// Phase-id layout shared by workers and collectives.
 constexpr int32_t kPhaseBarrierArrive(int32_t layers) { return layers; }

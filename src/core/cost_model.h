@@ -10,6 +10,7 @@
 #include <string>
 
 #include "cloud/billing.h"
+#include "cloud/faas.h"
 #include "core/fsd_config.h"
 #include "core/metrics.h"
 #include "model/sparse_dnn.h"
@@ -110,6 +111,39 @@ WorkloadEstimate EstimateWorkload(const model::SparseDnn& dnn,
 /// volumes saturate pub-sub payload limits.
 Variant RecommendVariant(const model::SparseDnn& dnn, int32_t num_workers,
                          const WorkloadEstimate& estimate);
+
+/// Coarse analytic end-to-end latency estimate for one query: launch-tree
+/// depth, model-share load, and the per-layer compute/communication
+/// overlap, built from the same latency catalogue the simulator samples.
+/// Deliberately approximate — it exists for relative ordering
+/// (AutoSelectConfiguration) and order-of-magnitude throughput sizing
+/// (admission control), not absolute accuracy.
+double EstimateQueryLatency(const model::SparseDnn& dnn,
+                            const FsdOptions& options,
+                            const cloud::LatencyConfig& latency,
+                            const cloud::ComputeModelConfig& compute,
+                            double activation_density, int32_t batch,
+                            Variant variant, int32_t workers);
+
+/// A-priori sustainable serving throughput for a slot-bounded deployment
+/// (the admission-control input: before any run completes, the serving
+/// runtime must already know roughly what rate the fleet can sustain, so
+/// overload is recognizable from the first burst). `est_run_s` is the
+/// EstimateQueryLatency of one tree; the serving runtime refines it with
+/// an EWMA of observed tree durations as runs complete.
+struct ThroughputEstimate {
+  double est_run_s = 0.0;        ///< per-worker-tree execution estimate
+  double queries_per_run = 1.0;  ///< expected batch occupancy
+  /// Queries/s at `max_concurrent_runs` simultaneous trees; +infinity when
+  /// the dispatcher is unbounded (max_concurrent_runs <= 0).
+  double sustainable_qps = 0.0;
+};
+
+ThroughputEstimate EstimateSustainableThroughput(
+    const model::SparseDnn& dnn, const FsdOptions& options,
+    const cloud::LatencyConfig& latency,
+    const cloud::ComputeModelConfig& compute, double activation_density,
+    int32_t batch, int32_t max_concurrent_runs, double expected_occupancy);
 
 }  // namespace fsd::core
 

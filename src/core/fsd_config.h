@@ -114,6 +114,22 @@ struct FsdOptions {
   /// re-reads (stale weights must never serve).
   uint64_t model_version = 0;
 
+  /// --- serving SLO class (scheduler pipeline; see core/scheduler.h) ---
+  /// Pure scheduling metadata: these two knobs never reach the RunState,
+  /// so they are deliberately NOT part of the serving BatchFamilyKey —
+  /// queries in different SLO classes still coalesce into shared trees.
+  /// Relative SLO deadline in seconds from submission (<= 0 = none). The
+  /// serving runtime turns it into an absolute deadline at arrival: the
+  /// EDF queue policy orders by it, the batcher flushes a coalescing batch
+  /// early when the oldest member's slack (deadline minus predicted
+  /// execution time) runs out, and FleetStats reports attainment.
+  double slo_deadline_s = 0.0;
+  /// Scheduling priority class (higher = more important). Under overload
+  /// with ShedPolicy::kShedLowestPriority, queued low-priority queries are
+  /// shed to admit higher-priority arrivals; FleetStats reports latency
+  /// percentiles per class.
+  int32_t priority = 0;
+
   /// --- cross-query batching (serving-layer coalescing) ---
   /// Whether the serving runtime's batch aggregator may coalesce this
   /// query with concurrent same-family queries into one shared worker

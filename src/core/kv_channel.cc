@@ -94,10 +94,7 @@ Status KvChannel::SendPhase(WorkerEnv* env, int32_t phase,
     const int32_t total = static_cast<int32_t>(encoded.chunks.size());
     for (int32_t seq = 0; seq < total; ++seq) {
       RowChunk& chunk = encoded.chunks[seq];
-      metrics.send_chunks += 1;
-      metrics.send_raw_bytes += static_cast<int64_t>(chunk.raw_bytes);
-      metrics.send_wire_bytes += static_cast<int64_t>(chunk.wire.size());
-      serialize_bytes += chunk.raw_bytes;
+      serialize_bytes += AccountSendChunk(&metrics, chunk);
       outgoing.push_back(
           {InboxKey(phase, send.target),
            EncodeValue(env->worker_id, seq, total, std::move(chunk.wire))});
@@ -105,24 +102,12 @@ Status KvChannel::SendPhase(WorkerEnv* env, int32_t phase,
   }
 
   // 2) Serialization/compression CPU (parallel over IPC lanes).
-  const auto& compute = env->cloud->compute();
-  const double serialize_s =
-      static_cast<double>(serialize_bytes) / compute.serialize_bytes_per_s;
-  std::vector<double> lane_costs;
-  if (!outgoing.empty()) {
-    lane_costs.assign(outgoing.size(),
-                      serialize_s / static_cast<double>(outgoing.size()));
-  }
-  const double serialize_makespan =
-      sim::ParallelMakespan(lane_costs, options.io_lanes);
-  metrics.serialize_s += serialize_makespan;
-  FSD_RETURN_IF_ERROR(env->faas->SleepFor(serialize_makespan));
+  FSD_RETURN_IF_ERROR(
+      ChargeSerializeCpu(env, &metrics, serialize_bytes, outgoing.size()));
 
   // 3) Lane-scheduled pushes: each lane issues its next push when the
   // previous completes, using the median op latency as the lane estimate.
-  const double estimate = env->cloud->latency().kv_push.median_s;
-  std::vector<double> lane_free(static_cast<size_t>(
-      std::max<int32_t>(1, options.io_lanes)), 0.0);
+  DispatchLanes lanes(options.io_lanes, env->cloud->latency().kv_push.median_s);
   metrics.kv_pushes += static_cast<int64_t>(outgoing.size());
   // The cache meters processed bytes per request: a push processes the
   // whole value (header + chunk) — mirrored exactly for the cost model.
@@ -131,9 +116,7 @@ Status KvChannel::SendPhase(WorkerEnv* env, int32_t phase,
   }
   const std::string ns = NamespaceName(options);
   for (Outgoing& out : outgoing) {
-    auto lane = std::min_element(lane_free.begin(), lane_free.end());
-    const double offset = *lane;
-    *lane += estimate;
+    const double offset = lanes.NextOffset();
     cloud::CloudEnv* cloud = env->cloud;
     env->cloud->sim()->ScheduleCallback(
         offset, [cloud, ns, key = std::move(out.key),
@@ -143,8 +126,7 @@ Status KvChannel::SendPhase(WorkerEnv* env, int32_t phase,
   }
   // The worker only pays the pipelined dispatch overhead; the op round
   // trips ride on the lanes above.
-  const double dispatch_s = 0.0002 * static_cast<double>(outgoing.size());
-  FSD_RETURN_IF_ERROR(env->faas->SleepFor(dispatch_s));
+  FSD_RETURN_IF_ERROR(ChargeDispatchOverhead(env, outgoing.size()));
   return Status::OK();
 }
 

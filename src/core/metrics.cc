@@ -7,6 +7,24 @@
 
 namespace fsd::core {
 
+std::string_view QueryDispositionName(QueryDisposition disposition) {
+  switch (disposition) {
+    case QueryDisposition::kInFlight:
+      return "in-flight";
+    case QueryDisposition::kCompleted:
+      return "completed";
+    case QueryDisposition::kFailed:
+      return "failed";
+    case QueryDisposition::kRejected:
+      return "rejected";
+    case QueryDisposition::kShed:
+      return "shed";
+    case QueryDisposition::kAborted:
+      return "aborted";
+  }
+  return "unknown";
+}
+
 void LayerMetrics::Add(const LayerMetrics& other) {
   send_targets += other.send_targets;
   send_rows_mapped += other.send_rows_mapped;
@@ -116,20 +134,48 @@ double Percentile(std::vector<double> values, double pct) {
   return values[rank == 0 ? 0 : rank - 1];
 }
 
-void FleetStats::AddQuery(double arrival_s, double finish_s, double latency_s,
-                          double queue_wait_s, bool ok,
+void FleetStats::AddQuery(const QuerySample& sample,
                           const RunMetrics& metrics) {
-  if (queries == 0 || arrival_s < first_arrival_s_) {
-    first_arrival_s_ = arrival_s;
+  if (queries == 0 || sample.arrival_s < first_arrival_s_) {
+    first_arrival_s_ = sample.arrival_s;
   }
-  if (queries == 0 || finish_s > last_finish_s_) last_finish_s_ = finish_s;
+  if (queries == 0 || sample.finish_s > last_finish_s_) {
+    last_finish_s_ = sample.finish_s;
+  }
   ++queries;
-  if (!ok) {
-    ++failed;
-    return;
+  switch (sample.disposition) {
+    case QueryDisposition::kRejected:
+      ++rejected;
+      return;
+    case QueryDisposition::kShed:
+      ++shed;
+      return;
+    case QueryDisposition::kAborted:
+      ++failed;
+      ++aborted;
+      return;
+    case QueryDisposition::kInFlight:
+      ++failed;
+      ++still_in_flight;
+      return;
+    case QueryDisposition::kFailed:
+      ++failed;
+      return;
+    case QueryDisposition::kCompleted:
+      break;
   }
-  latencies_.push_back(latency_s);
-  queue_waits_.push_back(queue_wait_s);
+  ++completed;
+  if (std::isfinite(sample.deadline_s)) {
+    ++deadline_queries;
+    if (sample.finish_s <= sample.deadline_s) {
+      ++deadline_hits;
+    } else {
+      ++deadline_misses_;
+    }
+  }
+  latencies_.push_back(sample.latency_s);
+  queue_waits_.push_back(sample.queue_wait_s);
+  class_latencies_[sample.priority].push_back(sample.latency_s);
   cache_hits += metrics.cache_hits;
   cache_misses += metrics.cache_misses;
   cache_evictions += metrics.cache_evictions;
@@ -152,9 +198,26 @@ void FleetStats::AddRun(int32_t member_queries, int64_t invocations,
 
 void FleetStats::Finalize() {
   makespan_s = last_finish_s_ - first_arrival_s_;
-  const int32_t completed = queries - failed;
   throughput_qps =
       makespan_s > 0.0 ? static_cast<double>(completed) / makespan_s : 0.0;
+  goodput_qps = makespan_s > 0.0
+                    ? static_cast<double>(completed - deadline_misses_) /
+                          makespan_s
+                    : 0.0;
+  slo_attainment =
+      deadline_queries > 0
+          ? static_cast<double>(deadline_hits) /
+                static_cast<double>(deadline_queries)
+          : 1.0;
+  class_latency.clear();
+  for (const auto& [priority, samples] : class_latencies_) {
+    ClassLatency cls;
+    cls.priority = priority;
+    cls.completed = static_cast<int32_t>(samples.size());
+    cls.latency_p50_s = Percentile(samples, 50.0);
+    cls.latency_p95_s = Percentile(samples, 95.0);
+    class_latency.push_back(cls);
+  }
   latency_mean_s = 0.0;
   for (double l : latencies_) latency_mean_s += l;
   if (!latencies_.empty()) {
@@ -172,9 +235,11 @@ void FleetStats::Finalize() {
   queue_wait_p50_s = Percentile(queue_waits_, 50.0);
   queue_wait_p95_s = Percentile(queue_waits_, 95.0);
   queue_wait_max_s = Percentile(queue_waits_, 100.0);
+  // Occupancy/cost denominators use the completed count only: rejected and
+  // shed queries never launched (or finished) a tree, so counting them
+  // would misstate how full the launched trees ran.
   batch_occupancy_mean =
-      runs > 0 ? static_cast<double>(queries - failed) /
-                     static_cast<double>(runs)
+      runs > 0 ? static_cast<double>(completed) / static_cast<double>(runs)
                : 0.0;
   cold_start_ratio =
       worker_invocations > 0
@@ -193,17 +258,23 @@ void FleetStats::Finalize() {
 }
 
 std::string FleetStats::Summary() const {
+  std::string slo;
+  if (deadline_queries > 0) {
+    slo = StrFormat(" slo=%.1f%% (%d/%d deadlines, goodput %.3f qps)",
+                    100.0 * slo_attainment, deadline_hits, deadline_queries,
+                    goodput_qps);
+  }
   return StrFormat(
-      "queries=%d (%d failed) runs=%d occupancy=%.2f (max %d) "
-      "makespan=%.2fs throughput=%.3f qps "
+      "queries=%d (%d failed, %d rejected, %d shed) runs=%d "
+      "occupancy=%.2f (max %d) makespan=%.2fs throughput=%.3f qps%s "
       "latency p50/p95/p99/max=%.3f/%.3f/%.3f/%.3fs "
       "queue-wait p50/p95=%.3f/%.3fs cold=%.1f%% "
       "cache=%.1f%% hit (%lld evicted, %s saved) "
       "cost=%s (%s/query, %s/day)",
-      queries, failed, runs, batch_occupancy_mean, batch_occupancy_max,
-      makespan_s, throughput_qps, latency_p50_s,
-      latency_p95_s, latency_p99_s, latency_max_s, queue_wait_p50_s,
-      queue_wait_p95_s, 100.0 * cold_start_ratio,
+      queries, failed, rejected, shed, runs, batch_occupancy_mean,
+      batch_occupancy_max, makespan_s, throughput_qps, slo.c_str(),
+      latency_p50_s, latency_p95_s, latency_p99_s, latency_max_s,
+      queue_wait_p50_s, queue_wait_p95_s, 100.0 * cold_start_ratio,
       100.0 * cache_hit_ratio, static_cast<long long>(cache_evictions),
       HumanBytes(static_cast<double>(model_bytes_saved)).c_str(),
       HumanDollars(total_cost).c_str(), HumanDollars(cost_per_query).c_str(),

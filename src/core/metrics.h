@@ -5,10 +5,28 @@
 #define FSD_CORE_METRICS_H_
 
 #include <cstdint>
+#include <map>
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace fsd::core {
+
+/// Terminal state of one serving query. Exactly one applies (FleetStats
+/// asserts the partition): a query is served to completion, fails during
+/// execution, is refused by admission before entering the queue, is shed
+/// from the queue under overload, is aborted (kill path / stop_on_failure),
+/// or is still in flight when a horizon-bounded Drain() stops.
+enum class QueryDisposition : int {
+  kInFlight = 0,  ///< not terminal yet (horizon-cut Drain)
+  kCompleted = 1,
+  kFailed = 2,    ///< execution failed (worker/channel error)
+  kRejected = 3,  ///< admission refused it; nothing was provisioned
+  kShed = 4,      ///< admitted, then dropped from the queue under overload
+  kAborted = 5,   ///< aborted by AbortAll / stop_on_failure
+};
+
+std::string_view QueryDispositionName(QueryDisposition disposition);
 
 /// Counters for one worker at one layer.
 struct LayerMetrics {
@@ -132,17 +150,53 @@ double Percentile(std::vector<double> values, double pct);
 /// (tail latency, throughput, cold-start ratio, projected daily cost) of
 /// many queries sharing one cloud deployment.
 struct FleetStats {
-  int32_t queries = 0;
+  int32_t queries = 0;  ///< total submissions
+  /// Mutually exclusive terminal partition over submissions:
+  ///   completed + failed + rejected + shed == queries,
+  /// where `failed` keeps its historical umbrella meaning "terminal without
+  /// a successful report" and is itself partitioned into execution
+  /// failures (failed - aborted - still_in_flight), aborts, and queries a
+  /// horizon-bounded Drain() cut off. Rejected/shed queries never launched
+  /// a tree and appear in NO latency/queue-wait/occupancy aggregate.
+  int32_t completed = 0;
   int32_t failed = 0;
+  int32_t aborted = 0;          ///< subset of failed: AbortAll / kill path
+  int32_t still_in_flight = 0;  ///< subset of failed: horizon-cut drains
+  int32_t rejected = 0;         ///< admission refused (typed, counted here)
+  int32_t shed = 0;             ///< dropped from the queue under overload
   double makespan_s = 0.0;        ///< first arrival -> last completion
   double throughput_qps = 0.0;    ///< completed queries / makespan
+  /// Completed queries that met their deadline (deadline-free queries
+  /// count as met) / makespan: the SLO-facing throughput.
+  double goodput_qps = 0.0;
 
-  // Per-query end-to-end latency distribution (successful queries).
+  // SLO attainment (acceptance deadline accounting; reconciles exactly
+  // with per-query outcomes: deadline_hits == completed deadline-carrying
+  // queries whose finish time was <= their absolute deadline).
+  int32_t deadline_queries = 0;  ///< completed queries carrying a deadline
+  int32_t deadline_hits = 0;
+  double slo_attainment = 0.0;   ///< hits / deadline_queries (1.0 if none)
+
+  /// Live EWMA of the serving runtime's observed service rate at Drain
+  /// time (what admission control saw); 0 when no runs completed.
+  double ewma_service_rate_qps = 0.0;
+
+  // Per-query end-to-end latency distribution (completed queries only).
   double latency_mean_s = 0.0;
   double latency_p50_s = 0.0;
   double latency_p95_s = 0.0;
   double latency_p99_s = 0.0;
   double latency_max_s = 0.0;
+
+  /// Latency percentiles per priority class (ascending priority), over
+  /// completed queries of that class.
+  struct ClassLatency {
+    int32_t priority = 0;
+    int32_t completed = 0;
+    double latency_p50_s = 0.0;
+    double latency_p95_s = 0.0;
+  };
+  std::vector<ClassLatency> class_latency;
 
   // FaaS instance reuse across the workload.
   int64_t worker_invocations = 0;
@@ -178,13 +232,26 @@ struct FleetStats {
   double cost_per_query = 0.0;
   double daily_cost = 0.0;        ///< total_cost extrapolated to 24 h
 
-  /// Accumulates one completed query; callers then call Finalize once.
-  /// `metrics` may be a whole run's or a batched member's sliced view —
-  /// member slices sum exactly to run totals, so fleet cache counters stay
-  /// exact either way. `queue_wait_s` is the submission -> tree-launch gap
-  /// (0 when the query ran unbatched).
-  void AddQuery(double arrival_s, double finish_s, double latency_s,
-                double queue_wait_s, bool ok, const RunMetrics& metrics);
+  /// One query's contribution to the fleet aggregates: its timeline, its
+  /// terminal disposition and its SLO class. `deadline_s` is the absolute
+  /// deadline (+infinity when the query carried none).
+  struct QuerySample {
+    double arrival_s = 0.0;
+    double finish_s = 0.0;
+    double latency_s = 0.0;
+    double queue_wait_s = 0.0;  ///< submission -> tree launch (0 unbatched)
+    QueryDisposition disposition = QueryDisposition::kCompleted;
+    int32_t priority = 0;
+    double deadline_s = 0.0;  ///< absolute; set to +inf for "none"
+  };
+
+  /// Accumulates one terminal (or horizon-cut) query; callers then call
+  /// Finalize once. `metrics` may be a whole run's or a batched member's
+  /// sliced view — member slices sum exactly to run totals, so fleet cache
+  /// counters stay exact either way. Only completed queries enter the
+  /// latency/queue-wait distributions and cache totals; every disposition
+  /// lands in exactly one partition counter.
+  void AddQuery(const QuerySample& sample, const RunMetrics& metrics);
   /// Accumulates one completed worker tree (a run serving `member_queries`
   /// coalesced queries — 1 without batching). Invocations and cold starts
   /// are per-tree facts, not per-query facts, so they are counted here.
@@ -198,6 +265,8 @@ struct FleetStats {
  private:
   std::vector<double> latencies_;
   std::vector<double> queue_waits_;
+  std::map<int32_t, std::vector<double>> class_latencies_;  ///< by priority
+  int32_t deadline_misses_ = 0;
   double first_arrival_s_ = 0.0;
   double last_finish_s_ = 0.0;
 };

@@ -68,10 +68,7 @@ Status ObjectChannel::SendPhase(WorkerEnv* env, int32_t phase,
       ++metrics.puts_nul;
       continue;
     }
-    metrics.send_chunks += 1;
-    metrics.send_raw_bytes += static_cast<int64_t>(chunk.raw_bytes);
-    metrics.send_wire_bytes += static_cast<int64_t>(chunk.wire.size());
-    serialize_bytes += chunk.raw_bytes;
+    serialize_bytes += AccountSendChunk(&metrics, chunk);
     ++metrics.puts_dat;
     outgoing.push_back(
         {BucketName(send.target, options),
@@ -81,27 +78,14 @@ Status ObjectChannel::SendPhase(WorkerEnv* env, int32_t phase,
   }
 
   // Serialization CPU (parallel over IPC lanes).
-  const auto& compute = env->cloud->compute();
-  const double serialize_s =
-      static_cast<double>(serialize_bytes) / compute.serialize_bytes_per_s;
-  std::vector<double> lane_costs;
-  if (!outgoing.empty()) {
-    lane_costs.assign(outgoing.size(),
-                      serialize_s / static_cast<double>(outgoing.size()));
-  }
-  const double serialize_makespan =
-      sim::ParallelMakespan(lane_costs, options.io_lanes);
-  metrics.serialize_s += serialize_makespan;
-  FSD_RETURN_IF_ERROR(env->faas->SleepFor(serialize_makespan));
+  FSD_RETURN_IF_ERROR(
+      ChargeSerializeCpu(env, &metrics, serialize_bytes, outgoing.size()));
 
   // Non-blocking multi-threaded PUTs: lane-scheduled dispatch callbacks.
-  const double estimate = env->cloud->latency().object_put.median_s;
-  std::vector<double> lane_free(static_cast<size_t>(
-      std::max<int32_t>(1, options.io_lanes)), 0.0);
+  DispatchLanes lanes(options.io_lanes,
+                      env->cloud->latency().object_put.median_s);
   for (Outgoing& out : outgoing) {
-    auto lane = std::min_element(lane_free.begin(), lane_free.end());
-    const double offset = *lane;
-    *lane += estimate;
+    const double offset = lanes.NextOffset();
     cloud::CloudEnv* cloud = env->cloud;
     env->cloud->sim()->ScheduleCallback(
         offset, [cloud, bucket = std::move(out.bucket),
@@ -109,8 +93,7 @@ Status ObjectChannel::SendPhase(WorkerEnv* env, int32_t phase,
           cloud->objects().Put(bucket, key, body);
         });
   }
-  const double dispatch_s = 0.0002 * static_cast<double>(outgoing.size());
-  FSD_RETURN_IF_ERROR(env->faas->SleepFor(dispatch_s));
+  FSD_RETURN_IF_ERROR(ChargeDispatchOverhead(env, outgoing.size()));
   return Status::OK();
 }
 

@@ -77,10 +77,7 @@ Status QueueChannel::SendPhase(WorkerEnv* env, int32_t phase,
     const int32_t total = static_cast<int32_t>(encoded.chunks.size());
     for (int32_t seq = 0; seq < total; ++seq) {
       RowChunk& chunk = encoded.chunks[seq];
-      metrics.send_chunks += 1;
-      metrics.send_raw_bytes += static_cast<int64_t>(chunk.raw_bytes);
-      metrics.send_wire_bytes += static_cast<int64_t>(chunk.wire.size());
-      serialize_bytes += chunk.raw_bytes;
+      serialize_bytes += AccountSendChunk(&metrics, chunk);
       cloud::QueueMessage msg;
       msg.body = std::move(chunk.wire);
       msg.attributes[kAttrTarget] = StrFormat("%d", send.target);
@@ -93,18 +90,8 @@ Status QueueChannel::SendPhase(WorkerEnv* env, int32_t phase,
   }
 
   // 2) Charge serialization/compression CPU (parallelized over IPC lanes).
-  const auto& compute = env->cloud->compute();
-  const double serialize_s =
-      static_cast<double>(serialize_bytes) / compute.serialize_bytes_per_s;
-  std::vector<double> lane_costs;  // rough per-chunk split for makespan
-  if (!outgoing.empty()) {
-    lane_costs.assign(outgoing.size(),
-                      serialize_s / static_cast<double>(outgoing.size()));
-  }
-  const double serialize_makespan =
-      sim::ParallelMakespan(lane_costs, options.io_lanes);
-  metrics.serialize_s += serialize_makespan;
-  FSD_RETURN_IF_ERROR(env->faas->SleepFor(serialize_makespan));
+  FSD_RETURN_IF_ERROR(
+      ChargeSerializeCpu(env, &metrics, serialize_bytes, outgoing.size()));
 
   // 3) Pop publish batches: group <=10 messages and <=256 KiB per publish
   // (pop_batches in Algorithm 1). Messages for different targets may share
@@ -139,9 +126,8 @@ Status QueueChannel::SendPhase(WorkerEnv* env, int32_t phase,
   // 4) Dispatch publishes on parallel IPC lanes: each lane issues its next
   // publish when the previous completes. Lane offsets use the median API
   // latency as the estimate; the true latency is sampled at publish time.
-  const double estimate = env->cloud->latency().pubsub_publish.median_s;
-  std::vector<double> lane_free(static_cast<size_t>(
-      std::max<int32_t>(1, options.io_lanes)), 0.0);
+  DispatchLanes lanes(options.io_lanes,
+                      env->cloud->latency().pubsub_publish.median_s);
   metrics.publishes += static_cast<int64_t>(batches.size());
   const uint64_t increment =
       env->cloud->billing().pricing().pubsub_billing_increment_bytes;
@@ -152,15 +138,12 @@ Status QueueChannel::SendPhase(WorkerEnv* env, int32_t phase,
     for (const cloud::QueueMessage& msg : batch.messages) {
       batch_bytes += msg.SizeBytes();
     }
-    metrics.publish_chunks += static_cast<int64_t>(
-        std::max<uint64_t>(1, (batch_bytes + increment - 1) / increment));
+    metrics.publish_chunks += BilledIncrementChunks(batch_bytes, increment);
     // Every message fans out to exactly one queue (its target's filter),
     // so the service bills delivery bytes = message sizes incl. attribute
     // envelopes — mirrored here so the cost model's Z term is exact.
     metrics.send_billed_bytes += static_cast<int64_t>(batch_bytes);
-    auto lane = std::min_element(lane_free.begin(), lane_free.end());
-    const double offset = *lane;
-    *lane += estimate;
+    const double offset = lanes.NextOffset();
     cloud::CloudEnv* cloud = env->cloud;
     std::string topic = batch.topic;
     env->cloud->sim()->ScheduleCallback(
@@ -170,8 +153,7 @@ Status QueueChannel::SendPhase(WorkerEnv* env, int32_t phase,
   }
   // The worker itself only pays a small per-call dispatch overhead (handing
   // work to the pool); the API round trips ride on the lanes above.
-  const double dispatch_s = 0.0002 * static_cast<double>(batches.size());
-  FSD_RETURN_IF_ERROR(env->faas->SleepFor(dispatch_s));
+  FSD_RETURN_IF_ERROR(ChargeDispatchOverhead(env, batches.size()));
   return Status::OK();
 }
 

@@ -1,0 +1,196 @@
+#include "core/scheduler.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/strings.h"
+
+namespace fsd::core {
+
+std::string_view ShedPolicyName(ShedPolicy policy) {
+  switch (policy) {
+    case ShedPolicy::kRejectNew:
+      return "reject-new";
+    case ShedPolicy::kShedLowestPriority:
+      return "shed-lowest-priority";
+  }
+  return "unknown";
+}
+
+std::string_view QueueDisciplineName(QueueDiscipline discipline) {
+  switch (discipline) {
+    case QueueDiscipline::kFifo:
+      return "fifo";
+    case QueueDiscipline::kEdf:
+      return "edf";
+  }
+  return "unknown";
+}
+
+size_t ShedVictimIndex(const std::vector<SchedQuery>& queue) {
+  size_t victim = 0;
+  for (size_t i = 1; i < queue.size(); ++i) {
+    const SchedQuery& q = queue[i];
+    const SchedQuery& v = queue[victim];
+    if (q.priority != v.priority) {
+      if (q.priority < v.priority) victim = i;
+      continue;
+    }
+    if (q.deadline_s != v.deadline_s) {
+      if (q.deadline_s > v.deadline_s) victim = i;
+      continue;
+    }
+    if (q.arrival_s > v.arrival_s) victim = i;
+  }
+  return victim;
+}
+
+void QueuePolicy::Order(std::vector<SchedQuery>* queue) const {
+  std::stable_sort(queue->begin(), queue->end(),
+                   [this](const SchedQuery& a, const SchedQuery& b) {
+                     return Before(a, b);
+                   });
+}
+
+size_t QueuePolicy::ShedVictim(const std::vector<SchedQuery>& queue) const {
+  return ShedVictimIndex(queue);
+}
+
+namespace {
+
+class AdmitAllPolicy final : public AdmissionPolicy {
+ public:
+  std::string_view name() const override { return "admit-all"; }
+  AdmissionDecision Decide(const SchedQuery&, const LoadSnapshot&,
+                           const std::vector<SchedQuery>&) override {
+    return {};
+  }
+};
+
+class DepthBoundAdmission final : public AdmissionPolicy {
+ public:
+  DepthBoundAdmission(int32_t max_queue_depth, double max_queue_wait_s,
+                      ShedPolicy shed)
+      : max_queue_depth_(max_queue_depth),
+        max_queue_wait_s_(max_queue_wait_s),
+        shed_(shed) {}
+
+  std::string_view name() const override { return "depth-bound"; }
+
+  AdmissionDecision Decide(const SchedQuery& arrival, const LoadSnapshot& load,
+                           const std::vector<SchedQuery>& queue) override {
+    AdmissionDecision decision;
+    // Wait bound: the arrival's predicted queue wait — the queries already
+    // ahead of it served at the sustainable rate. Applies even below the
+    // depth bound: a deep-enough backlog relative to throughput is
+    // overload whatever the configured depth. An empty queue predicts no
+    // wait, so the bound can never starve an idle fleet.
+    if (max_queue_wait_s_ >= 0.0 && load.queued > 0 &&
+        load.sustainable_qps > 0.0 && std::isfinite(load.sustainable_qps)) {
+      const double predicted_wait_s =
+          static_cast<double>(load.queued) / load.sustainable_qps;
+      if (predicted_wait_s > max_queue_wait_s_) {
+        decision.action = AdmissionDecision::Action::kReject;
+        decision.reason = StrFormat(
+            "predicted queue wait %.3fs exceeds bound %.3fs "
+            "(%d queued at %.3f sustainable qps)",
+            predicted_wait_s, max_queue_wait_s_, load.queued,
+            load.sustainable_qps);
+        return decision;
+      }
+    }
+    if (max_queue_depth_ > 0 && load.queued >= max_queue_depth_) {
+      if (shed_ == ShedPolicy::kShedLowestPriority && !queue.empty()) {
+        const size_t victim = ShedVictimIndex(queue);
+        if (queue[victim].priority < arrival.priority) {
+          decision.action = AdmissionDecision::Action::kShedVictim;
+          decision.victim_query_id = queue[victim].query_id;
+          decision.reason = StrFormat(
+              "shed for priority-%d arrival (queue at depth bound %d)",
+              arrival.priority, max_queue_depth_);
+          return decision;
+        }
+      }
+      decision.action = AdmissionDecision::Action::kReject;
+      decision.reason =
+          StrFormat("queue depth %d at bound %d (%s)", load.queued,
+                    max_queue_depth_,
+                    std::string(ShedPolicyName(shed_)).c_str());
+      return decision;
+    }
+    return decision;
+  }
+
+ private:
+  int32_t max_queue_depth_ = 0;
+  double max_queue_wait_s_ = -1.0;
+  ShedPolicy shed_ = ShedPolicy::kRejectNew;
+};
+
+class FifoQueuePolicy final : public QueuePolicy {
+ public:
+  std::string_view name() const override { return "fifo"; }
+  bool Before(const SchedQuery& a, const SchedQuery& b) const override {
+    if (a.arrival_s != b.arrival_s) return a.arrival_s < b.arrival_s;
+    return a.query_id < b.query_id;
+  }
+};
+
+class EdfQueuePolicy final : public QueuePolicy {
+ public:
+  std::string_view name() const override { return "edf"; }
+  bool Before(const SchedQuery& a, const SchedQuery& b) const override {
+    // Higher priority classes launch first; within a class, earliest
+    // absolute deadline, then arrival order (deadline-free queries sort
+    // after every deadline-carrying one: kNoDeadline is +inf).
+    if (a.priority != b.priority) return a.priority > b.priority;
+    if (a.deadline_s != b.deadline_s) return a.deadline_s < b.deadline_s;
+    if (a.arrival_s != b.arrival_s) return a.arrival_s < b.arrival_s;
+    return a.query_id < b.query_id;
+  }
+};
+
+class DeadlineBatchPolicy final : public BatchPolicy {
+ public:
+  std::string_view name() const override { return "deadline-slack"; }
+  double FlushIn(const std::vector<SchedQuery>& members, double now_s,
+                 double window_s, double est_exec_s) const override {
+    double earliest = kNoDeadline;
+    for (const SchedQuery& m : members) {
+      if (m.deadline_s < earliest) earliest = m.deadline_s;
+    }
+    if (!std::isfinite(earliest)) return window_s;  // no SLO: fixed window
+    // Flush when the oldest member's slack runs out: any later launch and
+    // the predicted execution time (with its safety margin) would miss the
+    // deadline.
+    const double slack_s =
+        (earliest - now_s) - kSlackSafetyFactor * est_exec_s;
+    if (slack_s <= 0.0) return 0.0;
+    return std::min(window_s, slack_s);
+  }
+};
+
+}  // namespace
+
+std::shared_ptr<AdmissionPolicy> MakeAdmitAll() {
+  return std::make_shared<AdmitAllPolicy>();
+}
+
+std::shared_ptr<AdmissionPolicy> MakeDepthBoundAdmission(
+    int32_t max_queue_depth, double max_queue_wait_s, ShedPolicy shed) {
+  return std::make_shared<DepthBoundAdmission>(max_queue_depth,
+                                               max_queue_wait_s, shed);
+}
+
+std::shared_ptr<QueuePolicy> MakeQueuePolicy(QueueDiscipline discipline) {
+  if (discipline == QueueDiscipline::kEdf) {
+    return std::make_shared<EdfQueuePolicy>();
+  }
+  return std::make_shared<FifoQueuePolicy>();
+}
+
+std::shared_ptr<BatchPolicy> MakeDeadlineBatchPolicy() {
+  return std::make_shared<DeadlineBatchPolicy>();
+}
+
+}  // namespace fsd::core

@@ -2,11 +2,14 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cmath>
 #include <cstring>
+#include <limits>
 
 #include "common/logging.h"
 #include "common/strings.h"
 #include "core/channel.h"
+#include "core/cost_model.h"
 
 namespace fsd::core {
 namespace {
@@ -24,7 +27,12 @@ std::atomic<uint64_t> g_instance_counter{0};
 /// KEEP IN SYNC WITH FsdOptions: every field added there must be added to
 /// this key (or queries differing in the new knob will silently coalesce
 /// into a RunState that cannot honour both settings) — fsd_config.h points
-/// back here.
+/// back here. Exception: pure SCHEDULING metadata (slo_deadline_s,
+/// priority) is deliberately excluded — it never reaches the RunState, so
+/// queries in different SLO classes still coalesce and keep the batching
+/// amortization; the batcher tracks per-member deadlines (earliest wins,
+/// late joiners tighten the flush) and shedding removes individual
+/// members, so mixed-class batches stay correct.
 ///
 /// The key must be injective over the covered fields: doubles are encoded
 /// by bit pattern (no %g rounding that could merge nearby timeouts) and
@@ -63,8 +71,26 @@ std::string BatchFamilyKey(const InferenceRequest& request) {
 
 ServingRuntime::ServingRuntime(cloud::CloudEnv* cloud, ServingOptions options)
     : cloud_(cloud),
-      options_(options),
-      instance_id_(g_instance_counter.fetch_add(1)) {}
+      options_(std::move(options)),
+      instance_id_(g_instance_counter.fetch_add(1)),
+      gate_(options_.max_concurrent_runs) {
+  // Materialize the pipeline stages: injected policies win, otherwise the
+  // knobs select a built-in. With admission off the admission stage is a
+  // pass-through, and the deadline batcher degenerates to the fixed window
+  // when no query carries a deadline — the accept-everything behaviour.
+  admission_ = options_.admission_policy
+                   ? options_.admission_policy
+               : options_.admission_control
+                   ? MakeDepthBoundAdmission(options_.max_queue_depth,
+                                             options_.max_queue_wait_s,
+                                             options_.shed_policy)
+                   : MakeAdmitAll();
+  queue_policy_ = options_.queue_policy
+                      ? options_.queue_policy
+                      : MakeQueuePolicy(options_.queue_discipline);
+  batcher_ =
+      options_.batch_policy ? options_.batch_policy : MakeDeadlineBatchPolicy();
+}
 
 Result<std::string> ServingRuntime::EnsureWorkerFunction(
     const FsdOptions& options) {
@@ -215,6 +241,7 @@ void ServingRuntime::ExecuteRun(Run* run) {
   const double launch_s = cloud_->sim()->Now();
   for (uint64_t id : run->member_ids) {
     Query* query = queries_.at(id).get();
+    Dequeue(query);
     query->outcome.queue_wait_s = launch_s - query->outcome.arrival_s;
   }
   cloud::FaasService::InvokeOutcome invoke = cloud_->faas().InvokeAsync(
@@ -236,14 +263,26 @@ void ServingRuntime::ExecuteRun(Run* run) {
       query->outcome.finish_s = finish_s;
       query->outcome.report = CollectMemberReport(
           state, i, query->outcome.arrival_s, finish_s);
-      run->ok &= query->outcome.report.status.ok();
+      const bool member_ok = query->outcome.report.status.ok();
+      query->outcome.disposition =
+          member_ok ? QueryDisposition::kCompleted
+          : query->aborted ? QueryDisposition::kAborted
+                           : QueryDisposition::kFailed;
+      query->outcome.deadline_met =
+          !std::isfinite(query->outcome.deadline_s) ||
+          finish_s <= query->outcome.deadline_s;
+      run->ok &= member_ok;
     }
+    if (run->ok) UpdateLiveStats(*run, launch_s, finish_s);
   } else {
     const double finish_s = cloud_->sim()->Now();
     for (uint64_t id : run->member_ids) {
       Query* query = queries_.at(id).get();
       query->outcome.finish_s = finish_s;
       query->outcome.report.status = invoke.status;
+      query->outcome.disposition = query->aborted
+                                       ? QueryDisposition::kAborted
+                                       : QueryDisposition::kFailed;
     }
   }
   // Release the run's channel resources (bills the KV namespace's node
@@ -282,10 +321,12 @@ void ServingRuntime::JoinBatch(uint64_t query_id) {
       // (its window process wakes at this same virtual time) and start a
       // fresh batch for this query.
       open_batch_by_family_.erase(open);
+      candidate.flush_due = true;
       candidate.flush_now->Fire();
     }
   }
-  if (batch == nullptr) {
+  const bool fresh_batch = batch == nullptr;
+  if (fresh_batch) {
     batch_id = next_batch_id_++;
     PendingBatch fresh;
     fresh.family = family;
@@ -293,16 +334,25 @@ void ServingRuntime::JoinBatch(uint64_t query_id) {
     batch = &pending_batches_.emplace(batch_id, std::move(fresh))
                  .first->second;
     open_batch_by_family_[family] = batch_id;
-    // The batch's window process: launches the shared tree when the window
-    // elapses, or immediately when the batch fills (flush_now).
+    // The batch's window process: launches the shared tree at flush_at
+    // (the window, shortened to the tightest member's deadline slack —
+    // re-read after every wake, since late joiners may tighten it), or
+    // immediately when the batch fills (flush_due).
     cloud_->sim()->Spawn(
         StrFormat("serve-batch-%llu",
                   static_cast<unsigned long long>(batch_id)),
         [this, batch_id]() {
-          auto it = pending_batches_.find(batch_id);
-          if (it == pending_batches_.end()) return;
-          cloud_->sim()->WaitSignal(it->second.flush_now.get(),
-                                    options_.batch_window_s);
+          while (true) {
+            auto it = pending_batches_.find(batch_id);
+            if (it == pending_batches_.end()) return;
+            if (it->second.flush_due) break;
+            const double wait = it->second.flush_at - cloud_->sim()->Now();
+            if (wait <= 0.0) break;
+            // Hold the signal by value: a tightening join swaps the
+            // batch's slot for a fresh one before firing this one.
+            std::shared_ptr<sim::SimSignal> wake = it->second.flush_now;
+            cloud_->sim()->WaitSignal(wake.get(), wait);
+          }
           FlushBatch(batch_id);
         });
   }
@@ -315,7 +365,21 @@ void ServingRuntime::JoinBatch(uint64_t query_id) {
       batch->total_cols >= static_cast<int64_t>(options_.max_batch_cols);
   if (full) {
     open_batch_by_family_.erase(batch->family);
+    batch->flush_due = true;
     batch->flush_now->Fire();
+    return;
+  }
+  // Batcher stage: when must this batch launch? The first member arms the
+  // window; a joiner with a tighter deadline slack pulls flush_at forward
+  // and wakes the window process so it re-arms against the new time.
+  const double due = cloud_->sim()->Now() + FlushTimeout(*batch);
+  if (fresh_batch) {
+    batch->flush_at = due;
+  } else if (due < batch->flush_at) {
+    batch->flush_at = due;
+    std::shared_ptr<sim::SimSignal> stale = batch->flush_now;
+    batch->flush_now = cloud_->sim()->MakeSignal();
+    stale->Fire();
   }
 }
 
@@ -338,27 +402,285 @@ void ServingRuntime::FlushBatch(uint64_t batch_id) {
     (queries_.at(id)->aborted ? aborted : live).push_back(id);
   }
   if (!aborted.empty()) {
-    FailQueries(aborted, Status::Unavailable("run aborted before start"));
+    FailQueries(aborted, Status::Unavailable("run aborted before start"),
+                QueryDisposition::kAborted);
   }
   if (live.empty()) return;
+  DispatchRun(std::move(live));
+}
 
+void ServingRuntime::DispatchRun(std::vector<uint64_t> member_ids) {
+  if (!gate_.TryAcquire()) {
+    // All slots busy: park until a finishing run hands its slot over (or
+    // shedding empties the batch). Queued members stay shed-eligible.
+    const uint64_t seq = next_park_seq_++;
+    ParkedRun parked;
+    parked.member_ids = std::move(member_ids);
+    parked.wake = cloud_->sim()->MakeSignal();
+    ParkedRun* entry = &parked_.emplace(seq, std::move(parked)).first->second;
+    cloud_->sim()->WaitSignal(entry->wake.get());
+    auto it = parked_.find(seq);
+    if (it == parked_.end()) return;
+    const bool granted = it->second.granted;
+    member_ids = std::move(it->second.member_ids);
+    parked_.erase(it);
+    if (!granted) return;  // every member was shed; no slot held
+    if (member_ids.empty()) {
+      // Cannot happen (a grant implies live members), but never leak the
+      // slot if it somehow does.
+      ReleaseSlot();
+      return;
+    }
+  }
+  LaunchRun(member_ids);
+  ReleaseSlot();
+}
+
+void ServingRuntime::LaunchRun(const std::vector<uint64_t>& member_ids) {
+  // Members may have been aborted while parked on a dispatch slot (or
+  // between arrival and dispatch): they report the abort WITHOUT
+  // provisioning, exactly like the flush-path filter.
+  std::vector<uint64_t> live;
+  std::vector<uint64_t> aborted;
+  for (uint64_t id : member_ids) {
+    (queries_.at(id)->aborted ? aborted : live).push_back(id);
+  }
+  if (!aborted.empty()) {
+    FailQueries(aborted, Status::Unavailable("run aborted before start"),
+                QueryDisposition::kAborted);
+  }
+  if (live.empty()) return;
   Result<Run*> run = BuildRun(AllocateRunId(), live);
   if (!run.ok()) {
-    FailQueries(live, run.status());
+    FailQueries(live, run.status(), QueryDisposition::kFailed);
     return;
   }
   ExecuteRun(*run);
 }
 
+void ServingRuntime::ReleaseSlot() {
+  // Hand the slot to the parked run that should launch first: the queue
+  // policy compares each parked run's lead member (its first-launching
+  // one); map order (park sequence) breaks ties FIFO.
+  uint64_t best_seq = 0;
+  const Query* best_lead = nullptr;
+  for (const auto& [seq, parked] : parked_) {
+    if (parked.woken || parked.member_ids.empty()) continue;
+    const Query* lead = nullptr;
+    for (uint64_t id : parked.member_ids) {
+      const Query* member = queries_.at(id).get();
+      if (lead == nullptr ||
+          queue_policy_->Before(SchedView(*member), SchedView(*lead))) {
+        lead = member;
+      }
+    }
+    if (best_lead == nullptr ||
+        queue_policy_->Before(SchedView(*lead), SchedView(*best_lead))) {
+      best_lead = lead;
+      best_seq = seq;
+    }
+  }
+  if (best_lead == nullptr) {
+    gate_.Release();
+    return;
+  }
+  ParkedRun& next = parked_.at(best_seq);
+  next.granted = true;
+  next.woken = true;
+  next.wake->Fire();  // the slot transfers to the woken flush process
+}
+
+void ServingRuntime::ShedQuery(uint64_t victim_id, const std::string& reason) {
+  auto it = queries_.find(victim_id);
+  if (it == queries_.end()) return;
+  Query* victim = it->second.get();
+  if (!victim->queued || victim->finished) return;
+  const int32_t cols = RequestSampleCols(victim->request);
+  // Remove the victim from wherever it queues: an open coalescing batch...
+  for (auto& [batch_id, batch] : pending_batches_) {
+    auto member =
+        std::find(batch.member_ids.begin(), batch.member_ids.end(), victim_id);
+    if (member == batch.member_ids.end()) continue;
+    batch.member_ids.erase(member);
+    batch.total_cols -= cols;
+    break;
+  }
+  // ...or a parked run (unwinding the flush process when it empties).
+  for (auto& [seq, parked] : parked_) {
+    auto member = std::find(parked.member_ids.begin(), parked.member_ids.end(),
+                            victim_id);
+    if (member == parked.member_ids.end()) continue;
+    parked.member_ids.erase(member);
+    if (parked.member_ids.empty() && !parked.woken) {
+      parked.woken = true;
+      parked.wake->Fire();  // granted stays false: unwind without a slot
+    }
+    break;
+  }
+  Dequeue(victim);
+  victim->outcome.disposition = QueryDisposition::kShed;
+  victim->outcome.reject_reason = reason;
+  victim->outcome.finish_s = cloud_->sim()->Now();
+  victim->outcome.report.status = Status::Unavailable(
+      StrFormat("query shed under overload: %s", reason.c_str()));
+  victim->finished = true;
+}
+
+void ServingRuntime::RejectQuery(Query* query, const std::string& reason) {
+  query->outcome.disposition = QueryDisposition::kRejected;
+  query->outcome.reject_reason = reason;
+  query->outcome.finish_s = cloud_->sim()->Now();
+  query->outcome.report.status = Status::ResourceExhausted(
+      StrFormat("admission rejected the query: %s", reason.c_str()));
+  query->finished = true;
+}
+
+void ServingRuntime::Dequeue(Query* query) {
+  if (!query->queued) return;
+  query->queued = false;
+  queued_ids_.erase(query->outcome.query_id);
+}
+
 void ServingRuntime::FailQueries(const std::vector<uint64_t>& ids,
-                                 const Status& status) {
+                                 const Status& status,
+                                 QueryDisposition disposition) {
   for (uint64_t id : ids) {
     Query* query = queries_.at(id).get();
+    Dequeue(query);
     query->outcome.finish_s = cloud_->sim()->Now();
     query->outcome.report.status = status;
+    query->outcome.disposition = disposition;
     query->finished = true;
   }
   if (options_.stop_on_failure) AbortAll();
+}
+
+SchedQuery ServingRuntime::SchedView(const Query& query) const {
+  SchedQuery view;
+  view.query_id = query.outcome.query_id;
+  view.arrival_s = query.outcome.arrival_s;
+  view.deadline_s = query.outcome.deadline_s;
+  view.priority = query.outcome.priority;
+  view.cols = RequestSampleCols(query.request);
+  return view;
+}
+
+std::vector<SchedQuery> ServingRuntime::QueuedSnapshot() const {
+  std::vector<SchedQuery> queue;
+  queue.reserve(queued_ids_.size());
+  for (uint64_t id : queued_ids_) {
+    const Query& query = *queries_.at(id);
+    if (query.queued && !query.finished) queue.push_back(SchedView(query));
+  }
+  return queue;
+}
+
+double ServingRuntime::EstRunSeconds(const Query& query) {
+  if (ewma_run_seeded_) return ewma_run_s_;
+  // No run completed yet: the cost model's a-priori estimate, memoized per
+  // family (the estimate only depends on family-keyed fields).
+  const std::string family = BatchFamilyKey(query.request);
+  auto it = apriori_run_s_by_family_.find(family);
+  if (it != apriori_run_s_by_family_.end()) return it->second;
+  const ThroughputEstimate estimate = EstimateSustainableThroughput(
+      *query.request.dnn, query.request.options, cloud_->latency(),
+      cloud_->compute(), /*activation_density=*/0.3,
+      RequestSampleCols(query.request), options_.max_concurrent_runs,
+      /*expected_occupancy=*/1.0);
+  apriori_run_s_by_family_[family] = estimate.est_run_s;
+  return estimate.est_run_s;
+}
+
+LoadSnapshot ServingRuntime::BuildLoadSnapshot(const Query& query) {
+  LoadSnapshot load;
+  load.now_s = cloud_->sim()->Now();
+  load.queued = static_cast<int32_t>(queued_ids_.size());
+  load.in_flight_runs = gate_.in_flight();
+  load.max_concurrent_runs = options_.max_concurrent_runs;
+  load.est_run_s = EstRunSeconds(query);
+  load.ewma_service_rate_qps = ewma_service_rate_qps_;
+  if (options_.max_concurrent_runs <= 0) {
+    load.sustainable_qps = std::numeric_limits<double>::infinity();
+  } else if (ewma_service_rate_qps_ > 0.0) {
+    // Prefer what the fleet demonstrably sustains over the model.
+    load.sustainable_qps = ewma_service_rate_qps_;
+  } else if (load.est_run_s > 0.0) {
+    load.sustainable_qps = static_cast<double>(options_.max_concurrent_runs) *
+                           ewma_occupancy_ / load.est_run_s;
+  }
+  return load;
+}
+
+double ServingRuntime::FlushTimeout(const PendingBatch& batch) {
+  std::vector<SchedQuery> members;
+  members.reserve(batch.member_ids.size());
+  bool any_deadline = false;
+  for (uint64_t id : batch.member_ids) {
+    members.push_back(SchedView(*queries_.at(id)));
+    any_deadline |= std::isfinite(members.back().deadline_s);
+  }
+  // The execution estimate only matters for deadline slack; skip the cost
+  // model entirely on deadline-free batches (the common case).
+  const double est_exec_s =
+      any_deadline ? EstRunSeconds(*queries_.at(batch.member_ids[0])) : 0.0;
+  const double flush_in = batcher_->FlushIn(
+      members, cloud_->sim()->Now(), options_.batch_window_s, est_exec_s);
+  return flush_in < 0.0 ? 0.0 : flush_in;
+}
+
+void ServingRuntime::UpdateLiveStats(const Run& run, double launch_s,
+                                     double finish_s) {
+  constexpr double kAlpha = 0.3;  // favors recent runs; bursty workloads
+  const double duration_s = finish_s - launch_s;
+  const double members = static_cast<double>(run.member_ids.size());
+  if (!ewma_run_seeded_) {
+    ewma_run_s_ = duration_s;
+    ewma_occupancy_ = members;
+    ewma_run_seeded_ = true;
+  } else {
+    ewma_run_s_ += kAlpha * (duration_s - ewma_run_s_);
+    ewma_occupancy_ += kAlpha * (members - ewma_occupancy_);
+  }
+  if (last_run_finish_s_ >= 0.0 && finish_s > last_run_finish_s_) {
+    const double rate = members / (finish_s - last_run_finish_s_);
+    ewma_service_rate_qps_ =
+        ewma_service_rate_qps_ > 0.0
+            ? ewma_service_rate_qps_ + kAlpha * (rate - ewma_service_rate_qps_)
+            : rate;
+  }
+  last_run_finish_s_ = finish_s;
+}
+
+void ServingRuntime::ArriveQuery(uint64_t query_id) {
+  Query* query = queries_.at(query_id).get();
+  query->outcome.arrival_s = cloud_->sim()->Now();
+  if (query->request.options.slo_deadline_s > 0.0) {
+    query->outcome.deadline_s =
+        query->outcome.arrival_s + query->request.options.slo_deadline_s;
+  }
+  if (options_.admission_control) {
+    const LoadSnapshot load = BuildLoadSnapshot(*query);
+    AdmissionDecision decision =
+        admission_->Decide(SchedView(*query), load, QueuedSnapshot());
+    if (decision.action == AdmissionDecision::Action::kReject) {
+      RejectQuery(query, decision.reason);
+      return;
+    }
+    if (decision.action == AdmissionDecision::Action::kShedVictim) {
+      ShedQuery(decision.victim_query_id, decision.reason);
+    }
+  }
+  query->queued = true;
+  queued_ids_.insert(query_id);
+  const bool batching = options_.batch_window_s > 0.0 &&
+                        query->request.options.cross_query_batching;
+  if (batching) {
+    JoinBatch(query_id);
+    return;
+  }
+  // (Queries aborted before arrival fail inside LaunchRun's filter,
+  // without provisioning — same path as aborted batch members.)
+  DispatchRun({query_id});
 }
 
 Result<uint64_t> ServingRuntime::Submit(const InferenceRequest& request,
@@ -368,6 +690,13 @@ Result<uint64_t> ServingRuntime::Submit(const InferenceRequest& request,
   }
   const bool batching = options_.batch_window_s > 0.0 &&
                         request.options.cross_query_batching;
+  // The pipeline path defers provisioning to the query's arrival: batched
+  // queries provision at flush, and under admission control or a dispatch
+  // bound a query may be rejected/parked, so nothing may be provisioned at
+  // Submit. Without any of those, the pre-scheduler fast path below
+  // provisions immediately (synchronous errors, byte-identical behaviour).
+  const bool pipelined = batching || options_.admission_control ||
+                         options_.max_concurrent_runs > 0;
   // Validate up front on BOTH paths: a malformed request fails at Submit
   // (not mid-window), and run construction may then read batch shapes
   // (RequestSampleCols) before PrepareRunState re-validates.
@@ -378,24 +707,25 @@ Result<uint64_t> ServingRuntime::Submit(const InferenceRequest& request,
   query->request = request;
   query->outcome.query_id = query_id;
   query->outcome.arrival_s = cloud_->sim()->Now() + arrival_s;
+  query->outcome.priority = request.options.priority;
+  query->outcome.deadline_s =
+      request.options.slo_deadline_s > 0.0
+          ? query->outcome.arrival_s + request.options.slo_deadline_s
+          : kNoDeadline;
   Query* raw = query.get();
   queries_.emplace(query_id, std::move(query));
 
-  if (batching) {
+  if (pipelined) {
     submission_order_.push_back(query_id);
     cloud_->sim()->AddProcess(
         StrFormat("serve-arrive-%llu",
                   static_cast<unsigned long long>(query_id)),
-        [this, raw, query_id]() {
-          raw->outcome.arrival_s = cloud_->sim()->Now();
-          JoinBatch(query_id);
-        },
-        arrival_s);
+        [this, query_id]() { ArriveQuery(query_id); }, arrival_s);
     return query_id;
   }
 
-  // Unbatched: provision immediately (synchronous errors) and launch the
-  // run at its arrival time; the query IS the run.
+  // Unbatched, unscheduled: provision immediately (synchronous errors) and
+  // launch the run at its arrival time; the query IS the run.
   Result<Run*> run = BuildRun(query_id, {query_id});
   if (!run.ok()) {
     queries_.erase(query_id);
@@ -408,6 +738,10 @@ Result<uint64_t> ServingRuntime::Submit(const InferenceRequest& request,
                 static_cast<unsigned long long>(query_id)),
       [this, raw, raw_run]() {
         raw->outcome.arrival_s = cloud_->sim()->Now();
+        if (raw->request.options.slo_deadline_s > 0.0) {
+          raw->outcome.deadline_s =
+              raw->outcome.arrival_s + raw->request.options.slo_deadline_s;
+        }
         ExecuteRun(raw_run);
       },
       arrival_s);
@@ -442,13 +776,18 @@ Result<ServingReport> ServingRuntime::Drain(double run_until) {
       query->outcome.finish_s = cloud_->sim()->Now();
       query->outcome.report.status = Status::DeadlineExceeded(
           "query still in flight when Drain() stopped");
+      query->outcome.disposition = QueryDisposition::kInFlight;
     }
     report.queries.push_back(query->outcome);
-    report.fleet.AddQuery(query->outcome.arrival_s, query->outcome.finish_s,
-                          query->outcome.report.latency_s,
-                          query->outcome.queue_wait_s,
-                          query->outcome.report.status.ok(),
-                          query->outcome.report.metrics);
+    FleetStats::QuerySample sample;
+    sample.arrival_s = query->outcome.arrival_s;
+    sample.finish_s = query->outcome.finish_s;
+    sample.latency_s = query->outcome.report.latency_s;
+    sample.queue_wait_s = query->outcome.queue_wait_s;
+    sample.disposition = query->outcome.disposition;
+    sample.priority = query->outcome.priority;
+    sample.deadline_s = query->outcome.deadline_s;
+    report.fleet.AddQuery(sample, query->outcome.report.metrics);
   }
   for (const auto& [id, run] : runs_) {
     if (!run->finished) continue;
@@ -459,6 +798,7 @@ Result<ServingReport> ServingRuntime::Drain(double run_until) {
   // must span every Drain call too (this call's ledger delta alone would
   // understate cost_per_query after a resumed drain).
   report.fleet.total_cost = accumulated_cost_;
+  report.fleet.ewma_service_rate_qps = ewma_service_rate_qps_;
   report.fleet.Finalize();
   return report;
 }

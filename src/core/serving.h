@@ -38,6 +38,19 @@
 //    wait is visible as queue_wait_s, never hidden. Outputs are
 //    byte-identical to unbatched serving: the FSI loop is per batch, so
 //    concatenation changes WHEN a batch runs, never its values.
+//  - Scheduling is an explicit four-stage pipeline: Admission ->
+//    QueuePolicy -> Batcher -> Dispatcher (core/scheduler.h), each a small
+//    pluggable policy. With admission_control on, an arrival is admitted,
+//    rejected (typed QueryOutcome::disposition + reject_reason) or traded
+//    against a shed lower-priority queue member, based on the cost model's
+//    sustainable-throughput estimate refined by live EWMAs of observed run
+//    times. Queries carry optional SLO deadlines and priority classes
+//    (FsdOptions::slo_deadline_s / priority): the batcher generalizes the
+//    fixed window into deadline-slack flushing, and with
+//    max_concurrent_runs > 0 flushed batches park in queue-discipline
+//    order (FIFO or EDF) until a finishing tree hands its slot over.
+//    Every pipeline knob defaults off, reproducing the unconditional
+//    accept-and-window behaviour byte-identically.
 //
 // Submitted request pointers (model, partition, batches) must stay alive
 // until Drain() returns.
@@ -47,11 +60,13 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <set>
 #include <string>
 #include <vector>
 
 #include "cloud/cloud.h"
 #include "core/runtime.h"
+#include "core/scheduler.h"
 #include "core/worker.h"
 
 namespace fsd::core {
@@ -78,6 +93,41 @@ struct ServingOptions {
   /// Cap on the summed sample columns of a shared tree's batches (bounds
   /// worker working-set growth); a batch at the cap flushes immediately.
   int32_t max_batch_cols = 8192;
+
+  /// --- scheduler pipeline (Admission -> QueuePolicy -> Batcher ->
+  /// Dispatcher; see core/scheduler.h) ---
+  /// Enable SLO-aware admission control: arriving queries are admitted,
+  /// rejected (QueryDisposition::kRejected with a typed reason) or traded
+  /// against a shed queue member, instead of queueing unconditionally.
+  /// Off (the default) reproduces the accept-everything behaviour
+  /// byte-identically, including Submit-time provisioning on the
+  /// unbatched path.
+  bool admission_control = false;
+  /// Most queries that may sit admitted-but-unlaunched at once (counting
+  /// open coalescing batches and runs parked on dispatch slots); arrivals
+  /// beyond it are rejected or shed per `shed_policy`. 0 = no depth bound.
+  int32_t max_queue_depth = 64;
+  /// Reject arrivals whose predicted queue wait (queued / sustainable
+  /// throughput from the cost model's a-priori estimate, EWMA-refined)
+  /// exceeds this bound. < 0 = no wait bound.
+  double max_queue_wait_s = -1.0;
+  /// What yields when the queue is at its depth bound.
+  ShedPolicy shed_policy = ShedPolicy::kRejectNew;
+  /// Launch order of queued work (and of runs parked on dispatch slots).
+  QueueDiscipline queue_discipline = QueueDiscipline::kFifo;
+  /// Most worker trees in flight at once (the account-level FaaS
+  /// concurrency limit divided by tree size); flushed batches beyond it
+  /// park in `queue_discipline` order until a slot frees. 0 = unbounded
+  /// (the pre-scheduler behaviour: every flush launches immediately).
+  int32_t max_concurrent_runs = 0;
+
+  /// Custom policy injection; null slots are materialized from the knobs
+  /// above (MakeDepthBoundAdmission / MakeQueuePolicy /
+  /// MakeDeadlineBatchPolicy). The built-in batcher already generalizes
+  /// the fixed window into deadline-slack flushing.
+  std::shared_ptr<AdmissionPolicy> admission_policy;
+  std::shared_ptr<QueuePolicy> queue_policy;
+  std::shared_ptr<BatchPolicy> batch_policy;
 };
 
 /// One query's result within a workload.
@@ -90,6 +140,18 @@ struct QueryOutcome {
   double queue_wait_s = 0.0;
   uint64_t run_id = 0;     ///< the worker tree that served this query
   int32_t batch_peers = 1; ///< queries sharing that tree (1 = ran alone)
+  /// Typed terminal state. Exactly one disposition applies; kRejected and
+  /// kShed carry `reject_reason` and never launched (run_id stays 0).
+  QueryDisposition disposition = QueryDisposition::kInFlight;
+  std::string reject_reason;
+  /// SLO class (copied from the request's FsdOptions at submission).
+  int32_t priority = 0;
+  /// Absolute deadline (arrival + slo_deadline_s); kNoDeadline when the
+  /// query carried none.
+  double deadline_s = kNoDeadline;
+  /// Whether a completed query finished by its deadline (true when it
+  /// carried none); meaningless for other dispositions.
+  bool deadline_met = true;
   InferenceReport report;  ///< latency_s measured from submission
 };
 
@@ -109,10 +171,12 @@ class ServingRuntime {
 
   /// Schedules `request` to arrive at virtual time `arrival_s` (relative to
   /// the simulation clock at submission). Validates immediately; execution
-  /// happens during Drain(). Without batching the run is provisioned
-  /// immediately; with batching (batch_window_s > 0 and the request's
-  /// cross_query_batching) provisioning happens when the query's batch
-  /// flushes. Returns the query id.
+  /// happens during Drain(). Without batching or scheduling (no admission
+  /// control, unbounded dispatcher) the run is provisioned immediately;
+  /// on the pipeline path (batching, admission control, or a dispatch
+  /// bound) provisioning is deferred until the query is admitted and its
+  /// batch flushes into a slot — a rejected query never provisions
+  /// anything. Returns the query id.
   Result<uint64_t> Submit(const InferenceRequest& request, double arrival_s);
 
   /// Drives the simulation until all submitted queries completed (or a
@@ -142,6 +206,9 @@ class ServingRuntime {
     RunState* state = nullptr;  ///< set once the query's run exists
     bool aborted = false;
     bool finished = false;
+    /// Admitted but not yet launched (in an open coalescing batch or a
+    /// parked run) — the shed-victim pool and the admission queue depth.
+    bool queued = false;
   };
 
   /// One worker tree (possibly serving several coalesced queries).
@@ -160,9 +227,28 @@ class ServingRuntime {
     std::string family;
     std::vector<uint64_t> member_ids;
     int64_t total_cols = 0;
-    /// Fired when the batch fills before the window elapses (the window
-    /// process waits on it with the window as timeout).
+    /// When the batcher wants this batch launched (absolute virtual time):
+    /// open time + window, tightened whenever a joining member's deadline
+    /// slack demands an earlier flush.
+    double flush_at = 0.0;
+    /// True once the batch must launch immediately (size caps hit). The
+    /// window process re-checks it after every wake.
+    bool flush_due = false;
+    /// Fired to wake the window process early: the batch filled, or a
+    /// joining member tightened flush_at (signals are one-shot, so
+    /// tightening installs a fresh one before firing the old).
     std::shared_ptr<sim::SimSignal> flush_now;
+  };
+
+  /// A flushed batch waiting for a dispatch slot (stage 4). Its flush
+  /// process blocks on `wake`; a finishing run hands its slot over by
+  /// firing `wake` with `granted` set, and shedding the last member fires
+  /// it unset so the process unwinds without launching.
+  struct ParkedRun {
+    std::vector<uint64_t> member_ids;
+    std::shared_ptr<sim::SimSignal> wake;
+    bool granted = false;
+    bool woken = false;
   };
 
   /// Registers (once) and names the shared worker/coordinator pair for the
@@ -177,13 +263,47 @@ class ServingRuntime {
   /// Runs one worker tree to completion and collects every member's
   /// report. Must be called from inside a simulation process.
   void ExecuteRun(Run* run);
+  /// Stage 1+2 entry, run at a query's virtual arrival time on the
+  /// pipeline path: stamps the absolute deadline, consults the admission
+  /// policy (reject / shed a victim / admit), then hands the query to the
+  /// batcher or straight to the dispatcher.
+  void ArriveQuery(uint64_t query_id);
   /// Called at a query's virtual arrival time (batching path): joins or
   /// opens the family's pending batch, flushing on size caps.
   void JoinBatch(uint64_t query_id);
-  /// Flushes batch `batch_id` (if still pending): builds its run and
-  /// executes it in the calling process.
+  /// Flushes batch `batch_id` (if still pending) into the dispatcher.
   void FlushBatch(uint64_t batch_id);
-  void FailQueries(const std::vector<uint64_t>& ids, const Status& status);
+  /// Stage 4: launches the members' run when a dispatch slot is free,
+  /// otherwise parks in queue-policy order until a finishing run hands its
+  /// slot over. Runs in the calling process.
+  void DispatchRun(std::vector<uint64_t> member_ids);
+  /// Builds and executes one run (the flushed members) in this process.
+  void LaunchRun(const std::vector<uint64_t>& member_ids);
+  /// Hands the calling run's dispatch slot to the best parked run (per the
+  /// queue policy) or frees it.
+  void ReleaseSlot();
+  /// Marks `victim` shed (QueryDisposition::kShed) and removes it from its
+  /// open batch or parked run.
+  void ShedQuery(uint64_t victim_id, const std::string& reason);
+  void RejectQuery(Query* query, const std::string& reason);
+  void FailQueries(const std::vector<uint64_t>& ids, const Status& status,
+                   QueryDisposition disposition);
+  /// Clears a query's queued flag (and the depth counter) when it leaves
+  /// the admitted-but-unlaunched set.
+  void Dequeue(Query* query);
+
+  /// Scheduler views/inputs: the queued set as plain SchedQuery structs,
+  /// the live load snapshot for admission, the batcher's flush timeout,
+  /// and the per-tree execution-time estimate (EWMA of observed runs,
+  /// seeded by the cost model's a-priori estimate per family).
+  SchedQuery SchedView(const Query& query) const;
+  std::vector<SchedQuery> QueuedSnapshot() const;
+  LoadSnapshot BuildLoadSnapshot(const Query& query);
+  double FlushTimeout(const PendingBatch& batch);
+  double EstRunSeconds(const Query& query);
+  /// Refreshes the run-time/occupancy/service-rate EWMAs after a
+  /// successful run.
+  void UpdateLiveStats(const Run& run, double launch_s, double finish_s);
 
   cloud::CloudEnv* cloud_;
   ServingOptions options_;
@@ -194,8 +314,26 @@ class ServingRuntime {
   std::map<std::string, std::string> function_groups_;  ///< group -> name
   std::map<uint64_t, PendingBatch> pending_batches_;    ///< by batch id
   std::map<std::string, uint64_t> open_batch_by_family_;
+  std::set<uint64_t> queued_ids_;  ///< admitted, not yet launched
   uint64_t next_batch_id_ = 0;
   double accumulated_cost_ = 0.0;  ///< workload dollars across Drain calls
+
+  /// --- scheduler pipeline state ---
+  std::shared_ptr<AdmissionPolicy> admission_;
+  std::shared_ptr<QueuePolicy> queue_policy_;
+  std::shared_ptr<BatchPolicy> batcher_;
+  DispatchGate gate_;
+  std::map<uint64_t, ParkedRun> parked_;  ///< by park sequence (FIFO ties)
+  uint64_t next_park_seq_ = 0;
+  /// Live estimates feeding admission and the batcher: per-tree execution
+  /// time (EWMA over completed runs, a-priori-seeded), expected occupancy,
+  /// and the observed service rate.
+  double ewma_run_s_ = 0.0;
+  bool ewma_run_seeded_ = false;
+  double ewma_occupancy_ = 1.0;
+  double ewma_service_rate_qps_ = 0.0;
+  double last_run_finish_s_ = -1.0;
+  std::map<std::string, double> apriori_run_s_by_family_;
 };
 
 /// Poisson arrival process: `count` arrival times with exponential

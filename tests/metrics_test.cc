@@ -1,13 +1,34 @@
 // Metrics-layer unit tests: percentile edge cases, FleetStats on tiny
-// sample counts (0/1/2 queries), batch-occupancy accounting, and the
-// determinism of the arrival-trace generators.
+// sample counts (0/1/2 queries), batch-occupancy accounting, the
+// mutually-exclusive disposition partition (rejected/shed/aborted/
+// completed), SLO attainment, and the determinism of the arrival-trace
+// generators.
 #include <gtest/gtest.h>
+
+#include <limits>
 
 #include "core/metrics.h"
 #include "core/serving.h"
 
 namespace fsd::core {
 namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+FleetStats::QuerySample Sample(
+    double arrival_s, double finish_s, double latency_s, double queue_wait_s,
+    QueryDisposition disposition = QueryDisposition::kCompleted,
+    int32_t priority = 0, double deadline_s = kInf) {
+  FleetStats::QuerySample sample;
+  sample.arrival_s = arrival_s;
+  sample.finish_s = finish_s;
+  sample.latency_s = latency_s;
+  sample.queue_wait_s = queue_wait_s;
+  sample.disposition = disposition;
+  sample.priority = priority;
+  sample.deadline_s = deadline_s;
+  return sample;
+}
 
 TEST(Percentile, EmptySampleIsZero) {
   EXPECT_DOUBLE_EQ(Percentile({}, 50.0), 0.0);
@@ -48,8 +69,9 @@ TEST(FleetStats, EmptyWorkloadFinalizesToZeros) {
 TEST(FleetStats, SingleQueryDistributionsCollapseToThatQuery) {
   FleetStats fleet;
   RunMetrics metrics;
-  fleet.AddQuery(/*arrival_s=*/1.0, /*finish_s=*/3.0, /*latency_s=*/2.0,
-                 /*queue_wait_s=*/0.5, /*ok=*/true, metrics);
+  fleet.AddQuery(Sample(/*arrival_s=*/1.0, /*finish_s=*/3.0, /*latency_s=*/2.0,
+                        /*queue_wait_s=*/0.5),
+                 metrics);
   fleet.AddRun(/*member_queries=*/1, /*worker_invocations=*/4,
                /*cold_starts=*/4, /*ok=*/true);
   fleet.total_cost = 0.01;
@@ -74,8 +96,8 @@ TEST(FleetStats, SingleQueryDistributionsCollapseToThatQuery) {
 TEST(FleetStats, TwoQueriesSplitPercentilesAndOccupancy) {
   FleetStats fleet;
   RunMetrics metrics;
-  fleet.AddQuery(0.0, 1.0, 1.0, 0.0, true, metrics);
-  fleet.AddQuery(0.5, 4.5, 4.0, 1.5, true, metrics);
+  fleet.AddQuery(Sample(0.0, 1.0, 1.0, 0.0), metrics);
+  fleet.AddQuery(Sample(0.5, 4.5, 4.0, 1.5), metrics);
   // Both queries were served by ONE shared tree (occupancy 2).
   fleet.AddRun(/*member_queries=*/2, /*worker_invocations=*/4,
                /*cold_starts=*/2, /*ok=*/true);
@@ -98,12 +120,14 @@ TEST(FleetStats, TwoQueriesSplitPercentilesAndOccupancy) {
 TEST(FleetStats, FailedQueriesAndRunsAreExcludedFromDistributions) {
   FleetStats fleet;
   RunMetrics metrics;
-  fleet.AddQuery(0.0, 1.0, 1.0, 0.0, true, metrics);
-  fleet.AddQuery(0.0, 9.0, 9.0, 0.0, false, metrics);  // failed: excluded
+  fleet.AddQuery(Sample(0.0, 1.0, 1.0, 0.0), metrics);
+  fleet.AddQuery(Sample(0.0, 9.0, 9.0, 0.0, QueryDisposition::kFailed),
+                 metrics);  // failed: excluded
   fleet.AddRun(1, 4, 0, true);
   fleet.AddRun(1, 4, 4, false);  // failed run: no invocations counted
   fleet.Finalize();
   EXPECT_EQ(fleet.queries, 2);
+  EXPECT_EQ(fleet.completed, 1);
   EXPECT_EQ(fleet.failed, 1);
   EXPECT_DOUBLE_EQ(fleet.latency_max_s, 1.0);
   EXPECT_EQ(fleet.runs, 1);
@@ -111,6 +135,97 @@ TEST(FleetStats, FailedQueriesAndRunsAreExcludedFromDistributions) {
   EXPECT_EQ(fleet.cold_starts, 0);
   // Makespan still spans every query (the failed one finished last).
   EXPECT_DOUBLE_EQ(fleet.makespan_s, 9.0);
+}
+
+TEST(FleetStats, DispositionsPartitionTotalSubmissionsExactly) {
+  // One query per disposition, plus one extra completed one. The terminal
+  // partition must be mutually exclusive and sum to total submissions —
+  // a rejected or shed query can never leak into failed (or vice versa),
+  // and aborted/horizon-cut queries are labeled subsets of failed.
+  FleetStats fleet;
+  RunMetrics metrics;
+  fleet.AddQuery(Sample(0.0, 1.0, 1.0, 0.0), metrics);
+  fleet.AddQuery(Sample(0.1, 1.1, 1.0, 0.0), metrics);
+  fleet.AddQuery(Sample(0.2, 2.0, 1.8, 0.0, QueryDisposition::kFailed),
+                 metrics);
+  fleet.AddQuery(Sample(0.3, 0.3, 0.0, 0.0, QueryDisposition::kRejected),
+                 metrics);
+  fleet.AddQuery(Sample(0.4, 0.9, 0.0, 0.5, QueryDisposition::kShed),
+                 metrics);
+  fleet.AddQuery(Sample(0.5, 1.5, 0.0, 0.0, QueryDisposition::kAborted),
+                 metrics);
+  fleet.AddQuery(Sample(0.6, 3.0, 0.0, 0.0, QueryDisposition::kInFlight),
+                 metrics);
+  fleet.AddRun(2, 4, 0, true);
+  fleet.Finalize();
+
+  EXPECT_EQ(fleet.queries, 7);
+  EXPECT_EQ(fleet.completed, 2);
+  EXPECT_EQ(fleet.failed, 3);  // execution failure + aborted + in flight
+  EXPECT_EQ(fleet.aborted, 1);
+  EXPECT_EQ(fleet.still_in_flight, 1);
+  EXPECT_EQ(fleet.rejected, 1);
+  EXPECT_EQ(fleet.shed, 1);
+  // The partition identity: completed + failed + rejected + shed == total.
+  EXPECT_EQ(fleet.completed + fleet.failed + fleet.rejected + fleet.shed,
+            fleet.queries);
+  EXPECT_LE(fleet.aborted + fleet.still_in_flight, fleet.failed);
+
+  // Rejected/shed queries never launched a tree: they must not appear in
+  // the latency distribution (max reflects the completed queries only) nor
+  // in the occupancy denominator (2 completed queries on 1 run).
+  EXPECT_DOUBLE_EQ(fleet.latency_max_s, 1.0);
+  EXPECT_DOUBLE_EQ(fleet.batch_occupancy_mean, 2.0);
+  // Throughput counts completed queries only.
+  EXPECT_DOUBLE_EQ(fleet.throughput_qps, 2.0 / fleet.makespan_s);
+}
+
+TEST(FleetStats, SloAttainmentAndPerClassPercentiles) {
+  FleetStats fleet;
+  RunMetrics metrics;
+  // Priority 0: two completed queries with deadlines, one hit, one miss.
+  fleet.AddQuery(Sample(0.0, 1.0, 1.0, 0.0, QueryDisposition::kCompleted,
+                        /*priority=*/0, /*deadline_s=*/2.0),
+                 metrics);
+  fleet.AddQuery(Sample(0.0, 5.0, 5.0, 0.0, QueryDisposition::kCompleted,
+                        /*priority=*/0, /*deadline_s=*/4.0),
+                 metrics);
+  // Priority 1: one deadline-free completed query.
+  fleet.AddQuery(Sample(0.0, 2.0, 2.0, 0.0, QueryDisposition::kCompleted,
+                        /*priority=*/1),
+                 metrics);
+  // A rejected query with a deadline never counts toward attainment.
+  fleet.AddQuery(Sample(0.0, 0.0, 0.0, 0.0, QueryDisposition::kRejected,
+                        /*priority=*/0, /*deadline_s=*/1.0),
+                 metrics);
+  fleet.Finalize();
+
+  EXPECT_EQ(fleet.deadline_queries, 2);
+  EXPECT_EQ(fleet.deadline_hits, 1);
+  EXPECT_DOUBLE_EQ(fleet.slo_attainment, 0.5);
+  // Goodput: completed-and-on-time queries (the deadline-free one counts
+  // as on time) over the makespan.
+  EXPECT_DOUBLE_EQ(fleet.goodput_qps, 2.0 / fleet.makespan_s);
+  EXPECT_DOUBLE_EQ(fleet.throughput_qps, 3.0 / fleet.makespan_s);
+
+  ASSERT_EQ(fleet.class_latency.size(), 2u);
+  EXPECT_EQ(fleet.class_latency[0].priority, 0);
+  EXPECT_EQ(fleet.class_latency[0].completed, 2);
+  EXPECT_DOUBLE_EQ(fleet.class_latency[0].latency_p50_s, 1.0);
+  EXPECT_DOUBLE_EQ(fleet.class_latency[0].latency_p95_s, 5.0);
+  EXPECT_EQ(fleet.class_latency[1].priority, 1);
+  EXPECT_EQ(fleet.class_latency[1].completed, 1);
+  EXPECT_DOUBLE_EQ(fleet.class_latency[1].latency_p50_s, 2.0);
+}
+
+TEST(FleetStats, NoDeadlinesMeansFullAttainment) {
+  FleetStats fleet;
+  RunMetrics metrics;
+  fleet.AddQuery(Sample(0.0, 1.0, 1.0, 0.0), metrics);
+  fleet.Finalize();
+  EXPECT_EQ(fleet.deadline_queries, 0);
+  EXPECT_DOUBLE_EQ(fleet.slo_attainment, 1.0);
+  EXPECT_DOUBLE_EQ(fleet.goodput_qps, fleet.throughput_qps);
 }
 
 TEST(Arrivals, PoissonIsDeterministicPerSeed) {
