@@ -1,7 +1,7 @@
 // Channel comparison: the same inference request over FSD-Inf-Serial,
-// FSD-Inf-Queue, FSD-Inf-Object and FSD-Inf-KV, with the per-channel
-// service metrics and bills side by side (paper §III / §VI-D in
-// miniature).
+// FSD-Inf-Queue, FSD-Inf-Object, FSD-Inf-KV and FSD-Inf-Direct, with the
+// per-channel service metrics and bills side by side (paper §III / §VI-D
+// in miniature).
 //
 //   $ ./examples/channel_comparison
 #include <cstdio>
@@ -33,7 +33,8 @@ int main() {
               "channel activity");
   for (core::Variant variant :
        {core::Variant::kSerial, core::Variant::kQueue,
-        core::Variant::kObject, core::Variant::kKv}) {
+        core::Variant::kObject, core::Variant::kKv,
+        core::Variant::kDirect}) {
     sim::Simulation sim;
     cloud::CloudEnv cloud(&sim);
     core::InferenceRequest request;
@@ -65,6 +66,11 @@ int main() {
       activity = StrFormat("%lld pushes, %lld pops",
                            static_cast<long long>(t.kv_pushes),
                            static_cast<long long>(t.kv_pops));
+    } else if (variant == core::Variant::kDirect) {
+      activity = StrFormat("%lld links, %lld direct msgs, %lld relayed",
+                           static_cast<long long>(t.direct_connects),
+                           static_cast<long long>(t.direct_msgs),
+                           static_cast<long long>(t.relay_fallback_msgs));
     } else {
       activity = "none (single instance)";
     }

@@ -28,6 +28,10 @@ std::string_view BillingDimensionName(BillingDimension dim) {
       return "kv.processed_bytes";
     case BillingDimension::kKvNodeSecond:
       return "kv.node_seconds";
+    case BillingDimension::kP2pConnection:
+      return "p2p.connections";
+    case BillingDimension::kP2pByte:
+      return "p2p.bytes";
     case BillingDimension::kVmSecond:
       return "vm.seconds";
     case BillingDimension::kDimensionCount:
@@ -60,6 +64,10 @@ double BillingLedger::UnitPrice(BillingDimension dim) const {
       return pricing_.kv_per_processed_byte;
     case BillingDimension::kKvNodeSecond:
       return 0.0;  // priced per hour at record time
+    case BillingDimension::kP2pConnection:
+      return pricing_.p2p_per_connection;
+    case BillingDimension::kP2pByte:
+      return pricing_.p2p_per_byte;
     case BillingDimension::kVmSecond:
       return 0.0;  // priced per instance type at record time
     case BillingDimension::kDimensionCount:
@@ -88,7 +96,9 @@ double BillingLedger::CommunicationCost() const {
          line(BillingDimension::kObjectList).cost +
          line(BillingDimension::kKvRequest).cost +
          line(BillingDimension::kKvProcessedByte).cost +
-         line(BillingDimension::kKvNodeSecond).cost;
+         line(BillingDimension::kKvNodeSecond).cost +
+         line(BillingDimension::kP2pConnection).cost +
+         line(BillingDimension::kP2pByte).cost;
 }
 
 std::string BillingLedger::ToString() const {

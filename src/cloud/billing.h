@@ -28,6 +28,8 @@ enum class BillingDimension : int {
   kKvRequest,            ///< K (KV push/pop/set/get requests)
   kKvProcessedByte,      ///< B (payload bytes processed by the cache)
   kKvNodeSecond,         ///< cache-node seconds (priced per hour)
+  kP2pConnection,        ///< established NAT-punched links (per pair)
+  kP2pByte,              ///< bytes shipped over punched links
   kVmSecond,             ///< VM runtime seconds (priced per type)
   kDimensionCount,
 };

@@ -13,6 +13,7 @@
 #include "cloud/kvstore.h"
 #include "cloud/latency.h"
 #include "cloud/objectstore.h"
+#include "cloud/p2p.h"
 #include "cloud/pricing.h"
 #include "cloud/pubsub.h"
 #include "cloud/queue.h"
@@ -43,7 +44,8 @@ class CloudEnv {
               rng_.Fork(4)),
         vms_(sim, &billing_, &config_.latency, &config_.pricing,
              rng_.Fork(5)),
-        kv_(sim, &billing_, &config_.latency, rng_.Fork(6)) {}
+        kv_(sim, &billing_, &config_.latency, rng_.Fork(6)),
+        p2p_(sim, &billing_, &config_.latency, rng_.Fork(7)) {}
 
   CloudEnv(const CloudEnv&) = delete;
   CloudEnv& operator=(const CloudEnv&) = delete;
@@ -58,6 +60,7 @@ class CloudEnv {
   FaasService& faas() { return faas_; }
   VmService& vms() { return vms_; }
   KvStore& kv() { return kv_; }
+  P2pFabric& p2p() { return p2p_; }
   const LatencyConfig& latency() const { return config_.latency; }
   const ComputeModelConfig& compute() const { return config_.compute; }
 
@@ -72,6 +75,7 @@ class CloudEnv {
   FaasService faas_;
   VmService vms_;
   KvStore kv_;
+  P2pFabric p2p_;
 };
 
 }  // namespace fsd::cloud

@@ -50,6 +50,16 @@ struct PricingConfig {
   /// cache floor) — the term request-priced object storage never pays.
   double kv_node_hourly = 0.09;
 
+  // --- Direct P2P links (FSD-Inf-Direct) ---
+  /// C_P2P(Conn): per established NAT-punched connection — the brokered
+  /// STUN/TURN introduction each ordered pair pays once (priced like a
+  /// TURN allocation minute). Quadratic in P, which is what makes the
+  /// direct channel a latency play rather than a cost play at scale.
+  double p2p_per_connection = 0.05 / 1e3;
+  /// C_P2P(Byte): per byte shipped over punched links (inter-AZ transfer
+  /// class — cheap relative to pub-sub's cross-service rate).
+  double p2p_per_byte = 0.02 / (1024.0 * 1024.0 * 1024.0);
+
   // --- VMs (AWS EC2 on-demand, us-east-1) ---
   /// $/hour by instance type; used by the server-based baselines.
   std::map<std::string, double> vm_hourly = {

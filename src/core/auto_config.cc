@@ -23,7 +23,73 @@ double EstimateLatency(const cloud::CloudEnv& cloud,
                               variant, workers);
 }
 
+/// One op round trip on the backend's data path (medians; relative use).
+double OpRoundTripSeconds(const cloud::LatencyConfig& latency,
+                          Variant variant, double relay_fraction) {
+  switch (variant) {
+    case Variant::kSerial:
+      return 0.0;
+    case Variant::kQueue:
+      return latency.pubsub_publish.median_s + latency.pubsub_fanout.median_s +
+             latency.queue_receive.median_s;
+    case Variant::kObject:
+      return latency.object_put.median_s + latency.object_list.median_s +
+             latency.object_get.median_s;
+    case Variant::kKv:
+      return latency.kv_push.median_s + latency.kv_pop.median_s;
+    case Variant::kDirect:
+      return 2.0 * latency.p2p_send.median_s * (1.0 - relay_fraction) +
+             (latency.kv_push.median_s + latency.kv_pop.median_s) *
+                 relay_fraction;
+  }
+  return 0.0;
+}
+
+/// Messages the backend's receive side drains per op at the root: queue
+/// polls batch 10, KV/fabric pops batch 64, object storage needs one GET
+/// per message (spread over the IO lanes).
+double RootDrainPerOp(const FsdOptions& options, Variant variant) {
+  switch (variant) {
+    case Variant::kSerial:
+      return 1.0;
+    case Variant::kQueue:
+      return 10.0;
+    case Variant::kObject:
+      return static_cast<double>(std::max(1, options.io_lanes));
+    case Variant::kKv:
+    case Variant::kDirect:
+      return 64.0;
+  }
+  return 1.0;
+}
+
 }  // namespace
+
+CollectiveTopology RecommendTopology(const cloud::LatencyConfig& latency,
+                                     const FsdOptions& options,
+                                     Variant variant, int32_t workers) {
+  if (workers <= 2 || variant == Variant::kSerial) {
+    return CollectiveTopology::kThroughRoot;
+  }
+  const double relay =
+      variant == Variant::kDirect
+          ? std::min(1.0, std::max(0.0, latency.p2p_punch_failure_rate))
+          : 0.0;
+  const double rt = OpRoundTripSeconds(latency, variant, relay);
+  const double drain = RootDrainPerOp(options, variant);
+  // Widest round per topology: through-root's single round serializes the
+  // root's P-1-message fan-in on its drain batching; tree and ring rounds
+  // each move at most one message per worker.
+  const double through_root_round =
+      rt * (1.0 + static_cast<double>(workers - 1) / drain);
+  const double tree_round = 2.0 * rt;  // one recv + one fwd per round
+  if (through_root_round <= tree_round) {
+    return CollectiveTopology::kThroughRoot;
+  }
+  // Tree and ring tie on round width; the tree's O(log P) rounds beat the
+  // ring's P-1 whenever P > 2.
+  return CollectiveTopology::kBinomialTree;
+}
 
 Result<AutoSelectResult> AutoSelectConfiguration(
     const cloud::CloudEnv& cloud, const AutoSelectRequest& request) {
@@ -51,12 +117,16 @@ Result<AutoSelectResult> AutoSelectConfiguration(
     if (workers <= 1) {
       variants = {Variant::kSerial};
     } else {
-      variants = {Variant::kQueue, Variant::kObject, Variant::kKv};
+      variants = {Variant::kQueue, Variant::kObject, Variant::kKv,
+                  Variant::kDirect};
     }
     for (Variant variant : variants) {
       ConfigCandidate candidate;
       candidate.variant = variant;
       candidate.workers = workers;
+      candidate.topology = RecommendTopology(cloud.latency(),
+                                             request.base_options, variant,
+                                             workers);
       if (variant == Variant::kSerial && serial_need_mb > 10240.0) {
         candidate.feasible = false;
         candidate.infeasible_reason = StrFormat(
@@ -112,6 +182,32 @@ Result<AutoSelectResult> AutoSelectConfiguration(
           candidate.predicted_cost = KvCost(
               pricing, workers, candidate.predicted_latency_s, memory_mb,
               requests, 2.0 * total_bytes, candidate.predicted_latency_s);
+          break;
+        }
+        case Variant::kDirect: {
+          // Each communicating ordered pair punches one link; the
+          // environment's punch-failure fraction of traffic relays through
+          // the KV cache (requests + processed bytes + the relay
+          // namespace's standing node time for the run).
+          const double relay = std::min(
+              1.0,
+              std::max(0.0, cloud.latency().p2p_punch_failure_rate));
+          const double connections =
+              static_cast<double>(workers) *
+              std::min<double>(workers - 1, 10) * (1.0 - relay);
+          const double chunks = std::max(
+              pairs, total_bytes /
+                         static_cast<double>(
+                             request.base_options.kv_max_value_bytes));
+          const double relay_requests = (chunks + 1.2 * pairs) * relay;
+          candidate.predicted_cost = DirectCost(
+              pricing, workers, candidate.predicted_latency_s, memory_mb,
+              connections, total_bytes * (1.0 - relay), relay_requests,
+              2.0 * total_bytes * relay);
+          const double relay_node_cost = candidate.predicted_latency_s *
+                                         pricing.kv_node_hourly / 3600.0;
+          candidate.predicted_cost.communication += relay_node_cost;
+          candidate.predicted_cost.total += relay_node_cost;
           break;
         }
       }

@@ -35,6 +35,8 @@ struct AutoSelectRequest {
 struct ConfigCandidate {
   Variant variant = Variant::kSerial;
   int32_t workers = 1;
+  /// Collective topology the candidate would run (RecommendTopology).
+  CollectiveTopology topology = CollectiveTopology::kThroughRoot;
   double predicted_latency_s = 0.0;
   CostBreakdown predicted_cost;
   /// Normalized blended objective (lower is better).
@@ -51,6 +53,17 @@ struct AutoSelectResult {
 /// Scores all candidates against `cloud`'s pricing/latency/compute config.
 Result<AutoSelectResult> AutoSelectConfiguration(
     const cloud::CloudEnv& cloud, const AutoSelectRequest& request);
+
+/// Picks the collective topology for (variant, workers): the one that
+/// minimizes the widest single collective round (the root's fan-in span —
+/// the straggler-exposure metric the per-round accounting reports), with
+/// fewer rounds as the tie-break. Through-root stays optimal while the
+/// backend's pop/scan machinery drains the whole fan-in within ~one op;
+/// a binomial tree takes over once the root's round serializes on
+/// per-message requests (queue batches of 10, object GETs per message).
+CollectiveTopology RecommendTopology(const cloud::LatencyConfig& latency,
+                                     const FsdOptions& options,
+                                     Variant variant, int32_t workers);
 
 }  // namespace fsd::core
 

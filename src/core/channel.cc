@@ -2,12 +2,29 @@
 
 #include <algorithm>
 
+#include "core/direct_channel.h"
 #include "core/kv_channel.h"
 #include "core/object_channel.h"
 #include "core/queue_channel.h"
 #include "sim/simulation.h"
 
 namespace fsd::core {
+
+int32_t CollectiveRounds(CollectiveTopology topology, int32_t num_workers) {
+  switch (topology) {
+    case CollectiveTopology::kThroughRoot:
+      return 1;
+    case CollectiveTopology::kBinomialTree: {
+      // ceil(log2 P): the round count of a binomial gather/scatter.
+      int32_t rounds = 0;
+      while ((1 << rounds) < num_workers) ++rounds;
+      return rounds > 0 ? rounds : 1;
+    }
+    case CollectiveTopology::kRing:
+      return num_workers > 1 ? num_workers - 1 : 1;
+  }
+  return 1;
+}
 
 Status ChargeSerializeCpu(WorkerEnv* env, LayerMetrics* metrics,
                           uint64_t serialize_bytes, size_t items) {
@@ -43,6 +60,8 @@ std::unique_ptr<CommChannel> MakeCommChannel(Variant variant) {
       return std::make_unique<ObjectChannel>();
     case Variant::kKv:
       return std::make_unique<KvChannel>();
+    case Variant::kDirect:
+      return std::make_unique<DirectChannel>();
     case Variant::kSerial:
       return nullptr;
   }
@@ -58,6 +77,8 @@ Status ProvisionChannelResources(cloud::CloudEnv* cloud,
       return ObjectChannel::Provision(cloud, options);
     case Variant::kKv:
       return KvChannel::Provision(cloud, options);
+    case Variant::kDirect:
+      return DirectChannel::Provision(cloud, options);
     case Variant::kSerial:
       return Status::OK();
   }
@@ -68,6 +89,9 @@ Status TeardownChannelResources(cloud::CloudEnv* cloud,
                                 const FsdOptions& options) {
   if (options.variant == Variant::kKv) {
     return KvChannel::Teardown(cloud, options);
+  }
+  if (options.variant == Variant::kDirect) {
+    return DirectChannel::Teardown(cloud, options);
   }
   return Status::OK();
 }

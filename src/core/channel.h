@@ -12,6 +12,7 @@
 #ifndef FSD_CORE_CHANNEL_H_
 #define FSD_CORE_CHANNEL_H_
 
+#include <cassert>
 #include <cstdint>
 #include <memory>
 #include <vector>
@@ -144,11 +145,75 @@ class DispatchLanes {
 /// lanes, not the worker).
 Status ChargeDispatchOverhead(WorkerEnv* env, size_t calls);
 
-/// Phase-id layout shared by workers and collectives.
-constexpr int32_t kPhaseBarrierArrive(int32_t layers) { return layers; }
-constexpr int32_t kPhaseBarrierRelease(int32_t layers) { return layers + 1; }
-constexpr int32_t kPhaseReduce(int32_t layers) { return layers + 2; }
-constexpr int32_t kPhaseBroadcast(int32_t layers) { return layers + 3; }
+/// ---- phase-id layout shared by workers and collectives ----
+/// A batch's phase budget is `layers` layer-exchange phases followed by
+/// one reserved block per collective operation. Multi-round topologies
+/// (binomial tree, ring) need a DISTINCT phase id per round — channels
+/// key delivery on (phase, source), and the same ordered pair carries
+/// different data in different rounds — so each block reserves the
+/// topology's worst-case round count. The allocator replaces the old
+/// fixed kPhaseBarrierArrive/kPhaseReduce/... constants; with the
+/// through-root topology (1 round per op) it reproduces that legacy
+/// layout exactly: arrive=L, release=L+1, reduce=L+2, broadcast=L+3.
+
+/// The collective operations with reserved phase blocks, in block order.
+enum class CollectiveOp : int {
+  kBarrierArrive = 0,
+  kBarrierRelease = 1,
+  kReduce = 2,
+  kBroadcast = 3,
+};
+inline constexpr int32_t kCollectiveOpCount = 4;
+
+/// Worst-case send rounds one collective op needs under a topology at P
+/// workers (also the per-op phase reservation).
+int32_t CollectiveRounds(CollectiveTopology topology, int32_t num_workers);
+
+/// One collective op's reserved block: `rounds` consecutive phase ids
+/// starting at `first`; round r runs on phase first + r.
+struct PhaseBlock {
+  int32_t first = 0;
+  int32_t rounds = 1;
+  int32_t Round(int32_t r) const {
+    assert(r >= 0 && r < rounds);
+    return first + r;
+  }
+};
+
+/// Lays out one batch's phase ids: layer phases [base, base+layers), then
+/// kCollectiveOpCount disjoint per-op blocks of `rounds_per_op` phases
+/// each. Disjointness is structural — every accessor asserts its index
+/// stays inside its own region (debug builds).
+class PhaseAllocator {
+ public:
+  PhaseAllocator(int32_t base, int32_t layers, int32_t rounds_per_op)
+      : base_(base), layers_(layers), rounds_per_op_(rounds_per_op) {
+    assert(layers_ >= 0 && rounds_per_op_ >= 1);
+  }
+
+  /// Phase carrying the x^{k-1} exchange feeding layer k.
+  int32_t LayerPhase(int32_t k) const {
+    assert(k >= 0 && k < layers_);
+    return base_ + k;
+  }
+
+  /// The reserved block for one collective op.
+  PhaseBlock Block(CollectiveOp op) const {
+    const int32_t index = static_cast<int32_t>(op);
+    assert(index >= 0 && index < kCollectiveOpCount);
+    return PhaseBlock{base_ + layers_ + index * rounds_per_op_,
+                      rounds_per_op_};
+  }
+
+  int32_t phases_per_batch() const {
+    return layers_ + kCollectiveOpCount * rounds_per_op_;
+  }
+
+ private:
+  int32_t base_;
+  int32_t layers_;
+  int32_t rounds_per_op_;
+};
 
 }  // namespace fsd::core
 

@@ -14,9 +14,9 @@ std::string_view TraitSupportSymbol(TraitSupport support) {
   return "?";
 }
 
-const std::array<ChannelTraits, 8>& ChannelTraitMatrix() {
+const std::array<ChannelTraits, 9>& ChannelTraitMatrix() {
   using enum TraitSupport;
-  static const std::array<ChannelTraits, 8> matrix = {{
+  static const std::array<ChannelTraits, 9> matrix = {{
       {"Stream", kPartial, kYes, kPartial, kNo, kPartial, kNo, kYes,
        "provisioned shards; producer/consumer and API-rate caps"},
       {"Stream (ETL)", kYes, kYes, kYes, kNo, kYes, kYes, kNo,
@@ -34,6 +34,10 @@ const std::array<ChannelTraits, 8>& ChannelTraitMatrix() {
       {"In-Memory KV", kPartial, kYes, kPartial, kNo, kYes, kNo, kYes,
        "SELECTED: FSD-Inf-KV (sub-ms ops for small payloads; standing "
        "node cost + per-byte metering)"},
+      {"Direct P2P (NAT-punched)", kPartial, kYes, kYes, kYes, kPartial, kNo,
+       kYes,
+       "SELECTED: FSD-Inf-Direct (no per-request charge on punched links; "
+       "setup cost + punch failures relay via KV)"},
   }};
   return matrix;
 }

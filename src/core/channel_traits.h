@@ -25,8 +25,9 @@ struct ChannelTraits {
 };
 
 /// The seven service categories of Table I in paper order, plus the
-/// in-memory KV row backing the FSD-Inf-KV extension.
-const std::array<ChannelTraits, 8>& ChannelTraitMatrix();
+/// in-memory KV row backing the FSD-Inf-KV extension and the NAT-punched
+/// direct-link row backing FSD-Inf-Direct.
+const std::array<ChannelTraits, 9>& ChannelTraitMatrix();
 
 std::string_view TraitSupportSymbol(TraitSupport support);
 

@@ -3,9 +3,17 @@
 // Reduce), but avoids the use of an external provisioned server").
 //
 // All collectives ride the CommChannel phase machinery, so they work
-// identically over FSD-Inf-Queue and FSD-Inf-Object. Phase ids must be
-// distinct per operation (the FSI loop reserves ids >= layers; see
-// channel.h).
+// identically over every backend. Each operation runs over a selectable
+// topology (FMI-style):
+//   through-root  one round; the root sends/receives P-1 messages
+//   binomial      ceil(log2 P) rounds; every worker handles <= 1 message
+//                 per round (tree gather/scatter)
+//   ring          P-1 rounds; a chain pipeline with 1 message per round
+// Every topology produces byte-identical results — Reduce is a disjoint
+// row-set union into an ordered map, so merge order is immaterial — but
+// multi-round topologies need one phase id PER ROUND: callers hand each
+// operation a PhaseBlock reserved by the PhaseAllocator (see channel.h).
+// The phase-only overloads keep the legacy through-root behaviour.
 #ifndef FSD_CORE_COLLECTIVES_H_
 #define FSD_CORE_COLLECTIVES_H_
 
@@ -21,20 +29,43 @@ Status Send(CommChannel* channel, WorkerEnv* env, int32_t phase,
 Result<linalg::ActivationMap> Recv(CommChannel* channel, WorkerEnv* env,
                                    int32_t phase, int32_t source);
 
-/// Synchronizes all `num_workers` workers: everyone arrives at the root,
-/// then the root releases everyone. Consumes phases [phase, phase+1].
+/// Synchronizes all `num_workers` workers: a gather-up (empty payloads)
+/// over the `arrive` block, then a release-down over the `release` block,
+/// both run with the selected topology. Each block needs
+/// CollectiveRounds(topology, num_workers) phases.
+Status Barrier(CommChannel* channel, WorkerEnv* env,
+               CollectiveTopology topology, PhaseBlock arrive,
+               PhaseBlock release, int32_t num_workers, int32_t root = 0);
+
+/// Legacy through-root overload. Consumes phases [phase, phase+1].
 Status Barrier(CommChannel* channel, WorkerEnv* env, int32_t phase,
                int32_t num_workers, int32_t root = 0);
 
-/// Gathers every worker's rows at the root; row sets are disjoint under the
-/// row-wise decomposition, so the union is the reduction (the paper's
-/// reduce(P0, x^L_m)). Non-roots return an empty map.
+/// Gathers every worker's rows at the root over the selected topology;
+/// row sets are disjoint under the row-wise decomposition, so the union is
+/// the reduction (the paper's reduce(P0, x^L_m)) and every topology yields
+/// the same map. Non-roots return an empty map.
+Result<linalg::ActivationMap> Reduce(CommChannel* channel, WorkerEnv* env,
+                                     CollectiveTopology topology,
+                                     PhaseBlock block, int32_t num_workers,
+                                     const linalg::ActivationMap& mine,
+                                     int32_t root = 0);
+
+/// Legacy through-root overload (consumes exactly `phase`).
 Result<linalg::ActivationMap> Reduce(CommChannel* channel, WorkerEnv* env,
                                      int32_t phase, int32_t num_workers,
                                      const linalg::ActivationMap& mine,
                                      int32_t root = 0);
 
-/// Broadcasts the root's rows to every worker (MPI_Bcast analogue).
+/// Broadcasts the root's rows to every worker (MPI_Bcast analogue) over
+/// the selected topology.
+Result<linalg::ActivationMap> Broadcast(CommChannel* channel, WorkerEnv* env,
+                                        CollectiveTopology topology,
+                                        PhaseBlock block, int32_t num_workers,
+                                        const linalg::ActivationMap& rows,
+                                        int32_t root = 0);
+
+/// Legacy through-root overload (consumes exactly `phase`).
 Result<linalg::ActivationMap> Broadcast(CommChannel* channel, WorkerEnv* env,
                                         int32_t phase, int32_t num_workers,
                                         const linalg::ActivationMap& rows,

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <set>
+#include <utility>
 
 #include "cloud/kvstore.h"
 #include "cloud/queue.h"
@@ -59,6 +61,21 @@ CostBreakdown KvCost(const cloud::PricingConfig& pricing, int32_t num_workers,
   out.communication = requests * pricing.kv_per_request +
                       processed_bytes * pricing.kv_per_processed_byte +
                       node_seconds * pricing.kv_node_hourly / 3600.0;
+  out.total = out.compute + out.communication;
+  return out;
+}
+
+CostBreakdown DirectCost(const cloud::PricingConfig& pricing,
+                         int32_t num_workers, double mean_runtime_s,
+                         int32_t memory_mb, double connections,
+                         double direct_bytes, double relay_requests,
+                         double relay_processed_bytes) {
+  CostBreakdown out;
+  out.compute = FaasCost(pricing, num_workers, mean_runtime_s, memory_mb);
+  out.communication = connections * pricing.p2p_per_connection +
+                      direct_bytes * pricing.p2p_per_byte +
+                      relay_requests * pricing.kv_per_request +
+                      relay_processed_bytes * pricing.kv_per_processed_byte;
   out.total = out.compute + out.communication;
   return out;
 }
@@ -169,6 +186,27 @@ CostBreakdown PredictFromMetrics(const cloud::PricingConfig& pricing,
               pricing, metrics),
           pricing, options, metrics);
     }
+    case Variant::kDirect: {
+      // Every term mirrors what the run actually recorded: the fabric
+      // bills one connection per successful punch (direct_connects) and
+      // per byte shipped over links (direct_billed_bytes); pairs that
+      // failed to punch relayed through the KV cache, whose traffic lives
+      // in the same kv_pushes/kv_pops + send/recv_billed_bytes counters a
+      // KV run uses — so the relay terms reconcile with the ledger the
+      // same way FSD-Inf-KV's do.
+      const double relay_requests =
+          static_cast<double>(t.kv_pushes + t.kv_pops);
+      const double relay_processed =
+          static_cast<double>(t.send_billed_bytes + t.recv_billed_bytes);
+      return ApplyTreeShare(
+          AddModelReads(
+              DirectCost(pricing, options.num_workers, metrics.mean_worker_s,
+                         memory_mb, static_cast<double>(t.direct_connects),
+                         static_cast<double>(t.direct_billed_bytes),
+                         relay_requests, relay_processed),
+              pricing, metrics),
+          pricing, options, metrics);
+    }
   }
   return {};
 }
@@ -202,10 +240,14 @@ WorkloadEstimate EstimateWorkload(const model::SparseDnn& dnn,
   const double compress_ratio = options.compress ? 0.6 : 1.0;
 
   int64_t pairs = 0;  // (source, target) pairs across layers
+  std::set<std::pair<int32_t, int32_t>> distinct_pairs;
+  int32_t source = 0;
   for (const part::LayerComm& layer : partition.layers) {
+    source = 0;
     for (const auto& sends : layer.send) {
       pairs += static_cast<int64_t>(sends.size());
       for (const part::SendEntry& entry : sends) {
+        distinct_pairs.emplace(source, entry.peer);
         const double rows_active =
             static_cast<double>(entry.rows.size()) * activation_density;
         const double bytes = rows_active * per_row_bytes * compress_ratio;
@@ -226,9 +268,22 @@ WorkloadEstimate EstimateWorkload(const model::SparseDnn& dnn,
             1.0, std::ceil(bytes / static_cast<double>(
                                        options.kv_max_value_bytes)));
         est.kv_processed_bytes += 2.0 * bytes;
+        // Direct: same value-capped chunking as KV (relayed chunks must
+        // fit the cache); bytes counted once — links bill at send only.
+        est.direct_messages += std::max(
+            1.0, std::ceil(bytes / static_cast<double>(
+                                       options.kv_max_value_bytes)));
+        est.direct_bytes += bytes;
       }
+      ++source;
     }
   }
+  // The barrier + reduce tail also exercises every (m, root) pair.
+  for (int32_t m = 1; m < partition.num_parts; ++m) {
+    distinct_pairs.emplace(m, 0);
+    distinct_pairs.emplace(0, m);
+  }
+  est.direct_connections = static_cast<double>(distinct_pairs.size());
   // Publishes can batch ~min(10, targets) messages; polls retrieve up to 10
   // messages when saturated; both scale with pair count.
   est.queue_api_calls = 2.2 * static_cast<double>(pairs) /
@@ -286,6 +341,34 @@ double EstimateQueryLatency(const model::SparseDnn& dnn,
                                  6.0 * (options.compress ? 0.6 : 1.0);
   const double per_worker_layer_bytes = bytes_per_layer / workers;
   double per_layer_comm;
+  if (variant == Variant::kDirect) {
+    // Established links carry sub-millisecond sends with no managed-service
+    // hop; the punch-failed fraction of pairs relays through the KV cache
+    // at its op latency. The one-time hole-punch setup overlaps the model
+    // share load, so it only shows when loads are faster than punches.
+    const double relay = std::min(
+        1.0, std::max(0.0, latency.p2p_punch_failure_rate));
+    const double chunks = std::max(
+        1.0, per_worker_layer_bytes / static_cast<double>(
+                                          options.kv_max_value_bytes));
+    const double sends = chunks * (1.0 - relay) * latency.p2p_send.median_s /
+                         std::max(1, options.io_lanes);
+    const double relay_ops =
+        chunks * relay * latency.kv_push.median_s /
+            std::max(1, options.io_lanes) +
+        (relay > 0.0 ? latency.kv_pop.median_s : 0.0);
+    per_layer_comm =
+        sends + latency.p2p_send.median_s + relay_ops +
+        per_worker_layer_bytes * (1.0 - relay) /
+            latency.p2p_bandwidth_bytes_per_s +
+        per_worker_layer_bytes * relay / latency.kv_pop.bytes_per_s;
+    const double setup = latency.p2p_setup.median_s;
+    const double per_layer_compute_d = compute_s / dnn.layers();
+    const double per_layer_d = std::max(per_layer_compute_d,
+                                        per_layer_comm * 0.5) +
+                               per_layer_comm * 0.5;
+    return launch + std::max(load, setup) + per_layer_d * dnn.layers();
+  }
   if (variant == Variant::kKv) {
     // Sub-millisecond push/pop round trips; pops drain many values, so the
     // receive side pays ~one op plus the transfer tail.

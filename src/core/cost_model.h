@@ -51,6 +51,17 @@ CostBreakdown KvCost(const cloud::PricingConfig& pricing, int32_t num_workers,
                      double requests, double processed_bytes,
                      double node_seconds);
 
+/// C_Direct = C_lambda + N*C_conn + D*C_byte + K_r*C_req + B_r*C_pbyte —
+/// the FSD-Inf-Direct analogue of Eqs. 5-7: one connection charge per
+/// successfully punched link, per-byte transfer pricing on the links, and
+/// KV request + processed-byte metering for the traffic of pairs that
+/// failed to punch and relay through the cache.
+CostBreakdown DirectCost(const cloud::PricingConfig& pricing,
+                         int32_t num_workers, double mean_runtime_s,
+                         int32_t memory_mb, double connections,
+                         double direct_bytes, double relay_requests,
+                         double relay_processed_bytes);
+
 /// C_Serial = C_lambda (Eq. 3).
 CostBreakdown SerialCost(const cloud::PricingConfig& pricing,
                          double runtime_s, int32_t memory_mb);
@@ -98,6 +109,13 @@ struct WorkloadEstimate {
   double lists = 0.0;
   double kv_requests = 0.0;
   double kv_processed_bytes = 0.0;
+  /// Direct variant: distinct ordered worker pairs that communicate (each
+  /// punched pair bills one connection), value-capped messages, and the
+  /// bytes they carry. The caller splits messages/bytes between links and
+  /// the KV relay by the environment's punch-failure rate.
+  double direct_connections = 0.0;
+  double direct_messages = 0.0;
+  double direct_bytes = 0.0;
   double est_bytes_per_batch = 0.0;
 };
 

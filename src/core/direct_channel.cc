@@ -1,0 +1,269 @@
+#include "core/direct_channel.h"
+
+#include <algorithm>
+#include <map>
+
+#include "common/strings.h"
+#include "core/kv_channel.h"
+#include "sim/simulation.h"
+
+namespace fsd::core {
+namespace {
+
+/// Ensures the ordered link src->dst exists and accounts a fresh punch
+/// attempt (whichever side asks first — punching is mutual — books it).
+/// Returns whether the pair is punched (false: the pair relays via KV).
+Result<bool> EnsureLink(WorkerEnv* env, LayerMetrics* metrics,
+                        const std::string& session, int32_t src,
+                        int32_t dst) {
+  cloud::P2pFabric::ConnectOutcome conn =
+      env->cloud->p2p().Connect(session, src, dst);
+  FSD_RETURN_IF_ERROR(conn.status);
+  if (conn.fresh) {
+    if (conn.punched) {
+      ++metrics->direct_connects;
+    } else {
+      ++metrics->punch_failures;
+    }
+  }
+  return conn.punched;
+}
+
+}  // namespace
+
+std::string DirectChannel::SessionName(const FsdOptions& options) {
+  return StrFormat("%sp2p", options.channel_scope.c_str());
+}
+
+std::string DirectChannel::RelayNamespaceName(const FsdOptions& options) {
+  return StrFormat("%srelay", options.channel_scope.c_str());
+}
+
+std::string DirectChannel::InboxKey(int32_t phase, int32_t target) {
+  return StrFormat("p%d/w%d", phase, target);
+}
+
+Status DirectChannel::Provision(cloud::CloudEnv* cloud,
+                                const FsdOptions& options) {
+  const std::string session = SessionName(options);
+  if (!cloud->p2p().SessionExists(session)) {
+    FSD_RETURN_IF_ERROR(cloud->p2p().CreateSession(session));
+  }
+  const std::string relay = RelayNamespaceName(options);
+  if (!cloud->kv().NamespaceExists(relay)) {
+    cloud::KvNamespaceOptions ns_options;
+    ns_options.num_shards = std::max<int32_t>(1, options.kv_shards);
+    FSD_RETURN_IF_ERROR(cloud->kv().CreateNamespace(relay, ns_options));
+  }
+  return Status::OK();
+}
+
+Status DirectChannel::Teardown(cloud::CloudEnv* cloud,
+                               const FsdOptions& options) {
+  const std::string session = SessionName(options);
+  if (cloud->p2p().SessionExists(session)) {
+    FSD_RETURN_IF_ERROR(cloud->p2p().DeleteSession(session));
+  }
+  const std::string relay = RelayNamespaceName(options);
+  if (!cloud->kv().NamespaceExists(relay)) return Status::OK();
+  return cloud->kv().DeleteNamespace(relay);
+}
+
+Status DirectChannel::SendPhase(WorkerEnv* env, int32_t phase,
+                                const linalg::ActivationMap& source,
+                                const std::vector<SendSpec>& sends) {
+  if (sends.empty()) return Status::OK();
+  const FsdOptions& options = *env->options;
+  LayerMetrics& metrics = env->metrics->Layer(phase);
+  metrics.send_targets += static_cast<int64_t>(sends.size());
+
+  // 1) Encode per-target chunk lists (the KV value cap: the relay must
+  // accept any chunk verbatim). An empty send still produces one marker
+  // chunk so the receiver's per-source accounting completes without data.
+  struct Outgoing {
+    int32_t target = 0;
+    bool punched = false;
+    std::string key;
+    Bytes value;
+  };
+  std::vector<Outgoing> outgoing;
+  uint64_t serialize_bytes = 0;
+  for (const SendSpec& send : sends) {
+    metrics.send_rows_mapped += static_cast<int64_t>(send.rows->size());
+    FSD_ASSIGN_OR_RETURN(
+        const bool punched,
+        EnsureLink(env, &metrics, SessionName(options), env->worker_id,
+                   send.target));
+    EncodeResult encoded =
+        EncodeRows(source, *send.rows, options.kv_max_value_bytes,
+                   options.compress, options.codec);
+    metrics.send_rows_active += encoded.active_rows;
+    const int32_t total = static_cast<int32_t>(encoded.chunks.size());
+    for (int32_t seq = 0; seq < total; ++seq) {
+      RowChunk& chunk = encoded.chunks[seq];
+      serialize_bytes += AccountSendChunk(&metrics, chunk);
+      outgoing.push_back({send.target, punched,
+                          InboxKey(phase, send.target),
+                          EncodeInboxValue(env->worker_id, seq, total,
+                                           std::move(chunk.wire))});
+    }
+  }
+
+  // 2) Serialization/compression CPU (parallel over IPC lanes).
+  FSD_RETURN_IF_ERROR(
+      ChargeSerializeCpu(env, &metrics, serialize_bytes, outgoing.size()));
+
+  // 3) Lane-scheduled dispatch. Punched values ship over the fabric
+  // (bytes billed at send); relayed values are KV pushes, metered exactly
+  // like FSD-Inf-KV traffic so the cost model's relay terms stay exact.
+  DispatchLanes lanes(options.io_lanes,
+                      env->cloud->latency().p2p_send.median_s);
+  for (const Outgoing& out : outgoing) {
+    if (out.punched) {
+      ++metrics.direct_msgs;
+      metrics.direct_billed_bytes += static_cast<int64_t>(out.value.size());
+    } else {
+      ++metrics.kv_pushes;
+      ++metrics.relay_fallback_msgs;
+      metrics.send_billed_bytes += static_cast<int64_t>(out.value.size());
+    }
+  }
+  const std::string session = SessionName(options);
+  const std::string relay = RelayNamespaceName(options);
+  const int32_t me = env->worker_id;
+  for (Outgoing& out : outgoing) {
+    const double offset = lanes.NextOffset();
+    cloud::CloudEnv* cloud = env->cloud;
+    if (out.punched) {
+      env->cloud->sim()->ScheduleCallback(
+          offset, [cloud, session, me, target = out.target,
+                   key = std::move(out.key),
+                   value = std::move(out.value)]() mutable {
+            cloud->p2p().Send(session, me, target, key, std::move(value));
+          });
+    } else {
+      env->cloud->sim()->ScheduleCallback(
+          offset, [cloud, relay, key = std::move(out.key),
+                   value = std::move(out.value)]() mutable {
+            cloud->kv().Push(relay, key, std::move(value));
+          });
+    }
+  }
+  // The worker only pays the pipelined dispatch overhead; the op round
+  // trips ride on the lanes above.
+  FSD_RETURN_IF_ERROR(ChargeDispatchOverhead(env, outgoing.size()));
+  return Status::OK();
+}
+
+Result<linalg::ActivationMap> DirectChannel::ReceivePhase(
+    WorkerEnv* env, int32_t phase, const std::vector<int32_t>& sources) {
+  linalg::ActivationMap received;
+  if (sources.empty()) return received;
+  const FsdOptions& options = *env->options;
+  LayerMetrics& metrics = env->metrics->Layer(phase);
+  const double start = env->cloud->sim()->Now();
+  const auto& compute = env->cloud->compute();
+
+  struct Progress {
+    int32_t expected = -1;
+    int32_t got = 0;
+    bool punched = false;
+  };
+  std::map<int32_t, Progress> pending;
+  for (int32_t s : sources) pending.emplace(s, Progress{});
+
+  const std::string session = SessionName(options);
+  const std::string relay = RelayNamespaceName(options);
+  const std::string inbox = InboxKey(phase, env->worker_id);
+
+  // Punch outcomes are deterministic per ordered pair, so the receiver
+  // knows up front which sources must relay (Connect is idempotent and
+  // punching is mutual — asking from this side costs nothing extra). The
+  // loop below then only ever blocks on an inbox that can still deliver:
+  // fully-punched phases never touch the KV relay, and once every punched
+  // source completed, the fabric pop (which nothing will ever feed again)
+  // is skipped instead of burning its full wait before each relay pop.
+  int32_t punched_pending = 0;
+  int32_t relay_pending = 0;
+  for (int32_t s : sources) {
+    FSD_ASSIGN_OR_RETURN(
+        const bool punched,
+        EnsureLink(env, &metrics, session, s, env->worker_id));
+    pending[s].punched = punched;
+    ++(punched ? punched_pending : relay_pending);
+  }
+
+  auto consume = [&](const Bytes& value, bool billed) -> Status {
+    if (billed) {
+      // Relay pops bill the full value, header included — the cache
+      // meters what it moved, not what the receiver could use.
+      metrics.recv_billed_bytes += static_cast<int64_t>(value.size());
+    }
+    FSD_ASSIGN_OR_RETURN(DecodedInboxValue decoded, DecodeInboxValue(value));
+    auto it = pending.find(decoded.source);
+    if (it == pending.end()) {
+      // Pops are destructive, so a duplicate can only mean a stray value
+      // from a mis-scoped sender; count it like the other channels do.
+      ++metrics.redundant_skipped;
+      return Status::OK();
+    }
+    it->second.expected = decoded.total;
+    ++it->second.got;
+    metrics.recv_wire_bytes += static_cast<int64_t>(decoded.body.size());
+    const size_t before = received.size();
+    FSD_RETURN_IF_ERROR(DecodeRows(decoded.body, options.compress, &received));
+    metrics.recv_rows += static_cast<int64_t>(received.size() - before);
+    if (it->second.got == it->second.expected) {
+      --(it->second.punched ? punched_pending : relay_pending);
+      pending.erase(it);
+    }
+    return Status::OK();
+  };
+
+  auto pay_deserialize = [&](uint64_t popped_bytes) -> Status {
+    const double deser_s =
+        static_cast<double>(popped_bytes) / compute.deserialize_bytes_per_s;
+    metrics.deserialize_s += deser_s;
+    return env->faas->SleepFor(deser_s);
+  };
+
+  while (!pending.empty()) {
+    FSD_RETURN_IF_ERROR(env->CheckAbort());
+    FSD_RETURN_IF_ERROR(env->faas->CheckDeadline());
+    if (punched_pending > 0) {
+      FSD_ASSIGN_OR_RETURN(
+          std::vector<Bytes> values,
+          env->cloud->p2p().BlockingPopAll(session, inbox,
+                                           cloud::kMaxValuesPerInboxPop,
+                                           options.direct_poll_wait_s));
+      ++metrics.direct_pops;
+      if (values.empty()) ++metrics.direct_empty_pops;
+      uint64_t popped_bytes = 0;
+      for (const Bytes& value : values) {
+        popped_bytes += value.size();
+        FSD_RETURN_IF_ERROR(consume(value, /*billed=*/false));
+      }
+      FSD_RETURN_IF_ERROR(pay_deserialize(popped_bytes));
+    }
+    if (pending.empty() || relay_pending == 0) continue;
+
+    FSD_RETURN_IF_ERROR(env->CheckAbort());
+    FSD_ASSIGN_OR_RETURN(
+        std::vector<Bytes> relayed,
+        env->cloud->kv().BlockingPopAll(relay, inbox, cloud::kMaxValuesPerPop,
+                                        options.kv_poll_wait_s));
+    ++metrics.kv_pops;
+    if (relayed.empty()) ++metrics.kv_empty_pops;
+    uint64_t popped_bytes = 0;
+    for (const Bytes& value : relayed) {
+      popped_bytes += value.size();
+      FSD_RETURN_IF_ERROR(consume(value, /*billed=*/true));
+    }
+    FSD_RETURN_IF_ERROR(pay_deserialize(popped_bytes));
+  }
+
+  metrics.recv_wait_s += env->cloud->sim()->Now() - start;
+  return received;
+}
+
+}  // namespace fsd::core

@@ -12,6 +12,20 @@ std::string_view VariantName(Variant variant) {
       return "FSD-Inf-Object";
     case Variant::kKv:
       return "FSD-Inf-KV";
+    case Variant::kDirect:
+      return "FSD-Inf-Direct";
+  }
+  return "unknown";
+}
+
+std::string_view CollectiveTopologyName(CollectiveTopology topology) {
+  switch (topology) {
+    case CollectiveTopology::kThroughRoot:
+      return "through-root";
+    case CollectiveTopology::kBinomialTree:
+      return "binomial";
+    case CollectiveTopology::kRing:
+      return "ring";
   }
   return "unknown";
 }

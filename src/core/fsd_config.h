@@ -11,15 +11,34 @@
 namespace fsd::core {
 
 /// The three FSD-Inference variants evaluated in the paper, plus the
-/// in-memory KV extension (FMI-style low-latency channel).
+/// in-memory KV extension (FMI-style low-latency channel) and the direct
+/// worker-to-worker extension (FMI's NAT-punched TCP links).
 enum class Variant : int {
   kSerial = 0,  ///< single FaaS instance, no communication (FSD-Inf-Serial)
   kQueue = 1,   ///< pub-sub + queueing channel (FSD-Inf-Queue)
   kObject = 2,  ///< object storage channel (FSD-Inf-Object)
   kKv = 3,      ///< in-memory KV channel (FSD-Inf-KV)
+  kDirect = 4,  ///< NAT-punched direct links + KV relay (FSD-Inf-Direct)
 };
 
 std::string_view VariantName(Variant variant);
+
+/// Collective-algorithm topologies (FMI-style). Every topology computes the
+/// same Barrier/Reduce/Broadcast results — Reduce is a disjoint-row-set
+/// union, so the merge order is immaterial — but they trade per-round
+/// message counts against round counts:
+///   through-root: 1 round, the root handles P-1 messages (the paper's
+///                 star pattern);
+///   binomial:     ceil(log2 P) rounds, each worker handles <= 1 message
+///                 per round;
+///   ring:         P-1 rounds, 1 message per round (chain pipeline).
+enum class CollectiveTopology : int {
+  kThroughRoot = 0,
+  kBinomialTree = 1,
+  kRing = 2,
+};
+
+std::string_view CollectiveTopologyName(CollectiveTopology topology);
 
 /// Launch-tree construction strategies (§III; hierarchical is the paper's
 /// contribution, the others are the ablation baselines it was measured
@@ -90,6 +109,18 @@ struct FsdOptions {
   /// Cluster shards of the per-run KV namespace (raises the aggregate
   /// request-rate cap, like topic/bucket sharding).
   int32_t kv_shards = 4;
+
+  /// Topology the collective operations (barrier/reduce/broadcast tails of
+  /// each batch) run over. Through-root reproduces the paper's star
+  /// pattern; binomial/ring bound the root's per-round fan-in at the price
+  /// of extra rounds (each round consumes its own phase id, so the
+  /// per-batch phase budget grows with the topology's round count).
+  CollectiveTopology collective_topology = CollectiveTopology::kThroughRoot;
+
+  /// Direct channel (FSD-Inf-Direct): blocking-pop wait against the P2P
+  /// fabric inbox. The receive loop alternates fabric and KV-relay pops,
+  /// so both waits stay short to keep abort draining prompt.
+  double direct_poll_wait_s = 0.5;
 
   /// --- cross-query partition cache (λScale-style warm-state reuse) ---
   /// A warm worker instance that already deserialized its model share for

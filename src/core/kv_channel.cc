@@ -8,10 +8,9 @@
 #include "sim/simulation.h"
 
 namespace fsd::core {
-namespace {
 
-/// Value layout: varint(source), varint(seq), varint(total), chunk wire.
-Bytes EncodeValue(int32_t source, int32_t seq, int32_t total, Bytes wire) {
+Bytes EncodeInboxValue(int32_t source, int32_t seq, int32_t total,
+                       Bytes wire) {
   Bytes out;
   out.reserve(wire.size() + 6);
   codec::PutVarint64(&out, static_cast<uint64_t>(source));
@@ -21,16 +20,9 @@ Bytes EncodeValue(int32_t source, int32_t seq, int32_t total, Bytes wire) {
   return out;
 }
 
-struct DecodedValue {
-  int32_t source = 0;
-  int32_t seq = 0;
-  int32_t total = 0;
-  Bytes body;
-};
-
-Result<DecodedValue> DecodeValue(const Bytes& value) {
+Result<DecodedInboxValue> DecodeInboxValue(const Bytes& value) {
   ByteReader reader(value);
-  DecodedValue decoded;
+  DecodedInboxValue decoded;
   FSD_ASSIGN_OR_RETURN(uint64_t source, codec::GetVarint64(&reader));
   FSD_ASSIGN_OR_RETURN(uint64_t seq, codec::GetVarint64(&reader));
   FSD_ASSIGN_OR_RETURN(uint64_t total, codec::GetVarint64(&reader));
@@ -40,8 +32,6 @@ Result<DecodedValue> DecodeValue(const Bytes& value) {
   FSD_ASSIGN_OR_RETURN(decoded.body, reader.ReadBytes(reader.remaining()));
   return decoded;
 }
-
-}  // namespace
 
 std::string KvChannel::NamespaceName(const FsdOptions& options) {
   return StrFormat("%skv", options.channel_scope.c_str());
@@ -97,7 +87,8 @@ Status KvChannel::SendPhase(WorkerEnv* env, int32_t phase,
       serialize_bytes += AccountSendChunk(&metrics, chunk);
       outgoing.push_back(
           {InboxKey(phase, send.target),
-           EncodeValue(env->worker_id, seq, total, std::move(chunk.wire))});
+           EncodeInboxValue(env->worker_id, seq, total,
+                            std::move(chunk.wire))});
     }
   }
 
@@ -166,7 +157,7 @@ Result<linalg::ActivationMap> KvChannel::ReceivePhase(
       // included — counted before any skip, because the service meters
       // what it moved, not what the receiver could use.
       metrics.recv_billed_bytes += static_cast<int64_t>(value.size());
-      FSD_ASSIGN_OR_RETURN(DecodedValue decoded, DecodeValue(value));
+      FSD_ASSIGN_OR_RETURN(DecodedInboxValue decoded, DecodeInboxValue(value));
       auto it = pending.find(decoded.source);
       if (it == pending.end()) {
         // Pops are destructive, so a duplicate can only mean a stray value

@@ -29,6 +29,21 @@
 
 namespace fsd::core {
 
+/// Inbox value layout: varint(source), varint(seq), varint(total), chunk
+/// wire. Shared with the direct channel, whose KV relay fallback must stay
+/// byte-identical to a KvChannel send so relay costs meter the same way.
+Bytes EncodeInboxValue(int32_t source, int32_t seq, int32_t total,
+                       Bytes wire);
+
+struct DecodedInboxValue {
+  int32_t source = 0;
+  int32_t seq = 0;
+  int32_t total = 0;
+  Bytes body;
+};
+
+Result<DecodedInboxValue> DecodeInboxValue(const Bytes& value);
+
 class KvChannel : public CommChannel {
  public:
   KvChannel() = default;

@@ -38,6 +38,11 @@ void LayerMetrics::Add(const LayerMetrics& other) {
   puts_dat += other.puts_dat;
   puts_nul += other.puts_nul;
   kv_pushes += other.kv_pushes;
+  direct_connects += other.direct_connects;
+  punch_failures += other.punch_failures;
+  direct_msgs += other.direct_msgs;
+  direct_billed_bytes += other.direct_billed_bytes;
+  relay_fallback_msgs += other.relay_fallback_msgs;
   serialize_s += other.serialize_s;
   polls += other.polls;
   empty_polls += other.empty_polls;
@@ -47,6 +52,8 @@ void LayerMetrics::Add(const LayerMetrics& other) {
   gets += other.gets;
   kv_pops += other.kv_pops;
   kv_empty_pops += other.kv_empty_pops;
+  direct_pops += other.direct_pops;
+  direct_empty_pops += other.direct_empty_pops;
   nul_skipped += other.nul_skipped;
   redundant_skipped += other.redundant_skipped;
   recv_wire_bytes += other.recv_wire_bytes;
@@ -59,6 +66,8 @@ void LayerMetrics::Add(const LayerMetrics& other) {
   out_rows += other.out_rows;
   out_nnz += other.out_nnz;
   layer_wall_s += other.layer_wall_s;
+  collective_rounds += other.collective_rounds;
+  collective_round_s += other.collective_round_s;
 }
 
 void WorkerMetrics::Finalize() {
@@ -102,7 +111,8 @@ std::string RunMetrics::Summary() const {
   return StrFormat(
       "workers=%zu Tbar=%.3fs Tmax=%.3fs sent=%lld chunks (%s wire, %s raw) "
       "publishes=%lld puts=%lld/%lld polls=%lld (%lld empty) lists=%lld "
-      "gets=%lld kv=%lld/%lld recv_rows=%lld cache=%lld/%lld hit/miss "
+      "gets=%lld kv=%lld/%lld direct=%lld msgs (%lld links, %lld relayed) "
+      "rounds=%lld (%.1fms/round) recv_rows=%lld cache=%lld/%lld hit/miss "
       "(%s saved)",
       workers.size(), mean_worker_s, max_worker_s,
       static_cast<long long>(totals.send_chunks),
@@ -117,6 +127,14 @@ std::string RunMetrics::Summary() const {
       static_cast<long long>(totals.gets),
       static_cast<long long>(totals.kv_pushes),
       static_cast<long long>(totals.kv_pops),
+      static_cast<long long>(totals.direct_msgs),
+      static_cast<long long>(totals.direct_connects),
+      static_cast<long long>(totals.relay_fallback_msgs),
+      static_cast<long long>(totals.collective_rounds),
+      totals.collective_rounds > 0
+          ? 1000.0 * totals.collective_round_s /
+                static_cast<double>(totals.collective_rounds)
+          : 0.0,
       static_cast<long long>(totals.recv_rows),
       static_cast<long long>(cache_hits),
       static_cast<long long>(cache_misses),
@@ -182,6 +200,11 @@ void FleetStats::AddQuery(const QuerySample& sample,
   cache_invalidations += metrics.cache_invalidations;
   model_gets_saved += metrics.model_gets_saved;
   model_bytes_saved += metrics.model_bytes_saved;
+  direct_connects += metrics.totals.direct_connects;
+  punch_failures += metrics.totals.punch_failures;
+  relay_fallbacks += metrics.totals.relay_fallback_msgs;
+  collective_rounds += metrics.totals.collective_rounds;
+  collective_round_s_total_ += metrics.totals.collective_round_s;
 }
 
 void FleetStats::AddRun(int32_t member_queries, int64_t invocations,
@@ -246,6 +269,10 @@ void FleetStats::Finalize() {
           ? static_cast<double>(cold_starts) /
                 static_cast<double>(worker_invocations)
           : 0.0;
+  collective_round_mean_s =
+      collective_rounds > 0
+          ? collective_round_s_total_ / static_cast<double>(collective_rounds)
+          : 0.0;
   const int64_t lookups = cache_hits + cache_misses;
   cache_hit_ratio =
       lookups > 0 ? static_cast<double>(cache_hits) /
@@ -270,6 +297,8 @@ std::string FleetStats::Summary() const {
       "latency p50/p95/p99/max=%.3f/%.3f/%.3f/%.3fs "
       "queue-wait p50/p95=%.3f/%.3fs cold=%.1f%% "
       "cache=%.1f%% hit (%lld evicted, %s saved) "
+      "links=%lld (%lld punch-failed, %lld relayed) "
+      "rounds=%lld (%.1fms/round) "
       "cost=%s (%s/query, %s/day)",
       queries, failed, rejected, shed, runs, batch_occupancy_mean,
       batch_occupancy_max, makespan_s, throughput_qps, slo.c_str(),
@@ -277,6 +306,11 @@ std::string FleetStats::Summary() const {
       queue_wait_p50_s, queue_wait_p95_s, 100.0 * cold_start_ratio,
       100.0 * cache_hit_ratio, static_cast<long long>(cache_evictions),
       HumanBytes(static_cast<double>(model_bytes_saved)).c_str(),
+      static_cast<long long>(direct_connects),
+      static_cast<long long>(punch_failures),
+      static_cast<long long>(relay_fallbacks),
+      static_cast<long long>(collective_rounds),
+      1000.0 * collective_round_mean_s,
       HumanDollars(total_cost).c_str(), HumanDollars(cost_per_query).c_str(),
       HumanDollars(daily_cost).c_str());
 }

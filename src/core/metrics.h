@@ -49,6 +49,17 @@ struct LayerMetrics {
   int64_t puts_dat = 0;           ///< object .dat PUTs
   int64_t puts_nul = 0;           ///< object .nul marker PUTs
   int64_t kv_pushes = 0;          ///< KV push (RPUSH) requests
+  /// Direct channel: successful fresh NAT punches (billed connections),
+  /// fresh punches that failed (the pair relays via KV from then on),
+  /// values sent over punched links, and the bytes those sends billed on
+  /// the p2p byte dimension. Relayed values count in relay_fallback_msgs
+  /// AND in the KV counters (kv_pushes / send_billed_bytes) — the relay
+  /// IS a KV push, so KV cost terms stay exact.
+  int64_t direct_connects = 0;
+  int64_t punch_failures = 0;
+  int64_t direct_msgs = 0;
+  int64_t direct_billed_bytes = 0;
+  int64_t relay_fallback_msgs = 0;
   double serialize_s = 0.0;       ///< worker CPU spent packing/compressing
 
   // --- receive side ---
@@ -60,6 +71,8 @@ struct LayerMetrics {
   int64_t gets = 0;               ///< object GET calls
   int64_t kv_pops = 0;            ///< KV blocking-pop requests
   int64_t kv_empty_pops = 0;      ///< pops whose wait expired empty
+  int64_t direct_pops = 0;        ///< p2p fabric inbox pops (unbilled)
+  int64_t direct_empty_pops = 0;  ///< fabric pops whose wait expired empty
   int64_t nul_skipped = 0;        ///< .nul markers skipped without GET
   int64_t redundant_skipped = 0;  ///< already-received sources skipped
   int64_t recv_wire_bytes = 0;
@@ -76,6 +89,14 @@ struct LayerMetrics {
   int64_t out_rows = 0;
   int64_t out_nnz = 0;
   double layer_wall_s = 0.0;      ///< virtual time spent in this layer
+
+  // --- collectives (phases >= L; slots indexed by collective phase) ---
+  /// Send/receive rounds this worker executed inside collective
+  /// operations, and the virtual time they took. Through-root runs one
+  /// round per op; binomial/ring topologies run O(log P) / O(P) shorter
+  /// rounds — comm time PER ROUND is the topology comparison metric.
+  int64_t collective_rounds = 0;
+  double collective_round_s = 0.0;
 
   void Add(const LayerMetrics& other);
 };
@@ -218,6 +239,17 @@ struct FleetStats {
   double queue_wait_p95_s = 0.0;
   double queue_wait_max_s = 0.0;
 
+  // Direct-channel link health and collective shape across completed
+  // queries: how many NAT-punched links the fleet established, how many
+  // payload values had to fall back to the KV relay, and the collective
+  // rounds executed with their mean per-round comm time (the
+  // topology-comparison metric).
+  int64_t direct_connects = 0;
+  int64_t punch_failures = 0;
+  int64_t relay_fallbacks = 0;
+  int64_t collective_rounds = 0;
+  double collective_round_mean_s = 0.0;
+
   // Cross-query partition cache (model-share warm reuse).
   int64_t cache_hits = 0;
   int64_t cache_misses = 0;
@@ -265,6 +297,7 @@ struct FleetStats {
  private:
   std::vector<double> latencies_;
   std::vector<double> queue_waits_;
+  double collective_round_s_total_ = 0.0;
   std::map<int32_t, std::vector<double>> class_latencies_;  ///< by priority
   int32_t deadline_misses_ = 0;
   double first_arrival_s_ = 0.0;

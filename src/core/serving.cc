@@ -48,7 +48,7 @@ std::string BatchFamilyKey(const InferenceRequest& request) {
   return StrFormat(
       "%p|%p|v%d|w%d|b%d|l%d|t%d.%d|io%d|pw%016llx|os%016llx|mm%llu|"
       "gp%d|c%d|lz%d.%zu|nm%d|kv%llu.%016llx.%d|pc%d.%llu|"
-      "mf%zu:%s@%llu|m%d|wt%016llx|cm%d|s%llu|sc%zu:[%s]",
+      "mf%zu:%s@%llu|m%d|wt%016llx|cm%d|s%llu|sc%zu:[%s]|ct%d|dp%016llx",
       static_cast<const void*>(request.dnn),
       static_cast<const void*>(request.partition), static_cast<int>(o.variant),
       o.num_workers, o.branching, static_cast<int>(o.launch), o.num_topics,
@@ -64,7 +64,8 @@ std::string BatchFamilyKey(const InferenceRequest& request) {
       static_cast<unsigned long long>(o.model_version), o.worker_memory_mb,
       bits(o.worker_timeout_s), o.coordinator_memory_mb,
       static_cast<unsigned long long>(o.seed), o.channel_scope.size(),
-      o.channel_scope.c_str());
+      o.channel_scope.c_str(), static_cast<int>(o.collective_topology),
+      bits(o.direct_poll_wait_s));
 }
 
 }  // namespace

@@ -5,6 +5,7 @@
 #include "codec/varint.h"
 #include "common/logging.h"
 #include "common/strings.h"
+#include "core/collectives.h"
 #include "core/launcher.h"
 #include "core/partition_cache.h"
 
@@ -255,36 +256,25 @@ Status RunBatch(cloud::FaasContext* ctx, RunState* state,
     x = std::move(next);
   }
 
-  // --- barrier(P_all) then reduce(P_0, x^L_m), Algorithm lines 19-20 ---
+  // --- barrier(P_all) then reduce(P_0, x^L_m), Algorithm lines 19-20, run
+  // over the configured collective topology (through-root reproduces the
+  // legacy through-root traffic byte-for-byte) ---
   if (channel != nullptr && options.num_workers > 1) {
-    const int32_t arrive = phase0 + kPhaseBarrierArrive(layers);
-    const int32_t release = phase0 + kPhaseBarrierRelease(layers);
-    const int32_t reduce = phase0 + kPhaseReduce(layers);
+    const CollectiveTopology topology = options.collective_topology;
+    const PhaseAllocator phases(
+        phase0, layers, CollectiveRounds(topology, options.num_workers));
     WorkerEnv env = MakeEnv(ctx, state, worker_id, metrics);
-    static const std::vector<int32_t> kNoRows;
+    FSD_RETURN_IF_ERROR(
+        Barrier(channel, &env, topology,
+                phases.Block(CollectiveOp::kBarrierArrive),
+                phases.Block(CollectiveOp::kBarrierRelease),
+                options.num_workers));
+    FSD_ASSIGN_OR_RETURN(
+        linalg::ActivationMap gathered,
+        Reduce(channel, &env, topology, phases.Block(CollectiveOp::kReduce),
+               options.num_workers, x));
     if (worker_id == 0) {
-      std::vector<int32_t> others;
-      for (int32_t n = 1; n < options.num_workers; ++n) others.push_back(n);
-      FSD_RETURN_IF_ERROR(
-          channel->ReceivePhase(&env, arrive, others).status());
-      std::vector<SendSpec> releases;
-      releases.reserve(others.size());
-      for (int32_t n : others) releases.push_back({n, &kNoRows});
-      FSD_RETURN_IF_ERROR(
-          channel->SendPhase(&env, release, /*source=*/{}, releases));
-      // Gather every worker's final rows.
-      FSD_ASSIGN_OR_RETURN(linalg::ActivationMap gathered,
-                           channel->ReceivePhase(&env, reduce, others));
-      for (auto& [row, vec] : x) gathered[row] = std::move(vec);
       state->outputs[batch_index] = std::move(gathered);
-    } else {
-      std::vector<SendSpec> arrive_send{{0, &kNoRows}};
-      FSD_RETURN_IF_ERROR(
-          channel->SendPhase(&env, arrive, /*source=*/{}, arrive_send));
-      FSD_RETURN_IF_ERROR(channel->ReceivePhase(&env, release, {0}).status());
-      std::vector<SendSpec> reduce_send{
-          {0, &partition.owned_rows[worker_id]}};
-      FSD_RETURN_IF_ERROR(channel->SendPhase(&env, reduce, x, reduce_send));
     }
   } else if (worker_id == 0) {
     state->outputs[batch_index] = std::move(x);

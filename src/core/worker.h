@@ -95,8 +95,15 @@ struct RunState {
     }
   }
 
-  /// Phases per batch: L layers + barrier arrive/release + reduce + spare.
-  int32_t PhasesPerBatch() const { return dnn->layers() + 4; }
+  /// Phases per batch: L layer phases plus one PhaseBlock per collective
+  /// op, each CollectiveRounds(topology, P) wide (through-root keeps the
+  /// legacy L + 4 layout). Must match the PhaseAllocator built in RunBatch.
+  int32_t PhasesPerBatch() const {
+    return PhaseAllocator(0, dnn->layers(),
+                          CollectiveRounds(options.collective_topology,
+                                           options.num_workers))
+        .phases_per_batch();
+  }
 };
 
 /// Worker invocation payload: which run this invocation belongs to and the

@@ -47,8 +47,8 @@ TEST_F(AutoConfigTest, RankingIsSortedAndComplete) {
   request.dnn = &dnn;
   auto result = AutoSelectConfiguration(cloud_, request);
   ASSERT_TRUE(result.ok());
-  // 1 serial + 3 variants x 4 parallel P values.
-  EXPECT_EQ(result->ranking.size(), 13u);
+  // 1 serial + 4 variants x 4 parallel P values.
+  EXPECT_EQ(result->ranking.size(), 17u);
   for (size_t i = 1; i < result->ranking.size(); ++i) {
     EXPECT_LE(result->ranking[i - 1].score, result->ranking[i].score);
   }
@@ -89,7 +89,7 @@ TEST_F(AutoConfigTest, CostCrossoverBetweenQueueAndObject) {
   request.batch = 2000;  // moderate volume: queue is the cheap channel
   auto moderate = AutoSelectConfiguration(cloud_, request);
   ASSERT_TRUE(moderate.ok());
-  ASSERT_EQ(moderate->ranking.size(), 3u);
+  ASSERT_EQ(moderate->ranking.size(), 4u);
   EXPECT_EQ(moderate->best.variant, Variant::kQueue);
 
   request.batch = 40000;  // huge volume: per-byte charges flip the choice
@@ -98,27 +98,67 @@ TEST_F(AutoConfigTest, CostCrossoverBetweenQueueAndObject) {
   EXPECT_EQ(huge->best.variant, Variant::kObject);
 }
 
-TEST_F(AutoConfigTest, LatencyWeightedWorkloadPicksKv) {
-  // The KV channel's sub-millisecond ops make it the latency-optimal
-  // parallel channel; a pure-latency priority must surface it even though
-  // its per-byte metering makes it pricier than the queue channel.
+TEST_F(AutoConfigTest, LatencyWeightedWorkloadPicksDirect) {
+  // Established NAT-punched links carry sub-millisecond sends with no
+  // managed-service hop, so a pure-latency priority must surface the
+  // direct channel for a chatty parallel workload.
   model::SparseDnn dnn = MakeModel(16384, 16);
   AutoSelectRequest request;
   request.dnn = &dnn;
   request.batch = 2048;
   request.latency_weight = 1.0;
+  // Parallel candidates only: the point is the channel choice, and the
+  // model fits a single instance, which would otherwise win pure cost.
+  request.candidate_workers = {8, 20, 42, 62};
   auto result = AutoSelectConfiguration(cloud_, request);
   ASSERT_TRUE(result.ok()) << result.status().ToString();
-  EXPECT_EQ(result->best.variant, Variant::kKv);
+  EXPECT_EQ(result->best.variant, Variant::kDirect);
   EXPECT_GT(result->best.workers, 1);
 
-  // Same workload under pure cost priority must NOT pick KV: the standing
-  // node cost and processed-byte charges hand the win back to the
-  // request-priced channels.
+  // A moderate-volume chatty workload at large P under pure cost priority
+  // picks the queue channel instead: the direct variant's connection
+  // setup charges (one per communicating pair, so quadratic in P) plus
+  // the relay's standing node cost hand the win back to request-priced
+  // pub-sub + queues.
+  request.batch = 2000;
+  request.candidate_workers = {42};
   request.latency_weight = 0.0;
   auto cheapest = AutoSelectConfiguration(cloud_, request);
   ASSERT_TRUE(cheapest.ok());
-  EXPECT_NE(cheapest->best.variant, Variant::kKv);
+  EXPECT_EQ(cheapest->best.variant, Variant::kQueue);
+}
+
+TEST_F(AutoConfigTest, TopologyRecommendationTracksRootDrain) {
+  // Through-root's single round is optimal while the root's pop machinery
+  // drains the whole fan-in in ~one op; once the fan-in serializes on
+  // per-message requests, the binomial tree's bounded rounds win.
+  FsdOptions options;
+  const cloud::LatencyConfig& latency = cloud_.latency();
+  EXPECT_EQ(RecommendTopology(latency, options, Variant::kQueue, 2),
+            CollectiveTopology::kThroughRoot);
+  EXPECT_EQ(RecommendTopology(latency, options, Variant::kSerial, 62),
+            CollectiveTopology::kThroughRoot);
+  // KV/direct pops drain 64 values per op: through-root stays one op wide.
+  EXPECT_EQ(RecommendTopology(latency, options, Variant::kKv, 42),
+            CollectiveTopology::kThroughRoot);
+  // Queue polls batch 10 messages; object storage pays one GET per
+  // message: at P = 42 the root's round is several ops wide and the tree
+  // takes over.
+  EXPECT_EQ(RecommendTopology(latency, options, Variant::kQueue, 42),
+            CollectiveTopology::kBinomialTree);
+  EXPECT_EQ(RecommendTopology(latency, options, Variant::kObject, 42),
+            CollectiveTopology::kBinomialTree);
+  // Every parallel ranking entry carries its recommended topology.
+  model::SparseDnn dnn = MakeModel(4096, 8);
+  AutoSelectRequest request;
+  request.dnn = &dnn;
+  auto result = AutoSelectConfiguration(cloud_, request);
+  ASSERT_TRUE(result.ok());
+  for (const ConfigCandidate& c : result->ranking) {
+    EXPECT_EQ(c.topology,
+              RecommendTopology(latency, request.base_options, c.variant,
+                                c.workers));
+  }
 }
 
 TEST_F(AutoConfigTest, ValidatesArguments) {

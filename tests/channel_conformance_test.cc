@@ -1,20 +1,25 @@
-// Backend-parameterized conformance suite for the CommChannel contract:
-// one set of behavioural guarantees, verified against every production
-// backend (queue, object, KV). Anything a worker or collective may rely on
-// — delivery exactness, phase separation, chunk reassembly, empty-send
-// markers, compression/lane configuration independence, collective
-// semantics, abort draining, and channel_scope isolation — is pinned here,
-// so a new backend is done when this suite passes.
+// Backend x topology parameterized conformance suite for the CommChannel
+// contract: one set of behavioural guarantees, verified against every
+// production backend (queue, object, KV, direct) under every collective
+// topology (through-root, binomial tree, ring). Anything a worker or
+// collective may rely on — delivery exactness, phase separation, chunk
+// reassembly, empty-send markers, compression/lane configuration
+// independence, collective semantics (byte-identical across topologies),
+// abort draining (including mid-tree), relay fallback on punch failure,
+// and channel_scope isolation — is pinned here, so a new backend or
+// topology is done when this suite passes.
 #include <gtest/gtest.h>
 
 #include <algorithm>
 #include <functional>
+#include <tuple>
 #include <vector>
 
 #include "cloud/cloud.h"
 #include "common/strings.h"
 #include "core/channel.h"
 #include "core/collectives.h"
+#include "core/direct_channel.h"
 #include "core/kv_channel.h"
 
 namespace fsd::core {
@@ -45,16 +50,29 @@ struct WorkerSpec {
   int32_t worker_id = -1;
 };
 
-class ChannelConformanceTest : public ::testing::TestWithParam<Variant> {
+class ChannelConformanceTest
+    : public ::testing::TestWithParam<std::tuple<Variant, CollectiveTopology>> {
  protected:
   ChannelConformanceTest() : cloud_(&sim_) {}
 
+  Variant Backend() const { return std::get<0>(GetParam()); }
+  CollectiveTopology Topology() const { return std::get<1>(GetParam()); }
+
   void SetUp() override {
-    options_.variant = GetParam();
+    options_.variant = Backend();
+    options_.collective_topology = Topology();
     options_.num_workers = 4;
     options_.poll_wait_s = 2.0;
     options_.kv_poll_wait_s = 0.5;
+    options_.direct_poll_wait_s = 0.5;
     options_.object_scan_interval_s = 0.01;
+  }
+
+  /// PhaseBlock for a collective op at this fixture's topology: the phase
+  /// layout a worker tree would reserve for `workers` participants.
+  PhaseBlock Block(CollectiveOp op, int32_t workers) const {
+    return PhaseAllocator(0, 0, CollectiveRounds(Topology(), workers))
+        .Block(op);
   }
 
   /// Runs each spec's body inside its own FaaS handler with a fresh
@@ -68,7 +86,7 @@ class ChannelConformanceTest : public ::testing::TestWithParam<Variant> {
           specs[i].options != nullptr ? specs[i].options : &options_;
       if (std::find(provisioned.begin(), provisioned.end(), options) ==
           provisioned.end()) {
-        FSD_CHECK_OK(ProvisionChannelResources(&cloud_, *options));
+        FSD_CHECK_OK(ProvisionChannelResources(active_cloud_, *options));
         provisioned.push_back(options);
       }
       metrics_.emplace_back(std::make_unique<WorkerMetrics>());
@@ -87,7 +105,7 @@ class ChannelConformanceTest : public ::testing::TestWithParam<Variant> {
             MakeCommChannel(options->variant);
         WorkerEnv env;
         env.faas = ctx;
-        env.cloud = &cloud_;
+        env.cloud = active_cloud_;
         env.options = options;
         env.metrics = metrics;
         env.worker_id = worker_id;
@@ -95,12 +113,12 @@ class ChannelConformanceTest : public ::testing::TestWithParam<Variant> {
         body(&env, channel.get());
         ctx->set_result(Status::OK());
       };
-      FSD_CHECK_OK(cloud_.faas().RegisterFunction(fn));
+      FSD_CHECK_OK(active_cloud_->faas().RegisterFunction(fn));
     }
     sim_.AddProcess(StrFormat("kickoff-%d", epoch),
                     [this, epoch, n = specs.size()]() {
                       for (size_t i = 0; i < n; ++i) {
-                        cloud_.faas().InvokeAsync(
+                        active_cloud_->faas().InvokeAsync(
                             StrFormat("e%d-w%zu", epoch, i), {});
                       }
                     });
@@ -109,29 +127,56 @@ class ChannelConformanceTest : public ::testing::TestWithParam<Variant> {
 
   sim::Simulation sim_;
   cloud::CloudEnv cloud_;
+  /// The environment RunWorkers drives: tests needing a non-default cloud
+  /// configuration (e.g. a 100% punch-failure rate) repoint this before
+  /// their first RunWorkers call.
+  cloud::CloudEnv* active_cloud_ = &cloud_;
   FsdOptions options_;
   bool abort_ = false;
   int run_counter_ = 0;
   std::vector<std::unique_ptr<WorkerMetrics>> metrics_;
 };
 
-std::string BackendName(const ::testing::TestParamInfo<Variant>& info) {
-  switch (info.param) {
+std::string ComboName(
+    const ::testing::TestParamInfo<std::tuple<Variant, CollectiveTopology>>&
+        info) {
+  std::string name;
+  switch (std::get<0>(info.param)) {
     case Variant::kQueue:
-      return "Queue";
+      name = "Queue";
+      break;
     case Variant::kObject:
-      return "Object";
+      name = "Object";
+      break;
     case Variant::kKv:
-      return "Kv";
+      name = "Kv";
+      break;
+    case Variant::kDirect:
+      name = "Direct";
+      break;
     default:
-      return "Unknown";
+      name = "Unknown";
+      break;
   }
+  switch (std::get<1>(info.param)) {
+    case CollectiveTopology::kThroughRoot:
+      return name + "ThroughRoot";
+    case CollectiveTopology::kBinomialTree:
+      return name + "Binomial";
+    case CollectiveTopology::kRing:
+      return name + "Ring";
+  }
+  return name;
 }
 
-INSTANTIATE_TEST_SUITE_P(AllBackends, ChannelConformanceTest,
-                         ::testing::Values(Variant::kQueue, Variant::kObject,
-                                           Variant::kKv),
-                         BackendName);
+INSTANTIATE_TEST_SUITE_P(
+    AllBackends, ChannelConformanceTest,
+    ::testing::Combine(::testing::Values(Variant::kQueue, Variant::kObject,
+                                         Variant::kKv, Variant::kDirect),
+                       ::testing::Values(CollectiveTopology::kThroughRoot,
+                                         CollectiveTopology::kBinomialTree,
+                                         CollectiveTopology::kRing)),
+    ComboName);
 
 TEST_P(ChannelConformanceTest, RoundtripDeliversExactRows) {
   const linalg::ActivationMap rows = MakeRows({3, 7, 11}, 16, 4);
@@ -207,7 +252,7 @@ TEST_P(ChannelConformanceTest, ChunkedPayloadsReassemble) {
         received = std::move(*got);
       }},
   });
-  if (GetParam() != Variant::kObject) {
+  if (Backend() != Variant::kObject) {
     EXPECT_GT(send_chunks, 5);
   }
   ASSERT_EQ(received.size(), ids.size());
@@ -332,7 +377,11 @@ TEST_P(ChannelConformanceTest, BarrierReleasesNobodyBeforeLastArrival) {
       // slowest worker shows up.
       ASSERT_TRUE(env->faas->SleepFor(0.3 * w).ok());
       arrived[w] = env->cloud->sim()->Now();
-      ASSERT_TRUE(Barrier(channel, env, /*phase=*/0, kWorkers).ok());
+      ASSERT_TRUE(Barrier(channel, env, Topology(),
+                          Block(CollectiveOp::kBarrierArrive, kWorkers),
+                          Block(CollectiveOp::kBarrierRelease, kWorkers),
+                          kWorkers)
+                      .ok());
       released[w] = env->cloud->sim()->Now();
     }});
   }
@@ -352,7 +401,8 @@ TEST_P(ChannelConformanceTest, ReduceGathersEveryWorkersRows) {
     specs.push_back({[&, w](WorkerEnv* env, CommChannel* channel) {
       // Disjoint row ownership, as the row-wise decomposition guarantees.
       const linalg::ActivationMap mine = MakeRows({w}, 8, 3);
-      auto got = Reduce(channel, env, /*phase=*/0, kWorkers, mine);
+      auto got = Reduce(channel, env, Topology(),
+                        Block(CollectiveOp::kReduce, kWorkers), kWorkers, mine);
       ASSERT_TRUE(got.ok()) << got.status().ToString();
       if (w == 0) {
         gathered = std::move(*got);
@@ -377,7 +427,9 @@ TEST_P(ChannelConformanceTest, BroadcastDeliversRootRowsToAll) {
     specs.push_back({[&, w](WorkerEnv* env, CommChannel* channel) {
       const linalg::ActivationMap mine =
           w == 0 ? root_rows : linalg::ActivationMap{};
-      auto got = Broadcast(channel, env, /*phase=*/0, kWorkers, mine);
+      auto got = Broadcast(channel, env, Topology(),
+                           Block(CollectiveOp::kBroadcast, kWorkers), kWorkers,
+                           mine);
       ASSERT_TRUE(got.ok()) << got.status().ToString();
       got_rows[w] = std::move(*got);
     }});
@@ -451,13 +503,89 @@ TEST_P(ChannelConformanceTest, ChannelScopeIsolatesConcurrentRuns) {
   EXPECT_NE(got_a.at(7), got_b.at(7));
 }
 
+TEST_P(ChannelConformanceTest, DirectPunchFailuresFallBackToRelay) {
+  // With every hole punch failing (all-symmetric-NAT fleet), the direct
+  // channel must deliver the same rows through its KV relay: exactness is
+  // preserved, the fallback counters fire, and no message rides a link.
+  if (Backend() != Variant::kDirect) {
+    GTEST_SKIP() << "punch fallback is direct-channel behaviour";
+  }
+  cloud::CloudConfig config;
+  config.latency.p2p_punch_failure_rate = 1.0;
+  cloud::CloudEnv relay_cloud(&sim_, config);
+  active_cloud_ = &relay_cloud;
+  static const std::vector<int32_t> ids = {3, 7};
+  const linalg::ActivationMap rows = MakeRows(ids, 16, 4);
+  linalg::ActivationMap received;
+  int64_t punch_failures = 0;
+  int64_t relay_msgs = 0;
+  int64_t direct_msgs = 0;
+  RunWorkers({
+      {[&](WorkerEnv* env, CommChannel* channel) {
+        std::vector<SendSpec> sends{{1, &ids}};
+        ASSERT_TRUE(channel->SendPhase(env, 0, rows, sends).ok());
+        punch_failures = env->metrics->Layer(0).punch_failures;
+        relay_msgs = env->metrics->Layer(0).relay_fallback_msgs;
+        direct_msgs = env->metrics->Layer(0).direct_msgs;
+      }},
+      {[&](WorkerEnv* env, CommChannel* channel) {
+        auto got = channel->ReceivePhase(env, 0, {0});
+        ASSERT_TRUE(got.ok()) << got.status().ToString();
+        received = std::move(*got);
+      }},
+  });
+  ASSERT_EQ(received.size(), ids.size());
+  for (int32_t id : ids) EXPECT_EQ(received.at(id), rows.at(id));
+  EXPECT_GT(punch_failures, 0);
+  EXPECT_GT(relay_msgs, 0);
+  EXPECT_EQ(direct_msgs, 0);
+}
+
+TEST_P(ChannelConformanceTest, AbortDrainsMidTreeCollective) {
+  // Worker 3 dies before contributing; the survivors are mid-collective
+  // (root or chain neighbours blocked on the missing rank, depending on
+  // topology). The abort flag must drain every blocked participant
+  // promptly with kUnavailable instead of letting the tree hang.
+  constexpr int32_t kWorkers = 4;
+  std::vector<Status> statuses(kWorkers, Status::OK());
+  std::vector<double> done_at(kWorkers, 0.0);
+  sim_.AddProcess("abort-setter", [this]() {
+    sim_.Hold(0.5);
+    abort_ = true;
+  });
+  std::vector<WorkerSpec> specs;
+  for (int32_t w = 0; w < kWorkers; ++w) {
+    specs.push_back({[&, w](WorkerEnv* env, CommChannel* channel) {
+      if (w == 3) return;  // crashed peer: never participates
+      const linalg::ActivationMap mine = MakeRows({w}, 8, 3);
+      auto got = Reduce(channel, env, Topology(),
+                        Block(CollectiveOp::kReduce, kWorkers), kWorkers, mine);
+      statuses[w] = got.status();
+      done_at[w] = env->cloud->sim()->Now();
+    }});
+  }
+  RunWorkers(std::move(specs));
+  int unavailable = 0;
+  for (int32_t w = 0; w < kWorkers - 1; ++w) {
+    ASSERT_TRUE(statuses[w].ok() ||
+                statuses[w].code() == StatusCode::kUnavailable)
+        << "worker " << w << ": " << statuses[w].ToString();
+    if (!statuses[w].ok()) ++unavailable;
+    // Bounded by one poll/pop wait after the abort, with scheduling slack.
+    EXPECT_LT(done_at[w], 0.5 + 2.0 * options_.poll_wait_s + 1.0)
+        << "worker " << w;
+  }
+  // Whatever the topology, somebody was waiting on rank 3's contribution.
+  EXPECT_GE(unavailable, 1);
+}
+
 TEST_P(ChannelConformanceTest, TeardownReleasesPerRunResources) {
   // Teardown must be idempotent and, for the KV backend, actually delete
   // the run's namespace (billing its node time).
   FSD_CHECK_OK(ProvisionChannelResources(&cloud_, options_));
   ASSERT_TRUE(TeardownChannelResources(&cloud_, options_).ok());
   ASSERT_TRUE(TeardownChannelResources(&cloud_, options_).ok());
-  if (GetParam() == Variant::kKv) {
+  if (Backend() == Variant::kKv) {
     EXPECT_FALSE(
         cloud_.kv().NamespaceExists(KvChannel::NamespaceName(options_)));
     EXPECT_GT(

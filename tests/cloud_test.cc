@@ -664,5 +664,114 @@ TEST_F(CloudTest, KvSetGetRoundtripAndValidation) {
   });
 }
 
+// ---------------------------------------------------------------------------
+// P2P fabric (NAT-punched direct links)
+// ---------------------------------------------------------------------------
+
+TEST_F(CloudTest, P2pPunchOutcomeIsDeterministicPerPair) {
+  ASSERT_TRUE(cloud_.p2p().CreateSession("s").ok());
+  InProcess([&] {
+    // Same ordered pair, repeated: identical outcome, fresh only once.
+    const auto first = cloud_.p2p().Connect("s", 0, 1);
+    ASSERT_TRUE(first.status.ok());
+    EXPECT_TRUE(first.fresh);
+    const auto again = cloud_.p2p().Connect("s", 0, 1);
+    ASSERT_TRUE(again.status.ok());
+    EXPECT_FALSE(again.fresh);
+    EXPECT_EQ(again.punched, first.punched);
+    // setup_s reports the REMAINING handshake time: positive while the
+    // fresh punch is still in flight, zero once it completed.
+    EXPECT_LE(again.setup_s, first.setup_s);
+    sim_.Hold(first.setup_s + 1e-9);
+    EXPECT_DOUBLE_EQ(cloud_.p2p().Connect("s", 0, 1).setup_s, 0.0);
+    // At the default 8% failure rate, a 20-worker all-pairs sweep must see
+    // both outcomes, and the punched/failed split must replay exactly.
+    int punched = 0, failed = 0;
+    for (int32_t src = 0; src < 20; ++src) {
+      for (int32_t dst = 0; dst < 20; ++dst) {
+        if (src == dst) continue;
+        const auto out = cloud_.p2p().Connect("s", src, dst);
+        ASSERT_TRUE(out.status.ok());
+        const auto replay = cloud_.p2p().Connect("s", src, dst);
+        EXPECT_EQ(replay.punched, out.punched);
+        (out.punched ? punched : failed)++;
+      }
+    }
+    EXPECT_GT(punched, 0);
+    EXPECT_GT(failed, 0);
+    EXPECT_GT(punched, failed);  // failures are the minority at 8%
+  });
+}
+
+TEST_F(CloudTest, P2pBillsConnectionsOnFreshPunchOnly) {
+  ASSERT_TRUE(cloud_.p2p().CreateSession("s").ok());
+  InProcess([&] {
+    // Find one punched and (if present in the first few) repeat it.
+    const auto out = cloud_.p2p().Connect("s", 0, 1);
+    ASSERT_TRUE(out.status.ok());
+    cloud_.p2p().Connect("s", 0, 1);
+    cloud_.p2p().Connect("s", 0, 1);
+    const auto& line = cloud_.billing().line(BillingDimension::kP2pConnection);
+    // Successful fresh punches bill exactly once; failed punches bill
+    // nothing (their penalty is relaying through the managed service).
+    EXPECT_EQ(line.quantity, out.punched ? 1.0 : 0.0);
+  });
+}
+
+TEST_F(CloudTest, P2pSendDeliversAndBillsBytesOnly) {
+  ASSERT_TRUE(cloud_.p2p().CreateSession("s").ok());
+  InProcess([&] {
+    // Locate a punched pair deterministically.
+    int32_t dst = -1;
+    for (int32_t d = 1; d < 32; ++d) {
+      if (cloud_.p2p().Connect("s", 0, d).punched) {
+        dst = d;
+        break;
+      }
+    }
+    ASSERT_GE(dst, 0) << "no punched pair in 31 tries at 8% failure";
+    const auto sent = cloud_.p2p().Send("s", 0, dst, "inbox", Bytes(1000, 5));
+    ASSERT_TRUE(sent.status.ok());
+    EXPECT_GT(sent.latency, 0.0);
+    sim_.Hold(sent.latency + 0.01);
+    auto got = cloud_.p2p().BlockingPopAll("s", "inbox", 10, /*wait_s=*/1.0);
+    ASSERT_TRUE(got.ok());
+    ASSERT_EQ(got->size(), 1u);
+    EXPECT_EQ((*got)[0], Bytes(1000, 5));
+    EXPECT_EQ(cloud_.billing().line(BillingDimension::kP2pByte).quantity,
+              1000.0);
+    // Sends and pops carry NO per-request service charge: the kv/queue
+    // request dimensions never moved.
+    EXPECT_EQ(cloud_.billing().line(BillingDimension::kKvRequest).quantity,
+              0.0);
+    // A pair that never punched cannot use the fabric.
+    int32_t unpunched = -1;
+    for (int32_t d = 1; d < 256 && unpunched < 0; ++d) {
+      if (!cloud_.p2p().Connect("s", 1, d).punched) unpunched = d;
+    }
+    ASSERT_GE(unpunched, 0);
+    EXPECT_EQ(cloud_.p2p().Send("s", 1, unpunched, "x", Bytes{1}).status.code(),
+              StatusCode::kFailedPrecondition);
+  });
+}
+
+TEST_F(CloudTest, P2pDeleteSessionUnblocksWaiters) {
+  ASSERT_TRUE(cloud_.p2p().CreateSession("s").ok());
+  EXPECT_FALSE(cloud_.p2p().CreateSession("s").ok());  // AlreadyExists
+  Status pop_status = Status::OK();
+  sim_.AddProcess("consumer", [&] {
+    auto got = cloud_.p2p().BlockingPopAll("s", "inbox", 10, /*wait_s=*/60.0);
+    pop_status = got.status();
+  });
+  sim_.AddProcess("deleter", [&] {
+    sim_.Hold(1.0);
+    ASSERT_TRUE(cloud_.p2p().DeleteSession("s").ok());
+  });
+  sim_.Run();
+  EXPECT_EQ(pop_status.code(), StatusCode::kNotFound) << pop_status.ToString();
+  EXPECT_FALSE(cloud_.p2p().SessionExists("s"));
+  EXPECT_EQ(sim_.live_processes(), 0);
+}
+
 }  // namespace
 }  // namespace fsd::cloud

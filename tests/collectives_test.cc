@@ -2,6 +2,9 @@
 // primitives: Send/Recv/Barrier/Reduce/Broadcast).
 #include <gtest/gtest.h>
 
+#include <array>
+#include <vector>
+
 #include "cloud/cloud.h"
 #include "common/strings.h"
 #include "core/collectives.h"
@@ -33,13 +36,17 @@ class CollectivesTest : public ::testing::Test {
     options_.object_scan_interval_s = 0.01;
   }
 
+  /// May be called several times per test (each call provisions under the
+  /// current options_ and drives the fleet to quiescence); function names
+  /// are epoch-qualified so repeated calls never collide.
   void RunWorkers(int32_t count,
                   std::function<void(WorkerEnv*, CommChannel*)> body) {
+    const int epoch = epoch_++;
     FSD_CHECK_OK(Channel::Provision(&cloud_, options_));
     metrics_.resize(count);
     for (int32_t id = 0; id < count; ++id) {
       cloud::FaasFunctionConfig fn;
-      fn.name = StrFormat("w%d", id);
+      fn.name = StrFormat("e%d-w%d", epoch, id);
       fn.memory_mb = 2048;
       fn.timeout_s = 600.0;
       WorkerMetrics* metrics = &metrics_[id];
@@ -56,9 +63,9 @@ class CollectivesTest : public ::testing::Test {
       };
       FSD_CHECK_OK(cloud_.faas().RegisterFunction(fn));
     }
-    sim_.AddProcess("kickoff", [this, count]() {
+    sim_.AddProcess(StrFormat("kickoff-%d", epoch), [this, epoch, count]() {
       for (int32_t id = 0; id < count; ++id) {
-        cloud_.faas().InvokeAsync(StrFormat("w%d", id), {});
+        cloud_.faas().InvokeAsync(StrFormat("e%d-w%d", epoch, id), {});
       }
     });
     sim_.Run();
@@ -67,6 +74,7 @@ class CollectivesTest : public ::testing::Test {
   sim::Simulation sim_;
   cloud::CloudEnv cloud_;
   FsdOptions options_;
+  int epoch_ = 0;
   std::vector<WorkerMetrics> metrics_;
 };
 
@@ -136,6 +144,59 @@ TYPED_TEST(CollectivesTest, BroadcastDeliversRootRowsToAll) {
   for (int32_t m = 0; m < 4; ++m) {
     ASSERT_EQ(got[m].size(), 1u) << "worker " << m;
     EXPECT_EQ(got[m].at(7), rows.at(7));
+  }
+}
+
+TYPED_TEST(CollectivesTest, EveryTopologyMatchesThroughRootByteForByte) {
+  // The refactor's central invariant: the topology is pure routing. For
+  // every fleet size the tree and ring reduce+broadcast must hand back
+  // exactly the rows the single-round through-root exchange produces —
+  // same keys, same float bits — at the root and at every broadcast
+  // receiver.
+  constexpr CollectiveTopology kTopologies[] = {
+      CollectiveTopology::kThroughRoot, CollectiveTopology::kBinomialTree,
+      CollectiveTopology::kRing};
+  for (int32_t workers = 1; workers <= 9; ++workers) {
+    std::array<linalg::ActivationMap, 3> reduced;
+    std::array<std::vector<linalg::ActivationMap>, 3> bcast;
+    for (size_t t = 0; t < 3; ++t) {
+      const CollectiveTopology topology = kTopologies[t];
+      this->options_.num_workers = workers;
+      this->options_.collective_topology = topology;
+      this->options_.channel_scope = StrFormat("inv-p%d-t%zu-", workers, t);
+      bcast[t].resize(workers);
+      this->RunWorkers(
+          workers, [&, topology, workers](WorkerEnv* env, CommChannel* ch) {
+            const PhaseAllocator phases(0, 0,
+                                        CollectiveRounds(topology, workers));
+            // Worker m owns rows {m, m+100} with m-dependent values.
+            const linalg::ActivationMap mine =
+                MakeRows({env->worker_id, env->worker_id + 100},
+                         static_cast<float>(env->worker_id) + 0.5f);
+            auto r = Reduce(ch, env, topology,
+                            phases.Block(CollectiveOp::kReduce), workers,
+                            mine);
+            ASSERT_TRUE(r.ok()) << r.status().ToString();
+            if (env->worker_id == 0) reduced[t] = *r;
+            auto b = Broadcast(
+                ch, env, topology, phases.Block(CollectiveOp::kBroadcast),
+                workers,
+                env->worker_id == 0 ? *r : linalg::ActivationMap{});
+            ASSERT_TRUE(b.ok()) << b.status().ToString();
+            bcast[t][env->worker_id] = std::move(*b);
+          });
+    }
+    ASSERT_EQ(reduced[0].size(), 2u * static_cast<size_t>(workers));
+    for (size_t t = 1; t < 3; ++t) {
+      EXPECT_EQ(reduced[t], reduced[0])
+          << "P=" << workers << " topology " << t;
+      for (int32_t w = 0; w < workers; ++w) {
+        EXPECT_EQ(bcast[t][w], bcast[0][w])
+            << "P=" << workers << " topology " << t << " worker " << w;
+        EXPECT_EQ(bcast[t][w], reduced[0])
+            << "P=" << workers << " topology " << t << " worker " << w;
+      }
+    }
   }
 }
 

@@ -131,6 +131,27 @@ TEST(EndToEnd, KvMatchesReference) {
             0.0);
 }
 
+TEST(EndToEnd, DirectMatchesReference) {
+  Workload w = MakeWorkload(256, 12, 16);
+  part::ModelPartition partition = MakePartition(w.dnn, 4);
+  InferenceReport report = RunVariant(w, partition, Variant::kDirect, 4);
+  ASSERT_EQ(report.outputs.size(), 1u);
+  ExpectSameActivations(w.expected, report.outputs[0]);
+  // Most traffic rides punched links; the deterministic punch-failure
+  // fraction relays through the KV namespace.
+  EXPECT_GT(report.metrics.totals.direct_connects, 0);
+  EXPECT_GT(report.metrics.totals.direct_msgs, 0);
+  EXPECT_GT(report.metrics.totals.direct_pops, 0);
+  // No queue/object traffic leaks onto the direct path.
+  EXPECT_EQ(report.metrics.totals.publishes, 0);
+  EXPECT_EQ(report.metrics.totals.puts_dat, 0);
+  // Ledger saw the p2p dimensions.
+  EXPECT_GT(report.billing.quantity(cloud::BillingDimension::kP2pConnection),
+            0.0);
+  EXPECT_GT(report.billing.quantity(cloud::BillingDimension::kP2pByte), 0.0);
+  EXPECT_GT(report.billing.comm_cost, 0.0);
+}
+
 // ---------------------------------------------------------------------------
 // Parameterized correctness sweep: (variant, P, partition scheme).
 // ---------------------------------------------------------------------------
@@ -153,10 +174,46 @@ TEST_P(DistributedCorrectness, MatchesSerialReference) {
 INSTANTIATE_TEST_SUITE_P(
     Sweep, DistributedCorrectness,
     ::testing::Combine(
-        ::testing::Values(Variant::kQueue, Variant::kObject, Variant::kKv),
+        ::testing::Values(Variant::kQueue, Variant::kObject, Variant::kKv,
+                          Variant::kDirect),
         ::testing::Values(2, 3, 8, 13),
         ::testing::Values(part::PartitionScheme::kHypergraph,
                           part::PartitionScheme::kRandom)));
+
+TEST(EndToEnd, TopologiesProduceByteIdenticalOutputsOnEveryBackend) {
+  // The collective topology is pure routing: on every backend the tree and
+  // ring runs must emit outputs bit-equal (not merely float-close) to the
+  // through-root run's, which itself matches the serial reference.
+  Workload w = MakeWorkload(256, 6, 8);
+  part::ModelPartition partition = MakePartition(w.dnn, 5);
+  for (Variant variant : {Variant::kQueue, Variant::kObject, Variant::kKv,
+                          Variant::kDirect}) {
+    std::vector<linalg::ActivationMap> outputs;
+    for (CollectiveTopology topology :
+         {CollectiveTopology::kThroughRoot, CollectiveTopology::kBinomialTree,
+          CollectiveTopology::kRing}) {
+      sim::Simulation sim;
+      cloud::CloudEnv cloud(&sim);
+      InferenceRequest request;
+      request.dnn = &w.dnn;
+      request.partition = &partition;
+      request.batches = {&w.input};
+      request.options.variant = variant;
+      request.options.num_workers = 5;
+      request.options.collective_topology = topology;
+      auto report = RunInference(&cloud, request);
+      ASSERT_TRUE(report.ok()) << report.status().ToString();
+      ASSERT_TRUE(report->status.ok())
+          << VariantName(variant) << "/" << CollectiveTopologyName(topology)
+          << ": " << report->status.ToString();
+      ASSERT_EQ(report->outputs.size(), 1u);
+      outputs.push_back(std::move(report->outputs[0]));
+    }
+    ExpectSameActivations(w.expected, outputs[0]);
+    EXPECT_EQ(outputs[1], outputs[0]) << VariantName(variant);
+    EXPECT_EQ(outputs[2], outputs[0]) << VariantName(variant);
+  }
+}
 
 TEST(EndToEnd, MultiBatchReusesWorkerTree) {
   Workload w = MakeWorkload(256, 8, 8);
@@ -259,20 +316,25 @@ TEST(EndToEnd, CostModelPredictionMatchesLedger) {
   // metrics must match the billing ledger's actuals for both channels.
   Workload w = MakeWorkload(384, 10, 16);
   part::ModelPartition partition = MakePartition(w.dnn, 5);
-  for (Variant variant :
-       {Variant::kQueue, Variant::kObject, Variant::kKv}) {
+  for (Variant variant : {Variant::kQueue, Variant::kObject, Variant::kKv,
+                          Variant::kDirect}) {
     Workload local = MakeWorkload(384, 10, 16);
     InferenceReport report = RunVariant(local, partition, variant, 5);
     // Communication: the prediction counts IPC plus the cache-aware
     // model-read GET term (the share GETs each worker actually issued);
-    // the ledger delta additionally contains (for KV) the namespace's node
-    // time billed at teardown, so compare with that removed.
+    // the ledger delta additionally contains (for KV, and for direct's
+    // relay namespace) the node time billed at teardown, so compare with
+    // that removed. The direct channel's billed-byte counters are exact by
+    // construction, so hold it to the 0.1% acceptance bar.
     const double node_cost =
         report.billing.quantity(cloud::BillingDimension::kKvNodeSecond) *
         cloud::PricingConfig{}.kv_node_hourly / 3600.0;
     const double ledger_ipc = report.billing.comm_cost - node_cost;
-    EXPECT_NEAR(report.predicted.communication, ledger_ipc,
-                0.02 * std::max(1e-9, ledger_ipc) + 1e-7)
+    const double comm_tolerance =
+        variant == Variant::kDirect
+            ? 0.001 * std::max(1e-9, ledger_ipc)
+            : 0.02 * std::max(1e-9, ledger_ipc) + 1e-7;
+    EXPECT_NEAR(report.predicted.communication, ledger_ipc, comm_tolerance)
         << VariantName(variant);
     // The model-read GETs in the metrics reconcile exactly with the
     // ledger: object GETs = channel GETs + share GETs.

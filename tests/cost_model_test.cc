@@ -165,6 +165,26 @@ TEST(CostModel, KvCostTerms) {
   EXPECT_GT(pricing.kv_per_processed_byte, pricing.pubsub_per_byte);
 }
 
+TEST(CostModel, DirectCostTerms) {
+  const cloud::PricingConfig pricing = Pricing();
+  const CostBreakdown cost =
+      DirectCost(pricing, 8, 10.0, 1000, /*connections=*/56.0,
+                 /*direct_bytes=*/2.0e9, /*relay_requests=*/400.0,
+                 /*relay_processed_bytes=*/1.0e8);
+  EXPECT_DOUBLE_EQ(cost.communication,
+                   56.0 * pricing.p2p_per_connection +
+                       2.0e9 * pricing.p2p_per_byte +
+                       400.0 * pricing.kv_per_request +
+                       1.0e8 * pricing.kv_per_processed_byte);
+  EXPECT_DOUBLE_EQ(cost.total, cost.compute + cost.communication);
+  // The pricing relationships the direct channel's pitch rests on: moving
+  // a byte over a punched link undercuts KV's processed-byte metering by
+  // a wide margin, while the connection charge is a real standing fee that
+  // must amortize over the run (it dwarfs a single KV request).
+  EXPECT_LT(pricing.p2p_per_byte * 10, pricing.kv_per_processed_byte);
+  EXPECT_GT(pricing.p2p_per_connection, pricing.kv_per_request);
+}
+
 TEST(CostModel, BreakdownToString) {
   CostBreakdown cost{0.10, 0.25, 0.35};
   const std::string s = cost.ToString();

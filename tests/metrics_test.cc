@@ -228,6 +228,73 @@ TEST(FleetStats, NoDeadlinesMeansFullAttainment) {
   EXPECT_DOUBLE_EQ(fleet.goodput_qps, fleet.throughput_qps);
 }
 
+TEST(LayerMetrics, AddAccumulatesDirectAndCollectiveCounters) {
+  LayerMetrics a;
+  a.direct_connects = 2;
+  a.punch_failures = 1;
+  a.direct_msgs = 5;
+  a.direct_billed_bytes = 1000;
+  a.relay_fallback_msgs = 3;
+  a.direct_pops = 7;
+  a.direct_empty_pops = 2;
+  a.collective_rounds = 4;
+  a.collective_round_s = 0.25;
+  LayerMetrics b;
+  b.direct_connects = 1;
+  b.punch_failures = 2;
+  b.direct_msgs = 10;
+  b.direct_billed_bytes = 500;
+  b.relay_fallback_msgs = 1;
+  b.direct_pops = 3;
+  b.direct_empty_pops = 1;
+  b.collective_rounds = 6;
+  b.collective_round_s = 0.15;
+  a.Add(b);
+  EXPECT_EQ(a.direct_connects, 3);
+  EXPECT_EQ(a.punch_failures, 3);
+  EXPECT_EQ(a.direct_msgs, 15);
+  EXPECT_EQ(a.direct_billed_bytes, 1500);
+  EXPECT_EQ(a.relay_fallback_msgs, 4);
+  EXPECT_EQ(a.direct_pops, 10);
+  EXPECT_EQ(a.direct_empty_pops, 3);
+  EXPECT_EQ(a.collective_rounds, 10);
+  EXPECT_DOUBLE_EQ(a.collective_round_s, 0.40);
+}
+
+TEST(FleetStats, DirectLinkAndCollectiveRoundCountersAggregate) {
+  FleetStats fleet;
+  RunMetrics first;
+  first.totals.direct_connects = 3;
+  first.totals.punch_failures = 1;
+  first.totals.relay_fallback_msgs = 2;
+  first.totals.collective_rounds = 4;
+  first.totals.collective_round_s = 0.4;
+  fleet.AddQuery(Sample(0.0, 1.0, 1.0, 0.0), first);
+  RunMetrics second;
+  second.totals.direct_connects = 1;
+  second.totals.collective_rounds = 6;
+  second.totals.collective_round_s = 0.2;
+  fleet.AddQuery(Sample(0.0, 2.0, 2.0, 0.0), second);
+  // Non-completed queries contribute nothing (consistent with every other
+  // per-run aggregate: only served queries enter fleet totals).
+  RunMetrics failed;
+  failed.totals.direct_connects = 100;
+  failed.totals.collective_rounds = 100;
+  fleet.AddQuery(Sample(0.0, 3.0, 3.0, 0.0, QueryDisposition::kFailed),
+                 failed);
+  fleet.Finalize();
+  EXPECT_EQ(fleet.direct_connects, 4);
+  EXPECT_EQ(fleet.punch_failures, 1);
+  EXPECT_EQ(fleet.relay_fallbacks, 2);
+  EXPECT_EQ(fleet.collective_rounds, 10);
+  // Mean per-round time pools the time over the pooled round count.
+  EXPECT_DOUBLE_EQ(fleet.collective_round_mean_s, 0.6 / 10.0);
+  // The counters surface in the operator-facing summary.
+  const std::string summary = fleet.Summary();
+  EXPECT_NE(summary.find("relay"), std::string::npos) << summary;
+  EXPECT_NE(summary.find("round"), std::string::npos) << summary;
+}
+
 TEST(Arrivals, PoissonIsDeterministicPerSeed) {
   const auto a = PoissonArrivals(2.0, 64, 42);
   const auto b = PoissonArrivals(2.0, 64, 42);
