@@ -68,14 +68,22 @@ FaasService::InvokeOutcome FaasService::InvokeAsync(const std::string& name,
   outcome.completion = sim_->MakeSignal();
   billing_->Record(BillingDimension::kFaasInvocation, 1);
 
-  // Warm-instance pool: reclaim expired instances (their state dies with
-  // them), then try to grab the most recently released one (LIFO reuse).
+  // Warm-instance pools: reclaim expired instances fleet-wide (their state
+  // dies with them — an instance past its keep-alive must not linger just
+  // because ITS function went quiet; observers holding weak references to
+  // instance state, like the share distributor's holder registry, rely on
+  // expiry actually freeing it), then try to grab the most recently
+  // released one of this function's pool (LIFO reuse).
   const double now = sim_->Now();
+  for (auto& entry : functions_) {
+    auto& expired = entry.second.warm;
+    expired.erase(
+        std::remove_if(
+            expired.begin(), expired.end(),
+            [now](const Instance& i) { return i.warm_until <= now; }),
+        expired.end());
+  }
   auto& pool = fn.warm;
-  pool.erase(std::remove_if(
-                 pool.begin(), pool.end(),
-                 [now](const Instance& i) { return i.warm_until <= now; }),
-             pool.end());
   const bool cold = pool.empty();
   Instance instance;
   if (cold) {

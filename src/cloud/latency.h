@@ -61,9 +61,10 @@ struct LatencyConfig {
   OpLatency kv_pop{0.0008, 0.30, 260.0e6};
 
   // Direct worker-to-worker links (FMI-style NAT hole punching over TCP).
-  /// One-time STUN exchange + punch handshake per ordered worker pair,
-  /// brokered by the coordinator; punches run concurrently on async
-  /// sockets, so a worker pays roughly one sample regardless of fan-out.
+  /// One-time STUN exchange + punch handshake per worker pair (mutual —
+  /// one handshake serves both directions), brokered by the coordinator;
+  /// punches run concurrently on async sockets, so a worker pays roughly
+  /// one sample regardless of fan-out.
   OpLatency p2p_setup{0.025, 0.30, 0.0};
   /// Per-message dispatch latency on an established link (kernel TCP path,
   /// no service hop — the latency class below even the in-memory KV).
@@ -73,9 +74,9 @@ struct LatencyConfig {
   /// [1 - spread/2, 1 + spread/2] (NAT path quality varies per pair).
   double p2p_bandwidth_bytes_per_s = 300.0e6;
   double p2p_bandwidth_spread = 0.5;
-  /// Fraction of ordered pairs whose hole punch fails (symmetric NATs,
+  /// Fraction of worker pairs whose hole punch fails (symmetric NATs,
   /// carrier-grade NAT): those pairs fall back to the KV relay.
-  /// Deterministic per (session, src, dst).
+  /// Deterministic and symmetric per (session, {src, dst}).
   double p2p_punch_failure_rate = 0.08;
 
   // VM lifecycle (EC2 + image boot)

@@ -14,7 +14,7 @@ uint64_t Mix64(uint64_t x) {
   return x ^ (x >> 31);
 }
 
-/// Deterministic uniform in [0, 1) for an ordered pair within a session.
+/// Deterministic uniform in [0, 1) for an unordered pair within a session.
 /// Independent of call order, so which pairs punch (and each pair's link
 /// quality) is a property of the configuration, not of scheduling.
 double PairUniform(const std::string& session, int32_t src, int32_t dst,
@@ -24,6 +24,14 @@ double PairUniform(const std::string& session, int32_t src, int32_t dst,
   h = Mix64(h ^ ((static_cast<uint64_t>(static_cast<uint32_t>(src)) << 32) |
                  static_cast<uint32_t>(dst)));
   return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+/// Canonical key for the one physical link a pair shares. A NAT hole punch
+/// is mutual — the handshake establishes src<->dst in both directions — so
+/// link state, the punch verdict and the connection charge must be keyed
+/// by the unordered pair, never once per asking side.
+std::pair<int32_t, int32_t> LinkKey(int32_t a, int32_t b) {
+  return a <= b ? std::make_pair(a, b) : std::make_pair(b, a);
 }
 
 }  // namespace
@@ -71,16 +79,19 @@ P2pFabric::ConnectOutcome P2pFabric::Connect(const std::string& session,
     outcome.status = Status::NotFound("no such p2p session: " + session);
     return outcome;
   }
-  auto [it, fresh] = s->links.try_emplace({src, dst});
+  const std::pair<int32_t, int32_t> pair = LinkKey(src, dst);
+  auto [it, fresh] = s->links.try_emplace(pair);
   Link& link = it->second;
   if (fresh) {
     link.punched =
-        PairUniform(session, src, dst, 0x70756e6368ull) >=
+        PairUniform(session, pair.first, pair.second, 0x70756e6368ull) >=
         latency_->p2p_punch_failure_rate;
     if (link.punched) {
       const double spread = latency_->p2p_bandwidth_spread;
       const double factor =
-          1.0 + spread * (PairUniform(session, src, dst, 0x62616e64ull) - 0.5);
+          1.0 + spread * (PairUniform(session, pair.first, pair.second,
+                                      0x62616e64ull) -
+                          0.5);
       link.bandwidth_bytes_per_s =
           latency_->p2p_bandwidth_bytes_per_s * factor;
       link.ready_at = sim_->Now() + latency_->p2p_setup.Sample(&rng_);
@@ -108,7 +119,7 @@ P2pFabric::SendOutcome P2pFabric::Send(const std::string& session,
     outcome.status = Status::NotFound("no such p2p session: " + session);
     return outcome;
   }
-  auto it = s->links.find({src, dst});
+  auto it = s->links.find(LinkKey(src, dst));
   if (it == s->links.end() || !it->second.punched) {
     outcome.status = Status::FailedPrecondition(
         "no punched p2p link for pair; use the relay");

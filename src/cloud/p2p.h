@@ -3,8 +3,10 @@
 //
 // Models what distinguishes direct TCP links from every managed service in
 // this cloud:
-//  - a one-time, per-ordered-pair connection setup (STUN exchange + hole
-//    punch brokered by the coordinator), billed per established link
+//  - a one-time, per-unordered-pair connection setup (STUN exchange + hole
+//    punch brokered by the coordinator — punching is mutual, so the pair
+//    shares ONE physical link whichever side asks first), billed once per
+//    established link
 //  - deterministic, probabilistic punch FAILURE per pair (symmetric /
 //    carrier-grade NATs): failed pairs must relay through a managed
 //    service instead — the fabric never carries their data
@@ -58,8 +60,10 @@ class P2pFabric {
     /// Link established; false means the hole punch failed and the pair
     /// must relay through a managed service.
     bool punched = false;
-    /// First Connect for this ordered pair (a fresh punch attempt was
-    /// made; successful fresh punches bill one kP2pConnection).
+    /// First Connect touching this unordered pair from either side (a
+    /// fresh punch attempt was made; successful fresh punches bill one
+    /// kP2pConnection). Connect(b, a) after Connect(a, b) is NOT fresh:
+    /// the handshake already established the link both ways.
     bool fresh = false;
     /// Seconds until the link is usable (remaining handshake time; sends
     /// dispatched earlier deliver after the link is ready). Zero once the
@@ -67,11 +71,12 @@ class P2pFabric {
     double setup_s = 0.0;
   };
 
-  /// Ensures a link src->dst exists (idempotent; cached after the first
-  /// call). Non-blocking: the punch handshake runs on async sockets, so
-  /// the caller keeps working while it completes. Whether a pair punches
-  /// at all is DETERMINISTIC in (session, src, dst) — independent of call
-  /// order — so reruns and the cost model agree on which pairs relay.
+  /// Ensures the pair's link exists (idempotent; cached after the first
+  /// call from either side). Non-blocking: the punch handshake runs on
+  /// async sockets, so the caller keeps working while it completes.
+  /// Whether a pair punches at all is DETERMINISTIC in
+  /// (session, {src, dst}) — symmetric and independent of call order — so
+  /// reruns and the cost model agree on which pairs relay.
   ConnectOutcome Connect(const std::string& session, int32_t src,
                          int32_t dst);
 

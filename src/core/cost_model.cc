@@ -88,19 +88,76 @@ CostBreakdown SerialCost(const cloud::PricingConfig& pricing,
   return out;
 }
 
+double ShareTransferCost(const cloud::PricingConfig& pricing,
+                         int64_t peer_connects, int64_t peer_bytes,
+                         int64_t relay_requests, int64_t relay_bytes) {
+  return static_cast<double>(peer_connects) * pricing.p2p_per_connection +
+         static_cast<double>(peer_bytes) * pricing.p2p_per_byte +
+         static_cast<double>(relay_requests) * pricing.kv_per_request +
+         static_cast<double>(relay_bytes) * pricing.kv_per_processed_byte;
+}
+
+ShareTransferEstimate EstimateShareTransfer(
+    const cloud::PricingConfig& pricing, const cloud::LatencyConfig& latency,
+    const cloud::ComputeModelConfig& compute, uint64_t share_bytes,
+    uint64_t relay_chunk_bytes) {
+  ShareTransferEstimate est;
+  const double bytes = static_cast<double>(share_bytes);
+
+  // Storage path: multipart GETs priced per request, then the read is
+  // deserialized into the in-memory representation.
+  const double parts =
+      static_cast<double>(ModelReadGetParts(share_bytes));
+  est.storage_cost = parts * pricing.object_per_get;
+  est.storage_load_s = latency.object_get.median_s +
+                       bytes / latency.object_get.bytes_per_s +
+                       bytes / compute.deserialize_bytes_per_s;
+
+  // Peer path: an expected blend of the punched fabric (one connection +
+  // bytes, memory-to-memory so no re-deserialization) and the KV relay
+  // (value-capped chunks billed per request and per processed byte, both
+  // directions) at the environment's punch-failure rate.
+  const double f = latency.p2p_punch_failure_rate;
+  const double punched_cost =
+      pricing.p2p_per_connection + bytes * pricing.p2p_per_byte;
+  const double chunk =
+      static_cast<double>(relay_chunk_bytes > 0 ? relay_chunk_bytes : 1);
+  const double chunks = std::max(1.0, std::ceil(bytes / chunk));
+  const double pops = std::ceil(chunks / cloud::kMaxValuesPerPop);
+  const double relay_cost = (chunks + pops) * pricing.kv_per_request +
+                            2.0 * bytes * pricing.kv_per_processed_byte;
+  est.peer_cost = (1.0 - f) * punched_cost + f * relay_cost;
+
+  const double punched_s = latency.p2p_setup.median_s +
+                           latency.p2p_send.median_s +
+                           bytes / latency.p2p_bandwidth_bytes_per_s;
+  const double relay_s = latency.kv_push.median_s + latency.kv_pop.median_s +
+                         bytes / latency.kv_push.bytes_per_s +
+                         bytes / latency.kv_pop.bytes_per_s;
+  est.peer_load_s = (1.0 - f) * punched_s + f * relay_s;
+  est.peer_cheaper = est.peer_cost < est.storage_cost;
+  return est;
+}
+
 namespace {
 
-/// Adds the cache-aware model-read term to a variant's IPC breakdown: the
-/// share GETs actually issued (cache hits issued none) at C_S3(Get). Kept
-/// for every variant — queue/KV runs read their shares from object storage
-/// too, which is why the ledger shows object GETs for them.
+/// Adds the model-share load terms to a variant's IPC breakdown: the share
+/// GETs actually issued (cache hits issued none) at C_S3(Get), plus the
+/// peer-transfer charges when misses resolved from warm peers instead
+/// (ShareTransferCost over the run's share-transfer mirrors). Kept for
+/// every variant — queue/KV runs read their shares from object storage
+/// (or peers) too, which is why the ledger shows those dimensions moving
+/// for them.
 CostBreakdown AddModelReads(CostBreakdown cost,
                             const cloud::PricingConfig& pricing,
                             const RunMetrics& metrics) {
   const double model_read_cost =
       static_cast<double>(metrics.model_get_parts) * pricing.object_per_get;
-  cost.communication += model_read_cost;
-  cost.total += model_read_cost;
+  const double transfer_cost = ShareTransferCost(
+      pricing, metrics.share_peer_connects, metrics.share_peer_bytes,
+      metrics.share_relay_requests, metrics.share_relay_bytes);
+  cost.communication += model_read_cost + transfer_cost;
+  cost.total += model_read_cost + transfer_cost;
   return cost;
 }
 
@@ -240,14 +297,20 @@ WorkloadEstimate EstimateWorkload(const model::SparseDnn& dnn,
   const double compress_ratio = options.compress ? 0.6 : 1.0;
 
   int64_t pairs = 0;  // (source, target) pairs across layers
+  // Punching is mutual (one physical link per unordered pair), so the
+  // connection estimate collapses both directions onto one key — matching
+  // the fabric, which bills one kP2pConnection per pair.
   std::set<std::pair<int32_t, int32_t>> distinct_pairs;
+  auto link_key = [](int32_t a, int32_t b) {
+    return a <= b ? std::make_pair(a, b) : std::make_pair(b, a);
+  };
   int32_t source = 0;
   for (const part::LayerComm& layer : partition.layers) {
     source = 0;
     for (const auto& sends : layer.send) {
       pairs += static_cast<int64_t>(sends.size());
       for (const part::SendEntry& entry : sends) {
-        distinct_pairs.emplace(source, entry.peer);
+        distinct_pairs.insert(link_key(source, entry.peer));
         const double rows_active =
             static_cast<double>(entry.rows.size()) * activation_density;
         const double bytes = rows_active * per_row_bytes * compress_ratio;
@@ -278,10 +341,9 @@ WorkloadEstimate EstimateWorkload(const model::SparseDnn& dnn,
       ++source;
     }
   }
-  // The barrier + reduce tail also exercises every (m, root) pair.
+  // The barrier + reduce tail also exercises every {m, root} pair.
   for (int32_t m = 1; m < partition.num_parts; ++m) {
-    distinct_pairs.emplace(m, 0);
-    distinct_pairs.emplace(0, m);
+    distinct_pairs.insert(link_key(m, 0));
   }
   est.direct_connections = static_cast<double>(distinct_pairs.size());
   // Publishes can batch ~min(10, targets) messages; polls retrieve up to 10

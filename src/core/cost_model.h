@@ -11,6 +11,7 @@
 
 #include "cloud/billing.h"
 #include "cloud/faas.h"
+#include "cloud/latency.h"
 #include "core/fsd_config.h"
 #include "core/metrics.h"
 #include "model/sparse_dnn.h"
@@ -66,11 +67,45 @@ CostBreakdown DirectCost(const cloud::PricingConfig& pricing,
 CostBreakdown SerialCost(const cloud::PricingConfig& pricing,
                          double runtime_s, int32_t memory_mb);
 
+/// Billing-exact dollars for moving model shares between instances
+/// (λScale-style peer distribution): fresh punched links at
+/// C_P2P(connection), fabric bytes at C_P2P(byte), and — for pulls whose
+/// punch failed — KV relay requests and processed bytes at the cache's
+/// pricing. The arguments are the share-transfer mirror counters the
+/// ShareDistributor records as it bills, so predictions built on run
+/// metrics reconcile with the ledger exactly.
+double ShareTransferCost(const cloud::PricingConfig& pricing,
+                         int64_t peer_connects, int64_t peer_bytes,
+                         int64_t relay_requests, int64_t relay_bytes);
+
+/// A-priori peer-transfer vs. storage-read break-even for one cold load of
+/// a `share_bytes` share: expected dollars and load seconds down each
+/// path. The peer path blends the punched fabric (one connection + bytes;
+/// memory-to-memory, so no re-deserialization) with the KV relay
+/// (value-capped chunks at request + processed-byte pricing) at the
+/// environment's punch-failure rate. Feeds the pre-warm policy's budget
+/// accounting and the docs' break-even discussion; the measured-path
+/// reconciliation uses ShareTransferCost, never this estimate.
+struct ShareTransferEstimate {
+  double storage_cost = 0.0;    ///< ModelReadGetParts(bytes) * C_S3(Get)
+  double peer_cost = 0.0;       ///< expected peer-path dollars
+  double storage_load_s = 0.0;  ///< GET + transfer + deserialization time
+  double peer_load_s = 0.0;     ///< expected peer transfer time
+  bool peer_cheaper = false;    ///< peer_cost < storage_cost
+};
+
+ShareTransferEstimate EstimateShareTransfer(
+    const cloud::PricingConfig& pricing, const cloud::LatencyConfig& latency,
+    const cloud::ComputeModelConfig& compute, uint64_t share_bytes,
+    uint64_t relay_chunk_bytes);
+
 /// Predicts the run's cost from its measured metrics (the §VI-F validation
 /// path: fine-grained counters -> predicted dollars). Includes the
 /// cache-aware model-read term: the multipart GETs each worker issued for
 /// its weight share (metrics.model_get_parts — zero for workers whose
-/// partition-cache lookup hit) priced at C_S3(Get), on top of the
+/// partition-cache lookup hit) priced at C_S3(Get), plus the peer
+/// share-transfer term (ShareTransferCost over the run's share-transfer
+/// mirrors) for misses a warm peer served, on top of the
 /// variant's IPC terms. When `metrics` is a batched member's sliced view
 /// (metrics.tree_share < 1), the per-invocation FaaS term is scaled to the
 /// member's batch share of its shared worker tree, so member predictions
@@ -109,10 +144,11 @@ struct WorkloadEstimate {
   double lists = 0.0;
   double kv_requests = 0.0;
   double kv_processed_bytes = 0.0;
-  /// Direct variant: distinct ordered worker pairs that communicate (each
-  /// punched pair bills one connection), value-capped messages, and the
-  /// bytes they carry. The caller splits messages/bytes between links and
-  /// the KV relay by the environment's punch-failure rate.
+  /// Direct variant: distinct unordered worker pairs that communicate
+  /// (punching is mutual — each punched pair bills exactly one
+  /// connection), value-capped messages, and the bytes they carry. The
+  /// caller splits messages/bytes between links and the KV relay by the
+  /// environment's punch-failure rate.
   double direct_connections = 0.0;
   double direct_messages = 0.0;
   double direct_bytes = 0.0;

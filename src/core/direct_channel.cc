@@ -10,8 +10,11 @@
 namespace fsd::core {
 namespace {
 
-/// Ensures the ordered link src->dst exists and accounts a fresh punch
-/// attempt (whichever side asks first — punching is mutual — books it).
+/// Ensures the pair's link exists and accounts a fresh punch attempt.
+/// Punching is mutual, so the fabric keys link state by the unordered
+/// pair: whichever side asks first books the one connection/failure, and
+/// the reverse direction's Connect is a free cache hit — never a second
+/// charge for the same physical link.
 /// Returns whether the pair is punched (false: the pair relays via KV).
 Result<bool> EnsureLink(WorkerEnv* env, LayerMetrics* metrics,
                         const std::string& session, int32_t src,

@@ -88,6 +88,16 @@ void RunMetrics::Finalize() {
   cache_misses = 0;
   cache_evictions = 0;
   cache_invalidations = 0;
+  cache_oversize_rejects = 0;
+  share_loads_storage = 0;
+  share_loads_peer = 0;
+  prewarmed_hits = 0;
+  share_peer_connects = 0;
+  share_peer_chunks = 0;
+  share_peer_bytes = 0;
+  share_relay_chunks = 0;
+  share_relay_requests = 0;
+  share_relay_bytes = 0;
   for (WorkerMetrics& w : workers) {
     w.Finalize();
     totals.Add(w.totals);
@@ -103,6 +113,16 @@ void RunMetrics::Finalize() {
     cache_misses += w.cache_misses;
     cache_evictions += w.cache_evictions;
     cache_invalidations += w.cache_invalidations;
+    cache_oversize_rejects += w.cache_oversize_rejects;
+    share_loads_storage += w.share_loads_storage;
+    share_loads_peer += w.share_loads_peer;
+    prewarmed_hits += w.prewarmed_hits;
+    share_peer_connects += w.share_peer_connects;
+    share_peer_chunks += w.share_peer_chunks;
+    share_peer_bytes += w.share_peer_bytes;
+    share_relay_chunks += w.share_relay_chunks;
+    share_relay_requests += w.share_relay_requests;
+    share_relay_bytes += w.share_relay_bytes;
   }
   if (!workers.empty()) mean_worker_s /= static_cast<double>(workers.size());
 }
@@ -113,7 +133,7 @@ std::string RunMetrics::Summary() const {
       "publishes=%lld puts=%lld/%lld polls=%lld (%lld empty) lists=%lld "
       "gets=%lld kv=%lld/%lld direct=%lld msgs (%lld links, %lld relayed) "
       "rounds=%lld (%.1fms/round) recv_rows=%lld cache=%lld/%lld hit/miss "
-      "(%s saved)",
+      "(%s saved) shares=%lld/%lld/%lld storage/peer/prewarmed",
       workers.size(), mean_worker_s, max_worker_s,
       static_cast<long long>(totals.send_chunks),
       HumanBytes(static_cast<double>(totals.send_wire_bytes)).c_str(),
@@ -138,7 +158,10 @@ std::string RunMetrics::Summary() const {
       static_cast<long long>(totals.recv_rows),
       static_cast<long long>(cache_hits),
       static_cast<long long>(cache_misses),
-      HumanBytes(static_cast<double>(model_bytes_saved)).c_str());
+      HumanBytes(static_cast<double>(model_bytes_saved)).c_str(),
+      static_cast<long long>(share_loads_storage),
+      static_cast<long long>(share_loads_peer),
+      static_cast<long long>(prewarmed_hits));
 }
 
 double Percentile(std::vector<double> values, double pct) {
@@ -198,8 +221,14 @@ void FleetStats::AddQuery(const QuerySample& sample,
   cache_misses += metrics.cache_misses;
   cache_evictions += metrics.cache_evictions;
   cache_invalidations += metrics.cache_invalidations;
+  cache_oversize_rejects += metrics.cache_oversize_rejects;
   model_gets_saved += metrics.model_gets_saved;
   model_bytes_saved += metrics.model_bytes_saved;
+  share_loads_storage += metrics.share_loads_storage;
+  share_loads_peer += metrics.share_loads_peer;
+  prewarmed_hits += metrics.prewarmed_hits;
+  share_peer_bytes += metrics.share_peer_bytes;
+  share_relay_bytes += metrics.share_relay_bytes;
   direct_connects += metrics.totals.direct_connects;
   punch_failures += metrics.totals.punch_failures;
   relay_fallbacks += metrics.totals.relay_fallback_msgs;
@@ -297,6 +326,7 @@ std::string FleetStats::Summary() const {
       "latency p50/p95/p99/max=%.3f/%.3f/%.3f/%.3fs "
       "queue-wait p50/p95=%.3f/%.3fs cold=%.1f%% "
       "cache=%.1f%% hit (%lld evicted, %s saved) "
+      "shares=%lld/%lld/%lld storage/peer/prewarmed (%d prewarm calls) "
       "links=%lld (%lld punch-failed, %lld relayed) "
       "rounds=%lld (%.1fms/round) "
       "cost=%s (%s/query, %s/day)",
@@ -306,6 +336,9 @@ std::string FleetStats::Summary() const {
       queue_wait_p50_s, queue_wait_p95_s, 100.0 * cold_start_ratio,
       100.0 * cache_hit_ratio, static_cast<long long>(cache_evictions),
       HumanBytes(static_cast<double>(model_bytes_saved)).c_str(),
+      static_cast<long long>(share_loads_storage),
+      static_cast<long long>(share_loads_peer),
+      static_cast<long long>(prewarmed_hits), prewarm_invocations,
       static_cast<long long>(direct_connects),
       static_cast<long long>(punch_failures),
       static_cast<long long>(relay_fallbacks),

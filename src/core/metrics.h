@@ -119,6 +119,28 @@ struct WorkerMetrics {
   int64_t cache_misses = 0;
   int64_t cache_evictions = 0;    ///< entries this worker's insert evicted
   int64_t cache_invalidations = 0;  ///< stale-version entries dropped
+  int64_t cache_oversize_rejects = 0;  ///< inserts rejected: share > budget
+
+  /// --- λScale-style peer share distribution (cold-start attribution) ---
+  /// Every cache miss resolves from exactly one source: object storage
+  /// (share_loads_storage — it issued model_get_parts GETs) or a warm
+  /// peer over the P2P fabric / its KV relay (share_loads_peer).
+  /// prewarmed_hits counts cache hits whose entry a pre-warm task planted
+  /// (first hit only) — the third cold-start source.
+  int64_t share_loads_storage = 0;
+  int64_t share_loads_peer = 0;
+  int64_t prewarmed_hits = 0;
+  /// Peer-transfer billing mirrors (quantities as metered by the ledger,
+  /// so the cost model's share-transfer terms reconcile exactly): fresh
+  /// punched links established for share pulls, chunks/bytes billed on
+  /// the p2p byte dimension, and — for pairs whose punch failed — relay
+  /// chunks with their KV request count and processed bytes.
+  int64_t share_peer_connects = 0;
+  int64_t share_peer_chunks = 0;
+  int64_t share_peer_bytes = 0;
+  int64_t share_relay_chunks = 0;
+  int64_t share_relay_requests = 0;
+  int64_t share_relay_bytes = 0;
 
   std::vector<LayerMetrics> layers;
   LayerMetrics totals;            ///< sum over layers
@@ -158,6 +180,16 @@ struct RunMetrics {
   int64_t cache_misses = 0;
   int64_t cache_evictions = 0;
   int64_t cache_invalidations = 0;
+  int64_t cache_oversize_rejects = 0;
+  int64_t share_loads_storage = 0;
+  int64_t share_loads_peer = 0;
+  int64_t prewarmed_hits = 0;
+  int64_t share_peer_connects = 0;
+  int64_t share_peer_chunks = 0;
+  int64_t share_peer_bytes = 0;
+  int64_t share_relay_chunks = 0;
+  int64_t share_relay_requests = 0;
+  int64_t share_relay_bytes = 0;
 
   void Finalize();
   std::string Summary() const;
@@ -255,9 +287,32 @@ struct FleetStats {
   int64_t cache_misses = 0;
   int64_t cache_evictions = 0;
   int64_t cache_invalidations = 0;
+  int64_t cache_oversize_rejects = 0;  ///< shares too big to ever cache
   double cache_hit_ratio = 0.0;    ///< hits / (hits + misses)
   int64_t model_gets_saved = 0;    ///< object GETs the cache avoided
   int64_t model_bytes_saved = 0;   ///< share bytes the cache avoided
+
+  // λScale-style peer share distribution: where the fleet's cold loads
+  // came from (storage read / peer transfer / pre-warmed entry), and the
+  // bytes the peer path billed on the fabric vs. its KV relay.
+  int64_t share_loads_storage = 0;
+  int64_t share_loads_peer = 0;
+  int64_t prewarmed_hits = 0;
+  int64_t share_peer_bytes = 0;
+  int64_t share_relay_bytes = 0;
+
+  // Predictive pre-warming control loop (runs outside any query's tree;
+  // its billing is workload-level, never query-attributed). The
+  // share-transfer mirrors carry the ledger quantities the pre-warm loads
+  // moved, so workload-level cost reconciliation can account for them.
+  int32_t prewarm_invocations = 0;       ///< worker fn calls the policy fired
+  int64_t prewarm_storage_parts = 0;     ///< object GETs pre-warm loads paid
+  int64_t prewarm_storage_bytes = 0;
+  int64_t prewarm_peer_connects = 0;
+  int64_t prewarm_peer_bytes = 0;
+  int64_t prewarm_relay_requests = 0;
+  int64_t prewarm_relay_bytes = 0;
+  double prewarm_budget_spent = 0.0;     ///< policy's committed estimate ($)
 
   // Dollars (filled from the workload's billing-ledger delta).
   double total_cost = 0.0;

@@ -11,7 +11,9 @@ void PartitionCache::Erase(
 
 PartitionCache::Lookup PartitionCache::Find(const std::string& family,
                                             int32_t partition_id,
-                                            uint64_t version) {
+                                            uint64_t version,
+                                            bool* prewarmed_first_hit) {
+  if (prewarmed_first_hit != nullptr) *prewarmed_first_hit = false;
   auto it = index_.find(Key{family, partition_id});
   if (it == index_.end()) {
     ++misses_;
@@ -27,28 +29,46 @@ PartitionCache::Lookup PartitionCache::Find(const std::string& family,
   }
   lru_.splice(lru_.begin(), lru_, it->second);
   ++hits_;
+  if (it->second->prewarmed) {
+    it->second->prewarmed = false;  // attribution is first-hit-only
+    if (prewarmed_first_hit != nullptr) *prewarmed_first_hit = true;
+  }
   return Lookup::kHit;
 }
 
-int64_t PartitionCache::Insert(const std::string& family,
-                               int32_t partition_id, uint64_t version,
-                               uint64_t bytes) {
+bool PartitionCache::Contains(const std::string& family, int32_t partition_id,
+                              uint64_t version) const {
+  auto it = index_.find(Key{family, partition_id});
+  return it != index_.end() && it->second->version == version;
+}
+
+PartitionCache::InsertOutcome PartitionCache::Insert(const std::string& family,
+                                                     int32_t partition_id,
+                                                     uint64_t version,
+                                                     uint64_t bytes,
+                                                     bool prewarmed) {
   const Key key{family, partition_id};
   auto it = index_.find(key);
   if (it != index_.end()) Erase(it);
-  if (bytes > budget_bytes_) return 0;  // can never fit; don't thrash
-  int64_t evicted = 0;
+  if (bytes > budget_bytes_) {
+    // Can never fit; don't thrash the LRU evicting everything for nothing.
+    // Distinct from a clean insert: the share is NOT resident afterwards.
+    ++oversize_rejects_;
+    return InsertOutcome{/*inserted=*/false, /*evicted=*/0};
+  }
+  InsertOutcome outcome;
+  outcome.inserted = true;
   while (!lru_.empty() && bytes_cached_ + bytes > budget_bytes_) {
     index_.erase(lru_.back().key);
     bytes_cached_ -= lru_.back().bytes;
     lru_.pop_back();
     ++evictions_;
-    ++evicted;
+    ++outcome.evicted;
   }
-  lru_.push_front(Entry{key, version, bytes});
+  lru_.push_front(Entry{key, version, bytes, prewarmed});
   index_[key] = lru_.begin();
   bytes_cached_ += bytes;
-  return evicted;
+  return outcome;
 }
 
 }  // namespace fsd::core

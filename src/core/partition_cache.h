@@ -51,14 +51,37 @@ class PartitionCache {
   /// at `version`. A hit refreshes recency; a resident entry at any other
   /// version is dropped immediately (a version change means the weights
   /// changed — the stale share can never be served again).
+  /// `prewarmed_first_hit` (optional) reports whether this hit is the
+  /// FIRST use of an entry a pre-warm task planted (cold-start source
+  /// attribution); the flag is consumed by the hit either way.
   Lookup Find(const std::string& family, int32_t partition_id,
-              uint64_t version);
+              uint64_t version, bool* prewarmed_first_hit = nullptr);
+
+  /// Non-mutating residency peek: true when the share is resident at
+  /// exactly `version`. Touches neither recency nor the hit/miss counters
+  /// — the ShareDistributor's holder registry validates peers with this
+  /// without distorting their caches' accounting.
+  bool Contains(const std::string& family, int32_t partition_id,
+                uint64_t version) const;
+
+  /// One Insert()'s outcome. `inserted == false` is the oversize reject —
+  /// the share can never fit the budget and was NOT cached (historically
+  /// conflated with a clean no-evict insert: both returned 0). Callers
+  /// must treat a reject as a future guaranteed miss, not a silent
+  /// success — it feeds the cache_oversize_rejects metric, and a peer
+  /// registry must never advertise a rejected share as resident.
+  struct InsertOutcome {
+    bool inserted = false;
+    int64_t evicted = 0;  ///< LRU entries this insert pushed out
+  };
 
   /// Records a completed share read of `bytes` bytes, evicting LRU entries
   /// until the budget holds. Shares larger than the whole budget are not
-  /// cached. Returns the number of entries evicted by this insert.
-  int64_t Insert(const std::string& family, int32_t partition_id,
-                 uint64_t version, uint64_t bytes);
+  /// cached (counted in oversize_rejects()). `prewarmed` marks the entry
+  /// as planted by a pre-warm task; the first Find() hit reports it.
+  InsertOutcome Insert(const std::string& family, int32_t partition_id,
+                       uint64_t version, uint64_t bytes,
+                       bool prewarmed = false);
 
   // --- accounting ---
   uint64_t budget_bytes() const { return budget_bytes_; }
@@ -68,6 +91,7 @@ class PartitionCache {
   int64_t misses() const { return misses_; }
   int64_t evictions() const { return evictions_; }
   int64_t invalidations() const { return invalidations_; }
+  int64_t oversize_rejects() const { return oversize_rejects_; }
 
  private:
   using Key = std::pair<std::string, int32_t>;  // (family, partition_id)
@@ -75,6 +99,7 @@ class PartitionCache {
     Key key;
     uint64_t version = 0;
     uint64_t bytes = 0;
+    bool prewarmed = false;  ///< planted by a pre-warm task, not hit yet
   };
 
   void Erase(std::map<Key, std::list<Entry>::iterator>::iterator it);
@@ -85,6 +110,7 @@ class PartitionCache {
   int64_t misses_ = 0;
   int64_t evictions_ = 0;
   int64_t invalidations_ = 0;
+  int64_t oversize_rejects_ = 0;
   std::list<Entry> lru_;  ///< most recently used first
   std::map<Key, std::list<Entry>::iterator> index_;
 };

@@ -134,6 +134,28 @@ BillingDelta DiffLedger(const std::vector<cloud::BillingLine>& before,
 
 uint64_t AllocateRunId() { return g_run_counter.fetch_add(1); }
 
+std::string DeriveCacheFamily(const InferenceRequest& request) {
+  const FsdOptions& options = request.options;
+  if (!options.partition_cache || options.partition_cache_budget_bytes == 0 ||
+      request.dnn == nullptr || request.partition == nullptr) {
+    return "";
+  }
+  // Effective cache family: the caller's identity (or a fingerprint of
+  // the full generator config, which uniquely determines synthetic
+  // weights), always qualified with the partition-layout fingerprint —
+  // shares of the same model under a different partitioning (different
+  // P, or different scheme at the same P) must never alias.
+  const std::string family =
+      options.model_family.empty()
+          ? StrFormat("dnn-%016llx",
+                      static_cast<unsigned long long>(
+                          ModelConfigFingerprint(request.dnn->config)))
+          : options.model_family;
+  return StrFormat("%s@%016llx", family.c_str(),
+                   static_cast<unsigned long long>(
+                       PartitionFingerprint(*request.partition)));
+}
+
 Status ValidateInferenceRequest(const InferenceRequest& request) {
   return Validate(request);
 }
@@ -172,23 +194,7 @@ Result<std::unique_ptr<RunState>> PrepareRunState(
   state->run_id = run_id;
   state->dnn = request.dnn;
   state->partition = request.partition;
-  if (options.partition_cache && options.partition_cache_budget_bytes > 0) {
-    // Effective cache family: the caller's identity (or a fingerprint of
-    // the full generator config, which uniquely determines synthetic
-    // weights), always qualified with the partition-layout fingerprint —
-    // shares of the same model under a different partitioning (different
-    // P, or different scheme at the same P) must never alias.
-    const std::string family =
-        options.model_family.empty()
-            ? StrFormat("dnn-%016llx",
-                        static_cast<unsigned long long>(
-                            ModelConfigFingerprint(request.dnn->config)))
-            : options.model_family;
-    state->cache_family =
-        StrFormat("%s@%016llx", family.c_str(),
-                  static_cast<unsigned long long>(
-                      PartitionFingerprint(*request.partition)));
-  }
+  state->cache_family = DeriveCacheFamily(request);
   state->batches = request.batches;
   // Default membership: ONE query spanning every batch. The serving
   // runtime's batch aggregator overwrites this with the per-query slices
@@ -320,6 +326,25 @@ InferenceReport CollectMemberReport(RunState* state, size_t member_index,
     out.cache_evictions = Apportion(w.cache_evictions, cum_before, cum_after);
     out.cache_invalidations =
         Apportion(w.cache_invalidations, cum_before, cum_after);
+    out.cache_oversize_rejects =
+        Apportion(w.cache_oversize_rejects, cum_before, cum_after);
+    out.share_loads_storage =
+        Apportion(w.share_loads_storage, cum_before, cum_after);
+    out.share_loads_peer =
+        Apportion(w.share_loads_peer, cum_before, cum_after);
+    out.prewarmed_hits = Apportion(w.prewarmed_hits, cum_before, cum_after);
+    out.share_peer_connects =
+        Apportion(w.share_peer_connects, cum_before, cum_after);
+    out.share_peer_chunks =
+        Apportion(w.share_peer_chunks, cum_before, cum_after);
+    out.share_peer_bytes =
+        Apportion(w.share_peer_bytes, cum_before, cum_after);
+    out.share_relay_chunks =
+        Apportion(w.share_relay_chunks, cum_before, cum_after);
+    out.share_relay_requests =
+        Apportion(w.share_relay_requests, cum_before, cum_after);
+    out.share_relay_bytes =
+        Apportion(w.share_relay_bytes, cum_before, cum_after);
     const int32_t layer_end = std::min(
         phase_end, static_cast<int32_t>(w.layers.size()));
     for (int32_t phase = phase_begin; phase < layer_end; ++phase) {

@@ -8,6 +8,7 @@
 #define FSD_CORE_RUNTIME_H_
 
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "cloud/cloud.h"
@@ -69,6 +70,14 @@ Result<InferenceReport> RunInference(cloud::CloudEnv* cloud,
 /// Allocates a process-unique run id. Both entry points draw from the same
 /// counter so resource names never collide on a shared CloudEnv.
 uint64_t AllocateRunId();
+
+/// The effective partition-cache family PrepareRunState stamps into
+/// RunState::cache_family: the request's model_family (or a fingerprint of
+/// the generator config) qualified with the partition-layout fingerprint.
+/// Empty when the request's options disable caching. Exposed because the
+/// serving runtime's pre-warm path must name the family BEFORE any run of
+/// it exists.
+std::string DeriveCacheFamily(const InferenceRequest& request);
 
 /// Request validation alone (model/partition/batch shape checks), without
 /// provisioning anything. The serving runtime's batch aggregator validates

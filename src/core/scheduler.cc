@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "common/strings.h"
 
@@ -150,6 +151,54 @@ class EdfQueuePolicy final : public QueuePolicy {
   }
 };
 
+class RatePreWarmPolicy final : public PreWarmPolicy {
+ public:
+  std::string_view name() const override { return "rate"; }
+
+  PrewarmDecision Decide(const PrewarmSnapshot& s) override {
+    PrewarmDecision decision;
+    // No measured signal, no spend: an unseeded rate or run-time estimate
+    // (or a degenerate tree size) would turn the demand formula into
+    // noise, so the policy stays idle until both EWMAs carry data.
+    if (s.arrival_rate_qps <= 0.0 || !std::isfinite(s.arrival_rate_qps) ||
+        s.est_run_s <= 0.0 || !std::isfinite(s.est_run_s) ||
+        s.workers_per_run <= 0) {
+      decision.reason = "no demand signal";
+      return decision;
+    }
+    // Little's law: trees concurrently in service at this arrival rate.
+    const double concurrent_trees = s.arrival_rate_qps * s.est_run_s;
+    const int64_t demand = static_cast<int64_t>(std::ceil(concurrent_trees)) *
+                           static_cast<int64_t>(s.workers_per_run);
+    const int64_t supply =
+        static_cast<int64_t>(s.warm_instances) +
+        static_cast<int64_t>(s.in_flight_runs) *
+            static_cast<int64_t>(s.workers_per_run) +
+        static_cast<int64_t>(s.pending_prewarms);
+    int64_t deficit = demand - supply;
+    if (deficit <= 0) {
+      decision.reason = "supply covers demand";
+      return decision;
+    }
+    if (s.est_cost_per_instance > 0.0) {
+      const int64_t affordable = static_cast<int64_t>(
+          s.budget_remaining / s.est_cost_per_instance);
+      if (affordable <= 0) {
+        decision.reason = "budget exhausted";
+        return decision;
+      }
+      deficit = std::min(deficit, affordable);
+    }
+    decision.instances = static_cast<int32_t>(
+        std::min<int64_t>(deficit, std::numeric_limits<int32_t>::max()));
+    decision.reason = StrFormat(
+        "demand %lld instances (%.3f qps x %.3fs x %d), supply %lld",
+        static_cast<long long>(demand), s.arrival_rate_qps, s.est_run_s,
+        s.workers_per_run, static_cast<long long>(supply));
+    return decision;
+  }
+};
+
 class DeadlineBatchPolicy final : public BatchPolicy {
  public:
   std::string_view name() const override { return "deadline-slack"; }
@@ -191,6 +240,10 @@ std::shared_ptr<QueuePolicy> MakeQueuePolicy(QueueDiscipline discipline) {
 
 std::shared_ptr<BatchPolicy> MakeDeadlineBatchPolicy() {
   return std::make_shared<DeadlineBatchPolicy>();
+}
+
+std::shared_ptr<PreWarmPolicy> MakeRatePreWarmPolicy() {
+  return std::make_shared<RatePreWarmPolicy>();
 }
 
 }  // namespace fsd::core

@@ -143,6 +143,44 @@ class BatchPolicy {
                          double window_s, double est_exec_s) const = 0;
 };
 
+/// What the pre-warm policy sees at one arrival of a model family: the
+/// family's live demand estimate (EWMA arrival rate x per-tree service
+/// time, in instances via Little's law), the warm supply already standing,
+/// and the dollars the policy may still commit. Pure inputs — the serving
+/// runtime assembles them from its EWMAs, the FaaS warm pool and the cost
+/// model's share-transfer break-even estimate.
+struct PrewarmSnapshot {
+  double now_s = 0.0;
+  double arrival_rate_qps = 0.0;  ///< family EWMA of observed arrivals
+  double est_run_s = 0.0;         ///< per-tree execution-time estimate
+  int32_t workers_per_run = 0;    ///< P — instances one tree occupies
+  int32_t warm_instances = 0;     ///< idle warm pool of the worker function
+  int32_t in_flight_runs = 0;     ///< trees currently executing
+  int32_t pending_prewarms = 0;   ///< pre-warm invocations not yet landed
+  /// Predicted dollars to pre-warm one instance (invocation + share load
+  /// down the cheaper of the storage / peer paths).
+  double est_cost_per_instance = 0.0;
+  /// Budget dollars not yet committed (committed = invocations fired x
+  /// their estimate); a policy must never plan past it.
+  double budget_remaining = 0.0;
+};
+
+/// How many instances to pre-warm right now (0 = none) and why.
+struct PrewarmDecision {
+  int32_t instances = 0;
+  std::string reason;
+};
+
+/// Stage 0 (ahead of admission): provisions capacity BEFORE the queue
+/// forms. Decisions must be a pure function of the snapshot so identical
+/// traces pre-warm identically.
+class PreWarmPolicy {
+ public:
+  virtual ~PreWarmPolicy() = default;
+  virtual std::string_view name() const = 0;
+  virtual PrewarmDecision Decide(const PrewarmSnapshot& snapshot) = 0;
+};
+
 /// Stage 4 (pure bookkeeping half): counts worker trees into execution
 /// slots. TryAcquire() succeeds while slots are free; a finished run either
 /// hands its slot to parked work or Release()s it. The serving runtime owns
@@ -192,6 +230,15 @@ std::shared_ptr<QueuePolicy> MakeQueuePolicy(QueueDiscipline discipline);
 /// oldest member's slack — deadline minus predicted execution time — would
 /// otherwise run out. With no deadlines this is exactly the fixed window.
 std::shared_ptr<BatchPolicy> MakeDeadlineBatchPolicy();
+
+/// Little's-law rate pre-warmer: demand is ceil(arrival_rate x est_run_s)
+/// concurrent trees x P instances each; supply is the warm pool plus the
+/// instances in-flight trees and pending pre-warms already occupy. The
+/// deficit is pre-warmed, capped by what the remaining budget affords at
+/// the per-instance cost estimate. Degenerate snapshots (unseeded rate or
+/// run-time estimate, zero-size trees) decide 0 — the policy can only ever
+/// spend budget on a measured signal.
+std::shared_ptr<PreWarmPolicy> MakeRatePreWarmPolicy();
 
 }  // namespace fsd::core
 

@@ -10,6 +10,8 @@
 #include "common/strings.h"
 #include "core/channel.h"
 #include "core/cost_model.h"
+#include "core/partition_cache.h"
+#include "core/share_distributor.h"
 
 namespace fsd::core {
 namespace {
@@ -91,6 +93,21 @@ ServingRuntime::ServingRuntime(cloud::CloudEnv* cloud, ServingOptions options)
                       : MakeQueuePolicy(options_.queue_discipline);
   batcher_ =
       options_.batch_policy ? options_.batch_policy : MakeDeadlineBatchPolicy();
+  prewarm_ = options_.prewarm_policy ? options_.prewarm_policy
+                                     : MakeRatePreWarmPolicy();
+}
+
+ServingRuntime::~ServingRuntime() = default;
+
+ShareDistributor* ServingRuntime::EnsureShareDistributor() {
+  if (share_distributor_ == nullptr) {
+    ShareDistributor::Options options;
+    options.scope =
+        StrFormat("srv%llu", static_cast<unsigned long long>(instance_id_));
+    options.topology = options_.share_multicast_topology;
+    share_distributor_ = std::make_unique<ShareDistributor>(cloud_, options);
+  }
+  return share_distributor_.get();
 }
 
 Result<std::string> ServingRuntime::EnsureWorkerFunction(
@@ -132,6 +149,13 @@ Result<std::string> ServingRuntime::EnsureWorkerFunction(
     }
     auto run = runs_.find(payload->run_id);
     if (run == runs_.end()) {
+      // Not a run: the id may name a pre-warm task riding the same
+      // function (its instances must land in the SAME warm pool the
+      // family's runs draw from, or warming would miss them).
+      if (prewarm_tasks_.count(payload->run_id) != 0) {
+        RunPrewarmTask(ctx, payload->run_id);
+        return;
+      }
       ctx->set_result(
           Status::NotFound("worker invoked for an unknown run"));
       return;
@@ -210,6 +234,9 @@ Result<ServingRuntime::Run*> ServingRuntime::BuildRun(
 
   FSD_ASSIGN_OR_RETURN(std::unique_ptr<RunState> state,
                        PrepareRunState(cloud_, merged, run_id));
+  if (options_.peer_share_transfer && !state->cache_family.empty()) {
+    state->share_distributor = EnsureShareDistributor();
+  }
   // From here the run owns provisioned channel resources; release them if
   // registration fails and the run never becomes schedulable.
   Result<std::string> worker_fn = EnsureWorkerFunction(state->options);
@@ -652,6 +679,194 @@ void ServingRuntime::UpdateLiveStats(const Run& run, double launch_s,
   last_run_finish_s_ = finish_s;
 }
 
+void ServingRuntime::ObserveArrival(uint64_t query_id) {
+  if (!options_.predictive_prewarm || options_.prewarm_budget_dollars <= 0.0) {
+    return;
+  }
+  Query* query = queries_.at(query_id).get();
+  FamilyRate& rate = family_rates_[BatchFamilyKey(query->request)];
+  const double now = cloud_->sim()->Now();
+  constexpr double kAlpha = 0.3;  // matches the run-time EWMAs
+  if (rate.last_arrival_s < 0.0) {
+    rate.last_arrival_s = now;
+    rate.coincident = 1;
+  } else if (now <= rate.last_arrival_s) {
+    // A burst peer at the same instant: no gap to turn into a rate yet;
+    // the whole burst enters the next gap's sample.
+    ++rate.coincident;
+  } else {
+    const double sample =
+        static_cast<double>(rate.coincident) / (now - rate.last_arrival_s);
+    rate.ewma_qps = rate.ewma_qps > 0.0
+                        ? rate.ewma_qps + kAlpha * (sample - rate.ewma_qps)
+                        : sample;
+    rate.last_arrival_s = now;
+    rate.coincident = 1;
+  }
+  MaybePrewarm(*query, &rate);
+}
+
+void ServingRuntime::MaybePrewarm(const Query& query, FamilyRate* rate) {
+  const InferenceRequest& request = query.request;
+  const std::string cache_family = DeriveCacheFamily(request);
+  // Without an instance cache a pre-warmed load could not outlive its
+  // invocation — there is nothing to warm.
+  if (cache_family.empty() || request.options.num_workers <= 0) return;
+
+  // Pre-warm invocations must ride the SAME function group the family's
+  // runs use (the whole point is seeding THEIR warm pool), so apply the
+  // same option defaulting PrepareRunState does before keying the group.
+  FsdOptions options = request.options;
+  if (options.worker_memory_mb <= 0) {
+    options.worker_memory_mb =
+        DefaultWorkerMemoryMb(request.dnn->neurons(), options.variant);
+  }
+  Result<std::string> worker_fn = EnsureWorkerFunction(options);
+  if (!worker_fn.ok()) return;  // best-effort: never fails the query
+
+  const cloud::PricingConfig& pricing = cloud_->billing().pricing();
+  const uint64_t relay_chunk_bytes = ShareDistributor::Options().relay_chunk_bytes;
+  auto instance_cost = [&](int32_t partition_id) {
+    const uint64_t share_bytes =
+        request.partition->WeightShareBytes(*request.dnn, partition_id);
+    const ShareTransferEstimate xfer =
+        EstimateShareTransfer(pricing, cloud_->latency(), cloud_->compute(),
+                              share_bytes, relay_chunk_bytes);
+    const bool peer = options_.peer_share_transfer && xfer.peer_cheaper;
+    const double load_s = peer ? xfer.peer_load_s : xfer.storage_load_s;
+    const double load_cost = peer ? xfer.peer_cost : xfer.storage_cost;
+    return FaasCost(pricing, 1, load_s, options.worker_memory_mb) + load_cost;
+  };
+
+  PrewarmSnapshot snapshot;
+  snapshot.now_s = cloud_->sim()->Now();
+  snapshot.arrival_rate_qps = rate->ewma_qps;
+  snapshot.est_run_s = EstRunSeconds(query);
+  snapshot.workers_per_run = options.num_workers;
+  snapshot.warm_instances = cloud_->faas().WarmCount(*worker_fn);
+  snapshot.in_flight_runs = gate_.in_flight();
+  snapshot.pending_prewarms = rate->pending_prewarms;
+  snapshot.est_cost_per_instance = instance_cost(static_cast<int32_t>(
+      rate->next_partition % static_cast<uint64_t>(options.num_workers)));
+  snapshot.budget_remaining =
+      options_.prewarm_budget_dollars - prewarm_budget_spent_;
+  const PrewarmDecision decision = prewarm_->Decide(snapshot);
+
+  for (int32_t i = 0; i < decision.instances; ++i) {
+    const int32_t partition_id = static_cast<int32_t>(
+        rate->next_partition % static_cast<uint64_t>(options.num_workers));
+    // The budget is a HARD cap on committed estimates, re-checked per
+    // instance (shares vary in size across partitions).
+    const double est_cost = instance_cost(partition_id);
+    if (prewarm_budget_spent_ + est_cost > options_.prewarm_budget_dollars) {
+      break;
+    }
+    PrewarmTask task;
+    task.options = options;
+    task.rate_key = BatchFamilyKey(request);
+    task.cache_family = cache_family;
+    task.dnn = request.dnn;
+    task.partition = request.partition;
+    task.partition_id = partition_id;
+    task.share_bytes =
+        request.partition->WeightShareBytes(*request.dnn, partition_id);
+    const uint64_t task_id = AllocateRunId();
+    prewarm_tasks_.emplace(task_id, std::move(task));
+    const cloud::FaasService::InvokeOutcome outcome = cloud_->faas().InvokeAsync(
+        *worker_fn, EncodeWorkerPayload(task_id, partition_id));
+    if (!outcome.status.ok()) {
+      prewarm_tasks_.erase(task_id);
+      break;
+    }
+    ++rate->next_partition;
+    ++rate->pending_prewarms;
+    ++prewarm_invocations_;
+    prewarm_budget_spent_ += est_cost;
+  }
+}
+
+void ServingRuntime::RunPrewarmTask(cloud::FaasContext* ctx,
+                                    uint64_t task_id) {
+  auto it = prewarm_tasks_.find(task_id);
+  if (it == prewarm_tasks_.end()) {
+    ctx->set_result(Status::NotFound("pre-warm task already consumed"));
+    return;
+  }
+  const PrewarmTask task = std::move(it->second);
+  prewarm_tasks_.erase(it);
+  auto rate = family_rates_.find(task.rate_key);
+  if (rate != family_rates_.end() && rate->second.pending_prewarms > 0) {
+    --rate->second.pending_prewarms;
+  }
+
+  PartitionCache* cache = InstancePartitionCache(ctx, task.options);
+  if (cache == nullptr ||
+      cache->Contains(task.cache_family, task.partition_id,
+                      task.options.model_version)) {
+    // Landed on an instance that already holds the share (LIFO warm pool):
+    // the invocation still warmed an instance; nothing to load.
+    ctx->set_result(Status::OK());
+    return;
+  }
+
+  WorkerMetrics scratch;
+  ShareDistributor* distributor =
+      options_.peer_share_transfer ? EnsureShareDistributor() : nullptr;
+  bool pending_publish = false;
+  bool resident = false;
+  if (distributor != nullptr) {
+    const ShareDistributor::Source source = distributor->Acquire(
+        ctx, task.options, task.cache_family, task.partition_id,
+        task.share_bytes, &scratch, /*mark_prewarmed=*/true);
+    if (source == ShareDistributor::Source::kPeer) {
+      resident = true;
+    } else {
+      pending_publish = true;
+    }
+  }
+  Status status = Status::OK();
+  if (!resident) {
+    // Same storage-read modeling as LoadModelShare: multipart GETs across
+    // the IO lanes plus deserialization CPU, billed at GET pricing.
+    const uint64_t parts = ModelReadGetParts(task.share_bytes);
+    cloud_->billing().Record(cloud::BillingDimension::kObjectGet,
+                             static_cast<double>(parts));
+    prewarm_storage_parts_ += static_cast<int64_t>(parts);
+    prewarm_storage_bytes_ += static_cast<int64_t>(task.share_bytes);
+    Rng rng(task.options.seed ^ 0x50524557ull ^
+            (0xA11Dull * (static_cast<uint64_t>(task.partition_id) + 1)));
+    std::vector<double> latencies;
+    uint64_t remaining = task.share_bytes;
+    for (uint64_t p = 0; p < parts; ++p) {
+      const uint64_t part = std::min<uint64_t>(kModelReadPartBytes, remaining);
+      remaining -= part;
+      latencies.push_back(cloud_->latency().object_get.Sample(&rng, part));
+    }
+    const double get_makespan =
+        sim::ParallelMakespan(latencies, task.options.io_lanes);
+    const double deser_s = static_cast<double>(task.share_bytes) /
+                           cloud_->compute().deserialize_bytes_per_s;
+    status = ctx->SleepFor(get_makespan + deser_s);
+    if (status.ok()) {
+      cache->Insert(task.cache_family, task.partition_id,
+                    task.options.model_version, task.share_bytes,
+                    /*prewarmed=*/true);
+      if (pending_publish) {
+        distributor->Publish(ctx, task.options, task.cache_family,
+                             task.partition_id);
+      }
+    } else if (pending_publish) {
+      distributor->Abandon(task.cache_family, task.partition_id,
+                           task.options.model_version);
+    }
+  }
+  prewarm_peer_connects_ += scratch.share_peer_connects;
+  prewarm_peer_bytes_ += scratch.share_peer_bytes;
+  prewarm_relay_requests_ += scratch.share_relay_requests;
+  prewarm_relay_bytes_ += scratch.share_relay_bytes;
+  ctx->set_result(status);
+}
+
 void ServingRuntime::ArriveQuery(uint64_t query_id) {
   Query* query = queries_.at(query_id).get();
   query->outcome.arrival_s = cloud_->sim()->Now();
@@ -659,6 +874,7 @@ void ServingRuntime::ArriveQuery(uint64_t query_id) {
     query->outcome.deadline_s =
         query->outcome.arrival_s + query->request.options.slo_deadline_s;
   }
+  ObserveArrival(query_id);
   if (options_.admission_control) {
     const LoadSnapshot load = BuildLoadSnapshot(*query);
     AdmissionDecision decision =
@@ -737,12 +953,13 @@ Result<uint64_t> ServingRuntime::Submit(const InferenceRequest& request,
   cloud_->sim()->AddProcess(
       StrFormat("serve-client-%llu",
                 static_cast<unsigned long long>(query_id)),
-      [this, raw, raw_run]() {
+      [this, raw, raw_run, query_id]() {
         raw->outcome.arrival_s = cloud_->sim()->Now();
         if (raw->request.options.slo_deadline_s > 0.0) {
           raw->outcome.deadline_s =
               raw->outcome.arrival_s + raw->request.options.slo_deadline_s;
         }
+        ObserveArrival(query_id);
         ExecuteRun(raw_run);
       },
       arrival_s);
@@ -800,6 +1017,14 @@ Result<ServingReport> ServingRuntime::Drain(double run_until) {
   // understate cost_per_query after a resumed drain).
   report.fleet.total_cost = accumulated_cost_;
   report.fleet.ewma_service_rate_qps = ewma_service_rate_qps_;
+  report.fleet.prewarm_invocations = prewarm_invocations_;
+  report.fleet.prewarm_storage_parts = prewarm_storage_parts_;
+  report.fleet.prewarm_storage_bytes = prewarm_storage_bytes_;
+  report.fleet.prewarm_peer_connects = prewarm_peer_connects_;
+  report.fleet.prewarm_peer_bytes = prewarm_peer_bytes_;
+  report.fleet.prewarm_relay_requests = prewarm_relay_requests_;
+  report.fleet.prewarm_relay_bytes = prewarm_relay_bytes_;
+  report.fleet.prewarm_budget_spent = prewarm_budget_spent_;
   report.fleet.Finalize();
   return report;
 }

@@ -128,6 +128,29 @@ struct ServingOptions {
   std::shared_ptr<AdmissionPolicy> admission_policy;
   std::shared_ptr<QueuePolicy> queue_policy;
   std::shared_ptr<BatchPolicy> batch_policy;
+
+  /// --- λScale-style fast scaling (core/share_distributor.h) ---
+  /// Serve cold model-share loads peer-to-peer from warm holders before
+  /// paying the object-storage front door: a flash crowd's P concurrent
+  /// cold loads of one share collapse to ~1 storage read plus P-1 peer
+  /// transfers multicast down `share_multicast_topology`. Off (the
+  /// default) keeps the storage-only cold path byte-identically; on, the
+  /// outputs are unchanged — only WHERE share bytes come from moves.
+  bool peer_share_transfer = false;
+  /// Multicast shape for concurrent requesters of one share.
+  CollectiveTopology share_multicast_topology =
+      CollectiveTopology::kBinomialTree;
+  /// Predictively pre-warm worker instances (invoke + load shares) when a
+  /// family's EWMA arrival rate says the warm pool will not cover the
+  /// incoming demand — capacity stands up BEFORE the queue forms.
+  bool predictive_prewarm = false;
+  /// Hard cap on the dollars the pre-warm loop may commit (its invocation
+  /// + share-load estimates accumulate against this; see
+  /// FleetStats::prewarm_budget_spent). <= 0 disables pre-warming even
+  /// with `predictive_prewarm` on.
+  double prewarm_budget_dollars = 0.05;
+  /// Custom pre-warm policy; null materializes MakeRatePreWarmPolicy.
+  std::shared_ptr<PreWarmPolicy> prewarm_policy;
 };
 
 /// One query's result within a workload.
@@ -165,6 +188,10 @@ class ServingRuntime {
  public:
   explicit ServingRuntime(cloud::CloudEnv* cloud,
                           ServingOptions options = {});
+  /// Tears down the share distributor (deleting its fabric session and
+  /// relay namespace — the relay's node-seconds bill lands here, AFTER any
+  /// Drain() measured its window).
+  ~ServingRuntime();
 
   ServingRuntime(const ServingRuntime&) = delete;
   ServingRuntime& operator=(const ServingRuntime&) = delete;
@@ -292,6 +319,45 @@ class ServingRuntime {
   /// the admitted-but-unlaunched set.
   void Dequeue(Query* query);
 
+  /// One pending pre-warm invocation: everything the shared worker handler
+  /// needs to load one partition's share into whatever instance the
+  /// invocation lands on (no RunState exists for a pre-warm — the payload's
+  /// run id names this task instead).
+  struct PrewarmTask {
+    FsdOptions options;  ///< defaulted (worker memory) request options
+    std::string rate_key;  ///< FamilyRate entry to credit on landing
+    std::string cache_family;
+    const model::SparseDnn* dnn = nullptr;
+    const part::ModelPartition* partition = nullptr;
+    int32_t partition_id = 0;
+    uint64_t share_bytes = 0;
+  };
+
+  /// Per-family arrival bookkeeping feeding the pre-warm policy: the
+  /// arrival-rate EWMA (coincident arrivals of one burst batch into the
+  /// next gap's rate sample) and the round-robin partition cursor spreading
+  /// pre-warm loads across the family's P shares.
+  struct FamilyRate {
+    double ewma_qps = 0.0;
+    double last_arrival_s = -1.0;
+    int32_t coincident = 0;        ///< arrivals seen at last_arrival_s
+    uint64_t next_partition = 0;   ///< round-robin pre-warm share cursor
+    int32_t pending_prewarms = 0;  ///< invocations fired, not yet landed
+  };
+
+  /// The distributor is created on first use (peer_share_transfer or a
+  /// pre-warm with publication); scope-uniqued per runtime instance.
+  ShareDistributor* EnsureShareDistributor();
+  /// Stage 0, ahead of admission: refreshes the query family's arrival
+  /// EWMA and lets the pre-warm policy stand up capacity for it.
+  void ObserveArrival(uint64_t query_id);
+  void MaybePrewarm(const Query& query, FamilyRate* rate);
+  /// Handler body for one pre-warm invocation (dispatched by the shared
+  /// worker handler when the payload names a pre-warm task, not a run):
+  /// loads the task's share into this instance's cache marked pre-warmed,
+  /// preferring a peer transfer, and publishes the instance as a holder.
+  void RunPrewarmTask(cloud::FaasContext* ctx, uint64_t task_id);
+
   /// Scheduler views/inputs: the queued set as plain SchedQuery structs,
   /// the live load snapshot for admission, the batcher's flush timeout,
   /// and the per-tree execution-time estimate (EWMA of observed runs,
@@ -334,6 +400,22 @@ class ServingRuntime {
   double ewma_service_rate_qps_ = 0.0;
   double last_run_finish_s_ = -1.0;
   std::map<std::string, double> apriori_run_s_by_family_;
+
+  /// --- λScale fast scaling state ---
+  std::unique_ptr<ShareDistributor> share_distributor_;
+  std::shared_ptr<PreWarmPolicy> prewarm_;
+  std::map<std::string, FamilyRate> family_rates_;  ///< by batch family
+  std::map<uint64_t, PrewarmTask> prewarm_tasks_;   ///< by task id
+  /// Pre-warm aggregates surfaced through FleetStats (the loop runs
+  /// outside any query's tree, so nothing here is query-attributed).
+  double prewarm_budget_spent_ = 0.0;
+  int32_t prewarm_invocations_ = 0;
+  int64_t prewarm_storage_parts_ = 0;
+  int64_t prewarm_storage_bytes_ = 0;
+  int64_t prewarm_peer_connects_ = 0;
+  int64_t prewarm_peer_bytes_ = 0;
+  int64_t prewarm_relay_requests_ = 0;
+  int64_t prewarm_relay_bytes_ = 0;
 };
 
 /// Poisson arrival process: `count` arrival times with exponential

@@ -8,6 +8,7 @@
 #include "core/collectives.h"
 #include "core/launcher.h"
 #include "core/partition_cache.h"
+#include "core/share_distributor.h"
 
 namespace fsd::core {
 namespace {
@@ -48,11 +49,11 @@ Status InvokeChildren(cloud::FaasContext* ctx, RunState* state,
   return Status::OK();
 }
 
-/// Returns this instance's partition cache, creating it on first use (a
-/// cold instance starts empty). The cache rides the FaaS instance-local
-/// state, so it survives exactly as long as the warm instance does. The
-/// budget is fixed by whichever run first touches the instance; concurrent
-/// runs on one shared function should agree on it.
+}  // namespace
+
+/// The budget is fixed by whichever run first touches the instance;
+/// concurrent runs on one shared function should agree on it (they do by
+/// construction: the budget is part of the serving function-group key).
 PartitionCache* InstancePartitionCache(cloud::FaasContext* ctx,
                                        const FsdOptions& options) {
   if (!options.partition_cache ||
@@ -79,6 +80,8 @@ PartitionCache* InstancePartitionCache(cloud::FaasContext* ctx,
   return cache.get();
 }
 
+namespace {
+
 /// Models reading this worker's weight + map share from object storage
 /// (multipart GETs on the IPC lanes) plus deserialization CPU. The actual
 /// weight data is accessed from the shared in-memory model: storage holds
@@ -88,8 +91,10 @@ PartitionCache* InstancePartitionCache(cloud::FaasContext* ctx,
 /// Read-through partition cache: a warm instance that deserialized this
 /// (family, partition) share at this version for an earlier query still
 /// holds it in memory, so the read (and its GET billing) is skipped
-/// entirely. The cache changes WHEN a share is read, never its contents —
-/// outputs stay byte-identical with the cache on or off.
+/// entirely. On a miss with a ShareDistributor attached, the share is
+/// pulled from a warm PEER holding it (λScale fast scaling) before paying
+/// the storage front door. Neither layer changes the share's contents —
+/// outputs stay byte-identical with caching and peer transfer on or off.
 Status LoadModelShare(cloud::FaasContext* ctx, RunState* state,
                       int32_t worker_id, WorkerMetrics* metrics) {
   const double start = ctx->sim()->Now();
@@ -101,10 +106,13 @@ Status LoadModelShare(cloud::FaasContext* ctx, RunState* state,
                               ? nullptr
                               : InstancePartitionCache(ctx, state->options);
   if (cache != nullptr) {
-    const PartitionCache::Lookup found = cache->Find(
-        state->cache_family, worker_id, state->options.model_version);
+    bool prewarmed = false;
+    const PartitionCache::Lookup found =
+        cache->Find(state->cache_family, worker_id,
+                    state->options.model_version, &prewarmed);
     if (found == PartitionCache::Lookup::kHit) {
       ++metrics->cache_hits;
+      if (prewarmed) ++metrics->prewarmed_hits;
       metrics->model_gets_saved += static_cast<int64_t>(parts);
       metrics->model_bytes_saved += static_cast<int64_t>(bytes);
       metrics->model_load_s = ctx->sim()->Now() - start;
@@ -114,6 +122,26 @@ Status LoadModelShare(cloud::FaasContext* ctx, RunState* state,
     if (found == PartitionCache::Lookup::kStale) {
       ++metrics->cache_invalidations;
     }
+  }
+
+  // λScale fast path: a warm peer may already hold this share in memory.
+  // Acquire either delivers it peer-to-peer (resident + billed + counted;
+  // no storage read and no re-deserialization, the share moved in
+  // deserialized form) or registers this worker as the share's pending
+  // storage reader — in which case the read below MUST be resolved with
+  // Publish/Abandon so waiting peers stop waiting.
+  ShareDistributor* distributor =
+      cache != nullptr ? state->share_distributor : nullptr;
+  bool pending_publish = false;
+  if (distributor != nullptr) {
+    const ShareDistributor::Source source =
+        distributor->Acquire(ctx, state->options, state->cache_family,
+                             worker_id, bytes, metrics);
+    if (source == ShareDistributor::Source::kPeer) {
+      metrics->model_load_s = ctx->sim()->Now() - start;
+      return Status::OK();
+    }
+    pending_publish = true;
   }
 
   auto& ledger = state->cloud->billing();
@@ -136,10 +164,27 @@ Status LoadModelShare(cloud::FaasContext* ctx, RunState* state,
                          state->cloud->compute().deserialize_bytes_per_s;
   // An interrupted read (deadline mid-transfer) must not populate the
   // cache: only a fully deserialized share is resident and reusable.
-  FSD_RETURN_IF_ERROR(ctx->SleepFor(get_makespan + deser_s));
+  const Status slept = ctx->SleepFor(get_makespan + deser_s);
+  if (!slept.ok()) {
+    if (pending_publish) {
+      distributor->Abandon(state->cache_family, worker_id,
+                           state->options.model_version);
+    }
+    return slept;
+  }
+  ++metrics->share_loads_storage;
   if (cache != nullptr) {
-    metrics->cache_evictions += cache->Insert(
+    const PartitionCache::InsertOutcome inserted = cache->Insert(
         state->cache_family, worker_id, state->options.model_version, bytes);
+    metrics->cache_evictions += inserted.evicted;
+    // An oversize reject is a future guaranteed miss, not a silent
+    // success: it must show up in the hit-ratio story, and the registry
+    // must never learn of a share the instance could not keep.
+    if (!inserted.inserted) ++metrics->cache_oversize_rejects;
+  }
+  if (pending_publish) {
+    distributor->Publish(ctx, state->options, state->cache_family,
+                         worker_id);
   }
   metrics->model_load_s = ctx->sim()->Now() - start;
   return Status::OK();

@@ -16,6 +16,9 @@
 
 namespace fsd::core {
 
+class PartitionCache;
+class ShareDistributor;
+
 /// Shared state of one inference run (owned by the runtime; read-mostly from
 /// workers; the root writes outputs and fires `done`).
 struct RunState {
@@ -64,6 +67,12 @@ struct RunState {
   /// P — can never alias. Set by PrepareRunState; empty disables caching
   /// for the run.
   std::string cache_family;
+
+  /// Serving-runtime-owned peer share distributor (λScale-style fast
+  /// scaling). When set and the instance cache misses, LoadModelShare asks
+  /// it for the share before paying the object-storage read; null (plain
+  /// RunInference, feature off) keeps the storage-only cold path.
+  ShareDistributor* share_distributor = nullptr;
 
   /// --- outputs ---
   std::vector<linalg::ActivationMap> outputs;  // per batch, written by root
@@ -116,6 +125,16 @@ struct WorkerPayload {
 
 Bytes EncodeWorkerPayload(uint64_t run_id, int32_t worker_id);
 Result<WorkerPayload> DecodeWorkerPayload(const Bytes& payload);
+
+/// Returns this FaaS instance's partition cache, creating it on first use
+/// (a cold instance starts empty). The cache rides the instance-local
+/// state, so it survives exactly as long as the warm instance does; the
+/// byte budget is capped at half the instance's memory. Returns nullptr
+/// when caching is disabled. Shared by the worker load path, the
+/// ShareDistributor's peer inserts and the serving runtime's pre-warm
+/// tasks — all three must agree on one cache per instance.
+PartitionCache* InstancePartitionCache(cloud::FaasContext* ctx,
+                                       const FsdOptions& options);
 
 /// The FaaS handler body for a worker invocation (payload already decoded
 /// and routed to its run). Invokes its children (hierarchical launch), loads

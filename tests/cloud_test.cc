@@ -718,6 +718,53 @@ TEST_F(CloudTest, P2pBillsConnectionsOnFreshPunchOnly) {
   });
 }
 
+TEST_F(CloudTest, P2pPunchIsMutualAndBillsOncePerPhysicalPair) {
+  ASSERT_TRUE(cloud_.p2p().CreateSession("s").ok());
+  InProcess([&] {
+    // Punching is mutual: the reverse direction of an established pair is
+    // the SAME physical link — same verdict, not fresh, and never a second
+    // connection charge (the historical bug billed once per asking side).
+    const auto forward = cloud_.p2p().Connect("s", 3, 7);
+    ASSERT_TRUE(forward.status.ok());
+    EXPECT_TRUE(forward.fresh);
+    const auto reverse = cloud_.p2p().Connect("s", 7, 3);
+    ASSERT_TRUE(reverse.status.ok());
+    EXPECT_FALSE(reverse.fresh);
+    EXPECT_EQ(reverse.punched, forward.punched);
+    const auto& line = cloud_.billing().line(BillingDimension::kP2pConnection);
+    EXPECT_EQ(line.quantity, forward.punched ? 1.0 : 0.0);
+    // Verdicts are symmetric across a whole sweep, and asking from both
+    // sides books exactly one connection per punched physical pair.
+    int64_t punched_pairs = forward.punched ? 1 : 0;
+    for (int32_t a = 0; a < 16; ++a) {
+      for (int32_t b = a + 1; b < 16; ++b) {
+        if (a == 3 && b == 7) continue;  // already established above
+        const auto ab = cloud_.p2p().Connect("s", a, b);
+        const auto ba = cloud_.p2p().Connect("s", b, a);
+        ASSERT_TRUE(ab.status.ok());
+        ASSERT_TRUE(ba.status.ok());
+        EXPECT_TRUE(ab.fresh);
+        EXPECT_FALSE(ba.fresh);
+        EXPECT_EQ(ba.punched, ab.punched);
+        if (ab.punched) ++punched_pairs;
+      }
+    }
+    EXPECT_EQ(cloud_.billing().line(BillingDimension::kP2pConnection).quantity,
+              static_cast<double>(punched_pairs));
+    // A punched pair's link carries traffic in BOTH directions.
+    int32_t a = -1, b = -1;
+    for (int32_t d = 1; d < 16 && a < 0; ++d) {
+      if (cloud_.p2p().Connect("s", 0, d).punched) {
+        a = 0;
+        b = d;
+      }
+    }
+    ASSERT_GE(a, 0);
+    EXPECT_TRUE(cloud_.p2p().Send("s", a, b, "fwd", Bytes{1}).status.ok());
+    EXPECT_TRUE(cloud_.p2p().Send("s", b, a, "rev", Bytes{2}).status.ok());
+  });
+}
+
 TEST_F(CloudTest, P2pSendDeliversAndBillsBytesOnly) {
   ASSERT_TRUE(cloud_.p2p().CreateSession("s").ok());
   InProcess([&] {

@@ -20,7 +20,9 @@ namespace {
 TEST(PartitionCache, MissThenHitThenRecencyRefresh) {
   PartitionCache cache(/*budget_bytes=*/1000);
   EXPECT_EQ(cache.Find("fam", 0, 1), PartitionCache::Lookup::kMiss);
-  EXPECT_EQ(cache.Insert("fam", 0, 1, 400), 0);
+  const PartitionCache::InsertOutcome first = cache.Insert("fam", 0, 1, 400);
+  EXPECT_TRUE(first.inserted);
+  EXPECT_EQ(first.evicted, 0);
   EXPECT_EQ(cache.Find("fam", 0, 1), PartitionCache::Lookup::kHit);
   EXPECT_EQ(cache.hits(), 1);
   EXPECT_EQ(cache.misses(), 1);
@@ -29,12 +31,12 @@ TEST(PartitionCache, MissThenHitThenRecencyRefresh) {
 
   // Another partition of the same family is a distinct entry.
   EXPECT_EQ(cache.Find("fam", 1, 1), PartitionCache::Lookup::kMiss);
-  EXPECT_EQ(cache.Insert("fam", 1, 1, 400), 0);
+  EXPECT_TRUE(cache.Insert("fam", 1, 1, 400).inserted);
   EXPECT_EQ(cache.entries(), 2);
 
   // Touch entry 0 so it is most recent, then overflow: entry 1 (LRU) goes.
   EXPECT_EQ(cache.Find("fam", 0, 1), PartitionCache::Lookup::kHit);
-  EXPECT_EQ(cache.Insert("fam", 2, 1, 400), 1);
+  EXPECT_EQ(cache.Insert("fam", 2, 1, 400).evicted, 1);
   EXPECT_EQ(cache.evictions(), 1);
   EXPECT_EQ(cache.Find("fam", 1, 1), PartitionCache::Lookup::kMiss);
   EXPECT_EQ(cache.Find("fam", 0, 1), PartitionCache::Lookup::kHit);
@@ -46,7 +48,7 @@ TEST(PartitionCache, EvictsLruUntilBudgetHolds) {
   cache.Insert("fam", 0, 1, 400);
   cache.Insert("fam", 1, 1, 400);
   // 900 bytes only fit alone: both residents must go.
-  EXPECT_EQ(cache.Insert("fam", 2, 1, 900), 2);
+  EXPECT_EQ(cache.Insert("fam", 2, 1, 900).evicted, 2);
   EXPECT_EQ(cache.entries(), 1);
   EXPECT_EQ(cache.bytes_cached(), 900u);
   EXPECT_EQ(cache.Find("fam", 2, 1), PartitionCache::Lookup::kHit);
@@ -54,14 +56,56 @@ TEST(PartitionCache, EvictsLruUntilBudgetHolds) {
 
 TEST(PartitionCache, OversizedShareIsNotCached) {
   PartitionCache cache(/*budget_bytes=*/100);
-  EXPECT_EQ(cache.Insert("fam", 0, 1, 101), 0);
+  // An oversize reject is DISTINCT from a clean no-evict insert (both
+  // historically returned 0): inserted=false and the reject counter moves.
+  const PartitionCache::InsertOutcome rejected =
+      cache.Insert("fam", 0, 1, 101);
+  EXPECT_FALSE(rejected.inserted);
+  EXPECT_EQ(rejected.evicted, 0);
+  EXPECT_EQ(cache.oversize_rejects(), 1);
   EXPECT_EQ(cache.entries(), 0);
   EXPECT_EQ(cache.bytes_cached(), 0u);
   EXPECT_EQ(cache.Find("fam", 0, 1), PartitionCache::Lookup::kMiss);
   // And it must not have evicted residents to make room it can't use.
-  cache.Insert("fam", 1, 1, 90);
-  EXPECT_EQ(cache.Insert("fam", 2, 1, 200), 0);
+  EXPECT_TRUE(cache.Insert("fam", 1, 1, 90).inserted);
+  EXPECT_EQ(cache.oversize_rejects(), 1);
+  EXPECT_FALSE(cache.Insert("fam", 2, 1, 200).inserted);
+  EXPECT_EQ(cache.oversize_rejects(), 2);
   EXPECT_EQ(cache.Find("fam", 1, 1), PartitionCache::Lookup::kHit);
+}
+
+TEST(PartitionCache, ContainsPeeksWithoutTouchingAccounting) {
+  PartitionCache cache(/*budget_bytes=*/1000);
+  cache.Insert("fam", 0, /*version=*/1, 400);
+  const int64_t hits = cache.hits();
+  const int64_t misses = cache.misses();
+  EXPECT_TRUE(cache.Contains("fam", 0, 1));
+  EXPECT_FALSE(cache.Contains("fam", 0, 2));  // other version: no invalidate
+  EXPECT_FALSE(cache.Contains("fam", 1, 1));
+  EXPECT_EQ(cache.hits(), hits);
+  EXPECT_EQ(cache.misses(), misses);
+  EXPECT_EQ(cache.invalidations(), 0);
+  // The stale-at-other-version entry is still resident: Contains must not
+  // have dropped it the way Find() would.
+  EXPECT_EQ(cache.entries(), 1);
+}
+
+TEST(PartitionCache, PrewarmedFlagReportsFirstHitOnly) {
+  PartitionCache cache(/*budget_bytes=*/1000);
+  cache.Insert("fam", 0, 1, 400, /*prewarmed=*/true);
+  bool prewarmed = false;
+  EXPECT_EQ(cache.Find("fam", 0, 1, &prewarmed),
+            PartitionCache::Lookup::kHit);
+  EXPECT_TRUE(prewarmed) << "first hit consumes the planted flag";
+  EXPECT_EQ(cache.Find("fam", 0, 1, &prewarmed),
+            PartitionCache::Lookup::kHit);
+  EXPECT_FALSE(prewarmed) << "subsequent hits are plain warm hits";
+  // A normal insert never reports prewarmed, even without the out-param.
+  cache.Insert("fam", 1, 1, 400);
+  EXPECT_EQ(cache.Find("fam", 1, 1), PartitionCache::Lookup::kHit);
+  bool flag = true;
+  EXPECT_EQ(cache.Find("fam", 1, 1, &flag), PartitionCache::Lookup::kHit);
+  EXPECT_FALSE(flag);
 }
 
 TEST(PartitionCache, VersionChangeInvalidatesResidentShare) {
@@ -90,7 +134,7 @@ TEST(PartitionCache, ReinsertSameKeyReplacesInsteadOfDoubleCounting) {
 
 TEST(PartitionCache, ZeroBudgetCachesNothing) {
   PartitionCache cache(/*budget_bytes=*/0);
-  EXPECT_EQ(cache.Insert("fam", 0, 1, 1), 0);
+  EXPECT_FALSE(cache.Insert("fam", 0, 1, 1).inserted);
   EXPECT_EQ(cache.Find("fam", 0, 1), PartitionCache::Lookup::kMiss);
   EXPECT_EQ(cache.entries(), 0);
 }

@@ -231,6 +231,92 @@ TEST(AdmissionTest, DecisionSequenceIsDeterministicPerSeed) {
             0);
 }
 
+TEST(AdmissionTest, DegenerateThroughputSnapshotsNeverDivideByZero) {
+  // First-arrival regression: before any run completes the runtime's EWMAs
+  // are unseeded, so the snapshot can carry est_run_s = 0 and a
+  // sustainable_qps of 0 or +inf. The wait bound must degrade to "no
+  // prediction" (admit on depth alone), never divide by zero or reject on
+  // a NaN/inf wait.
+  auto admission = MakeDepthBoundAdmission(/*max_queue_depth=*/8,
+                                           /*max_queue_wait_s=*/0.5,
+                                           ShedPolicy::kRejectNew);
+  for (const double qps :
+       {0.0, std::numeric_limits<double>::infinity(),
+        -std::numeric_limits<double>::infinity()}) {
+    LoadSnapshot load = Load(/*queued=*/4, qps);
+    load.est_run_s = 0.0;
+    load.ewma_service_rate_qps = 0.0;
+    const AdmissionDecision decision = admission->Decide(Q(1, 0.0), load, {});
+    EXPECT_EQ(decision.action, AdmissionDecision::Action::kAdmit)
+        << "sustainable_qps=" << qps << ": " << decision.reason;
+  }
+  // The depth bound still applies without a throughput estimate.
+  EXPECT_EQ(admission->Decide(Q(1, 0.0), Load(8, 0.0), {Q(2, 0.0)}).action,
+            AdmissionDecision::Action::kReject);
+}
+
+PrewarmSnapshot Warm(double rate_qps, double est_run_s, int32_t workers,
+                     int32_t warm, int32_t in_flight = 0,
+                     int32_t pending = 0) {
+  PrewarmSnapshot s;
+  s.arrival_rate_qps = rate_qps;
+  s.est_run_s = est_run_s;
+  s.workers_per_run = workers;
+  s.warm_instances = warm;
+  s.in_flight_runs = in_flight;
+  s.pending_prewarms = pending;
+  s.est_cost_per_instance = 0.001;
+  s.budget_remaining = 1.0;
+  return s;
+}
+
+TEST(PreWarmPolicyTest, RatePolicyCoversLittlesLawDeficit) {
+  auto policy = MakeRatePreWarmPolicy();
+  EXPECT_EQ(policy->name(), "rate");
+  // 2 qps x 1.5s service = 3 concurrent trees x 4 workers = 12 instances;
+  // 5 warm -> 7 to pre-warm.
+  EXPECT_EQ(policy->Decide(Warm(2.0, 1.5, 4, 5)).instances, 7);
+  // In-flight trees and pending pre-warms count as supply.
+  EXPECT_EQ(policy->Decide(Warm(2.0, 1.5, 4, 5, /*in_flight=*/1,
+                                /*pending=*/3))
+                .instances,
+            0);
+  // Supply already covers demand: idle, with a reason.
+  const PrewarmDecision covered = policy->Decide(Warm(2.0, 1.5, 4, 12));
+  EXPECT_EQ(covered.instances, 0);
+  EXPECT_FALSE(covered.reason.empty());
+}
+
+TEST(PreWarmPolicyTest, RatePolicyIgnoresDegenerateSignals) {
+  auto policy = MakeRatePreWarmPolicy();
+  // Unseeded rate / run-time estimate, zero-size trees, non-finite rate:
+  // no spend, ever — the policy can only act on a measured signal.
+  EXPECT_EQ(policy->Decide(Warm(0.0, 1.5, 4, 0)).instances, 0);
+  EXPECT_EQ(policy->Decide(Warm(2.0, 0.0, 4, 0)).instances, 0);
+  EXPECT_EQ(policy->Decide(Warm(2.0, 1.5, 0, 0)).instances, 0);
+  EXPECT_EQ(policy
+                ->Decide(Warm(std::numeric_limits<double>::infinity(), 1.5,
+                              4, 0))
+                .instances,
+            0);
+}
+
+TEST(PreWarmPolicyTest, RatePolicyRespectsBudget) {
+  auto policy = MakeRatePreWarmPolicy();
+  PrewarmSnapshot s = Warm(2.0, 1.5, 4, 0);  // deficit 12
+  s.est_cost_per_instance = 0.01;
+  s.budget_remaining = 0.055;  // affords 5
+  EXPECT_EQ(policy->Decide(s).instances, 5);
+  s.budget_remaining = 0.001;  // affords none
+  const PrewarmDecision broke = policy->Decide(s);
+  EXPECT_EQ(broke.instances, 0);
+  EXPECT_NE(broke.reason.find("budget"), std::string::npos);
+  // No cost estimate: the deficit is uncapped (the runtime re-checks the
+  // hard budget per fired instance anyway).
+  s.est_cost_per_instance = 0.0;
+  EXPECT_EQ(policy->Decide(s).instances, 12);
+}
+
 TEST(DispatchGateTest, SlotAccountingIsExact) {
   DispatchGate gate(2);
   EXPECT_TRUE(gate.bounded());
