@@ -1,12 +1,17 @@
 #!/usr/bin/env bash
 # Bench-JSON perf regression gate (the CI step after the smoke-test run):
-# diffs the p50/p95 latency metrics of the BENCH_*.json files a CTest run
-# dropped (FSD_BENCH_JSON) against the checked-in tiny-scale baselines in
+# diffs the gated metrics of the BENCH_*.json files a CTest run dropped
+# (FSD_BENCH_JSON) against the checked-in tiny-scale baselines in
 # fsd_bench_cache/bench_baselines/, and fails on any metric that regressed
-# by more than 25%. The smoke runs are virtual-time deterministic, so a
-# diff is a real behaviour change, never noise; the generous threshold
-# leaves room for intentional scheduling/latency-model changes (refresh
-# the baselines in the same PR when one is deliberate).
+# by more than 25%. The gate is direction-aware:
+#   - p50/p95 latency metrics: BIGGER is worse. These are virtual-time
+#     deterministic, so a diff is a real behaviour change, never noise.
+#   - *events_per_sec throughput metrics: SMALLER is worse. These are
+#     wall-clock, so the threshold also absorbs machine noise; the bench
+#     binaries gate the structural claim (kernel speedup) themselves.
+# The generous threshold leaves room for intentional scheduling/latency-
+# model changes (refresh the baselines in the same PR when one is
+# deliberate).
 #
 # usage: check_bench_regression.sh <json-dir> [--warn-only]
 #   --warn-only: report regressions without failing (the ASan job — same
@@ -24,11 +29,14 @@ warn_only=0
 baseline_dir="fsd_bench_cache/bench_baselines"
 threshold_pct=25
 
-# "key value" lines for the latency-shaped metrics (keys containing p50 or
-# p95 — the dimensions where bigger is strictly worse).
+# "key value direction" lines for the gated metrics: latency-shaped keys
+# (p50/p95 — bigger is worse) and throughput keys ending in events_per_sec
+# (smaller is worse). Other keys (speedups, counts) are informational only.
 metrics() {
   sed -n 's/^ *"\([A-Za-z0-9_.]*\)": *\(-*[0-9][-0-9.eE+]*\),*$/\1 \2/p' \
-    "$1" | grep -E 'p50|p95' || true
+    "$1" | awk '$1 ~ /p50|p95/ { print $0, "bigger-is-worse"; next }
+                $1 ~ /events_per_sec$/ { print $0, "smaller-is-worse" }' \
+    || true
 }
 
 fail=0
@@ -53,7 +61,7 @@ for baseline in "$baseline_dir"/BENCH_*.json; do
     fail=1
     continue
   fi
-  while IFS=' ' read -r key base; do
+  while IFS=' ' read -r key base dir; do
     [ -n "$key" ] || continue
     cur=$(metrics "$current" | awk -v k="$key" '$1 == k { print $2 }')
     if [ -z "$cur" ]; then
@@ -62,9 +70,11 @@ for baseline in "$baseline_dir"/BENCH_*.json; do
       continue
     fi
     checked=$((checked + 1))
-    verdict=$(awk -v c="$cur" -v b="$base" -v t="$threshold_pct" 'BEGIN {
+    verdict=$(awk -v c="$cur" -v b="$base" -v t="$threshold_pct" \
+              -v d="$dir" 'BEGIN {
       if (b <= 1e-9) { print "ok"; exit }
       delta = (c - b) / b * 100.0
+      if (d == "smaller-is-worse") delta = -delta
       if (delta > t) printf "regressed %.1f%%", delta
       else print "ok"
     }')
@@ -76,7 +86,7 @@ for baseline in "$baseline_dir"/BENCH_*.json; do
 done
 
 if [ "$checked" -eq 0 ]; then
-  echo "bench regression check: no comparable p50/p95 metrics found"
+  echo "bench regression check: no comparable gated metrics found"
   exit 1
 fi
 if [ "$fail" -ne 0 ]; then
@@ -87,4 +97,4 @@ if [ "$fail" -ne 0 ]; then
   echo "bench regression check FAILED ($checked metrics compared)"
   exit 1
 fi
-echo "bench regression check OK ($checked p50/p95 metrics within ${threshold_pct}%)"
+echo "bench regression check OK ($checked gated metrics within ${threshold_pct}%)"

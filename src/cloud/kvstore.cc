@@ -86,12 +86,13 @@ KvStore::PushOutcome KvStore::Push(const std::string& ns_name,
       queueing + latency_->kv_push.Sample(&rng_, value.size());
 
   ListEntry& list = ns->lists[key];
-  if (list.arrival_signal == nullptr) {
-    list.arrival_signal = sim_->MakeSignal();
-  }
   StoredValue stored{std::move(value), sim_->Now() + outcome.latency};
   list.values.push_back(std::move(stored));
-  // Wake long-pollers when the value becomes visible, then re-arm.
+  // Wake long-pollers when the value becomes visible, then re-arm. The
+  // signal itself is popper-allocated: a push with nobody polling leaves
+  // it null, and a popper arriving after visibility finds the value in
+  // gather() directly — so the unobserved case (the common one on the
+  // hot path) skips the whole fire/re-arm allocation cycle.
   std::string ns_copy = ns_name;
   std::string key_copy = key;
   sim_->ScheduleCallback(outcome.latency, [this, ns_copy, key_copy]() {
@@ -99,8 +100,10 @@ KvStore::PushOutcome KvStore::Push(const std::string& ns_name,
     if (target == nullptr) return;  // namespace torn down in flight
     auto it = target->lists.find(key_copy);
     if (it == target->lists.end()) return;
-    it->second.arrival_signal->Fire();
-    it->second.arrival_signal = sim_->MakeSignal();
+    std::shared_ptr<sim::SimSignal>& signal = it->second.arrival_signal;
+    if (signal == nullptr || !signal->has_waiters()) return;
+    signal->Fire();
+    signal = sim_->MakeSignal();
   });
   outcome.status = Status::OK();
   return outcome;
@@ -139,6 +142,14 @@ Result<std::vector<Bytes>> KvStore::BlockingPopAll(const std::string& ns_name,
            values.front().visible_at <= now) {
       out.push_back(std::move(values.front().body));
       values.pop_front();
+    }
+    // A fully drained, unwatched list is dead weight: phases use fresh
+    // keys, so without this the map grows with every phase of the run.
+    // (Pending visibility callbacks keep values non-empty, and a waiter's
+    // signal lives in the entry, so neither can be under an erased one.)
+    if (values.empty() && (it->second.arrival_signal == nullptr ||
+                           !it->second.arrival_signal->has_waiters())) {
+      space->lists.erase(it);
     }
     return out;
   };

@@ -139,12 +139,11 @@ P2pFabric::SendOutcome P2pFabric::Send(const std::string& session,
       handshake_wait + latency_->p2p_send.Sample(&rng_) + transfer;
 
   Inbox& inbox = s->inboxes[key];
-  if (inbox.arrival_signal == nullptr) {
-    inbox.arrival_signal = sim_->MakeSignal();
-  }
   inbox.values.push_back(
       DeliveredValue{std::move(value), sim_->Now() + outcome.latency});
-  // Wake long-pollers when the value becomes visible, then re-arm.
+  // Wake long-pollers when the value becomes visible, then re-arm. As in
+  // KvStore::Push, the signal is popper-allocated, so an unobserved
+  // delivery skips the fire/re-arm allocation cycle entirely.
   std::string session_copy = session;
   std::string key_copy = key;
   sim_->ScheduleCallback(
@@ -153,8 +152,11 @@ P2pFabric::SendOutcome P2pFabric::Send(const std::string& session,
         if (target == nullptr) return;  // session torn down in flight
         auto inbox_it = target->inboxes.find(key_copy);
         if (inbox_it == target->inboxes.end()) return;
-        inbox_it->second.arrival_signal->Fire();
-        inbox_it->second.arrival_signal = sim_->MakeSignal();
+        std::shared_ptr<sim::SimSignal>& signal =
+            inbox_it->second.arrival_signal;
+        if (signal == nullptr || !signal->has_waiters()) return;
+        signal->Fire();
+        signal = sim_->MakeSignal();
       });
   outcome.status = Status::OK();
   return outcome;
@@ -181,6 +183,13 @@ Result<std::vector<Bytes>> P2pFabric::BlockingPopAll(
            values.front().visible_at <= now) {
       out.push_back(std::move(values.front().body));
       values.pop_front();
+    }
+    // Erase fully drained, unwatched inboxes — phase-scoped keys would
+    // otherwise accumulate for the life of the session (see the matching
+    // note in KvStore::BlockingPopAll for why this is safe).
+    if (values.empty() && (it->second.arrival_signal == nullptr ||
+                           !it->second.arrival_signal->has_waiters())) {
+      space->inboxes.erase(it);
     }
     return out;
   };

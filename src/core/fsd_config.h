@@ -146,9 +146,10 @@ struct FsdOptions {
   uint64_t model_version = 0;
 
   /// --- serving SLO class (scheduler pipeline; see core/scheduler.h) ---
-  /// Pure scheduling metadata: these two knobs never reach the RunState,
-  /// so they are deliberately NOT part of the serving BatchFamilyKey —
-  /// queries in different SLO classes still coalesce into shared trees.
+  /// Pure scheduling metadata: these knobs never reach the RunState, so
+  /// they are deliberately NOT part of the serving BatchFamilyKey —
+  /// queries in different SLO classes (or of different tenants) still
+  /// coalesce into shared trees.
   /// Relative SLO deadline in seconds from submission (<= 0 = none). The
   /// serving runtime turns it into an absolute deadline at arrival: the
   /// EDF queue policy orders by it, the batcher flushes a coalescing batch
@@ -160,6 +161,13 @@ struct FsdOptions {
   /// shed to admit higher-priority arrivals; FleetStats reports latency
   /// percentiles per class.
   int32_t priority = 0;
+  /// Tenant this query bills/schedules under (0 = the default tenant).
+  /// Scheduling metadata like the two knobs above: the tenant-quota
+  /// admission stage (MakeTenantQuotaAdmission) rate-limits and
+  /// fair-shares per tenant, and FleetStats reports a per-tenant
+  /// disposition/latency breakdown — but the worker tree never sees it,
+  /// so cross-tenant queries of one model family still batch together.
+  int32_t tenant_id = 0;
 
   /// --- cross-query batching (serving-layer coalescing) ---
   /// Whether the serving runtime's batch aggregator may coalesce this

@@ -175,6 +175,72 @@ double Percentile(std::vector<double> values, double pct) {
   return values[rank == 0 ? 0 : rank - 1];
 }
 
+void PercentileSketch::Add(double v) {
+  ++count_;
+  sum_ += v;
+  if (count_ == 1 || v > max_) max_ = v;
+  if (v > 0.0 && (min_positive_ == 0.0 || v < min_positive_)) {
+    min_positive_ = v;
+  }
+  if (!streaming_) {
+    exact_.push_back(v);
+    if (exact_.size() > exact_threshold_) FoldIntoBuckets();
+    return;
+  }
+  AddToBuckets(v);
+}
+
+int32_t PercentileSketch::BucketIndex(double v) const {
+  return static_cast<int32_t>(std::floor(std::log(v) / std::log(kGrowth)));
+}
+
+void PercentileSketch::AddToBuckets(double v) {
+  if (v <= 0.0) {
+    ++nonpositive_;
+    return;
+  }
+  ++buckets_[BucketIndex(v)];
+}
+
+void PercentileSketch::FoldIntoBuckets() {
+  for (double v : exact_) AddToBuckets(v);
+  exact_.clear();
+  exact_.shrink_to_fit();
+  streaming_ = true;
+}
+
+double PercentileSketch::Quantile(double pct) const {
+  if (count_ == 0) return 0.0;
+  // Exact tier: THE historical sort-based nearest-rank value, bit for bit.
+  if (!streaming_) return Percentile(exact_, pct);
+  if (pct >= 100.0) return Max();
+  int64_t rank =
+      pct <= 0.0
+          ? 1
+          : static_cast<int64_t>(
+                std::ceil(pct / 100.0 * static_cast<double>(count_)));
+  rank = std::max<int64_t>(1, std::min(rank, count_));
+  if (rank <= nonpositive_) return 0.0;
+  int64_t seen = nonpositive_;
+  for (const auto& [index, n] : buckets_) {
+    seen += n;
+    if (seen >= rank) {
+      // Geometric bucket midpoint, clamped into the observed value range
+      // (the extreme buckets only partially cover their span).
+      const double v =
+          std::exp((static_cast<double>(index) + 0.5) * std::log(kGrowth));
+      return std::min(std::max(v, min_positive_), max_);
+    }
+  }
+  return Max();
+}
+
+double PercentileSketch::Mean() const {
+  return count_ > 0 ? sum_ / static_cast<double>(count_) : 0.0;
+}
+
+double PercentileSketch::Max() const { return count_ > 0 ? max_ : 0.0; }
+
 void FleetStats::AddQuery(const QuerySample& sample,
                           const RunMetrics& metrics) {
   if (queries == 0 || sample.arrival_s < first_arrival_s_) {
@@ -184,28 +250,38 @@ void FleetStats::AddQuery(const QuerySample& sample,
     last_finish_s_ = sample.finish_s;
   }
   ++queries;
+  TenantAcc& tenant =
+      tenant_acc_.try_emplace(sample.tenant, streaming_threshold_)
+          .first->second;
+  ++tenant.queries;
   switch (sample.disposition) {
     case QueryDisposition::kRejected:
       ++rejected;
+      ++tenant.rejected;
       return;
     case QueryDisposition::kShed:
       ++shed;
+      ++tenant.shed;
       return;
     case QueryDisposition::kAborted:
       ++failed;
       ++aborted;
+      ++tenant.failed;
       return;
     case QueryDisposition::kInFlight:
       ++failed;
       ++still_in_flight;
+      ++tenant.failed;
       return;
     case QueryDisposition::kFailed:
       ++failed;
+      ++tenant.failed;
       return;
     case QueryDisposition::kCompleted:
       break;
   }
   ++completed;
+  ++tenant.completed;
   if (std::isfinite(sample.deadline_s)) {
     ++deadline_queries;
     if (sample.finish_s <= sample.deadline_s) {
@@ -214,9 +290,11 @@ void FleetStats::AddQuery(const QuerySample& sample,
       ++deadline_misses_;
     }
   }
-  latencies_.push_back(sample.latency_s);
-  queue_waits_.push_back(sample.queue_wait_s);
-  class_latencies_[sample.priority].push_back(sample.latency_s);
+  latencies_.Add(sample.latency_s);
+  queue_waits_.Add(sample.queue_wait_s);
+  tenant.latencies.Add(sample.latency_s);
+  class_latencies_.try_emplace(sample.priority, streaming_threshold_)
+      .first->second.Add(sample.latency_s);
   cache_hits += metrics.cache_hits;
   cache_misses += metrics.cache_misses;
   cache_evictions += metrics.cache_evictions;
@@ -262,31 +340,36 @@ void FleetStats::Finalize() {
                 static_cast<double>(deadline_queries)
           : 1.0;
   class_latency.clear();
-  for (const auto& [priority, samples] : class_latencies_) {
+  for (const auto& [priority, sketch] : class_latencies_) {
     ClassLatency cls;
     cls.priority = priority;
-    cls.completed = static_cast<int32_t>(samples.size());
-    cls.latency_p50_s = Percentile(samples, 50.0);
-    cls.latency_p95_s = Percentile(samples, 95.0);
+    cls.completed = static_cast<int32_t>(sketch.count());
+    cls.latency_p50_s = sketch.Quantile(50.0);
+    cls.latency_p95_s = sketch.Quantile(95.0);
     class_latency.push_back(cls);
   }
-  latency_mean_s = 0.0;
-  for (double l : latencies_) latency_mean_s += l;
-  if (!latencies_.empty()) {
-    latency_mean_s /= static_cast<double>(latencies_.size());
+  tenant_stats.clear();
+  for (const auto& [id, acc] : tenant_acc_) {
+    TenantStats t;
+    t.tenant = id;
+    t.queries = acc.queries;
+    t.completed = acc.completed;
+    t.failed = acc.failed;
+    t.rejected = acc.rejected;
+    t.shed = acc.shed;
+    t.latency_p50_s = acc.latencies.Quantile(50.0);
+    t.latency_p95_s = acc.latencies.Quantile(95.0);
+    tenant_stats.push_back(t);
   }
-  latency_p50_s = Percentile(latencies_, 50.0);
-  latency_p95_s = Percentile(latencies_, 95.0);
-  latency_p99_s = Percentile(latencies_, 99.0);
-  latency_max_s = Percentile(latencies_, 100.0);
-  queue_wait_mean_s = 0.0;
-  for (double w : queue_waits_) queue_wait_mean_s += w;
-  if (!queue_waits_.empty()) {
-    queue_wait_mean_s /= static_cast<double>(queue_waits_.size());
-  }
-  queue_wait_p50_s = Percentile(queue_waits_, 50.0);
-  queue_wait_p95_s = Percentile(queue_waits_, 95.0);
-  queue_wait_max_s = Percentile(queue_waits_, 100.0);
+  latency_mean_s = latencies_.Mean();
+  latency_p50_s = latencies_.Quantile(50.0);
+  latency_p95_s = latencies_.Quantile(95.0);
+  latency_p99_s = latencies_.Quantile(99.0);
+  latency_max_s = latencies_.Max();
+  queue_wait_mean_s = queue_waits_.Mean();
+  queue_wait_p50_s = queue_waits_.Quantile(50.0);
+  queue_wait_p95_s = queue_waits_.Quantile(95.0);
+  queue_wait_max_s = queue_waits_.Max();
   // Occupancy/cost denominators use the completed count only: rejected and
   // shed queries never launched (or finished) a tree, so counting them
   // would misstate how full the launched trees ran.
@@ -313,12 +396,49 @@ void FleetStats::Finalize() {
       makespan_s > 0.0 ? total_cost * (86400.0 / makespan_s) : total_cost;
 }
 
+void FleetStats::set_streaming_threshold(size_t threshold) {
+  streaming_threshold_ = threshold;
+  latencies_ = PercentileSketch(threshold);
+  queue_waits_ = PercentileSketch(threshold);
+  class_latencies_.clear();
+  tenant_acc_.clear();
+}
+
+size_t FleetStats::resident_samples() const {
+  size_t resident = latencies_.resident_samples() +
+                    queue_waits_.resident_samples();
+  for (const auto& [priority, sketch] : class_latencies_) {
+    resident += sketch.resident_samples();
+  }
+  for (const auto& [id, acc] : tenant_acc_) {
+    resident += acc.latencies.resident_samples();
+  }
+  return resident;
+}
+
 std::string FleetStats::Summary() const {
   std::string slo;
   if (deadline_queries > 0) {
     slo = StrFormat(" slo=%.1f%% (%d/%d deadlines, goodput %.3f qps)",
                     100.0 * slo_attainment, deadline_hits, deadline_queries,
                     goodput_qps);
+  }
+  // Tenant breakdown only when the workload actually is multi-tenant:
+  // single-default-tenant summaries stay byte-identical to the historical
+  // format.
+  std::string tenants;
+  const bool multi_tenant =
+      tenant_stats.size() > 1 ||
+      (tenant_stats.size() == 1 && tenant_stats.front().tenant != 0);
+  if (multi_tenant) {
+    tenants = " tenants=[";
+    for (size_t i = 0; i < tenant_stats.size(); ++i) {
+      const TenantStats& t = tenant_stats[i];
+      tenants += StrFormat(
+          "%s%d:q%d c%d r%d s%d p50=%.3fs", i == 0 ? "" : " ", t.tenant,
+          t.queries, t.completed, t.rejected, t.shed, t.latency_p50_s);
+    }
+    tenants += "]";
   }
   return StrFormat(
       "queries=%d (%d failed, %d rejected, %d shed) runs=%d "
@@ -329,7 +449,7 @@ std::string FleetStats::Summary() const {
       "shares=%lld/%lld/%lld storage/peer/prewarmed (%d prewarm calls) "
       "links=%lld (%lld punch-failed, %lld relayed) "
       "rounds=%lld (%.1fms/round) "
-      "cost=%s (%s/query, %s/day)",
+      "cost=%s (%s/query, %s/day)%s",
       queries, failed, rejected, shed, runs, batch_occupancy_mean,
       batch_occupancy_max, makespan_s, throughput_qps, slo.c_str(),
       latency_p50_s, latency_p95_s, latency_p99_s, latency_max_s,
@@ -345,7 +465,7 @@ std::string FleetStats::Summary() const {
       static_cast<long long>(collective_rounds),
       1000.0 * collective_round_mean_s,
       HumanDollars(total_cost).c_str(), HumanDollars(cost_per_query).c_str(),
-      HumanDollars(daily_cost).c_str());
+      HumanDollars(daily_cost).c_str(), tenants.c_str());
 }
 
 }  // namespace fsd::core

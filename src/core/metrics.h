@@ -199,6 +199,62 @@ struct RunMetrics {
 /// returns 0 for an empty sample. Sorts a copy.
 double Percentile(std::vector<double> values, double pct);
 
+/// Bounded-memory quantile accumulator for serving-scale distributions.
+///
+/// Small samples stay exact: while count() <= the exact threshold the
+/// sketch holds every value and Quantile() IS Percentile() — byte-identical
+/// to the historical sort-based path, so sub-threshold workloads (every
+/// unit test, most benches) see no change at all. Past the threshold the
+/// exact buffer folds into a log-spaced histogram (growth kGrowth per
+/// bucket) and memory is bounded by the bucket count — O(log(max/min)) —
+/// instead of the sample count, which is what lets FleetStats absorb a
+/// 10^6-query day without retaining 10^6 QuerySamples.
+///
+/// Accuracy contract once streaming: quantiles are reported as the
+/// geometric midpoint of the rank's bucket, so the relative error is
+/// bounded by sqrt(kGrowth) - 1 (~0.25% at the default growth, well inside
+/// the documented 1%); Mean() and Max() stay exact, and non-positive
+/// values (idle queue waits are exactly 0) are counted in a dedicated
+/// bucket that reports 0 exactly.
+class PercentileSketch {
+ public:
+  static constexpr size_t kDefaultExactThreshold = 4096;
+  static constexpr double kGrowth = 1.005;
+
+  explicit PercentileSketch(
+      size_t exact_threshold = kDefaultExactThreshold)
+      : exact_threshold_(exact_threshold) {}
+
+  void Add(double v);
+  /// Nearest-rank percentile (pct in [0, 100]) of everything Add()ed.
+  double Quantile(double pct) const;
+  double Mean() const;
+  double Max() const;
+  int64_t count() const { return count_; }
+  bool streaming() const { return streaming_; }
+  /// Peak-memory proxy: exact samples still held plus histogram buckets.
+  /// Bounded by exact_threshold + O(log(max/min) / log(kGrowth)) however
+  /// many values were Add()ed.
+  size_t resident_samples() const {
+    return exact_.size() + buckets_.size() + (nonpositive_ > 0 ? 1 : 0);
+  }
+
+ private:
+  int32_t BucketIndex(double v) const;
+  void AddToBuckets(double v);
+  void FoldIntoBuckets();
+
+  size_t exact_threshold_;
+  bool streaming_ = false;
+  std::vector<double> exact_;
+  std::map<int32_t, int64_t> buckets_;  ///< log-spaced, index -> count
+  int64_t nonpositive_ = 0;             ///< values <= 0 (reported as 0)
+  int64_t count_ = 0;
+  double sum_ = 0.0;
+  double max_ = 0.0;
+  double min_positive_ = 0.0;  ///< smallest positive value seen
+};
+
 /// Fleet-level aggregation over a serving workload: the SLO-facing view
 /// (tail latency, throughput, cold-start ratio, projected daily cost) of
 /// many queries sharing one cloud deployment.
@@ -250,6 +306,24 @@ struct FleetStats {
     double latency_p95_s = 0.0;
   };
   std::vector<ClassLatency> class_latency;
+
+  /// Per-tenant disposition partition and completed-latency percentiles
+  /// (ascending tenant id), filled by Finalize(). Each tenant's row obeys
+  /// the same identity as the fleet totals — completed + failed +
+  /// rejected + shed == queries — so a multi-tenant replay can assert
+  /// quota enforcement tenant by tenant. Workloads that never set a
+  /// tenant id report a single tenant-0 row.
+  struct TenantStats {
+    int32_t tenant = 0;
+    int32_t queries = 0;
+    int32_t completed = 0;
+    int32_t failed = 0;
+    int32_t rejected = 0;
+    int32_t shed = 0;
+    double latency_p50_s = 0.0;
+    double latency_p95_s = 0.0;
+  };
+  std::vector<TenantStats> tenant_stats;
 
   // FaaS instance reuse across the workload.
   int64_t worker_invocations = 0;
@@ -329,6 +403,7 @@ struct FleetStats {
     double queue_wait_s = 0.0;  ///< submission -> tree launch (0 unbatched)
     QueryDisposition disposition = QueryDisposition::kCompleted;
     int32_t priority = 0;
+    int32_t tenant = 0;       ///< tenant id (0 = the default tenant)
     double deadline_s = 0.0;  ///< absolute; set to +inf for "none"
   };
 
@@ -349,11 +424,30 @@ struct FleetStats {
   void Finalize();
   std::string Summary() const;
 
+  /// Lowers the per-distribution exact threshold (tests exercise the
+  /// streaming path without 4096+ queries). Must be called before the
+  /// first AddQuery — it resets the accumulated distributions.
+  void set_streaming_threshold(size_t threshold);
+  /// Peak resident distribution samples across every internal sketch —
+  /// the bounded-aggregation guarantee a long replay is tested against.
+  size_t resident_samples() const;
+
  private:
-  std::vector<double> latencies_;
-  std::vector<double> queue_waits_;
+  size_t streaming_threshold_ = PercentileSketch::kDefaultExactThreshold;
+  PercentileSketch latencies_;
+  PercentileSketch queue_waits_;
   double collective_round_s_total_ = 0.0;
-  std::map<int32_t, std::vector<double>> class_latencies_;  ///< by priority
+  std::map<int32_t, PercentileSketch> class_latencies_;  ///< by priority
+  struct TenantAcc {
+    explicit TenantAcc(size_t threshold) : latencies(threshold) {}
+    int32_t queries = 0;
+    int32_t completed = 0;
+    int32_t failed = 0;
+    int32_t rejected = 0;
+    int32_t shed = 0;
+    PercentileSketch latencies;
+  };
+  std::map<int32_t, TenantAcc> tenant_acc_;  ///< by tenant id
   int32_t deadline_misses_ = 0;
   double first_arrival_s_ = 0.0;
   double last_finish_s_ = 0.0;

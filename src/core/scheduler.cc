@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <map>
 
 #include "common/strings.h"
 
@@ -128,6 +129,89 @@ class DepthBoundAdmission final : public AdmissionPolicy {
   ShedPolicy shed_ = ShedPolicy::kRejectNew;
 };
 
+class TenantQuotaAdmission final : public AdmissionPolicy {
+ public:
+  TenantQuotaAdmission(std::vector<TenantQuota> quotas,
+                       std::shared_ptr<AdmissionPolicy> inner)
+      : inner_(std::move(inner)) {
+    for (const TenantQuota& q : quotas) {
+      Bucket bucket;
+      bucket.rate_qps = q.rate_qps;
+      bucket.burst = q.burst > 0.0 ? q.burst : std::max(1.0, q.rate_qps);
+      bucket.tokens = bucket.burst;  // a fresh tenant may burst immediately
+      bucket.max_queue_share = q.max_queue_share;
+      buckets_[q.tenant] = bucket;
+    }
+  }
+
+  std::string_view name() const override { return "tenant-quota"; }
+
+  AdmissionDecision Decide(const SchedQuery& arrival, const LoadSnapshot& load,
+                           const std::vector<SchedQuery>& queue) override {
+    auto it = buckets_.find(arrival.tenant);
+    if (it == buckets_.end()) return inner_->Decide(arrival, load, queue);
+    Bucket& bucket = it->second;
+    // Fair share of the backlog: with the arrival included, the tenant may
+    // hold at most ceil(share x (queued + 1)) queue entries. Checked
+    // before the rate bucket so a monopolizing tenant is named as such
+    // (and keeps its tokens for when the queue thins out).
+    if (bucket.max_queue_share > 0.0) {
+      int32_t held = 0;
+      for (const SchedQuery& q : queue) {
+        if (q.tenant == arrival.tenant) ++held;
+      }
+      const double allowed = std::ceil(
+          bucket.max_queue_share * static_cast<double>(queue.size() + 1));
+      if (static_cast<double>(held + 1) > allowed) {
+        AdmissionDecision decision;
+        decision.action = AdmissionDecision::Action::kReject;
+        decision.reason = StrFormat(
+            "tenant %d over queue share %.2f (%d of %zu queued)",
+            arrival.tenant, bucket.max_queue_share, held, queue.size());
+        return decision;
+      }
+    }
+    if (bucket.rate_qps > 0.0) {
+      // Deterministic token refill driven by virtual time; load.now_s is
+      // non-decreasing across arrivals of one trace.
+      if (bucket.last_refill_s >= 0.0) {
+        bucket.tokens = std::min(
+            bucket.burst,
+            bucket.tokens +
+                (load.now_s - bucket.last_refill_s) * bucket.rate_qps);
+      }
+      bucket.last_refill_s = load.now_s;
+      if (bucket.tokens < 1.0) {
+        AdmissionDecision decision;
+        decision.action = AdmissionDecision::Action::kReject;
+        decision.reason = StrFormat(
+            "tenant %d quota exceeded (%.3f qps, %.2f tokens)",
+            arrival.tenant, bucket.rate_qps, bucket.tokens);
+        return decision;
+      }
+      AdmissionDecision decision = inner_->Decide(arrival, load, queue);
+      // Only an actually-admitted query consumes a token: a depth-bound
+      // rejection downstream must not burn the tenant's budget.
+      if (decision.action != AdmissionDecision::Action::kReject) {
+        bucket.tokens -= 1.0;
+      }
+      return decision;
+    }
+    return inner_->Decide(arrival, load, queue);
+  }
+
+ private:
+  struct Bucket {
+    double rate_qps = 0.0;
+    double burst = 0.0;
+    double tokens = 0.0;
+    double last_refill_s = -1.0;
+    double max_queue_share = 0.0;
+  };
+  std::map<int32_t, Bucket> buckets_;
+  std::shared_ptr<AdmissionPolicy> inner_;
+};
+
 class FifoQueuePolicy final : public QueuePolicy {
  public:
   std::string_view name() const override { return "fifo"; }
@@ -229,6 +313,13 @@ std::shared_ptr<AdmissionPolicy> MakeDepthBoundAdmission(
     int32_t max_queue_depth, double max_queue_wait_s, ShedPolicy shed) {
   return std::make_shared<DepthBoundAdmission>(max_queue_depth,
                                                max_queue_wait_s, shed);
+}
+
+std::shared_ptr<AdmissionPolicy> MakeTenantQuotaAdmission(
+    std::vector<TenantQuota> quotas, std::shared_ptr<AdmissionPolicy> inner) {
+  if (!inner) inner = MakeAdmitAll();
+  return std::make_shared<TenantQuotaAdmission>(std::move(quotas),
+                                                std::move(inner));
 }
 
 std::shared_ptr<QueuePolicy> MakeQueuePolicy(QueueDiscipline discipline) {

@@ -74,6 +74,7 @@ struct SchedQuery {
   double arrival_s = 0.0;           ///< virtual submission time
   double deadline_s = kNoDeadline;  ///< absolute SLO deadline
   int32_t priority = 0;             ///< higher = more important
+  int32_t tenant = 0;               ///< tenant id (0 = default tenant)
   int32_t cols = 0;                 ///< sample columns (size proxy)
 };
 
@@ -225,6 +226,29 @@ std::shared_ptr<AdmissionPolicy> MakeDepthBoundAdmission(
     int32_t max_queue_depth, double max_queue_wait_s, ShedPolicy shed);
 
 std::shared_ptr<QueuePolicy> MakeQueuePolicy(QueueDiscipline discipline);
+
+/// Per-tenant admission quota: a token bucket refilled at `rate_qps`
+/// (sustained admitted-query rate) with depth `burst` (<= 0 defaults to
+/// max(1, rate_qps) — one second of rate), plus an optional fair-share cap
+/// on the admitted-but-unlaunched queue (`max_queue_share` in (0, 1]; 0
+/// disables it): an arrival whose tenant already holds more than its share
+/// of the queue is rejected even with tokens left, so one bursty tenant
+/// cannot monopolize the backlog ahead of the others.
+struct TenantQuota {
+  int32_t tenant = 0;
+  double rate_qps = 0.0;      ///< <= 0 = no rate limit for this tenant
+  double burst = 0.0;         ///< bucket depth in queries
+  double max_queue_share = 0.0;
+};
+
+/// Tenant-quota admission stage: enforces each listed tenant's quota, then
+/// delegates to `inner` (null = admit-all) so quotas compose with the
+/// depth/wait bounds. Unlisted tenants skip straight to `inner`. The stage
+/// is stateful (bucket levels advance with load.now_s) but strictly
+/// deterministic: identical arrival traces refill and drain the buckets
+/// identically.
+std::shared_ptr<AdmissionPolicy> MakeTenantQuotaAdmission(
+    std::vector<TenantQuota> quotas, std::shared_ptr<AdmissionPolicy> inner);
 
 /// Deadline-slack batcher: waits out the window, but flushes early when the
 /// oldest member's slack — deadline minus predicted execution time — would

@@ -30,8 +30,9 @@ std::atomic<uint64_t> g_instance_counter{0};
 /// this key (or queries differing in the new knob will silently coalesce
 /// into a RunState that cannot honour both settings) — fsd_config.h points
 /// back here. Exception: pure SCHEDULING metadata (slo_deadline_s,
-/// priority) is deliberately excluded — it never reaches the RunState, so
-/// queries in different SLO classes still coalesce and keep the batching
+/// priority, tenant_id) is deliberately excluded — it never reaches the
+/// RunState, so queries in different SLO classes or of different tenants
+/// still coalesce and keep the batching
 /// amortization; the batcher tracks per-member deadlines (earliest wins,
 /// late joiners tighten the flush) and shedding removes individual
 /// members, so mixed-class batches stay correct.
@@ -88,6 +89,11 @@ ServingRuntime::ServingRuntime(cloud::CloudEnv* cloud, ServingOptions options)
                                              options_.max_queue_wait_s,
                                              options_.shed_policy)
                    : MakeAdmitAll();
+  if (!options_.tenant_quotas.empty()) {
+    // Quotas decorate whichever inner stage was materialized above: the
+    // token buckets decide first, surviving arrivals fall through.
+    admission_ = MakeTenantQuotaAdmission(options_.tenant_quotas, admission_);
+  }
   queue_policy_ = options_.queue_policy
                       ? options_.queue_policy
                       : MakeQueuePolicy(options_.queue_discipline);
@@ -589,8 +595,14 @@ SchedQuery ServingRuntime::SchedView(const Query& query) const {
   view.arrival_s = query.outcome.arrival_s;
   view.deadline_s = query.outcome.deadline_s;
   view.priority = query.outcome.priority;
+  view.tenant = query.outcome.tenant;
   view.cols = RequestSampleCols(query.request);
   return view;
+}
+
+bool ServingRuntime::AdmissionEnabled() const {
+  return options_.admission_control || options_.admission_policy != nullptr ||
+         !options_.tenant_quotas.empty();
 }
 
 std::vector<SchedQuery> ServingRuntime::QueuedSnapshot() const {
@@ -875,7 +887,7 @@ void ServingRuntime::ArriveQuery(uint64_t query_id) {
         query->outcome.arrival_s + query->request.options.slo_deadline_s;
   }
   ObserveArrival(query_id);
-  if (options_.admission_control) {
+  if (AdmissionEnabled()) {
     const LoadSnapshot load = BuildLoadSnapshot(*query);
     AdmissionDecision decision =
         admission_->Decide(SchedView(*query), load, QueuedSnapshot());
@@ -912,8 +924,8 @@ Result<uint64_t> ServingRuntime::Submit(const InferenceRequest& request,
   // bound a query may be rejected/parked, so nothing may be provisioned at
   // Submit. Without any of those, the pre-scheduler fast path below
   // provisions immediately (synchronous errors, byte-identical behaviour).
-  const bool pipelined = batching || options_.admission_control ||
-                         options_.max_concurrent_runs > 0;
+  const bool pipelined =
+      batching || AdmissionEnabled() || options_.max_concurrent_runs > 0;
   // Validate up front on BOTH paths: a malformed request fails at Submit
   // (not mid-window), and run construction may then read batch shapes
   // (RequestSampleCols) before PrepareRunState re-validates.
@@ -925,6 +937,7 @@ Result<uint64_t> ServingRuntime::Submit(const InferenceRequest& request,
   query->outcome.query_id = query_id;
   query->outcome.arrival_s = cloud_->sim()->Now() + arrival_s;
   query->outcome.priority = request.options.priority;
+  query->outcome.tenant = request.options.tenant_id;
   query->outcome.deadline_s =
       request.options.slo_deadline_s > 0.0
           ? query->outcome.arrival_s + request.options.slo_deadline_s
@@ -1004,6 +1017,7 @@ Result<ServingReport> ServingRuntime::Drain(double run_until) {
     sample.queue_wait_s = query->outcome.queue_wait_s;
     sample.disposition = query->outcome.disposition;
     sample.priority = query->outcome.priority;
+    sample.tenant = query->outcome.tenant;
     sample.deadline_s = query->outcome.deadline_s;
     report.fleet.AddQuery(sample, query->outcome.report.metrics);
   }

@@ -129,6 +129,13 @@ struct ServingOptions {
   std::shared_ptr<QueuePolicy> queue_policy;
   std::shared_ptr<BatchPolicy> batch_policy;
 
+  /// Per-tenant admission quotas (token-bucket rate limits and fair queue
+  /// shares; see MakeTenantQuotaAdmission). Non-empty wraps the admission
+  /// policy above — and switches the runtime onto the scheduler pipeline
+  /// even when `admission_control` is off, so quota rejections apply to
+  /// every arrival. Tenants not listed here are never quota-limited.
+  std::vector<TenantQuota> tenant_quotas;
+
   /// --- λScale-style fast scaling (core/share_distributor.h) ---
   /// Serve cold model-share loads peer-to-peer from warm holders before
   /// paying the object-storage front door: a flash crowd's P concurrent
@@ -169,6 +176,9 @@ struct QueryOutcome {
   std::string reject_reason;
   /// SLO class (copied from the request's FsdOptions at submission).
   int32_t priority = 0;
+  /// Tenant the query billed under (copied from the request's FsdOptions
+  /// at submission; 0 = default tenant).
+  int32_t tenant = 0;
   /// Absolute deadline (arrival + slo_deadline_s); kNoDeadline when the
   /// query carried none.
   double deadline_s = kNoDeadline;
@@ -295,6 +305,9 @@ class ServingRuntime {
   /// policy (reject / shed a victim / admit), then hands the query to the
   /// batcher or straight to the dispatcher.
   void ArriveQuery(uint64_t query_id);
+  /// Whether arrivals route through the scheduler pipeline's admission
+  /// stage: the explicit knob, an injected policy, or tenant quotas.
+  bool AdmissionEnabled() const;
   /// Called at a query's virtual arrival time (batching path): joins or
   /// opens the family's pending batch, flushing on size caps.
   void JoinBatch(uint64_t query_id);

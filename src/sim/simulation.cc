@@ -14,6 +14,14 @@ struct ProcessKilled {};
 
 const std::string kSchedulerName = "scheduler";
 
+#if FSD_SIM_HAS_FIBERS
+/// Fiber stacks hold real workload code (worker trees run whole inference
+/// passes inside processes), so they must match what an OS thread would
+/// offer; 8 MiB per LIVE fiber (allocated at first resume, freed at reap)
+/// costs only the lazily-committed pages actually touched.
+constexpr size_t kFiberStackBytes = 8u << 20;
+#endif
+
 }  // namespace
 
 void SimSignal::Fire() {
@@ -31,19 +39,102 @@ Simulation::~Simulation() {
   // Make every kernel entry point inert before waking the victims: their
   // unwinding stacks may re-enter the simulation (see tearing_down()).
   tearing_down_.store(true, std::memory_order_release);
-  // Unwind any still-blocked processes so their threads can be joined.
-  for (auto& p : processes_) {
-    if (p->finished || !p->thread.joinable()) continue;
-    {
-      std::lock_guard<std::mutex> lock(p->mutex);
-      p->wait_satisfied = false;
-      p->runnable = true;
+#if FSD_SIM_HAS_FIBERS
+  if (fibers_) {
+    // Resume each still-blocked fiber once with the kill flag set: its
+    // YieldToScheduler observes the flag, throws, and the stack unwinds
+    // back through the trampoline to this swapcontext. Never-started
+    // fibers have no stack to unwind.
+    for (auto& p : processes_) {
+      if (p == nullptr || p->finished || !p->started) continue;
       p->killed = true;
-      p->cv.notify_all();
+      swapcontext(&sched_context_, &p->context);
+    }
+    return;  // no worker threads exist on the fiber tier
+  }
+#endif
+  // Unwind any still-blocked process: mark it killed and wake its worker
+  // once, so the blocked YieldToScheduler (or the pre-start wait) observes
+  // the kill. Fast-path processes that never started have no worker — and
+  // no thread — so there is nothing to unwind.
+  for (auto& p : processes_) {
+    if (p == nullptr || p->finished || p->worker == nullptr) continue;
+    Worker* w = p->worker;
+    p->killed = true;
+    if (tuning_.fast_handoff) {
+      w->run_sem.release();
+    } else {
+      std::lock_guard<std::mutex> lock(w->mutex);
+      w->runnable = true;
+      w->cv.notify_all();
     }
   }
-  for (auto& p : processes_) {
-    if (p->thread.joinable()) p->thread.join();
+  // Shut down pool workers parked between assignments.
+  for (Worker* w : idle_workers_) {
+    w->shutdown = true;
+    if (tuning_.fast_handoff) {
+      w->run_sem.release();
+    } else {
+      std::lock_guard<std::mutex> lock(w->mutex);
+      w->runnable = true;
+      w->cv.notify_all();
+    }
+  }
+  for (auto& w : workers_) {
+    if (w != nullptr && w->thread.joinable()) w->thread.join();
+  }
+}
+
+void Simulation::WorkerMain(Worker* w) {
+  for (;;) {
+    // Wait for an assignment (pool) / this process's first resume
+    // (dedicated thread), or for teardown.
+    if (tuning_.fast_handoff) {
+      w->run_sem.acquire();
+    } else {
+      std::unique_lock<std::mutex> lock(w->mutex);
+      w->cv.wait(lock, [w] { return w->runnable; });
+    }
+    if (w->shutdown) return;
+    Process* p = w->proc;
+    if (p->killed) {
+      // Killed before the body ever entered (teardown unwound us while the
+      // start event was still queued). The destructor's join is the only
+      // reader past this point.
+      p->finished = true;
+      return;
+    }
+    try {
+      p->body();
+    } catch (const ProcessKilled&) {
+      // Simulation teardown: multiple killed threads unwind concurrently,
+      // so only touch this process's own state — never shared kernel state.
+      p->finished = true;
+      return;
+    }
+    FinishProcess(p);
+    w->proc = nullptr;
+    if (!tuning_.reuse_threads) {
+      // Dedicated thread: hand control back and exit; the scheduler joins
+      // us when it reaps the process.
+      SignalYield(w);
+      return;
+    }
+    // Pool thread: return to the idle stack BEFORE yielding — the
+    // scheduler is parked on our yield, so the push cannot race.
+    idle_workers_.push_back(w);
+    SignalYield(w);
+  }
+}
+
+void Simulation::SignalYield(Worker* w) {
+  if (tuning_.fast_handoff) {
+    w->yield_sem.release();
+  } else {
+    std::lock_guard<std::mutex> lock(w->mutex);
+    w->runnable = false;
+    w->yielded = true;
+    w->cv.notify_all();
   }
 }
 
@@ -62,38 +153,21 @@ ProcessHandle Simulation::AddProcess(std::string name,
   ++live_processes_;
   processes_.push_back(std::move(proc));
 
-  p->thread = std::thread([this, p]() {
-    {
-      std::unique_lock<std::mutex> lock(p->mutex);
-      p->cv.wait(lock, [p] { return p->runnable; });
-      if (p->killed) {
-        p->finished = true;
-        p->yielded = true;
-        p->cv.notify_all();
-        return;
-      }
-    }
-    try {
-      p->body();
-    } catch (const ProcessKilled&) {
-      // Simulation teardown: multiple killed threads unwind concurrently, so
-      // only touch this process's own state — never shared kernel state.
-      std::lock_guard<std::mutex> lock(p->mutex);
-      p->finished = true;
-      p->yielded = true;
-      p->cv.notify_all();
-      return;
-    }
-    FinishProcess(p);
-  });
+  if (!fibers_ && !tuning_.reuse_threads) {
+    // Legacy tier: dedicate an OS thread to the process up front (it idles
+    // until the start event dispatches). The fast tiers instead bind a
+    // pooled thread (or allocate a fiber) lazily at first resume — a
+    // never-started process then costs no thread or stack at all.
+    auto owned = std::make_unique<Worker>();
+    Worker* w = owned.get();
+    w->index = workers_.size();
+    w->proc = p;
+    p->worker = w;
+    workers_.push_back(std::move(owned));
+    w->thread = std::thread([this, w] { WorkerMain(w); });
+  }
 
-  Event ev;
-  ev.time = now_ + start;
-  ev.seq = next_seq_++;
-  ev.pid = p->pid;
-  ev.is_callback = false;
-  events_.push_back(std::move(ev));
-  std::push_heap(events_.begin(), events_.end(), EventAfter());
+  PushEvent(start, p->pid, /*epoch=*/0, EventKind::kWake);
   return ProcessHandle(p->done);
 }
 
@@ -106,18 +180,24 @@ void Simulation::Run(SimTime until) {
       break;
     }
     std::pop_heap(events_.begin(), events_.end(), EventAfter());
-    Event ev = std::move(events_.back());
+    const Event ev = events_.back();
     events_.pop_back();
     FSD_CHECK_GE(ev.time, now_);
     now_ = ev.time;
     ++events_dispatched_;
-    if (ev.is_callback) {
-      ev.callback();
+    if (ev.kind == EventKind::kCallback) {
+      std::function<void()> fn = std::move(callback_slots_[ev.target]);
+      callback_slots_[ev.target] = nullptr;
+      // Recycle the slot before running: the callback may schedule again.
+      free_slots_.push_back(static_cast<uint32_t>(ev.target));
+      fn();
       continue;
     }
-    Process* p = FindProcess(ev.pid);
+    Process* p = FindProcess(ev.target);
     if (p == nullptr || p->finished) continue;
-    if (ev.is_timeout && ev.epoch != p->wait_epoch) continue;  // stale
+    if (ev.kind == EventKind::kTimeout && ev.epoch != p->wait_epoch) {
+      continue;  // stale
+    }
     ResumeProcess(p);
   }
   if (events_.empty() && live_processes_ > 0) {
@@ -128,58 +208,158 @@ void Simulation::Run(SimTime until) {
 }
 
 Simulation::Process* Simulation::FindProcess(uint64_t pid) const {
-  // Pids are assigned sequentially from 1 and processes are never removed,
-  // so the vector doubles as the pid index.
+  // Pids are assigned sequentially from 1, so the vector doubles as the
+  // pid index; reaped (finished) processes leave a null slot behind.
   if (pid == 0 || pid > processes_.size()) return nullptr;
   return processes_[pid - 1].get();
+}
+
+void Simulation::BindWorker(Process* p) {
+  Worker* w;
+  if (!idle_workers_.empty()) {
+    w = idle_workers_.back();
+    idle_workers_.pop_back();
+  } else {
+    auto owned = std::make_unique<Worker>();
+    w = owned.get();
+    w->index = workers_.size();
+    workers_.push_back(std::move(owned));
+    w->thread = std::thread([this, w] { WorkerMain(w); });
+  }
+  w->proc = p;
+  p->worker = w;
 }
 
 void Simulation::ResumeProcess(Process* p) {
   FSD_CHECK(running_ == nullptr);
   running_ = p;
-  {
-    std::lock_guard<std::mutex> lock(p->mutex);
-    p->runnable = true;
-    p->yielded = false;
-    p->cv.notify_all();
+#if FSD_SIM_HAS_FIBERS
+  if (fibers_) {
+    if (!p->started) {
+      p->started = true;
+      StartFiber(p);
+    }
+    swapcontext(&sched_context_, &p->context);
+    running_ = nullptr;
+    if (p->finished) ReapProcess(p);
+    return;
   }
-  {
-    std::unique_lock<std::mutex> lock(p->mutex);
-    p->cv.wait(lock, [p] { return p->yielded; });
+#endif
+  if (!p->started) {
+    p->started = true;
+    if (p->worker == nullptr) BindWorker(p);
+  }
+  Worker* w = p->worker;
+  if (tuning_.fast_handoff) {
+    w->run_sem.release();
+    w->yield_sem.acquire();
+  } else {
+    {
+      std::lock_guard<std::mutex> lock(w->mutex);
+      w->runnable = true;
+      w->yielded = false;
+      w->cv.notify_all();
+    }
+    {
+      std::unique_lock<std::mutex> lock(w->mutex);
+      w->cv.wait(lock, [w] { return w->yielded; });
+    }
   }
   running_ = nullptr;
+  if (p->finished) ReapProcess(p);
+}
+
+void Simulation::ReapProcess(Process* p) {
+  // A finished process's slot (name, body captures, signal ref) is dead
+  // weight — a million-query replay must not accumulate it. Dedicated
+  // (non-pool) threads are joined here too, so the legacy tier never
+  // stacks up unjoined threads across a long run.
+  Worker* w = p->worker;
+  if (w != nullptr && !tuning_.reuse_threads) {
+    if (w->thread.joinable()) w->thread.join();
+    workers_[w->index].reset();
+  }
+  processes_[p->pid - 1].reset();
 }
 
 void Simulation::YieldToScheduler(Process* p) {
-  std::unique_lock<std::mutex> lock(p->mutex);
-  p->runnable = false;
-  p->yielded = true;
-  p->cv.notify_all();
-  p->cv.wait(lock, [p] { return p->runnable; });
+#if FSD_SIM_HAS_FIBERS
+  if (fibers_) {
+    swapcontext(&p->context, &sched_context_);
+    if (p->killed) throw ProcessKilled{};
+    return;
+  }
+#endif
+  Worker* w = p->worker;
+  if (tuning_.fast_handoff) {
+    w->yield_sem.release();
+    w->run_sem.acquire();
+  } else {
+    std::unique_lock<std::mutex> lock(w->mutex);
+    w->runnable = false;
+    w->yielded = true;
+    w->cv.notify_all();
+    w->cv.wait(lock, [w] { return w->runnable; });
+  }
   if (p->killed) throw ProcessKilled{};
 }
+
+#if FSD_SIM_HAS_FIBERS
+void Simulation::StartFiber(Process* p) {
+  p->sim = this;
+  p->stack.reset(new char[kFiberStackBytes]);
+  getcontext(&p->context);
+  p->context.uc_stack.ss_sp = p->stack.get();
+  p->context.uc_stack.ss_size = kFiberStackBytes;
+  p->context.uc_link = &sched_context_;
+  const uint64_t bits = static_cast<uint64_t>(reinterpret_cast<uintptr_t>(p));
+  makecontext(&p->context,
+              reinterpret_cast<void (*)()>(&Simulation::FiberTrampoline), 2,
+              static_cast<unsigned int>(bits >> 32),
+              static_cast<unsigned int>(bits & 0xFFFFFFFFu));
+}
+
+void Simulation::FiberTrampoline(unsigned int hi, unsigned int lo) {
+  const uint64_t bits = (static_cast<uint64_t>(hi) << 32) | lo;
+  Process* p = reinterpret_cast<Process*>(static_cast<uintptr_t>(bits));
+  Simulation* sim = p->sim;
+  try {
+    p->body();
+    sim->FinishProcess(p);
+  } catch (const ProcessKilled&) {
+    // Teardown unwind: only this process's own state may be touched.
+    p->finished = true;
+  }
+  // Hand control back for the last time; the scheduler (or the tearing-
+  // down destructor) reaps the process, freeing this very stack only
+  // after the switch completes.
+  swapcontext(&p->context, &sim->sched_context_);
+}
+#endif
 
 void Simulation::FinishProcess(Process* p) {
   p->done->Fire();  // wakes joiners; safe: scheduler is parked on our yield
   p->finished = true;
   --live_processes_;
-  std::lock_guard<std::mutex> lock(p->mutex);
-  p->yielded = true;
-  p->cv.notify_all();
 }
 
-void Simulation::ScheduleWake(Process* p, SimTime delay, bool is_timeout,
-                              uint64_t epoch) {
+void Simulation::PushEvent(SimTime delay, uint64_t target, uint64_t epoch,
+                           EventKind kind) {
   FSD_CHECK_GE(delay, 0.0);
   Event ev;
   ev.time = now_ + delay;
   ev.seq = next_seq_++;
-  ev.pid = p->pid;
-  ev.is_callback = false;
-  ev.is_timeout = is_timeout;
+  ev.target = target;
   ev.epoch = epoch;
-  events_.push_back(std::move(ev));
+  ev.kind = kind;
+  events_.push_back(ev);
   std::push_heap(events_.begin(), events_.end(), EventAfter());
+}
+
+void Simulation::ScheduleWake(Process* p, SimTime delay, bool is_timeout,
+                              uint64_t epoch) {
+  PushEvent(delay, p->pid, epoch,
+            is_timeout ? EventKind::kTimeout : EventKind::kWake);
 }
 
 void Simulation::WakeNow(uint64_t pid) {
@@ -193,15 +373,16 @@ void Simulation::WakeNow(uint64_t pid) {
 
 void Simulation::ScheduleCallback(SimTime delay, std::function<void()> fn) {
   if (tearing_down()) return;  // no scheduler will ever dispatch it
-  FSD_CHECK_GE(delay, 0.0);
-  Event ev;
-  ev.time = now_ + delay;
-  ev.seq = next_seq_++;
-  ev.pid = 0;
-  ev.is_callback = true;
-  ev.callback = std::move(fn);
-  events_.push_back(std::move(ev));
-  std::push_heap(events_.begin(), events_.end(), EventAfter());
+  uint32_t slot;
+  if (!free_slots_.empty()) {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+    callback_slots_[slot] = std::move(fn);
+  } else {
+    slot = static_cast<uint32_t>(callback_slots_.size());
+    callback_slots_.push_back(std::move(fn));
+  }
+  PushEvent(delay, slot, /*epoch=*/0, EventKind::kCallback);
 }
 
 void Simulation::Hold(SimTime dt) {

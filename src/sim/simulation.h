@@ -7,6 +7,20 @@
 // back to the scheduler. Because exactly one process is ever runnable and
 // the event queue orders by (time, sequence), simulations are fully
 // deterministic and race-free regardless of host scheduling.
+//
+// Three per-event cost tiers exist (SimTuning): the default runs process
+// bodies as single-thread FIBERS (ucontext) — a handoff is one user-space
+// stack switch, no OS scheduling at all, which is what lets a trace replay
+// push millions of events through on one core. Where fibers are
+// unavailable (sanitized builds instrument stack switches poorly) the
+// fast path binds process bodies lazily to a reused pool of worker
+// threads and hands control over with a semaphore pair, and the legacy
+// path reproduces the original thread-per-process + condition-variable
+// kernel. Event ordering is byte-identical across all tiers — the tuning
+// only changes HOW a decision already made by the event heap is carried
+// out — so the legacy tier doubles as the measured pre-optimization
+// baseline (bench_trace_replay) and as a cross-validation oracle
+// (tests/sim_property_test.cc).
 #ifndef FSD_SIM_SIMULATION_H_
 #define FSD_SIM_SIMULATION_H_
 
@@ -16,10 +30,36 @@
 #include <functional>
 #include <memory>
 #include <mutex>
-#include <queue>
+#include <semaphore>
 #include <string>
 #include <thread>
 #include <vector>
+
+/// Fibers switch stacks under the sanitizers' feet (ASan's fake-stack and
+/// TSan's shadow state both assume one stack per thread), so sanitized
+/// builds fall back to the pooled-thread tier. Define FSD_SIM_NO_FIBERS to
+/// force the fallback on any build.
+#if defined(FSD_SIM_NO_FIBERS)
+#define FSD_SIM_HAS_FIBERS 0
+#elif defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
+#define FSD_SIM_HAS_FIBERS 0
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer)
+#define FSD_SIM_HAS_FIBERS 0
+#elif defined(__linux__)
+#define FSD_SIM_HAS_FIBERS 1
+#else
+#define FSD_SIM_HAS_FIBERS 0
+#endif
+#elif defined(__linux__)
+#define FSD_SIM_HAS_FIBERS 1
+#else
+#define FSD_SIM_HAS_FIBERS 0
+#endif
+
+#if FSD_SIM_HAS_FIBERS
+#include <ucontext.h>
+#endif
 
 #include "common/check.h"
 
@@ -29,6 +69,36 @@ class Simulation;
 
 /// Virtual time in seconds.
 using SimTime = double;
+
+/// Kernel execution-cost knobs. Neither flag may change observable
+/// simulation behaviour (event order, times, process semantics) — only the
+/// wall-clock cost per event. Defaults are the fast path; Legacy() selects
+/// the pre-optimization kernel for A/B measurement.
+struct SimTuning {
+  /// Run process bodies on a reused pool of worker threads, bound at first
+  /// resume. Off: one OS thread is spawned per process at AddProcess (and
+  /// joined at teardown), the original behaviour — at trace scale the
+  /// dominant kernel cost. Only reached when fibers are off/unsupported.
+  bool reuse_threads = true;
+  /// Hand control between scheduler and process with a binary-semaphore
+  /// pair. Off: the original mutex + condition-variable ping-pong with
+  /// flag re-checks. Only reached when fibers are off/unsupported.
+  bool fast_handoff = true;
+  /// Run process bodies as ucontext fibers on the scheduler's own thread:
+  /// a handoff is a user-space stack switch (~100ns) instead of an OS
+  /// context-switch round trip — on a single-core host the difference is
+  /// the whole kernel budget. Ignored (thread fallback) when the build
+  /// lacks fiber support (FSD_SIM_HAS_FIBERS == 0: sanitizers, non-Linux).
+  bool use_fibers = true;
+
+  static SimTuning Legacy() {
+    SimTuning tuning;
+    tuning.reuse_threads = false;
+    tuning.fast_handoff = false;
+    tuning.use_fibers = false;
+    return tuning;
+  }
+};
 
 /// A waitable, one-shot signal processes can block on (with timeout).
 /// Signals are created and consumed entirely inside the simulation; they are
@@ -40,6 +110,9 @@ class SimSignal {
   /// Fires the signal, waking all current and future waiters immediately.
   void Fire();
   bool fired() const { return fired_; }
+  /// Processes currently blocked on this signal (channel backends use this
+  /// to skip re-arming arrival signals nobody is waiting for).
+  bool has_waiters() const { return !waiting_pids_.empty(); }
 
  private:
   friend class Simulation;
@@ -63,7 +136,9 @@ class ProcessHandle {
 /// The DES kernel. Not thread-safe from outside: construct, AddProcess, Run.
 class Simulation {
  public:
-  Simulation() = default;
+  explicit Simulation(SimTuning tuning = SimTuning{})
+      : tuning_(tuning),
+        fibers_(FSD_SIM_HAS_FIBERS != 0 && tuning.use_fibers) {}
   ~Simulation();
 
   Simulation(const Simulation&) = delete;
@@ -122,34 +197,75 @@ class Simulation {
 
   /// Total events dispatched (diagnostic).
   uint64_t events_dispatched() const { return events_dispatched_; }
+  /// Events still queued (undispatched); after a run-to-completion Run()
+  /// this is 0 — every scheduled event was dispatched or the simulation
+  /// was torn down with the remainder drained.
+  uint64_t pending_events() const {
+    return static_cast<uint64_t>(events_.size());
+  }
+
+  const SimTuning& tuning() const { return tuning_; }
 
  private:
   friend class SimSignal;
+
+  struct Process;
+
+  /// One OS thread the kernel hands process bodies to. Fast path: bound to
+  /// a process at its first resume and returned to an idle pool when the
+  /// body finishes. Legacy path: created per process at AddProcess and
+  /// never reused. Only one of the two handoff mechanisms is in use per
+  /// Simulation (tuning().fast_handoff).
+  struct Worker {
+    std::thread thread;
+    size_t index = 0;  // slot in workers_ (lets a reap free the husk)
+    // Fast handoff: scheduler releases run_sem to transfer control to the
+    // process; the process releases yield_sem to transfer it back. The
+    // semaphore release/acquire pair carries the happens-before edge.
+    std::binary_semaphore run_sem{0};
+    std::binary_semaphore yield_sem{0};
+    // Legacy handoff: flag ping-pong under the mutex.
+    std::mutex mutex;
+    std::condition_variable cv;
+    bool runnable = false;  // scheduler -> process handoff flag
+    bool yielded = true;    // process -> scheduler handoff flag
+    Process* proc = nullptr;  // bound process (fast path; null when idle)
+    bool shutdown = false;    // pool teardown flag (fast path)
+  };
 
   struct Process {
     uint64_t pid = 0;
     std::string name;
     std::function<void()> body;
-    std::thread thread;
-    std::mutex mutex;
-    std::condition_variable cv;
-    bool runnable = false;        // scheduler -> process handoff flag
-    bool yielded = true;          // process -> scheduler handoff flag
+    bool started = false;         // body entered at least once
     bool finished = false;
     bool killed = false;          // set at teardown to unwind the stack
     bool wait_satisfied = false;  // signal-wait outcome
     uint64_t wait_epoch = 0;      // guards against stale timeout events
     std::shared_ptr<SimSignal> done;
+    Worker* worker = nullptr;     // execution thread (null until bound)
+#if FSD_SIM_HAS_FIBERS
+    Simulation* sim = nullptr;    // back-pointer for the fiber trampoline
+    ucontext_t context;           // fiber execution state
+    std::unique_ptr<char[]> stack;  // fiber stack (lazily allocated)
+#endif
   };
 
+  enum class EventKind : uint8_t {
+    kWake = 0,      // resume a process (start or Hold/signal wake)
+    kTimeout = 1,   // signal-timeout wake (epoch-guarded)
+    kCallback = 2,  // run a pooled callback slot in scheduler context
+  };
+
+  /// Trivially-copyable heap entry: callbacks live in a pooled slot vector
+  /// (`target` indexes it) so heap sifts move 40 flat bytes instead of a
+  /// std::function, and slot storage is recycled across events.
   struct Event {
     SimTime time = 0.0;
     uint64_t seq = 0;
-    uint64_t pid = 0;  // process wake target; unused for callbacks
-    bool is_callback = false;
-    std::function<void()> callback;
-    bool is_timeout = false;  // signal-timeout wake (epoch-guarded)
+    uint64_t target = 0;  // pid (kWake/kTimeout) or callback slot index
     uint64_t epoch = 0;
+    EventKind kind = EventKind::kWake;
   };
 
   /// Max-heap comparator yielding earliest (time, seq) at the heap root.
@@ -161,19 +277,56 @@ class Simulation {
   };
 
   Process* FindProcess(uint64_t pid) const;
-  void ScheduleWake(Process* p, SimTime delay, bool is_timeout, uint64_t epoch);
+  void PushEvent(SimTime delay, uint64_t target, uint64_t epoch,
+                 EventKind kind);
+  void ScheduleWake(Process* p, SimTime delay, bool is_timeout,
+                    uint64_t epoch);
   void ResumeProcess(Process* p);
   void YieldToScheduler(Process* p);
   void WakeNow(uint64_t pid);
   void FinishProcess(Process* p);
+  /// Binds `p` to an idle (or new) pool worker — fast path, first resume.
+  void BindWorker(Process* p);
+  /// Worker-thread main loop (both thread models share it; the handshake
+  /// flavour and the reuse decision come from tuning_).
+  void WorkerMain(Worker* w);
+  /// Process -> scheduler handoff half, callable from the worker thread.
+  void SignalYield(Worker* w);
+  /// Frees a finished process's slot (and joins + frees its dedicated
+  /// thread on the non-reuse tier). Called by the scheduler after resume.
+  void ReapProcess(Process* p);
+#if FSD_SIM_HAS_FIBERS
+  /// Allocates the fiber stack and context for `p`'s first resume.
+  void StartFiber(Process* p);
+  /// Fiber entry point; the Process* is split across the two makecontext
+  /// int arguments (the portable ucontext pointer-passing idiom).
+  static void FiberTrampoline(unsigned int hi, unsigned int lo);
+#endif
 
+  SimTuning tuning_;
+  /// Fiber tier actually in effect (tuning_.use_fibers gated on build
+  /// support); when false, the thread tiers below carry the handoffs.
+  bool fibers_ = false;
+#if FSD_SIM_HAS_FIBERS
+  ucontext_t sched_context_;  // where fibers yield back to
+#endif
   SimTime now_ = 0.0;
   uint64_t next_seq_ = 0;
   uint64_t next_pid_ = 1;
   int live_processes_ = 0;
   uint64_t events_dispatched_ = 0;
   std::vector<Event> events_;  // binary heap via std::push_heap/pop_heap
+  /// Pid-indexed slots (pid - 1). Finished processes are released back to
+  /// the null slot so a long trace replay holds only live ones.
   std::vector<std::unique_ptr<Process>> processes_;
+  /// All worker threads ever created (joined at teardown); idle_workers_
+  /// is the reuse stack of the fast path.
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::vector<Worker*> idle_workers_;
+  /// Pooled callback storage: `Event::target` indexes callback_slots_;
+  /// dispatched/freed slots recycle through free_slots_.
+  std::vector<std::function<void()>> callback_slots_;
+  std::vector<uint32_t> free_slots_;
   Process* running_ = nullptr;
   bool in_run_ = false;
   std::atomic<bool> tearing_down_{false};

@@ -5,8 +5,11 @@
 // generators.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <limits>
+#include <vector>
 
+#include "common/rng.h"
 #include "core/metrics.h"
 #include "core/serving.h"
 
@@ -314,6 +317,171 @@ TEST(Arrivals, BurstTraceIsExactAndDeterministic) {
   const std::vector<double> expected{1.0, 1.0, 11.0, 11.0, 21.0, 21.0};
   EXPECT_EQ(a, expected);
   EXPECT_EQ(a, BurstArrivals(3, 2, 10.0, 1.0));
+}
+
+TEST(PercentileSketch, ExactTierMatchesPercentileByteForByte) {
+  // While the sample fits under the threshold the sketch IS the exact
+  // estimator: identical bits, not just identical-ish values.
+  PercentileSketch sketch(/*exact_threshold=*/64);
+  Rng rng(7);
+  std::vector<double> values;
+  for (int i = 0; i < 64; ++i) {
+    const double v = rng.NextLogNormal(0.0, 1.5);
+    values.push_back(v);
+    sketch.Add(v);
+  }
+  EXPECT_FALSE(sketch.streaming());
+  for (const double pct : {0.0, 10.0, 50.0, 95.0, 99.0, 100.0}) {
+    EXPECT_EQ(sketch.Quantile(pct), Percentile(values, pct)) << pct;
+  }
+}
+
+TEST(PercentileSketch, BimodalStreamingStaysWithinOnePercent) {
+  // Adversarial for naive sketches: two tight modes three orders of
+  // magnitude apart, 90/10 split — p50 sits in one mode, p95/p99 in the
+  // other, and any bucket scheme with >1% relative error smears them.
+  PercentileSketch sketch(/*exact_threshold=*/128);
+  Rng rng(11);
+  std::vector<double> values;
+  for (int i = 0; i < 100000; ++i) {
+    const double v = rng.NextBool(0.9) ? rng.NextUniform(0.010, 0.012)
+                                       : rng.NextUniform(10.0, 12.0);
+    values.push_back(v);
+    sketch.Add(v);
+  }
+  EXPECT_TRUE(sketch.streaming());
+  for (const double pct : {50.0, 95.0, 99.0}) {
+    const double exact = Percentile(values, pct);
+    EXPECT_NEAR(sketch.Quantile(pct), exact, exact * 0.01) << "p" << pct;
+  }
+  EXPECT_EQ(sketch.count(), 100000);
+  // The whole point: 100k samples, bounded residency.
+  EXPECT_LT(sketch.resident_samples(), 4096u);
+}
+
+TEST(PercentileSketch, HeavyTailStreamingStaysWithinOnePercent) {
+  // Lognormal with sigma=2: the p99 is ~100x the median, the max far
+  // beyond that — tail buckets must hold relative (not absolute) error.
+  PercentileSketch sketch(/*exact_threshold=*/128);
+  Rng rng(13);
+  std::vector<double> values;
+  double max_seen = 0.0;
+  for (int i = 0; i < 50000; ++i) {
+    const double v = rng.NextLogNormal(-2.0, 2.0);
+    values.push_back(v);
+    sketch.Add(v);
+    max_seen = std::max(max_seen, v);
+  }
+  for (const double pct : {50.0, 95.0, 99.0}) {
+    const double exact = Percentile(values, pct);
+    EXPECT_NEAR(sketch.Quantile(pct), exact, exact * 0.01) << "p" << pct;
+  }
+  // Mean and max stay exact regardless of tier.
+  double sum = 0.0;
+  for (const double v : values) sum += v;
+  EXPECT_EQ(sketch.Max(), max_seen);
+  EXPECT_NEAR(sketch.Mean(), sum / 50000.0, sum / 50000.0 * 1e-12);
+}
+
+TEST(PercentileSketch, ZerosAndNonpositivesAreExact) {
+  PercentileSketch sketch(/*exact_threshold=*/4);
+  for (int i = 0; i < 100; ++i) sketch.Add(0.0);
+  for (int i = 0; i < 100; ++i) sketch.Add(5.0);
+  EXPECT_TRUE(sketch.streaming());
+  EXPECT_EQ(sketch.Quantile(25.0), 0.0);
+  EXPECT_NEAR(sketch.Quantile(90.0), 5.0, 5.0 * 0.01);
+}
+
+TEST(FleetStats, SummaryIsIdenticalBelowStreamingThreshold) {
+  // Two stats fed the same queries — one with a threshold far above the
+  // sample count, one effectively unbounded — must summarize to the same
+  // bytes: streaming must be invisible until it actually engages.
+  auto feed = [](FleetStats& stats) {
+    Rng rng(17);
+    for (int i = 0; i < 200; ++i) {
+      FleetStats::QuerySample sample;
+      sample.arrival_s = i * 0.01;
+      sample.latency_s = rng.NextLogNormal(0.0, 1.0);
+      sample.finish_s = sample.arrival_s + sample.latency_s;
+      sample.queue_wait_s = rng.NextUniform(0.0, 0.05);
+      sample.disposition = QueryDisposition::kCompleted;
+      stats.AddQuery(sample, {});
+    }
+    stats.Finalize();
+  };
+  FleetStats small_threshold;
+  small_threshold.set_streaming_threshold(4096);
+  FleetStats huge_threshold;
+  huge_threshold.set_streaming_threshold(1u << 30);
+  feed(small_threshold);
+  feed(huge_threshold);
+  EXPECT_EQ(small_threshold.Summary(), huge_threshold.Summary());
+}
+
+TEST(FleetStats, ResidentSamplesStayCappedUnderMillionsOfQueries) {
+  // The regression this guards: FleetStats used to retain every latency
+  // sample for Finalize's percentile sort, so a million-query replay held
+  // a million doubles per distribution.
+  FleetStats stats;
+  stats.set_streaming_threshold(256);
+  Rng rng(19);
+  size_t peak_resident = 0;
+  size_t resident_at_half = 0;
+  for (int i = 0; i < 50000; ++i) {
+    FleetStats::QuerySample sample;
+    sample.arrival_s = i * 0.001;
+    sample.latency_s = rng.NextLogNormal(-1.0, 1.0);
+    sample.finish_s = sample.arrival_s + sample.latency_s;
+    sample.queue_wait_s = rng.NextUniform(0.0, 0.01);
+    sample.disposition = QueryDisposition::kCompleted;
+    sample.priority = i % 3;  // three SLO classes, each its own sketch
+    sample.tenant = i % 5;    // five tenants, each its own sketch
+    stats.AddQuery(sample, {});
+    peak_resident = std::max(peak_resident, stats.resident_samples());
+    if (i == 24999) resident_at_half = stats.resident_samples();
+  }
+  stats.Finalize();
+  // Residency is O(sketches x log value-range) — ~10 sketches here, each
+  // a few hundred exact slots plus log-spaced buckets — and crucially
+  // PLATEAUS: the second 25k queries may only add the stragglers of the
+  // distribution tails, not grow linearly like the old retain-everything
+  // code (which would hold 100k+ doubles by now).
+  EXPECT_LT(peak_resident, 20000u);
+  EXPECT_LT(peak_resident, resident_at_half + resident_at_half / 4 + 64);
+  EXPECT_EQ(stats.queries, 50000);
+}
+
+TEST(FleetStats, TenantStatsPartitionDispositions) {
+  FleetStats stats;
+  auto add = [&](int32_t tenant, QueryDisposition disposition, double lat) {
+    FleetStats::QuerySample sample;
+    sample.latency_s = lat;
+    sample.finish_s = lat;
+    sample.disposition = disposition;
+    sample.tenant = tenant;
+    stats.AddQuery(sample, {});
+  };
+  add(1, QueryDisposition::kCompleted, 0.1);
+  add(1, QueryDisposition::kCompleted, 0.3);
+  add(1, QueryDisposition::kRejected, 0.0);
+  add(2, QueryDisposition::kCompleted, 0.2);
+  add(2, QueryDisposition::kShed, 0.0);
+  add(2, QueryDisposition::kFailed, 0.0);
+  stats.Finalize();
+  ASSERT_EQ(stats.tenant_stats.size(), 2u);
+  const auto& t1 = stats.tenant_stats[0];
+  EXPECT_EQ(t1.tenant, 1);
+  EXPECT_EQ(t1.queries, 3);
+  EXPECT_EQ(t1.completed, 2);
+  EXPECT_EQ(t1.rejected, 1);
+  EXPECT_EQ(t1.completed + t1.failed + t1.rejected + t1.shed, t1.queries);
+  const auto& t2 = stats.tenant_stats[1];
+  EXPECT_EQ(t2.tenant, 2);
+  EXPECT_EQ(t2.queries, 3);
+  EXPECT_EQ(t2.completed, 1);
+  EXPECT_EQ(t2.shed, 1);
+  EXPECT_EQ(t2.failed, 1);
+  EXPECT_GT(t2.latency_p50_s, 0.0);
 }
 
 }  // namespace
