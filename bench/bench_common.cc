@@ -192,7 +192,7 @@ Bytes SerializeReference(const Workload& workload) {
   for (const auto& [id, vec] : workload.expected) ids.push_back(id);
   core::EncodeResult encoded =
       core::EncodeRows(workload.expected, ids, /*max_chunk_bytes=*/0,
-                       /*compress=*/true, {});
+                       core::LosslessCodec(true));
   FSD_CHECK_EQ(encoded.chunks.size(), 1u);
   codec::PutVarint64(&out, encoded.chunks[0].wire.size());
   out.insert(out.end(), encoded.chunks[0].wire.begin(),
@@ -219,7 +219,7 @@ Status DeserializeReference(const Bytes& data, Workload* workload) {
   }
   FSD_ASSIGN_OR_RETURN(uint64_t wire_size, codec::GetVarint64(&reader));
   FSD_ASSIGN_OR_RETURN(Bytes wire, reader.ReadBytes(wire_size));
-  return core::DecodeRows(wire, true, &workload->expected);
+  return core::DecodeRows(wire, &workload->expected);
 }
 
 }  // namespace

@@ -1,0 +1,219 @@
+// Data-plane sweep: bytes-on-wire and $/query vs rel-error across the wire
+// codecs — lossless raw, lossless FsdLz, and the quantized transport at
+// b ∈ {16, 8, 4} — on one FSD-Inf-Queue workload (pub-sub meters delivery
+// bytes, so wire bytes map straight to dollars).
+//
+// Structural gates (virtual-time deterministic, asserted at every scale):
+//   - the b=8 setting (chunk rel-error bound 3.9e-3 ≤ 1e-2) cuts wire
+//     bytes ≥30% vs the lossless-LZ baseline
+//   - the cost model's prediction-from-metrics reconciles against the
+//     billing ledger to <0.1% for every codec, quantized included
+//   - per-chunk quantization error stays within codec::QuantRelErrorBound
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "codec/quant.h"
+#include "common/check.h"
+#include "common/strings.h"
+#include "core/serialization.h"
+
+using namespace fsd;
+using bench::ScaleConfig;
+
+namespace {
+
+struct CodecPoint {
+  const char* name;
+  bool compress = false;
+  int32_t quant_bits = 0;
+};
+
+/// Max |got - want| over the union of output rows, relative to the largest
+/// reference magnitude (the same normalization the per-chunk bound uses).
+double EndToEndRelError(const linalg::ActivationMap& expected,
+                        const linalg::ActivationMap& got) {
+  double max_mag = 0.0;
+  for (const auto& [row, vec] : expected) {
+    for (float v : vec.val) {
+      max_mag = std::max(max_mag, static_cast<double>(std::fabs(v)));
+    }
+  }
+  if (max_mag == 0.0) return 0.0;
+  auto value_at = [](const linalg::ActivationMap& m, int32_t row,
+                     int32_t pos) -> double {
+    auto it = m.find(row);
+    if (it == m.end()) return 0.0;
+    const auto& idx = it->second.idx;
+    auto p = std::lower_bound(idx.begin(), idx.end(), pos);
+    if (p == idx.end() || *p != pos) return 0.0;
+    return it->second.val[p - idx.begin()];
+  };
+  double max_err = 0.0;
+  auto scan = [&](const linalg::ActivationMap& a,
+                  const linalg::ActivationMap& b) {
+    for (const auto& [row, vec] : a) {
+      for (size_t p = 0; p < vec.idx.size(); ++p) {
+        const double err =
+            std::fabs(vec.val[p] - value_at(b, row, vec.idx[p]));
+        max_err = std::max(max_err, err);
+      }
+    }
+  };
+  scan(expected, got);
+  scan(got, expected);
+  return max_err / max_mag;
+}
+
+}  // namespace
+
+int main() {
+  const ScaleConfig scale = ScaleConfig::FromEnv();
+  const int32_t neurons = scale.NeuronsOr(4096);
+  const int32_t workers = scale.WorkersOr(8);
+  const bench::Workload& workload = bench::GetWorkload(neurons, scale);
+  const part::ModelPartition& partition = bench::GetPartition(
+      neurons, workers, part::PartitionScheme::kHypergraph, scale);
+
+  bench::PrintHeader(
+      StrFormat("DATA PLANE — wire codec sweep, N=%d, P=%d, L=%d, batch=%d",
+                neurons, workers, workload.dnn.layers(), workload.batch),
+      "bytes-on-wire and $/query vs rel-error (FSD-Inf-Queue)");
+
+  std::printf("%-13s | %12s %9s | %-11s | %10s %10s | %s\n", "codec",
+              "wire bytes", "vs LZ", "$/query", "bound", "e2e err",
+              "pred rel.err");
+  bench::PrintRule();
+
+  const CodecPoint points[] = {
+      {"lossless-raw", false, 0},
+      {"lossless-lz", true, 0},
+      {"quant-16", true, 16},
+      {"quant-8", true, 8},
+      {"quant-4", true, 4},
+  };
+
+  double lz_wire = 0.0;
+  double lz_dollars = 0.0;
+  double quant8_wire = 0.0;
+  double quant8_dollars = 0.0;
+  int64_t lossless_raw_payload = 0;
+  std::vector<std::pair<std::string, double>> json;
+  for (const CodecPoint& point : points) {
+    core::FsdOptions options;
+    options.variant = core::Variant::kQueue;
+    options.num_workers = workers;
+    options.compress = point.compress;
+    options.quant_bits = point.quant_bits;
+    // Quantized outputs differ from the reference within the bound, so the
+    // bit-exact verification only applies to the lossless rows.
+    core::InferenceReport report = bench::RunFsd(
+        workload, partition, options, /*verify_output=*/point.quant_bits == 0);
+
+    const core::LayerMetrics& t = report.metrics.totals;
+    const double wire = static_cast<double>(t.send_wire_bytes);
+    const double dollars =
+        report.billing.faas_cost + report.billing.comm_cost;
+    const double pred_rel_err =
+        std::fabs(report.predicted.total - dollars) / std::max(1e-12, dollars);
+    const double pred_comm_rel_err =
+        std::fabs(report.predicted.communication - report.billing.comm_cost) /
+        std::max(1e-12, report.billing.comm_cost);
+    const double bound = point.quant_bits == 0
+                             ? 0.0
+                             : codec::QuantRelErrorBound(point.quant_bits);
+    const double e2e_err =
+        EndToEndRelError(workload.expected, report.outputs[0]);
+
+    // The cost model's prediction is rebuilt from the run's counters — it
+    // must land on the ledger regardless of codec. The byte-metered
+    // communication term (where quantization moves dollars) reconciles to
+    // <0.1%; the total also carries the compute term's launch-tree
+    // residue, so it gets a looser sanity gate.
+    FSD_CHECK(pred_comm_rel_err < 0.001);
+    FSD_CHECK(pred_rel_err < 0.01);
+    if (point.quant_bits != 0) {
+      FSD_CHECK(t.quant_chunks > 0);
+      FSD_CHECK(t.quant_err_max <= bound);
+    } else {
+      FSD_CHECK_EQ(t.quant_chunks, 0);
+      FSD_CHECK(e2e_err == 0.0);
+    }
+    if (point.quant_bits == 0 && !point.compress) {
+      lossless_raw_payload = t.send_raw_bytes;
+    }
+    if (point.quant_bits == 0 && point.compress) {
+      lz_wire = wire;
+      lz_dollars = dollars;
+    }
+    if (point.quant_bits == 8) {
+      quant8_wire = wire;
+      quant8_dollars = dollars;
+    }
+
+    std::printf("%-13s | %12.0f %8.1f%% | %-11s | %10.2e %10.2e | %.4f%%\n",
+                point.name, wire,
+                lz_wire > 0.0 ? (wire / lz_wire - 1.0) * 100.0 : 0.0,
+                HumanDollars(dollars).c_str(), bound, e2e_err,
+                pred_comm_rel_err * 100.0);
+    const std::string key = point.name;
+    json.emplace_back(key + ".send_wire_bytes", wire);
+    json.emplace_back(key + ".dollars_per_query", dollars);
+    json.emplace_back(key + ".e2e_rel_err", e2e_err);
+  }
+
+  // Acceptance gate: ≥30% bytes-on-wire reduction at the ≤1e-2 setting.
+  FSD_CHECK(quant8_wire < 0.7 * lz_wire);
+
+  // Break-even term vs what actually happened: a-priori wire sizes from
+  // the measured raw payload, savings priced on the queue's byte meter.
+  core::FsdOptions base;
+  base.variant = core::Variant::kQueue;
+  base.num_workers = workers;
+  base.compress = true;
+  const cloud::PricingConfig pricing;
+  const cloud::ComputeModelConfig compute;
+  const core::QuantBreakEvenEstimate be = core::EstimateQuantBreakEven(
+      pricing, compute, base, core::Variant::kQueue,
+      core::DefaultWorkerMemoryMb(workload.dnn.neurons(),
+                                  core::Variant::kQueue),
+      static_cast<double>(lossless_raw_payload), 8);
+  std::printf(
+      "\nbreak-even (b=8, a-priori): wire %.0f -> %.0f bytes, byte $ saved "
+      "%.3e, cpu $ added %.3e, net %.3e (%s)\n",
+      be.lossless_wire_bytes, be.quant_wire_bytes, be.byte_dollars_saved,
+      be.cpu_dollars_added, be.net_saving,
+      be.worthwhile ? "worthwhile" : "not worthwhile");
+  std::printf(
+      "measured:                  wire %.0f -> %.0f bytes (%.1f%%), "
+      "$/query %s -> %s\n",
+      lz_wire, quant8_wire, (quant8_wire / lz_wire - 1.0) * 100.0,
+      HumanDollars(lz_dollars).c_str(), HumanDollars(quant8_dollars).c_str());
+
+  json.emplace_back("quant8_wire_reduction_pct",
+                    (1.0 - quant8_wire / lz_wire) * 100.0);
+  json.emplace_back("quant8_net_saving_dollars", lz_dollars - quant8_dollars);
+
+  // Wall-clock encode throughput of the quantized codec on this workload's
+  // input rows — the gated *_bytes_per_sec key (smaller is worse).
+  std::vector<int32_t> ids;
+  for (const auto& [id, vec] : workload.input) ids.push_back(id);
+  int64_t raw_bytes = 0;
+  const auto start = std::chrono::steady_clock::now();
+  const int encode_iters = scale.tiny ? 4 : 16;
+  for (int it = 0; it < encode_iters; ++it) {
+    core::EncodeResult encoded = core::EncodeRows(
+        workload.input, ids, 224 * 1024, core::QuantCodec(8));
+    for (const auto& chunk : encoded.chunks) raw_bytes += chunk.raw_bytes;
+  }
+  const double encode_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  std::printf("quantized encode throughput: %.1f MB/s\n",
+              raw_bytes / std::max(1e-9, encode_s) / 1e6);
+  json.emplace_back("quant8_encode_bytes_per_sec",
+                    raw_bytes / std::max(1e-9, encode_s));
+  bench::WriteBenchJson("data_plane", json);
+  return 0;
+}

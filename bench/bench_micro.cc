@@ -5,6 +5,7 @@
 
 #include "codec/crc32.h"
 #include "codec/lz.h"
+#include "codec/quant.h"
 #include "codec/varint.h"
 #include "common/rng.h"
 #include "core/serialization.h"
@@ -79,7 +80,7 @@ void BM_VarintRoundtrip(benchmark::State& state) {
 }
 BENCHMARK(BM_VarintRoundtrip);
 
-void BM_LayerForward(benchmark::State& state) {
+void LayerForwardBody(benchmark::State& state, linalg::ForwardKernel kernel) {
   const int32_t neurons = static_cast<int32_t>(state.range(0));
   model::SparseDnnConfig config;
   config.neurons = neurons;
@@ -89,6 +90,8 @@ void BM_LayerForward(benchmark::State& state) {
   ic.neurons = neurons;
   ic.batch = 32;
   auto input = model::GenerateInputBatch(ic);
+  linalg::SetLayerForwardKernel(kernel);
+  state.SetLabel(linalg::LayerForwardKernelName());
   for (auto _ : state) {
     linalg::LayerForwardStats stats;
     auto out = linalg::LayerForwardAll(
@@ -101,8 +104,60 @@ void BM_LayerForward(benchmark::State& state) {
     benchmark::DoNotOptimize(out);
     state.counters["MACs"] = stats.macs;
   }
+  linalg::SetLayerForwardKernel(linalg::ForwardKernel::kAuto);
+}
+
+void BM_LayerForward(benchmark::State& state) {
+  LayerForwardBody(state, linalg::ForwardKernel::kAuto);
 }
 BENCHMARK(BM_LayerForward)->Arg(1024)->Arg(4096)->Arg(16384);
+
+// N-sweep of the scalar baseline vs the runtime-dispatched vectorized
+// kernel; on hardware without AVX2 both rows report the portable kernel
+// (see the label) and should match.
+void BM_LayerForwardPortable(benchmark::State& state) {
+  LayerForwardBody(state, linalg::ForwardKernel::kPortable);
+}
+BENCHMARK(BM_LayerForwardPortable)->Arg(1024)->Arg(4096)->Arg(16384);
+
+void BM_LayerForwardVectorized(benchmark::State& state) {
+  LayerForwardBody(state, linalg::ForwardKernel::kVectorized);
+}
+BENCHMARK(BM_LayerForwardVectorized)->Arg(1024)->Arg(4096)->Arg(16384);
+
+std::vector<float> ActivationValuesLike(size_t count, uint64_t seed) {
+  // Value distribution the quantizer sees on the wire: ReLU-clamped
+  // activations with a heavy spike at the cap.
+  Rng rng(seed);
+  std::vector<float> values(count);
+  for (auto& v : values) {
+    v = rng.NextBool(0.4) ? 32.0f : static_cast<float>(rng.NextDouble() * 4);
+  }
+  return values;
+}
+
+void BM_QuantizeRows(benchmark::State& state) {
+  const auto values = ActivationValuesLike(1 << 16, 7);
+  const int32_t bits = static_cast<int32_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        codec::QuantCompress(values.data(), values.size(), bits));
+  }
+  state.SetBytesProcessed(state.iterations() * values.size() * 4);
+}
+BENCHMARK(BM_QuantizeRows)->Arg(16)->Arg(8)->Arg(4);
+
+void BM_DequantizeRows(benchmark::State& state) {
+  const auto values = ActivationValuesLike(1 << 16, 7);
+  const int32_t bits = static_cast<int32_t>(state.range(0));
+  const Bytes packed =
+      codec::QuantCompress(values.data(), values.size(), bits);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(codec::QuantDecompress(packed));
+  }
+  state.SetBytesProcessed(state.iterations() * values.size() * 4);
+}
+BENCHMARK(BM_DequantizeRows)->Arg(16)->Arg(8)->Arg(4);
 
 void BM_EncodeDecodeRows(benchmark::State& state) {
   model::InputConfig ic;
@@ -113,10 +168,10 @@ void BM_EncodeDecodeRows(benchmark::State& state) {
   for (const auto& [id, vec] : *rows) ids.push_back(id);
   for (auto _ : state) {
     core::EncodeResult encoded =
-        core::EncodeRows(*rows, ids, 224 * 1024, true, {});
+        core::EncodeRows(*rows, ids, 224 * 1024, core::LosslessCodec(true));
     linalg::ActivationMap decoded;
     for (const auto& chunk : encoded.chunks) {
-      core::DecodeRows(chunk.wire, true, &decoded).ok();
+      core::DecodeRows(chunk.wire, &decoded).ok();
     }
     benchmark::DoNotOptimize(decoded);
   }

@@ -6,9 +6,10 @@
 # by more than 25%. The gate is direction-aware:
 #   - p50/p95 latency metrics: BIGGER is worse. These are virtual-time
 #     deterministic, so a diff is a real behaviour change, never noise.
-#   - *events_per_sec throughput metrics: SMALLER is worse. These are
-#     wall-clock, so the threshold also absorbs machine noise; the bench
-#     binaries gate the structural claim (kernel speedup) themselves.
+#   - *_per_sec throughput metrics (events_per_sec, bytes_per_sec, ...):
+#     SMALLER is worse. These are wall-clock, so the threshold also absorbs
+#     machine noise; the bench binaries gate the structural claim (kernel
+#     speedup) themselves.
 # The generous threshold leaves room for intentional scheduling/latency-
 # model changes (refresh the baselines in the same PR when one is
 # deliberate).
@@ -30,12 +31,12 @@ baseline_dir="fsd_bench_cache/bench_baselines"
 threshold_pct=25
 
 # "key value direction" lines for the gated metrics: latency-shaped keys
-# (p50/p95 — bigger is worse) and throughput keys ending in events_per_sec
+# (p50/p95 — bigger is worse) and throughput keys ending in _per_sec
 # (smaller is worse). Other keys (speedups, counts) are informational only.
 metrics() {
   sed -n 's/^ *"\([A-Za-z0-9_.]*\)": *\(-*[0-9][-0-9.eE+]*\),*$/\1 \2/p' \
     "$1" | awk '$1 ~ /p50|p95/ { print $0, "bigger-is-worse"; next }
-                $1 ~ /events_per_sec$/ { print $0, "smaller-is-worse" }' \
+                $1 ~ /_per_sec$/ { print $0, "smaller-is-worse" }' \
     || true
 }
 

@@ -44,6 +44,10 @@ struct ComputeModelConfig {
   /// calibrated to the paper's Python + zlib stack.
   double serialize_bytes_per_s = 80.0e6;
   double deserialize_bytes_per_s = 120.0e6;
+  /// Extra send-side pass the quantized wire mode spends per raw payload
+  /// byte (scale scan + round + bit-pack); the cost model's break-even
+  /// term prices this CPU against the billed bytes it saves.
+  double quant_bytes_per_s = 160.0e6;
 
   double FaasVcpus(int memory_mb) const {
     const double v = static_cast<double>(memory_mb) / mb_per_vcpu;

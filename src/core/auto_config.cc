@@ -3,25 +3,13 @@
 #include <algorithm>
 #include <cmath>
 
+#include "codec/quant.h"
 #include "common/strings.h"
 #include "core/launcher.h"
 #include "core/serialization.h"
 
 namespace fsd::core {
 namespace {
-
-/// Analytic latency estimate for one candidate — the cost model's shared
-/// estimator (EstimateQueryLatency) at this request's workload point. The
-/// selector needs relative ordering, not absolute accuracy; the same
-/// estimate sizes sustainable throughput for serving admission control.
-double EstimateLatency(const cloud::CloudEnv& cloud,
-                       const AutoSelectRequest& request, Variant variant,
-                       int32_t workers) {
-  return EstimateQueryLatency(*request.dnn, request.base_options,
-                              cloud.latency(), cloud.config().compute,
-                              request.activation_density, request.batch,
-                              variant, workers);
-}
 
 /// One op round trip on the backend's data path (medians; relative use).
 double OpRoundTripSeconds(const cloud::LatencyConfig& latency,
@@ -134,80 +122,117 @@ Result<AutoSelectResult> AutoSelectConfiguration(
         candidates.push_back(std::move(candidate));
         continue;
       }
-      candidate.predicted_latency_s =
-          EstimateLatency(cloud, request, variant, workers);
       const int32_t memory_mb =
           DefaultWorkerMemoryMb(dnn.neurons(), variant);
       // Cost side: the same cross-boundary volume model as the latency
-      // estimate, fed into Eqs. 1-7.
+      // estimate, fed into Eqs. 1-7. Kept in raw (pre-codec) bytes so the
+      // wire volume follows whichever codec an evaluation runs.
       const double cross_fraction =
           std::min(1.0, workers / 8.0) * 0.35;
-      const double total_bytes =
+      const double raw_bytes =
           static_cast<double>(dnn.neurons()) * cross_fraction *
-          request.activation_density * request.batch * 6.0 *
-          (request.base_options.compress ? 0.6 : 1.0) * dnn.layers();
+          request.activation_density * request.batch * 6.0 * dnn.layers();
       const double pairs =
           static_cast<double>(dnn.layers()) * workers *
           std::min<double>(workers - 1, 10);
-      switch (variant) {
-        case Variant::kSerial:
-          candidate.predicted_cost = SerialCost(
-              pricing, candidate.predicted_latency_s, memory_mb);
-          break;
-        case Variant::kQueue: {
-          const double chunks = std::max(
-              pairs, total_bytes / (64.0 * 1024.0));
-          const double api = pairs * 2.0 / 4.0;
-          candidate.predicted_cost =
-              QueueCost(pricing, workers, candidate.predicted_latency_s,
-                        memory_mb, chunks, total_bytes, api);
-          break;
+      // Latency + cost of this (variant, workers) pair under one concrete
+      // option set — run once for the base options and again per quantized
+      // width the flip below considers.
+      auto evaluate = [&](const FsdOptions& opts, ConfigCandidate* c) {
+        c->predicted_latency_s = EstimateQueryLatency(
+            dnn, opts, cloud.latency(), cloud.config().compute,
+            request.activation_density, request.batch, variant, workers);
+        const double total_bytes = raw_bytes * EstimateWireRatio(opts);
+        switch (variant) {
+          case Variant::kSerial:
+            c->predicted_cost =
+                SerialCost(pricing, c->predicted_latency_s, memory_mb);
+            break;
+          case Variant::kQueue: {
+            const double chunks = std::max(
+                pairs, total_bytes / (64.0 * 1024.0));
+            const double api = pairs * 2.0 / 4.0;
+            c->predicted_cost =
+                QueueCost(pricing, workers, c->predicted_latency_s,
+                          memory_mb, chunks, total_bytes, api);
+            break;
+          }
+          case Variant::kObject: {
+            const double puts = pairs;
+            const double gets = pairs;
+            const double lists = 1.8 * dnn.layers() * workers;
+            c->predicted_cost =
+                ObjectCost(pricing, workers, c->predicted_latency_s,
+                           memory_mb, puts, gets, lists);
+            break;
+          }
+          case Variant::kKv: {
+            const double chunks = std::max(
+                pairs, total_bytes /
+                           static_cast<double>(opts.kv_max_value_bytes));
+            const double requests = chunks + 1.2 * pairs;
+            // The run's namespace stays provisioned for the query duration.
+            c->predicted_cost = KvCost(
+                pricing, workers, c->predicted_latency_s, memory_mb,
+                requests, 2.0 * total_bytes, c->predicted_latency_s);
+            break;
+          }
+          case Variant::kDirect: {
+            // Each communicating ordered pair punches one link; the
+            // environment's punch-failure fraction of traffic relays
+            // through the KV cache (requests + processed bytes + the relay
+            // namespace's standing node time for the run).
+            const double relay = std::min(
+                1.0,
+                std::max(0.0, cloud.latency().p2p_punch_failure_rate));
+            const double connections =
+                static_cast<double>(workers) *
+                std::min<double>(workers - 1, 10) * (1.0 - relay);
+            const double chunks = std::max(
+                pairs, total_bytes /
+                           static_cast<double>(opts.kv_max_value_bytes));
+            const double relay_requests = (chunks + 1.2 * pairs) * relay;
+            c->predicted_cost = DirectCost(
+                pricing, workers, c->predicted_latency_s, memory_mb,
+                connections, total_bytes * (1.0 - relay), relay_requests,
+                2.0 * total_bytes * relay);
+            const double relay_node_cost =
+                c->predicted_latency_s * pricing.kv_node_hourly / 3600.0;
+            c->predicted_cost.communication += relay_node_cost;
+            c->predicted_cost.total += relay_node_cost;
+            break;
+          }
         }
-        case Variant::kObject: {
-          const double puts = pairs;
-          const double gets = pairs;
-          const double lists = 1.8 * dnn.layers() * workers;
-          candidate.predicted_cost =
-              ObjectCost(pricing, workers, candidate.predicted_latency_s,
-                         memory_mb, puts, gets, lists);
-          break;
-        }
-        case Variant::kKv: {
-          const double chunks = std::max(
-              pairs, total_bytes /
-                         static_cast<double>(
-                             request.base_options.kv_max_value_bytes));
-          const double requests = chunks + 1.2 * pairs;
-          // The run's namespace stays provisioned for the query duration.
-          candidate.predicted_cost = KvCost(
-              pricing, workers, candidate.predicted_latency_s, memory_mb,
-              requests, 2.0 * total_bytes, candidate.predicted_latency_s);
-          break;
-        }
-        case Variant::kDirect: {
-          // Each communicating ordered pair punches one link; the
-          // environment's punch-failure fraction of traffic relays through
-          // the KV cache (requests + processed bytes + the relay
-          // namespace's standing node time for the run).
-          const double relay = std::min(
-              1.0,
-              std::max(0.0, cloud.latency().p2p_punch_failure_rate));
-          const double connections =
-              static_cast<double>(workers) *
-              std::min<double>(workers - 1, 10) * (1.0 - relay);
-          const double chunks = std::max(
-              pairs, total_bytes /
-                         static_cast<double>(
-                             request.base_options.kv_max_value_bytes));
-          const double relay_requests = (chunks + 1.2 * pairs) * relay;
-          candidate.predicted_cost = DirectCost(
-              pricing, workers, candidate.predicted_latency_s, memory_mb,
-              connections, total_bytes * (1.0 - relay), relay_requests,
-              2.0 * total_bytes * relay);
-          const double relay_node_cost = candidate.predicted_latency_s *
-                                         pricing.kv_node_hourly / 3600.0;
-          candidate.predicted_cost.communication += relay_node_cost;
-          candidate.predicted_cost.total += relay_node_cost;
+      };
+      candidate.quant_bits = request.base_options.quant_bits;
+      evaluate(request.base_options, &candidate);
+      // Quantization flip: within the request's rel-error budget, take the
+      // narrowest admissible width — wider widths save strictly fewer
+      // bytes for the same quantize CPU — and adopt it when the break-even
+      // term nets positive.
+      if (request.base_options.quant_bits == 0 &&
+          request.base_options.quant_max_rel_error > 0.0) {
+        for (int32_t b : {4, 8, 16}) {
+          if (codec::QuantRelErrorBound(b) >
+              request.base_options.quant_max_rel_error) {
+            continue;
+          }
+          const QuantBreakEvenEstimate be = EstimateQuantBreakEven(
+              pricing, cloud.config().compute, request.base_options,
+              variant, memory_mb, raw_bytes, b);
+          if (be.worthwhile) {
+            FsdOptions qopts = request.base_options;
+            qopts.quant_bits = b;
+            ConfigCandidate quantized = candidate;
+            evaluate(qopts, &quantized);
+            quantized.predicted_cost.compute += be.cpu_dollars_added;
+            quantized.predicted_cost.total += be.cpu_dollars_added;
+            if (quantized.predicted_cost.total <
+                candidate.predicted_cost.total) {
+              quantized.quant_bits = b;
+              candidate = quantized;
+            }
+          }
           break;
         }
       }

@@ -37,6 +37,11 @@ struct ConfigCandidate {
   int32_t workers = 1;
   /// Collective topology the candidate would run (RecommendTopology).
   CollectiveTopology topology = CollectiveTopology::kThroughRoot;
+  /// Quantized wire width the candidate would run (0 = lossless). Set to
+  /// the narrowest width within the request's quant_max_rel_error budget
+  /// when the break-even term says the billed-byte savings beat the
+  /// quantize CPU on this variant.
+  int32_t quant_bits = 0;
   double predicted_latency_s = 0.0;
   CostBreakdown predicted_cost;
   /// Normalized blended objective (lower is better).

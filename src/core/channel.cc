@@ -28,9 +28,13 @@ int32_t CollectiveRounds(CollectiveTopology topology, int32_t num_workers) {
 
 Status ChargeSerializeCpu(WorkerEnv* env, LayerMetrics* metrics,
                           uint64_t serialize_bytes, size_t items) {
-  const double serialize_s =
-      static_cast<double>(serialize_bytes) /
-      env->cloud->compute().serialize_bytes_per_s;
+  double per_byte_s = 1.0 / env->cloud->compute().serialize_bytes_per_s;
+  if (env->options->quant_bits != 0) {
+    // Quantized wire mode: one extra pass over the raw payload to scan the
+    // scale and pack symbols — the CPU side of the break-even trade.
+    per_byte_s += 1.0 / env->cloud->compute().quant_bytes_per_s;
+  }
+  const double serialize_s = static_cast<double>(serialize_bytes) * per_byte_s;
   std::vector<double> lane_costs;  // rough per-item split for makespan
   if (items > 0) {
     lane_costs.assign(items, serialize_s / static_cast<double>(items));

@@ -106,6 +106,13 @@ inline uint64_t AccountSendChunk(LayerMetrics* metrics,
   metrics->send_chunks += 1;
   metrics->send_raw_bytes += static_cast<int64_t>(chunk.raw_bytes);
   metrics->send_wire_bytes += static_cast<int64_t>(chunk.wire.size());
+  if (chunk.quant_bits != 0) {
+    metrics->quant_chunks += 1;
+    metrics->quant_values += chunk.quant_values;
+    if (chunk.quant_err_max > metrics->quant_err_max) {
+      metrics->quant_err_max = chunk.quant_err_max;
+    }
+  }
   return chunk.raw_bytes;
 }
 

@@ -197,12 +197,18 @@ CostBreakdown PredictFromMetrics(const cloud::PricingConfig& pricing,
       // Z: bytes delivered from pub-sub to queues. Measured runs carry the
       // exact billed bytes (payload + per-message attribute envelope) in
       // send_billed_bytes; hand-built metrics (unit tests, estimates) fall
-      // back to the mean-envelope approximation.
+      // back to the mean-envelope approximation over the wire bytes — or,
+      // when only raw bytes were recorded, over the measured send-path
+      // compression ratio instead of the a-priori guess.
+      const double wire_bytes =
+          t.send_wire_bytes > 0
+              ? static_cast<double>(t.send_wire_bytes)
+              : static_cast<double>(t.send_raw_bytes) *
+                    MeasuredCompressRatio(t, options);
       const double delivery_bytes =
           t.send_billed_bytes > 0
               ? static_cast<double>(t.send_billed_bytes)
-              : static_cast<double>(t.send_wire_bytes) +
-                    static_cast<double>(t.send_chunks) * 96.0;
+              : wire_bytes + static_cast<double>(t.send_chunks) * 96.0;
       const double api_calls = static_cast<double>(t.polls + t.deletes);
       return ApplyTreeShare(
           AddModelReads(
@@ -229,12 +235,16 @@ CostBreakdown PredictFromMetrics(const cloud::PricingConfig& pricing,
       // bytes plus the ~3-byte (source, seq, total) header per chunk per
       // direction. Node seconds are billed at namespace teardown, outside
       // the per-run metrics, so they are not predicted here.
+      const double fallback_wire =
+          t.send_wire_bytes + t.recv_wire_bytes > 0
+              ? static_cast<double>(t.send_wire_bytes + t.recv_wire_bytes)
+              : 2.0 * static_cast<double>(t.send_raw_bytes) *
+                    MeasuredCompressRatio(t, options);
       const double processed =
           t.send_billed_bytes + t.recv_billed_bytes > 0
               ? static_cast<double>(t.send_billed_bytes +
                                     t.recv_billed_bytes)
-              : static_cast<double>(t.send_wire_bytes + t.recv_wire_bytes) +
-                    static_cast<double>(t.send_chunks) * 6.0;
+              : fallback_wire + static_cast<double>(t.send_chunks) * 6.0;
       return ApplyTreeShare(
           AddModelReads(
               KvCost(pricing, options.num_workers, metrics.mean_worker_s,
@@ -286,6 +296,68 @@ ModelReadEstimate EstimateModelReads(const cloud::PricingConfig& pricing,
   return est;
 }
 
+double EstimateWireRatio(const FsdOptions& options) {
+  const double lossless = options.compress ? kAprioriCompressRatio : 1.0;
+  if (options.quant_bits == 0) return lossless;
+  // Per nonzero: ~2 structure bytes stay lossless-coded; the 4 value bytes
+  // become quant_bits/8 packed bytes.
+  const double structure = 2.0 * lossless;
+  const double values = static_cast<double>(options.quant_bits) / 8.0;
+  return (structure + values) / 6.0;
+}
+
+double MeasuredCompressRatio(const LayerMetrics& totals,
+                             const FsdOptions& options) {
+  if (totals.send_raw_bytes > 0 && totals.send_wire_bytes > 0) {
+    return static_cast<double>(totals.send_wire_bytes) /
+           static_cast<double>(totals.send_raw_bytes);
+  }
+  return EstimateWireRatio(options);
+}
+
+QuantBreakEvenEstimate EstimateQuantBreakEven(
+    const cloud::PricingConfig& pricing,
+    const cloud::ComputeModelConfig& compute, const FsdOptions& options,
+    Variant variant, int32_t memory_mb, double raw_bytes_per_query,
+    int32_t quant_bits) {
+  QuantBreakEvenEstimate est;
+  FsdOptions lossless = options;
+  lossless.quant_bits = 0;
+  FsdOptions quantized = options;
+  quantized.quant_bits = quant_bits;
+  est.lossless_wire_bytes = raw_bytes_per_query * EstimateWireRatio(lossless);
+  est.quant_wire_bytes = raw_bytes_per_query * EstimateWireRatio(quantized);
+  est.bytes_saved = est.lossless_wire_bytes - est.quant_wire_bytes;
+
+  // What one wire byte costs on this variant's metered dimension: pub-sub
+  // delivery bytes (queue), processed bytes in both directions (KV), link
+  // bytes (direct). Object storage and serial bill per request only.
+  double per_byte = 0.0;
+  switch (variant) {
+    case Variant::kQueue:
+      per_byte = pricing.pubsub_per_byte;
+      break;
+    case Variant::kKv:
+      per_byte = 2.0 * pricing.kv_per_processed_byte;
+      break;
+    case Variant::kDirect:
+      per_byte = pricing.p2p_per_byte;
+      break;
+    case Variant::kObject:
+    case Variant::kSerial:
+      break;
+  }
+  est.byte_dollars_saved = est.bytes_saved * per_byte;
+
+  // The quantize pass re-scans the raw payload on the send side, billed as
+  // FaaS MB-seconds (ChargeSerializeCpu's surcharge).
+  const double cpu_s = raw_bytes_per_query / compute.quant_bytes_per_s;
+  est.cpu_dollars_added = cpu_s * memory_mb * pricing.faas_per_mb_second;
+  est.net_saving = est.byte_dollars_saved - est.cpu_dollars_added;
+  est.worthwhile = est.net_saving > 0.0;
+  return est;
+}
+
 WorkloadEstimate EstimateWorkload(const model::SparseDnn& dnn,
                                   const part::ModelPartition& partition,
                                   const FsdOptions& options,
@@ -294,7 +366,7 @@ WorkloadEstimate EstimateWorkload(const model::SparseDnn& dnn,
   const double per_row_bytes =
       static_cast<double>(EstimateRowBytes(static_cast<int64_t>(
           std::max(1.0, activation_density * batch))));
-  const double compress_ratio = options.compress ? 0.6 : 1.0;
+  const double compress_ratio = EstimateWireRatio(options);
 
   int64_t pairs = 0;  // (source, target) pairs across layers
   // Punching is mutual (one physical link per unordered pair), so the
@@ -400,7 +472,7 @@ double EstimateQueryLatency(const model::SparseDnn& dnn,
   const double cross_fraction = std::min(1.0, workers / 8.0) * 0.35;
   const double bytes_per_layer = static_cast<double>(dnn.neurons()) *
                                  cross_fraction * activation_density * batch *
-                                 6.0 * (options.compress ? 0.6 : 1.0);
+                                 6.0 * EstimateWireRatio(options);
   const double per_worker_layer_bytes = bytes_per_layer / workers;
   double per_layer_comm;
   if (variant == Variant::kDirect) {

@@ -160,6 +160,45 @@ WorkloadEstimate EstimateWorkload(const model::SparseDnn& dnn,
                                   const FsdOptions& options,
                                   double activation_density, int32_t batch);
 
+/// A-priori FsdLz wire/raw ratio for activation payloads — the single
+/// constant every a-priori estimator shares. Runs with metrics use the
+/// measured ratio instead (MeasuredCompressRatio).
+inline constexpr double kAprioriCompressRatio = 0.6;
+
+/// A-priori wire-bytes / lossless-raw-bytes ratio under the options' wire
+/// codec. Lossless mode: kAprioriCompressRatio when compressing, else 1.
+/// Quantized mode: of the ~6 raw bytes per nonzero (EstimateRowBytes), the
+/// ~2 structure bytes keep the lossless treatment while the 4 value bytes
+/// shrink to quant_bits/8 before entropy coding.
+double EstimateWireRatio(const FsdOptions& options);
+
+/// Measured send-path wire/raw ratio when the run's metrics carry both
+/// counters; falls back to the a-priori EstimateWireRatio otherwise.
+double MeasuredCompressRatio(const LayerMetrics& totals,
+                             const FsdOptions& options);
+
+/// CPU-seconds-vs-billed-bytes break-even for flipping the quantized wire
+/// mode on one query's activation traffic: the billed-byte dollars the
+/// narrower values save on this variant's metered dimension, against the
+/// FaaS MB-second dollars of the extra quantize pass. Object storage and
+/// the serial variant bill per request, not per byte, so quantization is
+/// never worthwhile there.
+struct QuantBreakEvenEstimate {
+  double lossless_wire_bytes = 0.0;  ///< wire bytes without quantization
+  double quant_wire_bytes = 0.0;     ///< wire bytes at `quant_bits`
+  double bytes_saved = 0.0;
+  double byte_dollars_saved = 0.0;  ///< at the variant's per-byte price
+  double cpu_dollars_added = 0.0;   ///< quantize pass at C_run(memory)
+  double net_saving = 0.0;          ///< byte dollars minus CPU dollars
+  bool worthwhile = false;          ///< net_saving > 0
+};
+
+QuantBreakEvenEstimate EstimateQuantBreakEven(
+    const cloud::PricingConfig& pricing,
+    const cloud::ComputeModelConfig& compute, const FsdOptions& options,
+    Variant variant, int32_t memory_mb, double raw_bytes_per_query,
+    int32_t quant_bits);
+
 /// §IV-C design recommendation: serial for models that fit one instance,
 /// queue for growing parallelism at moderate volume, object storage once
 /// volumes saturate pub-sub payload limits.

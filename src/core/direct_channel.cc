@@ -99,7 +99,7 @@ Status DirectChannel::SendPhase(WorkerEnv* env, int32_t phase,
                    send.target));
     EncodeResult encoded =
         EncodeRows(source, *send.rows, options.kv_max_value_bytes,
-                   options.compress, options.codec);
+                   WireCodecFromOptions(options));
     metrics.send_rows_active += encoded.active_rows;
     const int32_t total = static_cast<int32_t>(encoded.chunks.size());
     for (int32_t seq = 0; seq < total; ++seq) {
@@ -214,7 +214,7 @@ Result<linalg::ActivationMap> DirectChannel::ReceivePhase(
     ++it->second.got;
     metrics.recv_wire_bytes += static_cast<int64_t>(decoded.body.size());
     const size_t before = received.size();
-    FSD_RETURN_IF_ERROR(DecodeRows(decoded.body, options.compress, &received));
+    FSD_RETURN_IF_ERROR(DecodeRows(decoded.body, &received));
     metrics.recv_rows += static_cast<int64_t>(received.size() - before);
     if (it->second.got == it->second.expected) {
       --(it->second.punched ? punched_pending : relay_pending);

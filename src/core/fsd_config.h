@@ -94,6 +94,18 @@ struct FsdOptions {
   /// payloads are latency-sensitive, and ratio gains flatten quickly on
   /// sparse-row data.
   codec::LzOptions codec{.max_chain_probes = 8};
+  /// Bounded-error activation transport: quantize payload values to this
+  /// many bits (2..16) before entropy coding. 0 keeps the default lossless
+  /// wire format (bit-exact round trip). Quantization changes query
+  /// outputs within codec::QuantRelErrorBound(quant_bits) of each chunk's
+  /// max |value|, so it must be opted into per workload — either directly
+  /// or by AutoSelectConfiguration when quant_max_rel_error permits.
+  int32_t quant_bits = 0;
+  /// Relative-error budget that authorizes AutoSelectConfiguration to turn
+  /// quantization on: the widest-saving width whose QuantRelErrorBound
+  /// fits the budget is selected when the cost model predicts a net win.
+  /// <= 0 keeps auto-config lossless (the default).
+  double quant_max_rel_error = 0.0;
 
   /// Skip 0-byte ".nul" markers when reading (object channel optimization;
   /// ablation knob).

@@ -79,7 +79,7 @@ Status KvChannel::SendPhase(WorkerEnv* env, int32_t phase,
     metrics.send_rows_mapped += static_cast<int64_t>(send.rows->size());
     EncodeResult encoded =
         EncodeRows(source, *send.rows, options.kv_max_value_bytes,
-                   options.compress, options.codec);
+                   WireCodecFromOptions(options));
     metrics.send_rows_active += encoded.active_rows;
     const int32_t total = static_cast<int32_t>(encoded.chunks.size());
     for (int32_t seq = 0; seq < total; ++seq) {
@@ -171,7 +171,7 @@ Result<linalg::ActivationMap> KvChannel::ReceivePhase(
       popped_bytes += decoded.body.size();
       const size_t before = received.size();
       FSD_RETURN_IF_ERROR(
-          DecodeRows(decoded.body, options.compress, &received));
+          DecodeRows(decoded.body, &received));
       metrics.recv_rows += static_cast<int64_t>(received.size() - before);
       if (it->second.got == it->second.expected) pending.erase(it);
     }

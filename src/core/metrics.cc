@@ -43,6 +43,9 @@ void LayerMetrics::Add(const LayerMetrics& other) {
   direct_msgs += other.direct_msgs;
   direct_billed_bytes += other.direct_billed_bytes;
   relay_fallback_msgs += other.relay_fallback_msgs;
+  quant_chunks += other.quant_chunks;
+  quant_values += other.quant_values;
+  if (other.quant_err_max > quant_err_max) quant_err_max = other.quant_err_max;
   serialize_s += other.serialize_s;
   polls += other.polls;
   empty_polls += other.empty_polls;

@@ -60,6 +60,13 @@ struct LayerMetrics {
   int64_t direct_msgs = 0;
   int64_t direct_billed_bytes = 0;
   int64_t relay_fallback_msgs = 0;
+  /// Quantized activation transport (WireCodec::quant_bits != 0): chunks
+  /// sent through the bounded-error wire mode, float values they carried,
+  /// and the worst measured per-chunk relative error (max-merged in Add —
+  /// it is a bound witness, not a volume).
+  int64_t quant_chunks = 0;
+  int64_t quant_values = 0;
+  double quant_err_max = 0.0;
   double serialize_s = 0.0;       ///< worker CPU spent packing/compressing
 
   // --- receive side ---

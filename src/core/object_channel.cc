@@ -52,8 +52,8 @@ Status ObjectChannel::SendPhase(WorkerEnv* env, int32_t phase,
     metrics.send_rows_mapped += static_cast<int64_t>(send.rows->size());
     // One unbounded chunk per target (object payloads are size-free).
     EncodeResult encoded = EncodeRows(source, *send.rows,
-                                      /*max_chunk_bytes=*/0, options.compress,
-                                      options.codec);
+                                      /*max_chunk_bytes=*/0,
+                                      WireCodecFromOptions(options));
     FSD_CHECK_EQ(encoded.chunks.size(), 1u);
     metrics.send_rows_active += encoded.active_rows;
     RowChunk& chunk = encoded.chunks[0];
@@ -154,7 +154,7 @@ Result<linalg::ActivationMap> ObjectChannel::ReceivePhase(
         metrics.recv_wire_bytes += static_cast<int64_t>(got.body.size());
         const size_t before = received.size();
         FSD_RETURN_IF_ERROR(
-            DecodeRows(got.body, options.compress, &received));
+            DecodeRows(got.body, &received));
         metrics.recv_rows += static_cast<int64_t>(received.size() - before);
         pending.erase(source);
       }

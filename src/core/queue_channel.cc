@@ -72,7 +72,7 @@ Status QueueChannel::SendPhase(WorkerEnv* env, int32_t phase,
     metrics.send_rows_mapped += static_cast<int64_t>(send.rows->size());
     EncodeResult encoded =
         EncodeRows(source, *send.rows, options.max_message_bytes,
-                   options.compress, options.codec);
+                   WireCodecFromOptions(options));
     metrics.send_rows_active += encoded.active_rows;
     const int32_t total = static_cast<int32_t>(encoded.chunks.size());
     for (int32_t seq = 0; seq < total; ++seq) {
@@ -190,7 +190,7 @@ Result<linalg::ActivationMap> QueueChannel::ReceivePhase(
     ++it->second.got;
     metrics.recv_wire_bytes += static_cast<int64_t>(body.size());
     const size_t before = received.size();
-    FSD_RETURN_IF_ERROR(DecodeRows(body, options.compress, &received));
+    FSD_RETURN_IF_ERROR(DecodeRows(body, &received));
     metrics.recv_rows += static_cast<int64_t>(received.size() - before);
     const double deser_s =
         static_cast<double>(body.size()) / compute.deserialize_bytes_per_s;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "codec/quant.h"
 #include "codec/varint.h"
 
 namespace fsd::core {
@@ -9,9 +10,16 @@ namespace {
 
 constexpr uint8_t kUncompressedTag = 0;
 constexpr uint8_t kCompressedTag = 1;
+/// Quantized wire mode: [tag][varint structure len][structure wire]
+/// [FQ values block]. The structure block (ids, nnz, dims, index deltas) is
+/// itself a tagged lossless payload — exactness of the sparsity pattern is
+/// never negotiable — while the values block carries the bounded-error
+/// quantized floats.
+constexpr uint8_t kQuantizedTag = 2;
 
-/// Encodes one row into `out`: id, nnz, delta-coded indices, raw values.
-void EncodeRow(int32_t row_id, const linalg::SparseVector& row, Bytes* out) {
+/// Encodes one row's structure: id, nnz, dim, delta-coded indices.
+void EncodeRowStructure(int32_t row_id, const linalg::SparseVector& row,
+                        Bytes* out) {
   codec::PutVarint64(out, static_cast<uint64_t>(row_id));
   codec::PutVarint64(out, row.nnz());
   codec::PutVarint64(out, static_cast<uint64_t>(row.dim));
@@ -20,100 +28,47 @@ void EncodeRow(int32_t row_id, const linalg::SparseVector& row, Bytes* out) {
     codec::PutVarint64(out, static_cast<uint64_t>(idx - prev - 1));
     prev = idx;
   }
+}
+
+/// Encodes one row into `out`: structure followed by raw float values.
+void EncodeRow(int32_t row_id, const linalg::SparseVector& row, Bytes* out) {
+  EncodeRowStructure(row_id, row, out);
   for (float v : row.val) AppendRaw(out, v);
 }
 
-}  // namespace
-
-uint64_t EstimateRowBytes(int64_t nnz) {
-  // ~8 bytes of row header + ~1.5 bytes per delta index + 4-byte value.
-  return 8 + static_cast<uint64_t>(nnz) * 6;
-}
-
-EncodeResult EncodeRows(const linalg::ActivationMap& source,
-                        const std::vector<int32_t>& row_ids,
-                        uint64_t max_chunk_bytes, bool compress,
-                        const codec::LzOptions& codec) {
-  EncodeResult result;
-  // Collect present rows first so chunk row counts can be prefixed.
-  std::vector<std::pair<int32_t, const linalg::SparseVector*>> rows;
-  rows.reserve(row_ids.size());
-  for (int32_t id : row_ids) {
-    auto it = source.find(id);
-    if (it == source.end() || it->second.empty()) continue;
-    rows.push_back({id, &it->second});
-    result.active_nnz += static_cast<int64_t>(it->second.nnz());
-  }
-  result.active_rows = static_cast<int32_t>(rows.size());
-
-  size_t i = 0;
-  while (i < rows.size()) {
-    // NNZ-heuristic greedy packing: extend the chunk while the size
-    // estimate stays under the cap (always take at least one row).
-    size_t j = i;
-    uint64_t estimate = 8;
-    while (j < rows.size()) {
-      const uint64_t row_bytes = EstimateRowBytes(rows[j].second->nnz());
-      if (j > i && max_chunk_bytes > 0 &&
-          estimate + row_bytes > max_chunk_bytes) {
-        break;
-      }
-      estimate += row_bytes;
-      ++j;
-    }
-    RowChunk chunk;
-    Bytes raw;
-    codec::PutVarint64(&raw, static_cast<uint64_t>(j - i));
-    for (size_t r = i; r < j; ++r) {
-      EncodeRow(rows[r].first, *rows[r].second, &raw);
-      chunk.nnz += static_cast<int64_t>(rows[r].second->nnz());
-    }
-    chunk.num_rows = static_cast<int32_t>(j - i);
-    chunk.raw_bytes = raw.size();
-    if (compress) {
-      chunk.wire.push_back(kCompressedTag);
-      Bytes packed = codec::LzCompress(raw, codec);
-      chunk.wire.insert(chunk.wire.end(), packed.begin(), packed.end());
-    } else {
-      chunk.wire.push_back(kUncompressedTag);
-      chunk.wire.insert(chunk.wire.end(), raw.begin(), raw.end());
-    }
-    result.chunks.push_back(std::move(chunk));
-    i = j;
-  }
-  if (result.chunks.empty()) {
-    // Explicit empty chunk: the receiver needs a positive signal that this
-    // source has nothing for this layer (otherwise it would wait forever).
-    RowChunk chunk;
-    Bytes raw;
-    codec::PutVarint64(&raw, 0);
-    chunk.raw_bytes = raw.size();
-    chunk.wire.push_back(kUncompressedTag);
-    chunk.wire.insert(chunk.wire.end(), raw.begin(), raw.end());
-    result.chunks.push_back(std::move(chunk));
-  }
-  return result;
-}
-
-Status DecodeRows(const Bytes& wire, bool /*compressed_hint*/,
-                  linalg::ActivationMap* out) {
-  if (wire.empty()) return Status::DataLoss("empty row payload");
-  const uint8_t tag = wire[0];
-  Bytes inflated;
-  const Bytes* payload = nullptr;
-  if (tag == kCompressedTag) {
-    Bytes inner(wire.begin() + 1, wire.end());
-    FSD_ASSIGN_OR_RETURN(inflated, codec::LzDecompress(inner));
-    payload = &inflated;
-  } else if (tag == kUncompressedTag) {
-    inflated.assign(wire.begin() + 1, wire.end());
-    payload = &inflated;
+/// Wraps a raw payload in the lossless wire framing (tag + optional LZ).
+void WrapLossless(const Bytes& raw, bool compress,
+                  const codec::LzOptions& lz, Bytes* wire) {
+  if (compress) {
+    wire->push_back(kCompressedTag);
+    Bytes packed = codec::LzCompress(raw, lz);
+    wire->insert(wire->end(), packed.begin(), packed.end());
   } else {
-    return Status::DataLoss("unknown row payload tag");
+    wire->push_back(kUncompressedTag);
+    wire->insert(wire->end(), raw.begin(), raw.end());
   }
+}
 
-  ByteReader reader(*payload);
+/// Inverse of WrapLossless over a byte span.
+Result<Bytes> UnwrapLossless(const uint8_t* data, size_t size) {
+  if (size == 0) return Status::DataLoss("empty row payload");
+  const uint8_t tag = data[0];
+  if (tag == kCompressedTag) {
+    Bytes inner(data + 1, data + size);
+    return codec::LzDecompress(inner);
+  }
+  if (tag == kUncompressedTag) return Bytes(data + 1, data + size);
+  return Status::DataLoss("unknown row payload tag");
+}
+
+/// Parses decoded structure+values payloads into `out`. When `values` is
+/// non-null the rows' values come from it sequentially (quantized mode);
+/// otherwise they follow each row's indices inline (lossless mode).
+Status ParseRows(const Bytes& payload, const std::vector<float>* values,
+                 linalg::ActivationMap* out) {
+  ByteReader reader(payload);
   FSD_ASSIGN_OR_RETURN(uint64_t count, codec::GetVarint64(&reader));
+  size_t next_value = 0;
   for (uint64_t r = 0; r < count; ++r) {
     FSD_ASSIGN_OR_RETURN(uint64_t row_id, codec::GetVarint64(&reader));
     FSD_ASSIGN_OR_RETURN(uint64_t nnz, codec::GetVarint64(&reader));
@@ -132,13 +87,140 @@ Status DecodeRows(const Bytes& wire, bool /*compressed_hint*/,
       row.idx.push_back(static_cast<int32_t>(idx));
       prev = idx;
     }
-    for (uint64_t p = 0; p < nnz; ++p) {
-      FSD_ASSIGN_OR_RETURN(float v, reader.Read<float>());
-      row.val.push_back(v);
+    if (values != nullptr) {
+      if (next_value + nnz > values->size()) {
+        return Status::DataLoss("quantized values underrun");
+      }
+      row.val.assign(values->begin() + next_value,
+                     values->begin() + next_value + nnz);
+      next_value += nnz;
+    } else {
+      for (uint64_t p = 0; p < nnz; ++p) {
+        FSD_ASSIGN_OR_RETURN(float v, reader.Read<float>());
+        row.val.push_back(v);
+      }
     }
     (*out)[static_cast<int32_t>(row_id)] = std::move(row);
   }
+  if (values != nullptr && next_value != values->size()) {
+    return Status::DataLoss("quantized values overrun");
+  }
   return Status::OK();
+}
+
+}  // namespace
+
+uint64_t EstimateRowBytes(int64_t nnz) {
+  // ~8 bytes of row header + ~1.5 bytes per delta index + 4-byte value.
+  return 8 + static_cast<uint64_t>(nnz) * 6;
+}
+
+EncodeResult EncodeRows(const linalg::ActivationMap& source,
+                        const std::vector<int32_t>& row_ids,
+                        uint64_t max_chunk_bytes, const WireCodec& codec) {
+  EncodeResult result;
+  // Collect present rows first so chunk row counts can be prefixed.
+  std::vector<std::pair<int32_t, const linalg::SparseVector*>> rows;
+  rows.reserve(row_ids.size());
+  for (int32_t id : row_ids) {
+    auto it = source.find(id);
+    if (it == source.end() || it->second.empty()) continue;
+    rows.push_back({id, &it->second});
+    result.active_nnz += static_cast<int64_t>(it->second.nnz());
+  }
+  result.active_rows = static_cast<int32_t>(rows.size());
+  const bool quantize = codec.quant_bits != 0;
+
+  size_t i = 0;
+  while (i < rows.size()) {
+    // NNZ-heuristic greedy packing: extend the chunk while the size
+    // estimate stays under the cap (always take at least one row).
+    size_t j = i;
+    uint64_t estimate = 8;
+    while (j < rows.size()) {
+      const uint64_t row_bytes = EstimateRowBytes(rows[j].second->nnz());
+      if (j > i && max_chunk_bytes > 0 &&
+          estimate + row_bytes > max_chunk_bytes) {
+        break;
+      }
+      estimate += row_bytes;
+      ++j;
+    }
+    RowChunk chunk;
+    if (quantize) {
+      Bytes structure;
+      std::vector<float> values;
+      codec::PutVarint64(&structure, static_cast<uint64_t>(j - i));
+      for (size_t r = i; r < j; ++r) {
+        EncodeRowStructure(rows[r].first, *rows[r].second, &structure);
+        values.insert(values.end(), rows[r].second->val.begin(),
+                      rows[r].second->val.end());
+        chunk.nnz += static_cast<int64_t>(rows[r].second->nnz());
+      }
+      // Lossless-equivalent raw size keeps compression-ratio metrics
+      // comparable across wire modes.
+      chunk.raw_bytes = structure.size() + 4 * values.size();
+      codec::QuantStats qstats;
+      const Bytes fq = codec::QuantCompress(values.data(), values.size(),
+                                            codec.quant_bits, &qstats);
+      Bytes structure_wire;
+      WrapLossless(structure, codec.compress, codec.lz, &structure_wire);
+      chunk.wire.push_back(kQuantizedTag);
+      codec::PutVarint64(&chunk.wire, structure_wire.size());
+      chunk.wire.insert(chunk.wire.end(), structure_wire.begin(),
+                        structure_wire.end());
+      chunk.wire.insert(chunk.wire.end(), fq.begin(), fq.end());
+      chunk.quant_bits = codec.quant_bits;
+      chunk.quant_values = static_cast<int64_t>(values.size());
+      chunk.quant_err_max = qstats.max_rel_err;
+    } else {
+      Bytes raw;
+      codec::PutVarint64(&raw, static_cast<uint64_t>(j - i));
+      for (size_t r = i; r < j; ++r) {
+        EncodeRow(rows[r].first, *rows[r].second, &raw);
+        chunk.nnz += static_cast<int64_t>(rows[r].second->nnz());
+      }
+      chunk.raw_bytes = raw.size();
+      WrapLossless(raw, codec.compress, codec.lz, &chunk.wire);
+    }
+    chunk.num_rows = static_cast<int32_t>(j - i);
+    result.chunks.push_back(std::move(chunk));
+    i = j;
+  }
+  if (result.chunks.empty()) {
+    // Explicit empty chunk: the receiver needs a positive signal that this
+    // source has nothing for this layer (otherwise it would wait forever).
+    // Always lossless — there are no values to quantize.
+    RowChunk chunk;
+    Bytes raw;
+    codec::PutVarint64(&raw, 0);
+    chunk.raw_bytes = raw.size();
+    chunk.wire.push_back(kUncompressedTag);
+    chunk.wire.insert(chunk.wire.end(), raw.begin(), raw.end());
+    result.chunks.push_back(std::move(chunk));
+  }
+  return result;
+}
+
+Status DecodeRows(const Bytes& wire, linalg::ActivationMap* out) {
+  if (wire.empty()) return Status::DataLoss("empty row payload");
+  if (wire[0] == kQuantizedTag) {
+    ByteReader reader(wire.data() + 1, wire.size() - 1);
+    FSD_ASSIGN_OR_RETURN(uint64_t structure_len, codec::GetVarint64(&reader));
+    const size_t pos = 1 + reader.position();
+    if (structure_len > wire.size() - pos) {
+      return Status::DataLoss("quantized structure overruns chunk");
+    }
+    FSD_ASSIGN_OR_RETURN(Bytes structure,
+                         UnwrapLossless(wire.data() + pos, structure_len));
+    const Bytes fq(wire.begin() + pos + structure_len, wire.end());
+    FSD_ASSIGN_OR_RETURN(std::vector<float> values,
+                         codec::QuantDecompress(fq));
+    return ParseRows(structure, &values, out);
+  }
+  FSD_ASSIGN_OR_RETURN(Bytes payload,
+                       UnwrapLossless(wire.data(), wire.size()));
+  return ParseRows(payload, nullptr, out);
 }
 
 }  // namespace fsd::core

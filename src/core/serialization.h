@@ -18,12 +18,44 @@
 
 namespace fsd::core {
 
+/// Wire-format selection for EncodeRows, derived from FsdOptions (the
+/// channel backends pass it through verbatim; tests/benches may build one
+/// directly). Chunks are self-describing — DecodeRows never needs it.
+struct WireCodec {
+  bool compress = false;      ///< FsdLz-compress payloads
+  codec::LzOptions lz;        ///< LZ effort knobs
+  int32_t quant_bits = 0;     ///< 0 = lossless; 2..16 = quantize values
+};
+
+/// Lossless codec shorthand (tests, benches).
+inline WireCodec LosslessCodec(bool compress = false) {
+  WireCodec codec;
+  codec.compress = compress;
+  return codec;
+}
+
+/// Quantized codec shorthand: `bits`-wide values, lossless structure.
+inline WireCodec QuantCodec(int32_t bits, bool compress = true) {
+  WireCodec codec;
+  codec.compress = compress;
+  codec.quant_bits = bits;
+  return codec;
+}
+
+inline WireCodec WireCodecFromOptions(const FsdOptions& options) {
+  return WireCodec{options.compress, options.codec, options.quant_bits};
+}
+
 /// A contiguous run of encoded activation rows.
 struct RowChunk {
   Bytes wire;              ///< encoded (possibly compressed) payload
-  uint64_t raw_bytes = 0;  ///< pre-compression size
+  uint64_t raw_bytes = 0;  ///< pre-compression (lossless-equivalent) size
   int32_t num_rows = 0;
   int64_t nnz = 0;
+  // Quantized wire mode only (see WireCodec::quant_bits):
+  int32_t quant_bits = 0;       ///< width this chunk's values were sent at
+  int64_t quant_values = 0;     ///< float values quantized in this chunk
+  double quant_err_max = 0.0;   ///< measured max |err| / chunk scale
 };
 
 /// Serialized view of selected rows: the rows listed in `row_ids` are read
@@ -39,15 +71,17 @@ struct EncodeResult {
 /// chunks of at most `max_chunk_bytes` raw payload (0 = single unbounded
 /// chunk, used by the object channel). Rows are never split across chunks;
 /// chunk boundaries are chosen with the NNZ heuristic so encoded chunks
-/// approach the cap.
+/// approach the cap. With codec.quant_bits == 0 the round trip is
+/// bit-exact; otherwise values travel through the FQ quantizer (structure —
+/// ids, nnz, deltas — stays exact, values reconstruct within
+/// codec::QuantRelErrorBound of each chunk's max |value|).
 EncodeResult EncodeRows(const linalg::ActivationMap& source,
                         const std::vector<int32_t>& row_ids,
-                        uint64_t max_chunk_bytes, bool compress,
-                        const codec::LzOptions& codec);
+                        uint64_t max_chunk_bytes, const WireCodec& codec);
 
 /// Decodes a chunk produced by EncodeRows into `out` (rows merged in).
-Status DecodeRows(const Bytes& wire, bool compressed,
-                  linalg::ActivationMap* out);
+/// Chunks are self-describing (tag byte), so no codec argument is needed.
+Status DecodeRows(const Bytes& wire, linalg::ActivationMap* out);
 
 /// Estimated encoded bytes for a row with `nnz` nonzeros (the NNZ packing
 /// heuristic: varint ids/deltas plus 4-byte values).

@@ -50,7 +50,7 @@ std::string BatchFamilyKey(const InferenceRequest& request) {
   };
   return StrFormat(
       "%p|%p|v%d|w%d|b%d|l%d|t%d.%d|io%d|pw%016llx|os%016llx|mm%llu|"
-      "gp%d|c%d|lz%d.%zu|nm%d|kv%llu.%016llx.%d|pc%d.%llu|"
+      "gp%d|c%d|lz%d.%zu|q%d.%016llx|nm%d|kv%llu.%016llx.%d|pc%d.%llu|"
       "mf%zu:%s@%llu|m%d|wt%016llx|cm%d|s%llu|sc%zu:[%s]|ct%d|dp%016llx",
       static_cast<const void*>(request.dnn),
       static_cast<const void*>(request.partition), static_cast<int>(o.variant),
@@ -59,7 +59,8 @@ std::string BatchFamilyKey(const InferenceRequest& request) {
       bits(o.object_scan_interval_s),
       static_cast<unsigned long long>(o.max_message_bytes),
       o.greedy_packing ? 1 : 0, o.compress ? 1 : 0, o.codec.max_chain_probes,
-      o.codec.min_compress_size, o.nul_markers ? 1 : 0,
+      o.codec.min_compress_size, o.quant_bits, bits(o.quant_max_rel_error),
+      o.nul_markers ? 1 : 0,
       static_cast<unsigned long long>(o.kv_max_value_bytes),
       bits(o.kv_poll_wait_s), o.kv_shards, o.partition_cache ? 1 : 0,
       static_cast<unsigned long long>(o.partition_cache_budget_bytes),

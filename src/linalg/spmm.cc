@@ -1,13 +1,94 @@
 #include "linalg/spmm.h"
 
 #include <algorithm>
+#include <atomic>
 #include <vector>
+
+#if FSD_LINALG_HAS_SIMD
+#include <immintrin.h>
+#endif
 
 namespace fsd::linalg {
 namespace {
 
+std::atomic<ForwardKernel> g_kernel{ForwardKernel::kAuto};
+
+/// Scatter-accumulates one input row into the batch accumulator and records
+/// first-touched positions. The two passes are split so the multiply-add
+/// stream is branch-free (the compiler can keep it in registers / vector
+/// units) while the touched-tracking pass carries the branches.
+///
+/// Positions within one input row are distinct (idx is strictly increasing),
+/// so each acc slot receives at most one add per call — any vectorization
+/// across j preserves the exact per-slot FP accumulation order.
+using AccumulateFn = void (*)(const SparseVector& x, float weight, float* acc,
+                              uint32_t* stamp, uint32_t epoch,
+                              std::vector<int32_t>& touched);
+
+void AccumulatePortable(const SparseVector& x, float weight, float* acc,
+                        uint32_t* stamp, uint32_t epoch,
+                        std::vector<int32_t>& touched) {
+  const int32_t* idx = x.idx.data();
+  const float* val = x.val.data();
+  const size_t n = x.idx.size();
+  for (size_t j = 0; j < n; ++j) acc[idx[j]] += weight * val[j];
+  for (size_t j = 0; j < n; ++j) {
+    const int32_t pos = idx[j];
+    if (stamp[pos] != epoch) {
+      stamp[pos] = epoch;
+      touched.push_back(pos);
+    }
+  }
+}
+
+#if FSD_LINALG_HAS_SIMD
+__attribute__((target("avx2"))) void AccumulateAvx2(
+    const SparseVector& x, float weight, float* acc, uint32_t* stamp,
+    uint32_t epoch, std::vector<int32_t>& touched) {
+  const int32_t* idx = x.idx.data();
+  const float* val = x.val.data();
+  const size_t n = x.idx.size();
+  size_t j = 0;
+  // Contiguous index runs (dense rows, and the dense segments blob-shaped
+  // inputs produce) take the packed path: 8 independent slots per op.
+  // Explicit mul-then-add — never _mm256_fmadd_ps — keeps every slot's
+  // value bit-identical to the scalar `acc[p] += weight * val[j]`.
+  if (n >= 8 && static_cast<size_t>(idx[n - 1] - idx[0]) + 1 == n) {
+    float* dst = acc + idx[0];
+    const __m256 w = _mm256_set1_ps(weight);
+    for (; j + 8 <= n; j += 8) {
+      const __m256 v = _mm256_loadu_ps(val + j);
+      const __m256 a = _mm256_loadu_ps(dst + j);
+      _mm256_storeu_ps(dst + j, _mm256_add_ps(a, _mm256_mul_ps(w, v)));
+    }
+  }
+  for (; j < n; ++j) acc[idx[j]] += weight * val[j];
+  for (size_t k = 0; k < n; ++k) {
+    const int32_t pos = idx[k];
+    if (stamp[pos] != epoch) {
+      stamp[pos] = epoch;
+      touched.push_back(pos);
+    }
+  }
+}
+
+bool Avx2Supported() {
+  static const bool supported = __builtin_cpu_supports("avx2");
+  return supported;
+}
+#endif  // FSD_LINALG_HAS_SIMD
+
+AccumulateFn ResolveAccumulate() {
+#if FSD_LINALG_HAS_SIMD
+  const ForwardKernel k = g_kernel.load(std::memory_order_relaxed);
+  if (k != ForwardKernel::kPortable && Avx2Supported()) return AccumulateAvx2;
+#endif
+  return AccumulatePortable;
+}
+
 /// Shared kernel core. RowSource provides the row iteration:
 ///   size_t size() const;
+///   int32_t cols() const;
 ///   int32_t GlobalId(size_t local) const;
 ///   template <typename Fn> void ForEach(size_t local, Fn fn) const;
 template <typename RowSource>
@@ -17,8 +98,21 @@ ActivationMap LayerForwardImpl(const RowSource& source,
                                LayerForwardStats* stats) {
   ActivationMap out;
   std::vector<float> acc(static_cast<size_t>(batch));
+  // Epoch stamps replace the old `acc[pos] == 0.0f` probe: a position is
+  // first-touched iff its stamp lags the row epoch, so the touched list is
+  // duplicate-free even when sums cancel to exactly zero mid-row.
+  std::vector<uint32_t> stamp(static_cast<size_t>(batch), 0);
   std::vector<int32_t> touched;
   touched.reserve(batch);
+  uint32_t epoch = 0;
+  // Provider results are memoized per call: every provider is a pure lookup
+  // into this layer's input activations, and W's columns repeat across the
+  // row block, so the std::function + map-find cost is paid once per
+  // distinct column instead of once per weight nonzero.
+  const size_t cols = static_cast<size_t>(std::max<int32_t>(source.cols(), 0));
+  std::vector<const SparseVector*> memo(cols, nullptr);
+  std::vector<uint8_t> memo_known(cols, 0);
+  const AccumulateFn accumulate = ResolveAccumulate();
   double macs = 0.0;
   int64_t output_nnz = 0;
   // Hoisted out of the row loop: rows that produce no output (or whose
@@ -28,18 +122,25 @@ ActivationMap LayerForwardImpl(const RowSource& source,
   SparseVector row;
 
   for (size_t local = 0; local < source.size(); ++local) {
+    if (++epoch == 0) {  // wrapped: stale stamps could alias, restart
+      std::fill(stamp.begin(), stamp.end(), 0u);
+      epoch = 1;
+    }
     // Sparse accumulation: only positions touched by some input row are
     // visited, so fully-inactive output rows cost nothing to scan.
     touched.clear();
     source.ForEach(local, [&](int32_t col, float weight) {
-      const SparseVector* x = provider(col);
+      const SparseVector* x;
+      if (memo_known[col]) {
+        x = memo[col];
+      } else {
+        x = provider(col);
+        memo[col] = x;
+        memo_known[col] = 1;
+      }
       if (x == nullptr || x->empty()) return;
       macs += static_cast<double>(x->nnz());
-      for (size_t j = 0; j < x->idx.size(); ++j) {
-        const int32_t pos = x->idx[j];
-        if (acc[pos] == 0.0f) touched.push_back(pos);
-        acc[pos] += weight * x->val[j];
-      }
+      accumulate(*x, weight, acc.data(), stamp.data(), epoch, touched);
     });
     if (touched.empty()) continue;
     std::sort(touched.begin(), touched.end());
@@ -52,10 +153,7 @@ ActivationMap LayerForwardImpl(const RowSource& source,
     row.val.clear();
     row.idx.reserve(touched.size());
     row.val.reserve(touched.size());
-    int32_t prev_pos = -1;
     for (int32_t pos : touched) {
-      if (pos == prev_pos) continue;  // duplicate from exact cancellation
-      prev_pos = pos;
       float v = acc[pos] + bias;
       acc[pos] = 0.0f;  // reset for the next output row
       if (relu_cap > 0.0f) {
@@ -84,6 +182,7 @@ ActivationMap LayerForwardImpl(const RowSource& source,
 struct BlockSource {
   const RowBlock& block;
   size_t size() const { return block.num_rows(); }
+  int32_t cols() const { return block.cols; }
   int32_t GlobalId(size_t local) const { return block.row_ids[local]; }
   template <typename Fn>
   void ForEach(size_t local, Fn fn) const {
@@ -95,6 +194,7 @@ struct SubsetSource {
   const CsrMatrix& weights;
   const std::vector<int32_t>& rows;
   size_t size() const { return rows.size(); }
+  int32_t cols() const { return weights.cols(); }
   int32_t GlobalId(size_t local) const { return rows[local]; }
   template <typename Fn>
   void ForEach(size_t local, Fn fn) const {
@@ -105,6 +205,7 @@ struct SubsetSource {
 struct AllSource {
   const CsrMatrix& weights;
   size_t size() const { return static_cast<size_t>(weights.rows()); }
+  int32_t cols() const { return weights.cols(); }
   int32_t GlobalId(size_t local) const { return static_cast<int32_t>(local); }
   template <typename Fn>
   void ForEach(size_t local, Fn fn) const {
@@ -113,6 +214,26 @@ struct AllSource {
 };
 
 }  // namespace
+
+void SetLayerForwardKernel(ForwardKernel kernel) {
+  g_kernel.store(kernel, std::memory_order_relaxed);
+}
+
+ForwardKernel GetLayerForwardKernel() {
+  return g_kernel.load(std::memory_order_relaxed);
+}
+
+bool LayerForwardVectorizedAvailable() {
+#if FSD_LINALG_HAS_SIMD
+  return Avx2Supported();
+#else
+  return false;
+#endif
+}
+
+const char* LayerForwardKernelName() {
+  return ResolveAccumulate() == AccumulatePortable ? "portable" : "avx2";
+}
 
 ActivationMap LayerForward(const RowBlock& block, const RowProvider& provider,
                            float bias, float relu_cap, int32_t batch,

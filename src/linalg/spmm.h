@@ -14,6 +14,29 @@
 #include "linalg/csr.h"
 #include "linalg/sparse_vector.h"
 
+/// The vectorized kernel is compiled only where AVX2 intrinsics exist and
+/// selected at runtime via cpuid, so one binary runs everywhere. Sanitized
+/// builds fall back to the portable kernel (mirrors FSD_SIM_HAS_FIBERS:
+/// keep the sanitizer jobs exercising the path every machine can take).
+/// Define FSD_NO_SIMD to force the portable kernel on any build.
+#if defined(FSD_NO_SIMD)
+#define FSD_LINALG_HAS_SIMD 0
+#elif defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
+#define FSD_LINALG_HAS_SIMD 0
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer)
+#define FSD_LINALG_HAS_SIMD 0
+#elif defined(__x86_64__)
+#define FSD_LINALG_HAS_SIMD 1
+#else
+#define FSD_LINALG_HAS_SIMD 0
+#endif
+#elif defined(__x86_64__)
+#define FSD_LINALG_HAS_SIMD 1
+#else
+#define FSD_LINALG_HAS_SIMD 0
+#endif
+
 namespace fsd::linalg {
 
 /// Activations of one layer: neuron-row id -> sparse row over the batch.
@@ -29,6 +52,26 @@ struct LayerForwardStats {
   int64_t rows_produced = 0;  ///< nonzero output rows
   int64_t output_nnz = 0;     ///< total nonzeros in output rows
 };
+
+/// Kernel selection for LayerForward. Both kernels produce byte-identical
+/// ActivationMaps and LayerForwardStats: the vectorized path only changes
+/// how per-position sums are scheduled, never their accumulation order.
+enum class ForwardKernel {
+  kAuto,        ///< vectorized when compiled in and the CPU supports it
+  kPortable,    ///< scalar baseline, always built
+  kVectorized,  ///< AVX2 path; silently falls back when unavailable
+};
+
+/// Overrides the process-wide kernel choice (tests/benches; thread-safe).
+void SetLayerForwardKernel(ForwardKernel kernel);
+ForwardKernel GetLayerForwardKernel();
+
+/// True when the AVX2 kernel is compiled in and this CPU can run it.
+bool LayerForwardVectorizedAvailable();
+
+/// Name of the kernel LayerForward would execute right now:
+/// "portable" or "avx2".
+const char* LayerForwardKernelName();
 
 /// Computes  z = ReLU_clamped(W_block * X + bias)  for the rows in `block`.
 ///

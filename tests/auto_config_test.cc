@@ -161,6 +161,54 @@ TEST_F(AutoConfigTest, TopologyRecommendationTracksRootDrain) {
   }
 }
 
+TEST_F(AutoConfigTest, QuantFlipRespectsErrorBudgetAndBreakEven) {
+  model::SparseDnn dnn = MakeModel(16384, 16);
+  AutoSelectRequest request;
+  request.dnn = &dnn;
+  request.batch = 2048;  // byte-heavy workload: savings dominate
+  request.latency_weight = 0.0;
+  request.base_options.compress = true;
+
+  // No error budget: every candidate stays lossless.
+  auto strict = AutoSelectConfiguration(cloud_, request);
+  ASSERT_TRUE(strict.ok());
+  for (const ConfigCandidate& c : strict->ranking) {
+    EXPECT_EQ(c.quant_bits, 0);
+  }
+
+  // A 1e-2 budget admits b=8 (bound ~3.9e-3) but not b=4 (~7.1e-2); the
+  // byte-metered variants should flip and get cheaper for it.
+  request.base_options.quant_max_rel_error = 1e-2;
+  auto relaxed = AutoSelectConfiguration(cloud_, request);
+  ASSERT_TRUE(relaxed.ok());
+  bool any_quantized = false;
+  for (size_t i = 0; i < relaxed->ranking.size(); ++i) {
+    const ConfigCandidate& c = relaxed->ranking[i];
+    EXPECT_TRUE(c.quant_bits == 0 || c.quant_bits == 8);
+    if (c.quant_bits != 0) {
+      any_quantized = true;
+      // Object/serial bill per request, never per byte — no flip there.
+      EXPECT_NE(c.variant, Variant::kObject);
+      EXPECT_NE(c.variant, Variant::kSerial);
+    }
+  }
+  EXPECT_TRUE(any_quantized);
+  // Quantization can only help the blended objective.
+  EXPECT_LE(relaxed->best.predicted_cost.total,
+            strict->best.predicted_cost.total + 1e-12);
+
+  // A budget looser than even b=4's bound picks the narrowest width.
+  request.base_options.quant_max_rel_error = 0.5;
+  auto loose = AutoSelectConfiguration(cloud_, request);
+  ASSERT_TRUE(loose.ok());
+  bool any_b4 = false;
+  for (const ConfigCandidate& c : loose->ranking) {
+    if (c.quant_bits == 4) any_b4 = true;
+    EXPECT_TRUE(c.quant_bits == 0 || c.quant_bits == 4);
+  }
+  EXPECT_TRUE(any_b4);
+}
+
 TEST_F(AutoConfigTest, ValidatesArguments) {
   model::SparseDnn dnn = MakeModel(1024, 4);
   AutoSelectRequest request;

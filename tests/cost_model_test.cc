@@ -192,5 +192,84 @@ TEST(CostModel, BreakdownToString) {
   EXPECT_NE(s.find("$0.3500"), std::string::npos);
 }
 
+TEST(CostModel, EstimateWireRatioTracksCodec) {
+  FsdOptions options;
+  options.compress = false;
+  EXPECT_DOUBLE_EQ(EstimateWireRatio(options), 1.0);
+  options.compress = true;
+  EXPECT_DOUBLE_EQ(EstimateWireRatio(options), kAprioriCompressRatio);
+  // Quantized: ~2 structure bytes keep the lossless ratio, the 4 value
+  // bytes shrink to quant_bits/8.
+  options.quant_bits = 8;
+  EXPECT_DOUBLE_EQ(EstimateWireRatio(options),
+                   (2.0 * kAprioriCompressRatio + 1.0) / 6.0);
+  options.compress = false;
+  EXPECT_DOUBLE_EQ(EstimateWireRatio(options), (2.0 + 1.0) / 6.0);
+  options.compress = true;
+  options.quant_bits = 4;
+  EXPECT_LT(EstimateWireRatio(options),
+            (2.0 * kAprioriCompressRatio + 1.0) / 6.0);
+}
+
+TEST(CostModel, MeasuredCompressRatioPrefersMetrics) {
+  FsdOptions options;
+  options.compress = true;
+  LayerMetrics totals;
+  // No counters: fall back to the a-priori ratio.
+  EXPECT_DOUBLE_EQ(MeasuredCompressRatio(totals, options),
+                   kAprioriCompressRatio);
+  totals.send_raw_bytes = 1000;
+  totals.send_wire_bytes = 450;
+  EXPECT_DOUBLE_EQ(MeasuredCompressRatio(totals, options), 0.45);
+}
+
+TEST(CostModel, PredictFromMetricsUsesMeasuredRatioFallback) {
+  // Raw-bytes-only metrics (no wire or billed counters): the queue
+  // prediction should size delivery bytes with the measured ratio when
+  // present — here absent, so the a-priori ratio applies.
+  cloud::PricingConfig pricing;
+  FsdOptions options;
+  options.variant = Variant::kQueue;
+  options.num_workers = 2;
+  options.compress = true;
+  RunMetrics metrics;
+  metrics.mean_worker_s = 1.0;
+  metrics.totals.send_raw_bytes = 1'000'000;
+  metrics.totals.send_chunks = 10;
+  metrics.totals.publish_chunks = 10;
+  const CostBreakdown cost = PredictFromMetrics(pricing, options, metrics, 512);
+  const double expected_bytes = 1'000'000 * kAprioriCompressRatio + 10 * 96.0;
+  const CostBreakdown manual =
+      QueueCost(pricing, 2, 1.0, 512, 10.0, expected_bytes, 0.0);
+  EXPECT_DOUBLE_EQ(cost.communication, manual.communication);
+}
+
+TEST(CostModel, QuantBreakEvenPricesBytesAgainstCpu) {
+  cloud::PricingConfig pricing;
+  cloud::ComputeModelConfig compute;
+  FsdOptions options;
+  options.compress = true;
+  const double raw = 100.0e6;  // 100 MB of activations per query
+  const QuantBreakEvenEstimate kv = EstimateQuantBreakEven(
+      pricing, compute, options, Variant::kKv, 1024, raw, 8);
+  EXPECT_GT(kv.bytes_saved, 0.0);
+  EXPECT_GT(kv.byte_dollars_saved, 0.0);
+  EXPECT_GT(kv.cpu_dollars_added, 0.0);
+  EXPECT_DOUBLE_EQ(kv.net_saving,
+                   kv.byte_dollars_saved - kv.cpu_dollars_added);
+  // KV meters processed bytes in both directions — at 100 MB/query the
+  // savings dwarf the quantize pass.
+  EXPECT_TRUE(kv.worthwhile);
+  // Object storage has no per-byte meter: quantization only costs CPU.
+  const QuantBreakEvenEstimate object = EstimateQuantBreakEven(
+      pricing, compute, options, Variant::kObject, 1024, raw, 8);
+  EXPECT_DOUBLE_EQ(object.byte_dollars_saved, 0.0);
+  EXPECT_FALSE(object.worthwhile);
+  // Narrower widths save strictly more bytes.
+  const QuantBreakEvenEstimate narrow = EstimateQuantBreakEven(
+      pricing, compute, options, Variant::kKv, 1024, raw, 4);
+  EXPECT_GT(narrow.bytes_saved, kv.bytes_saved);
+}
+
 }  // namespace
 }  // namespace fsd::core

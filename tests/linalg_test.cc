@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <bit>
+#include <cstdint>
 #include <tuple>
 
 #include "common/rng.h"
@@ -225,6 +227,86 @@ TEST(LayerForward, ReluClampAndThreshold) {
       0.0f, 32.0f, 1);
   ASSERT_EQ(out.size(), 1u);                 // negative row ReLU'd away
   EXPECT_EQ(out.at(0).val[0], 32.0f);        // clamped
+}
+
+TEST(LayerForward, KernelsProduceByteIdenticalOutputs) {
+  // The vectorized kernel must match the portable one bit-for-bit — same
+  // ActivationMap bytes, same stats — across randomized layers. Where the
+  // AVX2 path is compiled out or the CPU lacks it, both runs take the
+  // portable kernel and the comparison is trivially exact.
+  Rng rng(4242);
+  for (int trial = 0; trial < 6; ++trial) {
+    const int32_t n = 32 + static_cast<int32_t>(rng.NextBounded(200));
+    const int32_t batch = 1 + static_cast<int32_t>(rng.NextBounded(40));
+    const int nnz_per_row = 1 + static_cast<int>(rng.NextBounded(24));
+    std::vector<Triplet> triplets;
+    for (int32_t i = 0; i < n; ++i) {
+      for (int k = 0; k < nnz_per_row; ++k) {
+        triplets.push_back({i, static_cast<int32_t>(rng.NextBounded(n)),
+                            static_cast<float>(rng.NextUniform(-1.0, 1.0))});
+      }
+    }
+    const CsrMatrix w = CsrMatrix::FromTriplets(n, n, triplets);
+
+    ActivationMap x;
+    for (int32_t j = 0; j < n; ++j) {
+      SparseVector row;
+      row.dim = batch;
+      // Mix of contiguous runs (the AVX2 fast path) and scattered samples.
+      const bool contiguous = rng.NextBool(0.5);
+      for (int32_t s = 0; s < batch; ++s) {
+        if (contiguous ? s < batch / 2 : rng.NextBool(0.3)) {
+          row.idx.push_back(s);
+          row.val.push_back(static_cast<float>(rng.NextUniform(-2.0, 2.0)));
+        }
+      }
+      if (!row.empty()) x.emplace(j, std::move(row));
+    }
+    auto provider = [&x](int32_t row) -> const SparseVector* {
+      auto it = x.find(row);
+      return it == x.end() ? nullptr : &it->second;
+    };
+
+    SetLayerForwardKernel(ForwardKernel::kPortable);
+    LayerForwardStats portable_stats;
+    const ActivationMap portable =
+        LayerForwardAll(w, provider, -0.2f, 8.0f, batch, &portable_stats);
+
+    SetLayerForwardKernel(ForwardKernel::kVectorized);
+    LayerForwardStats vector_stats;
+    const ActivationMap vectorized =
+        LayerForwardAll(w, provider, -0.2f, 8.0f, batch, &vector_stats);
+    SetLayerForwardKernel(ForwardKernel::kAuto);
+
+    ASSERT_EQ(portable.size(), vectorized.size()) << "trial " << trial;
+    for (const auto& [row, vec] : portable) {
+      ASSERT_TRUE(vectorized.contains(row)) << "trial " << trial;
+      const SparseVector& other = vectorized.at(row);
+      ASSERT_EQ(vec.idx, other.idx) << "trial " << trial << " row " << row;
+      ASSERT_EQ(vec.dim, other.dim) << "trial " << trial << " row " << row;
+      for (size_t p = 0; p < vec.val.size(); ++p) {
+        // Bit-level comparison: 0.0f == -0.0f would hide a sign flip.
+        ASSERT_EQ(std::bit_cast<uint32_t>(vec.val[p]),
+                  std::bit_cast<uint32_t>(other.val[p]))
+            << "trial " << trial << " row " << row << " pos " << p;
+      }
+    }
+    EXPECT_EQ(portable_stats.macs, vector_stats.macs);
+    EXPECT_EQ(portable_stats.rows_produced, vector_stats.rows_produced);
+    EXPECT_EQ(portable_stats.output_nnz, vector_stats.output_nnz);
+  }
+}
+
+TEST(LayerForward, KernelSelectionReportsName) {
+  SetLayerForwardKernel(ForwardKernel::kPortable);
+  EXPECT_STREQ(LayerForwardKernelName(), "portable");
+  SetLayerForwardKernel(ForwardKernel::kVectorized);
+  if (LayerForwardVectorizedAvailable()) {
+    EXPECT_STREQ(LayerForwardKernelName(), "avx2");
+  } else {
+    EXPECT_STREQ(LayerForwardKernelName(), "portable");
+  }
+  SetLayerForwardKernel(ForwardKernel::kAuto);
 }
 
 TEST(LayerForward, EmptyInputYieldsEmptyOutput) {

@@ -1,5 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <tuple>
+
+#include "codec/quant.h"
 #include "common/rng.h"
 #include "core/serialization.h"
 
@@ -37,11 +41,11 @@ TEST_P(SerializationRoundtrip, EncodeDecodeIdentity) {
   auto [compress, rows, density] = GetParam();
   const linalg::ActivationMap original = MakeRows(rows, 64, density, 42);
   EncodeResult encoded = EncodeRows(original, AllIds(original),
-                                    /*max_chunk_bytes=*/0, compress, {});
+                                    /*max_chunk_bytes=*/0,
+                                    LosslessCodec(compress));
   ASSERT_EQ(encoded.chunks.size(), 1u);
   linalg::ActivationMap decoded;
-  ASSERT_TRUE(
-      DecodeRows(encoded.chunks[0].wire, compress, &decoded).ok());
+  ASSERT_TRUE(DecodeRows(encoded.chunks[0].wire, &decoded).ok());
   ASSERT_EQ(decoded.size(), original.size());
   for (const auto& [id, vec] : original) {
     EXPECT_EQ(decoded.at(id), vec) << "row " << id;
@@ -56,8 +60,7 @@ INSTANTIATE_TEST_SUITE_P(
 TEST(Serialization, ChunkingRespectsCap) {
   const linalg::ActivationMap rows = MakeRows(400, 256, 0.8, 7);
   const uint64_t cap = 4096;
-  EncodeResult encoded = EncodeRows(rows, AllIds(rows), cap,
-                                    /*compress=*/false, {});
+  EncodeResult encoded = EncodeRows(rows, AllIds(rows), cap, WireCodec{});
   EXPECT_GT(encoded.chunks.size(), 1u);
   linalg::ActivationMap decoded;
   for (const RowChunk& chunk : encoded.chunks) {
@@ -66,7 +69,7 @@ TEST(Serialization, ChunkingRespectsCap) {
     if (chunk.num_rows > 1) {
       EXPECT_LE(chunk.raw_bytes, cap + 2048);
     }
-    ASSERT_TRUE(DecodeRows(chunk.wire, false, &decoded).ok());
+    ASSERT_TRUE(DecodeRows(chunk.wire, &decoded).ok());
   }
   EXPECT_EQ(decoded.size(), rows.size());
 }
@@ -75,20 +78,21 @@ TEST(Serialization, SkipsInactiveAndMissingRows) {
   linalg::ActivationMap rows = MakeRows(10, 16, 1.0, 3);
   std::vector<int32_t> ids = AllIds(rows);
   ids.push_back(9999);  // never present
-  EncodeResult encoded = EncodeRows(rows, ids, 0, false, {});
+  EncodeResult encoded = EncodeRows(rows, ids, 0, WireCodec{});
   EXPECT_EQ(encoded.active_rows, static_cast<int32_t>(rows.size()));
   linalg::ActivationMap decoded;
-  ASSERT_TRUE(DecodeRows(encoded.chunks[0].wire, false, &decoded).ok());
+  ASSERT_TRUE(DecodeRows(encoded.chunks[0].wire, &decoded).ok());
   EXPECT_FALSE(decoded.contains(9999));
 }
 
 TEST(Serialization, EmptySendProducesExplicitMarkerChunk) {
   linalg::ActivationMap empty;
-  EncodeResult encoded = EncodeRows(empty, {1, 2, 3}, 1024, true, {});
+  EncodeResult encoded =
+      EncodeRows(empty, {1, 2, 3}, 1024, LosslessCodec(true));
   ASSERT_EQ(encoded.chunks.size(), 1u);  // receiver needs a signal
   EXPECT_EQ(encoded.active_rows, 0);
   linalg::ActivationMap decoded;
-  ASSERT_TRUE(DecodeRows(encoded.chunks[0].wire, true, &decoded).ok());
+  ASSERT_TRUE(DecodeRows(encoded.chunks[0].wire, &decoded).ok());
   EXPECT_TRUE(decoded.empty());
 }
 
@@ -104,25 +108,167 @@ TEST(Serialization, CompressionShrinksRepetitiveRows) {
     }
     rows.emplace(r, std::move(vec));
   }
-  EncodeResult plain = EncodeRows(rows, AllIds(rows), 0, false, {});
-  EncodeResult packed = EncodeRows(rows, AllIds(rows), 0, true, {});
+  EncodeResult plain = EncodeRows(rows, AllIds(rows), 0, WireCodec{});
+  EncodeResult packed =
+      EncodeRows(rows, AllIds(rows), 0, LosslessCodec(true));
   EXPECT_LT(packed.chunks[0].wire.size(), plain.chunks[0].wire.size() / 3);
 }
 
 TEST(Serialization, DecodeRejectsCorruption) {
   linalg::ActivationMap rows = MakeRows(20, 32, 0.7, 9);
-  EncodeResult encoded = EncodeRows(rows, AllIds(rows), 0, true, {});
+  EncodeResult encoded =
+      EncodeRows(rows, AllIds(rows), 0, LosslessCodec(true));
   Bytes wire = encoded.chunks[0].wire;
   wire[wire.size() / 2] ^= 0xFF;
   linalg::ActivationMap decoded;
-  EXPECT_FALSE(DecodeRows(wire, true, &decoded).ok());
-  EXPECT_FALSE(DecodeRows(Bytes{}, true, &decoded).ok());
-  EXPECT_FALSE(DecodeRows(Bytes{9, 9, 9}, true, &decoded).ok());
+  EXPECT_FALSE(DecodeRows(wire, &decoded).ok());
+  EXPECT_FALSE(DecodeRows(Bytes{}, &decoded).ok());
+  EXPECT_FALSE(DecodeRows(Bytes{9, 9, 9}, &decoded).ok());
 }
 
 TEST(Serialization, EstimateRowBytesMonotonic) {
   EXPECT_LT(EstimateRowBytes(1), EstimateRowBytes(100));
   EXPECT_GE(EstimateRowBytes(0), 1u);
+}
+
+// --- property tests: randomized maps across wire modes ---
+
+/// Randomized rows with mixed signs and magnitudes (the hand-built
+/// activation shapes above only cover positive benchmark-style values).
+linalg::ActivationMap RandomRows(Rng* rng, int32_t max_rows, int32_t dim) {
+  linalg::ActivationMap out;
+  const int32_t rows = 1 + static_cast<int32_t>(rng->NextBounded(max_rows));
+  for (int32_t r = 0; r < rows; ++r) {
+    linalg::SparseVector vec;
+    vec.dim = dim;
+    for (int32_t s = 0; s < dim; ++s) {
+      if (!rng->NextBool(0.3)) continue;
+      vec.idx.push_back(s);
+      // Span several decades, both signs, with exact zeros excluded (an
+      // all-zero row would have been dropped upstream).
+      const double mag = std::pow(10.0, rng->NextUniform(-3.0, 2.0));
+      vec.val.push_back(static_cast<float>(rng->NextBool(0.5) ? mag : -mag));
+    }
+    if (!vec.empty()) {
+      out.emplace(static_cast<int32_t>(rng->NextBounded(1 << 20)),
+                  std::move(vec));
+    }
+  }
+  return out;
+}
+
+TEST(SerializationProperty, LosslessRoundTripIsByteExact) {
+  Rng rng(1234);
+  for (int trial = 0; trial < 40; ++trial) {
+    const linalg::ActivationMap original = RandomRows(&rng, 50, 96);
+    const bool compress = trial % 2 == 0;
+    const uint64_t cap = trial % 3 == 0 ? 512 : 0;
+    EncodeResult encoded = EncodeRows(original, AllIds(original), cap,
+                                      LosslessCodec(compress));
+    linalg::ActivationMap decoded;
+    for (const RowChunk& chunk : encoded.chunks) {
+      ASSERT_TRUE(DecodeRows(chunk.wire, &decoded).ok());
+    }
+    ASSERT_EQ(decoded.size(), original.size()) << "trial " << trial;
+    for (const auto& [id, vec] : original) {
+      // operator== on float values: the lossless path must be bit-exact.
+      EXPECT_EQ(decoded.at(id), vec) << "trial " << trial << " row " << id;
+    }
+  }
+}
+
+TEST(SerializationProperty, QuantizedWidthsStayWithinBound) {
+  Rng rng(99);
+  for (const int32_t bits : {2, 4, 8, 12, 16}) {
+    const double bound = codec::QuantRelErrorBound(bits);
+    for (int trial = 0; trial < 10; ++trial) {
+      const linalg::ActivationMap original = RandomRows(&rng, 40, 80);
+      if (original.empty()) continue;
+      float global_max = 0.0f;
+      for (const auto& [id, vec] : original) {
+        for (float v : vec.val) global_max = std::max(global_max, std::fabs(v));
+      }
+      const uint64_t cap = trial % 2 == 0 ? 768 : 0;
+      EncodeResult encoded =
+          EncodeRows(original, AllIds(original), cap,
+                     QuantCodec(bits));
+      linalg::ActivationMap decoded;
+      for (const RowChunk& chunk : encoded.chunks) {
+        EXPECT_EQ(chunk.quant_bits, bits);
+        // The chunk's measured error must respect the advertised bound.
+        EXPECT_LE(chunk.quant_err_max, bound);
+        ASSERT_TRUE(DecodeRows(chunk.wire, &decoded).ok());
+      }
+      ASSERT_EQ(decoded.size(), original.size());
+      for (const auto& [id, vec] : original) {
+        const linalg::SparseVector& got = decoded.at(id);
+        // Structure (ids, indices, dim) is never lossy.
+        ASSERT_EQ(got.idx, vec.idx) << "bits " << bits << " row " << id;
+        ASSERT_EQ(got.dim, vec.dim);
+        for (size_t j = 0; j < vec.val.size(); ++j) {
+          // Per-chunk scale <= global max, so the chunk-relative bound
+          // holds a fortiori against the map's global max.
+          EXPECT_LE(std::fabs(got.val[j] - vec.val[j]),
+                    bound * static_cast<double>(global_max))
+              << "bits " << bits << " row " << id << " j " << j;
+        }
+      }
+    }
+  }
+}
+
+TEST(SerializationProperty, QuantizedCorruptionAndTruncationRejected) {
+  Rng rng(7);
+  const linalg::ActivationMap original = RandomRows(&rng, 30, 64);
+  ASSERT_FALSE(original.empty());
+  EncodeResult encoded =
+      EncodeRows(original, AllIds(original), 0,
+                 QuantCodec(8));
+  const Bytes& wire = encoded.chunks[0].wire;
+  // Flip bytes across the chunk: tag/framing, structure block, FQ header,
+  // FQ symbol stream. Every flip must be rejected (never silently decode
+  // to different rows). The final byte is excluded: it can be pure
+  // BitWriter zero-padding that no reader consumes.
+  for (const size_t pos :
+       {size_t{0}, size_t{1}, size_t{2}, size_t{3}, size_t{5}, size_t{8},
+        wire.size() / 4, wire.size() / 2, (3 * wire.size()) / 4,
+        wire.size() - 2}) {
+    Bytes corrupt = wire;
+    corrupt[pos] ^= 0xFF;
+    linalg::ActivationMap decoded;
+    const Status status = DecodeRows(corrupt, &decoded);
+    if (status.ok()) {
+      // A flip that survives decoding must reconstruct the exact same
+      // rows (e.g. it landed in dead padding); anything else is silent
+      // corruption.
+      EXPECT_EQ(decoded.size(), original.size()) << "pos " << pos;
+      for (const auto& [id, vec] : original) {
+        ASSERT_TRUE(decoded.contains(id)) << "pos " << pos;
+        EXPECT_EQ(decoded.at(id).idx, vec.idx) << "pos " << pos;
+      }
+    }
+  }
+  // Truncations anywhere must fail loudly.
+  for (const size_t keep :
+       {size_t{0}, size_t{1}, size_t{4}, wire.size() / 2, wire.size() - 1}) {
+    Bytes truncated(wire.begin(), wire.begin() + keep);
+    linalg::ActivationMap decoded;
+    EXPECT_FALSE(DecodeRows(truncated, &decoded).ok()) << "keep " << keep;
+  }
+}
+
+TEST(SerializationProperty, QuantizedWireShrinksLosslessWire) {
+  // The headline trade: 8-bit quantized transport must land well under
+  // the lossless-compressed wire size on benchmark-shaped activations.
+  const linalg::ActivationMap rows = MakeRows(200, 256, 0.4, 21);
+  EncodeResult lossless =
+      EncodeRows(rows, AllIds(rows), 0, LosslessCodec(true));
+  EncodeResult quantized = EncodeRows(
+      rows, AllIds(rows), 0, QuantCodec(8));
+  ASSERT_EQ(lossless.chunks.size(), 1u);
+  ASSERT_EQ(quantized.chunks.size(), 1u);
+  EXPECT_LT(quantized.chunks[0].wire.size(),
+            lossless.chunks[0].wire.size() * 7 / 10);
 }
 
 }  // namespace
