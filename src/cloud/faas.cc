@@ -18,6 +18,12 @@ Status FaasContext::SleepFor(double dt) {
   return CheckDeadline();
 }
 
+Status FaasContext::OffloadFor(double dt, std::function<void()> fn) {
+  FSD_RETURN_IF_ERROR(CheckDeadline());
+  sim_->Offload(dt, std::move(fn));
+  return CheckDeadline();
+}
+
 double FaasContext::RemainingTime() const { return deadline_ - sim_->Now(); }
 
 Status FaasContext::CheckDeadline() const {

@@ -101,6 +101,12 @@ class FaasContext {
   /// Advances virtual time (e.g. framework overheads); deadline-checked.
   Status SleepFor(double dt);
 
+  /// Deadline-checked Simulation::Offload: runs `fn` while `dt` seconds of
+  /// virtual time pass (overlapping it on a real pool thread when the sim
+  /// has compute_threads > 0). Same determinism contract as Offload: `fn`
+  /// may only touch this handler's own state and immutable shared data.
+  Status OffloadFor(double dt, std::function<void()> fn);
+
   /// Remaining runtime before the cap (<= 0 means already over).
   double RemainingTime() const;
 

@@ -1,7 +1,5 @@
 #include "cloud/p2p.h"
 
-#include <functional>
-
 namespace fsd::cloud {
 namespace {
 
@@ -16,10 +14,13 @@ uint64_t Mix64(uint64_t x) {
 
 /// Deterministic uniform in [0, 1) for an unordered pair within a session.
 /// Independent of call order, so which pairs punch (and each pair's link
-/// quality) is a property of the configuration, not of scheduling.
-double PairUniform(const std::string& session, int32_t src, int32_t dst,
+/// quality) is a property of the configuration, not of scheduling. Keyed
+/// by the session's creation-index salt, never its name: scoped names
+/// embed a process-global run counter, and hashing them would hand
+/// otherwise-identical runs different punch patterns.
+double PairUniform(uint64_t session_salt, int32_t src, int32_t dst,
                    uint64_t salt) {
-  uint64_t h = std::hash<std::string>{}(session);
+  uint64_t h = Mix64(session_salt + 0x632d70756e6368ull);
   h = Mix64(h ^ salt);
   h = Mix64(h ^ ((static_cast<uint64_t>(static_cast<uint32_t>(src)) << 32) |
                  static_cast<uint32_t>(dst)));
@@ -40,7 +41,9 @@ Status P2pFabric::CreateSession(const std::string& name) {
   if (sessions_.contains(name)) {
     return Status::AlreadyExists("p2p session exists: " + name);
   }
-  sessions_.emplace(name, Session{});
+  Session session;
+  session.salt = next_session_salt_++;
+  sessions_.emplace(name, std::move(session));
   return Status::OK();
 }
 
@@ -84,12 +87,12 @@ P2pFabric::ConnectOutcome P2pFabric::Connect(const std::string& session,
   Link& link = it->second;
   if (fresh) {
     link.punched =
-        PairUniform(session, pair.first, pair.second, 0x70756e6368ull) >=
+        PairUniform(s->salt, pair.first, pair.second, 0x70756e6368ull) >=
         latency_->p2p_punch_failure_rate;
     if (link.punched) {
       const double spread = latency_->p2p_bandwidth_spread;
       const double factor =
-          1.0 + spread * (PairUniform(session, pair.first, pair.second,
+          1.0 + spread * (PairUniform(s->salt, pair.first, pair.second,
                                       0x62616e64ull) -
                           0.5);
       link.bandwidth_bytes_per_s =

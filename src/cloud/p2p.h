@@ -74,9 +74,11 @@ class P2pFabric {
   /// Ensures the pair's link exists (idempotent; cached after the first
   /// call from either side). Non-blocking: the punch handshake runs on
   /// async sockets, so the caller keeps working while it completes.
-  /// Whether a pair punches at all is DETERMINISTIC in
-  /// (session, {src, dst}) — symmetric and independent of call order — so
-  /// reruns and the cost model agree on which pairs relay.
+  /// Whether a pair punches at all is DETERMINISTIC in (session creation
+  /// index on this fabric, {src, dst}) — symmetric, independent of call
+  /// order AND of the session's name, so reruns on a fresh CloudEnv
+  /// replay the same punch pattern even though per-run channel scopes
+  /// embed a process-global run counter.
   ConnectOutcome Connect(const std::string& session, int32_t src,
                          int32_t dst);
 
@@ -120,6 +122,11 @@ class P2pFabric {
     std::shared_ptr<sim::SimSignal> arrival_signal;
   };
   struct Session {
+    /// Per-session draw salt: the fabric-local creation index. Punch luck
+    /// must not derive from the session NAME — scoped names embed a
+    /// process-global run counter, which would make otherwise-identical
+    /// runs draw different punch patterns within one process.
+    uint64_t salt = 0;
     std::map<std::pair<int32_t, int32_t>, Link> links;
     std::map<std::string, Inbox> inboxes;
   };
@@ -131,6 +138,7 @@ class P2pFabric {
   BillingLedger* billing_;
   const LatencyConfig* latency_;
   Rng rng_;
+  uint64_t next_session_salt_ = 0;
   std::map<std::string, Session> sessions_;
 };
 

@@ -26,8 +26,9 @@ int32_t CollectiveRounds(CollectiveTopology topology, int32_t num_workers) {
   return 1;
 }
 
-Status ChargeSerializeCpu(WorkerEnv* env, LayerMetrics* metrics,
-                          uint64_t serialize_bytes, size_t items) {
+Status OffloadSerializeCpu(WorkerEnv* env, LayerMetrics* metrics,
+                           uint64_t serialize_bytes, size_t items,
+                           std::function<void()> encode) {
   double per_byte_s = 1.0 / env->cloud->compute().serialize_bytes_per_s;
   if (env->options->quant_bits != 0) {
     // Quantized wire mode: one extra pass over the raw payload to scan the
@@ -42,7 +43,18 @@ Status ChargeSerializeCpu(WorkerEnv* env, LayerMetrics* metrics,
   const double serialize_makespan =
       sim::ParallelMakespan(lane_costs, env->options->io_lanes);
   metrics->serialize_s += serialize_makespan;
-  return env->faas->SleepFor(serialize_makespan);
+  if (encode != nullptr) {
+    metrics->offload_calls += 1;
+    metrics->offload_virtual_s += serialize_makespan;
+  }
+  return env->faas->OffloadFor(serialize_makespan, std::move(encode));
+}
+
+Status ChargeSerializeCpu(WorkerEnv* env, LayerMetrics* metrics,
+                          uint64_t serialize_bytes, size_t items) {
+  // A null closure makes OffloadFor a plain deadline-checked sleep, so the
+  // charged makespan is computed in exactly one place.
+  return OffloadSerializeCpu(env, metrics, serialize_bytes, items, nullptr);
 }
 
 double DispatchLanes::NextOffset() {

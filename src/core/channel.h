@@ -14,6 +14,7 @@
 
 #include <cassert>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -130,6 +131,18 @@ inline int64_t BilledIncrementChunks(uint64_t bytes,
 /// lanes (the makespan lands in metrics->serialize_s and virtual time).
 Status ChargeSerializeCpu(WorkerEnv* env, LayerMetrics* metrics,
                           uint64_t serialize_bytes, size_t items);
+
+/// ChargeSerializeCpu with the real encode work offloaded under the
+/// charged window (FaasContext::OffloadFor): `encode` runs on a compute
+/// pool thread when the sim has compute_threads > 0, inline at the
+/// window's end otherwise — byte-identical virtual behaviour either way.
+/// Callers pass the serialize_bytes/items a PlanRows pre-pass computed and
+/// move ALL post-encode work (chunk accounting, message building,
+/// dispatch) after this call returns. A null `encode` degrades to
+/// ChargeSerializeCpu exactly.
+Status OffloadSerializeCpu(WorkerEnv* env, LayerMetrics* metrics,
+                           uint64_t serialize_bytes, size_t items,
+                           std::function<void()> encode);
 
 /// Least-loaded-lane scheduler for asynchronous channel dispatch: each
 /// call returns the virtual-time offset at which the next API call may

@@ -80,9 +80,41 @@ Status DirectChannel::SendPhase(WorkerEnv* env, int32_t phase,
   LayerMetrics& metrics = env->metrics->Layer(phase);
   metrics.send_targets += static_cast<int64_t>(sends.size());
 
-  // 1) Encode per-target chunk lists (the KV value cap: the relay must
-  // accept any chunk verbatim). An empty send still produces one marker
-  // chunk so the receiver's per-source accounting completes without data.
+  // 1) Plan: resolve punch state per target and replay the chunking
+  // arithmetic (the KV value cap: the relay must accept any chunk
+  // verbatim), so the CPU charge is computable before encoding. An empty
+  // send still produces one marker chunk so the receiver's per-source
+  // accounting completes without data.
+  uint64_t serialize_bytes = 0;
+  size_t total_chunks = 0;
+  std::vector<bool> punched_send(sends.size());
+  for (size_t s = 0; s < sends.size(); ++s) {
+    metrics.send_rows_mapped += static_cast<int64_t>(sends[s].rows->size());
+    FSD_ASSIGN_OR_RETURN(
+        const bool punched,
+        EnsureLink(env, &metrics, SessionName(options), env->worker_id,
+                   sends[s].target));
+    punched_send[s] = punched;
+    const EncodePlan plan =
+        PlanRows(source, *sends[s].rows, options.kv_max_value_bytes);
+    metrics.send_rows_active += plan.active_rows;
+    serialize_bytes += plan.raw_bytes;
+    total_chunks += plan.num_chunks;
+  }
+
+  // 2) Serialization/compression CPU (parallel over IPC lanes), with the
+  // encode itself run under the charged window; chunk accounting and
+  // dispatch follow the join.
+  std::vector<EncodeResult> encoded(sends.size());
+  FSD_RETURN_IF_ERROR(OffloadSerializeCpu(
+      env, &metrics, serialize_bytes, total_chunks, [&]() {
+        for (size_t s = 0; s < sends.size(); ++s) {
+          encoded[s] =
+              EncodeRows(source, *sends[s].rows, options.kv_max_value_bytes,
+                         WireCodecFromOptions(options));
+        }
+      }));
+
   struct Outgoing {
     int32_t target = 0;
     bool punched = false;
@@ -90,31 +122,18 @@ Status DirectChannel::SendPhase(WorkerEnv* env, int32_t phase,
     Bytes value;
   };
   std::vector<Outgoing> outgoing;
-  uint64_t serialize_bytes = 0;
-  for (const SendSpec& send : sends) {
-    metrics.send_rows_mapped += static_cast<int64_t>(send.rows->size());
-    FSD_ASSIGN_OR_RETURN(
-        const bool punched,
-        EnsureLink(env, &metrics, SessionName(options), env->worker_id,
-                   send.target));
-    EncodeResult encoded =
-        EncodeRows(source, *send.rows, options.kv_max_value_bytes,
-                   WireCodecFromOptions(options));
-    metrics.send_rows_active += encoded.active_rows;
-    const int32_t total = static_cast<int32_t>(encoded.chunks.size());
+  outgoing.reserve(total_chunks);
+  for (size_t s = 0; s < sends.size(); ++s) {
+    const int32_t total = static_cast<int32_t>(encoded[s].chunks.size());
     for (int32_t seq = 0; seq < total; ++seq) {
-      RowChunk& chunk = encoded.chunks[seq];
-      serialize_bytes += AccountSendChunk(&metrics, chunk);
-      outgoing.push_back({send.target, punched,
-                          InboxKey(phase, send.target),
+      RowChunk& chunk = encoded[s].chunks[seq];
+      AccountSendChunk(&metrics, chunk);
+      outgoing.push_back({sends[s].target, punched_send[s],
+                          InboxKey(phase, sends[s].target),
                           EncodeInboxValue(env->worker_id, seq, total,
                                            std::move(chunk.wire))});
     }
   }
-
-  // 2) Serialization/compression CPU (parallel over IPC lanes).
-  FSD_RETURN_IF_ERROR(
-      ChargeSerializeCpu(env, &metrics, serialize_bytes, outgoing.size()));
 
   // 3) Lane-scheduled dispatch. Punched values ship over the fabric
   // (bytes billed at send); relayed values are KV pushes, metered exactly
@@ -196,6 +215,10 @@ Result<linalg::ActivationMap> DirectChannel::ReceivePhase(
     ++(punched ? punched_pending : relay_pending);
   }
 
+  // Header decode and per-source bookkeeping (the poll loop's control
+  // state) stay inline; the row decode for each pop batch is collected in
+  // `bodies` and runs under the batch's deserialization window.
+  std::vector<Bytes> bodies;
   auto consume = [&](const Bytes& value, bool billed) -> Status {
     if (billed) {
       // Relay pops bill the full value, header included — the cache
@@ -213,9 +236,7 @@ Result<linalg::ActivationMap> DirectChannel::ReceivePhase(
     it->second.expected = decoded.total;
     ++it->second.got;
     metrics.recv_wire_bytes += static_cast<int64_t>(decoded.body.size());
-    const size_t before = received.size();
-    FSD_RETURN_IF_ERROR(DecodeRows(decoded.body, &received));
-    metrics.recv_rows += static_cast<int64_t>(received.size() - before);
+    bodies.push_back(std::move(decoded.body));
     if (it->second.got == it->second.expected) {
       --(it->second.punched ? punched_pending : relay_pending);
       pending.erase(it);
@@ -223,11 +244,28 @@ Result<linalg::ActivationMap> DirectChannel::ReceivePhase(
     return Status::OK();
   };
 
-  auto pay_deserialize = [&](uint64_t popped_bytes) -> Status {
+  auto decode_batch = [&](uint64_t popped_bytes) -> Status {
     const double deser_s =
         static_cast<double>(popped_bytes) / compute.deserialize_bytes_per_s;
     metrics.deserialize_s += deser_s;
-    return env->faas->SleepFor(deser_s);
+    Status decoded_rows;
+    std::function<void()> decode_fn;
+    if (!bodies.empty()) {
+      metrics.offload_calls += 1;
+      metrics.offload_virtual_s += deser_s;
+      decode_fn = [&]() {
+        for (const Bytes& body : bodies) {
+          decoded_rows = DecodeRows(body, &received);
+          if (!decoded_rows.ok()) return;
+        }
+      };
+    }
+    const size_t before = received.size();
+    FSD_RETURN_IF_ERROR(env->faas->OffloadFor(deser_s, std::move(decode_fn)));
+    FSD_RETURN_IF_ERROR(decoded_rows);
+    metrics.recv_rows += static_cast<int64_t>(received.size() - before);
+    bodies.clear();
+    return Status::OK();
   };
 
   while (!pending.empty()) {
@@ -246,7 +284,7 @@ Result<linalg::ActivationMap> DirectChannel::ReceivePhase(
         popped_bytes += value.size();
         FSD_RETURN_IF_ERROR(consume(value, /*billed=*/false));
       }
-      FSD_RETURN_IF_ERROR(pay_deserialize(popped_bytes));
+      FSD_RETURN_IF_ERROR(decode_batch(popped_bytes));
     }
     if (pending.empty() || relay_pending == 0) continue;
 
@@ -262,7 +300,7 @@ Result<linalg::ActivationMap> DirectChannel::ReceivePhase(
       popped_bytes += value.size();
       FSD_RETURN_IF_ERROR(consume(value, /*billed=*/true));
     }
-    FSD_RETURN_IF_ERROR(pay_deserialize(popped_bytes));
+    FSD_RETURN_IF_ERROR(decode_batch(popped_bytes));
   }
 
   metrics.recv_wait_s += env->cloud->sim()->Now() - start;

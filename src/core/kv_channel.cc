@@ -66,37 +66,54 @@ Status KvChannel::SendPhase(WorkerEnv* env, int32_t phase,
   LayerMetrics& metrics = env->metrics->Layer(phase);
   metrics.send_targets += static_cast<int64_t>(sends.size());
 
-  // 1) Encode per-target chunk lists (value-capped, NNZ heuristic). An
-  // empty send still produces one marker chunk so the receiver's per-source
-  // accounting completes without data.
+  // 1) Plan the encode (value-capped, NNZ heuristic): chunk counts and
+  // exact raw bytes are input-determined, so the CPU charge is computable
+  // before encoding. An empty send still produces one marker chunk so the
+  // receiver's per-source accounting completes without data.
+  uint64_t serialize_bytes = 0;
+  size_t total_chunks = 0;
+  for (const SendSpec& send : sends) {
+    metrics.send_rows_mapped += static_cast<int64_t>(send.rows->size());
+    const EncodePlan plan =
+        PlanRows(source, *send.rows, options.kv_max_value_bytes);
+    metrics.send_rows_active += plan.active_rows;
+    serialize_bytes += plan.raw_bytes;
+    total_chunks += plan.num_chunks;
+  }
+
+  // 2) Charge the serialization/compression CPU (parallel over IPC lanes)
+  // and run the encode under the charged window; accounting and dispatch
+  // follow the join.
+  std::vector<EncodeResult> encoded(sends.size());
+  FSD_RETURN_IF_ERROR(OffloadSerializeCpu(
+      env, &metrics, serialize_bytes, total_chunks, [&]() {
+        for (size_t s = 0; s < sends.size(); ++s) {
+          encoded[s] =
+              EncodeRows(source, *sends[s].rows, options.kv_max_value_bytes,
+                         WireCodecFromOptions(options));
+        }
+      }));
+
+  // 3) Build inbox values from the encoded chunks.
   struct Outgoing {
     std::string key;
     Bytes value;
   };
   std::vector<Outgoing> outgoing;
-  uint64_t serialize_bytes = 0;
-  for (const SendSpec& send : sends) {
-    metrics.send_rows_mapped += static_cast<int64_t>(send.rows->size());
-    EncodeResult encoded =
-        EncodeRows(source, *send.rows, options.kv_max_value_bytes,
-                   WireCodecFromOptions(options));
-    metrics.send_rows_active += encoded.active_rows;
-    const int32_t total = static_cast<int32_t>(encoded.chunks.size());
+  outgoing.reserve(total_chunks);
+  for (size_t s = 0; s < sends.size(); ++s) {
+    const int32_t total = static_cast<int32_t>(encoded[s].chunks.size());
     for (int32_t seq = 0; seq < total; ++seq) {
-      RowChunk& chunk = encoded.chunks[seq];
-      serialize_bytes += AccountSendChunk(&metrics, chunk);
+      RowChunk& chunk = encoded[s].chunks[seq];
+      AccountSendChunk(&metrics, chunk);
       outgoing.push_back(
-          {InboxKey(phase, send.target),
+          {InboxKey(phase, sends[s].target),
            EncodeInboxValue(env->worker_id, seq, total,
                             std::move(chunk.wire))});
     }
   }
 
-  // 2) Serialization/compression CPU (parallel over IPC lanes).
-  FSD_RETURN_IF_ERROR(
-      ChargeSerializeCpu(env, &metrics, serialize_bytes, outgoing.size()));
-
-  // 3) Lane-scheduled pushes: each lane issues its next push when the
+  // 4) Lane-scheduled pushes: each lane issues its next push when the
   // previous completes, using the median op latency as the lane estimate.
   DispatchLanes lanes(options.io_lanes, env->cloud->latency().kv_push.median_s);
   metrics.kv_pushes += static_cast<int64_t>(outgoing.size());
@@ -151,7 +168,12 @@ Result<linalg::ActivationMap> KvChannel::ReceivePhase(
       ++metrics.kv_empty_pops;
       continue;
     }
+    // First pass (inline): header decode and per-source bookkeeping — the
+    // poll loop's control state. The row decode itself is batched below
+    // and runs under the batch's deserialization window.
     uint64_t popped_bytes = 0;
+    std::vector<Bytes> bodies;
+    bodies.reserve(values.size());
     for (const Bytes& value : values) {
       // Processed bytes the pop was billed for: the full value, header
       // included — counted before any skip, because the service meters
@@ -169,16 +191,28 @@ Result<linalg::ActivationMap> KvChannel::ReceivePhase(
       ++it->second.got;
       metrics.recv_wire_bytes += static_cast<int64_t>(decoded.body.size());
       popped_bytes += decoded.body.size();
-      const size_t before = received.size();
-      FSD_RETURN_IF_ERROR(
-          DecodeRows(decoded.body, &received));
-      metrics.recv_rows += static_cast<int64_t>(received.size() - before);
+      bodies.push_back(std::move(decoded.body));
       if (it->second.got == it->second.expected) pending.erase(it);
     }
     const double deser_s =
         static_cast<double>(popped_bytes) / compute.deserialize_bytes_per_s;
     metrics.deserialize_s += deser_s;
-    FSD_RETURN_IF_ERROR(env->faas->SleepFor(deser_s));
+    Status decoded_rows;
+    std::function<void()> decode_fn;
+    if (!bodies.empty()) {
+      metrics.offload_calls += 1;
+      metrics.offload_virtual_s += deser_s;
+      decode_fn = [&]() {
+        for (const Bytes& body : bodies) {
+          decoded_rows = DecodeRows(body, &received);
+          if (!decoded_rows.ok()) return;
+        }
+      };
+    }
+    const size_t before = received.size();
+    FSD_RETURN_IF_ERROR(env->faas->OffloadFor(deser_s, std::move(decode_fn)));
+    FSD_RETURN_IF_ERROR(decoded_rows);
+    metrics.recv_rows += static_cast<int64_t>(received.size() - before);
   }
 
   metrics.recv_wait_s += env->cloud->sim()->Now() - start;

@@ -66,6 +66,8 @@ void LayerMetrics::Add(const LayerMetrics& other) {
   deserialize_s += other.deserialize_s;
   compute_macs += other.compute_macs;
   compute_s += other.compute_s;
+  offload_calls += other.offload_calls;
+  offload_virtual_s += other.offload_virtual_s;
   out_rows += other.out_rows;
   out_nnz += other.out_nnz;
   layer_wall_s += other.layer_wall_s;
@@ -315,6 +317,8 @@ void FleetStats::AddQuery(const QuerySample& sample,
   relay_fallbacks += metrics.totals.relay_fallback_msgs;
   collective_rounds += metrics.totals.collective_rounds;
   collective_round_s_total_ += metrics.totals.collective_round_s;
+  offload_calls += metrics.totals.offload_calls;
+  offload_virtual_s += metrics.totals.offload_virtual_s;
 }
 
 void FleetStats::AddRun(int32_t member_queries, int64_t invocations,
@@ -433,6 +437,16 @@ std::string FleetStats::Summary() const {
   const bool multi_tenant =
       tenant_stats.size() > 1 ||
       (tenant_stats.size() == 1 && tenant_stats.front().tenant != 0);
+  // Offload segment only when the workload used the compute-offload
+  // primitive, so legacy summaries stay byte-identical. The counters are
+  // virtual-time facts — identical for every compute_threads value — so
+  // this string remains a valid cross-pool byte-identity witness.
+  std::string offload;
+  if (offload_calls > 0) {
+    offload = StrFormat(" offload=%lld closures (%.3fs virtual)",
+                        static_cast<long long>(offload_calls),
+                        offload_virtual_s);
+  }
   if (multi_tenant) {
     tenants = " tenants=[";
     for (size_t i = 0; i < tenant_stats.size(); ++i) {
@@ -451,7 +465,7 @@ std::string FleetStats::Summary() const {
       "cache=%.1f%% hit (%lld evicted, %s saved) "
       "shares=%lld/%lld/%lld storage/peer/prewarmed (%d prewarm calls) "
       "links=%lld (%lld punch-failed, %lld relayed) "
-      "rounds=%lld (%.1fms/round) "
+      "rounds=%lld (%.1fms/round)%s "
       "cost=%s (%s/query, %s/day)%s",
       queries, failed, rejected, shed, runs, batch_occupancy_mean,
       batch_occupancy_max, makespan_s, throughput_qps, slo.c_str(),
@@ -466,7 +480,7 @@ std::string FleetStats::Summary() const {
       static_cast<long long>(punch_failures),
       static_cast<long long>(relay_fallbacks),
       static_cast<long long>(collective_rounds),
-      1000.0 * collective_round_mean_s,
+      1000.0 * collective_round_mean_s, offload.c_str(),
       HumanDollars(total_cost).c_str(), HumanDollars(cost_per_query).c_str(),
       HumanDollars(daily_cost).c_str(), tenants.c_str());
 }

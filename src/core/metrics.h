@@ -93,6 +93,13 @@ struct LayerMetrics {
   // --- compute ---
   double compute_macs = 0.0;
   double compute_s = 0.0;
+  /// Compute-offload primitive (Simulation::Offload): closures this layer
+  /// submitted and the virtual seconds charged for them. Both are
+  /// virtual-time facts — byte-identical for every SimTuning::
+  /// compute_threads value (wall-clock pool counters live outside the
+  /// metrics, in Simulation::offload_stats()).
+  int64_t offload_calls = 0;
+  double offload_virtual_s = 0.0;
   int64_t out_rows = 0;
   int64_t out_nnz = 0;
   double layer_wall_s = 0.0;      ///< virtual time spent in this layer
@@ -362,6 +369,14 @@ struct FleetStats {
   int64_t relay_fallbacks = 0;
   int64_t collective_rounds = 0;
   double collective_round_mean_s = 0.0;
+
+  /// Compute-offload closures submitted by completed queries and the
+  /// virtual seconds charged for them. Virtual-time facts: byte-identical
+  /// across every SimTuning::compute_threads value (the wall-clock pool
+  /// counters live in Simulation::offload_stats(), deliberately outside
+  /// this summary's byte-identity surface).
+  int64_t offload_calls = 0;
+  double offload_virtual_s = 0.0;
 
   // Cross-query partition cache (model-share warm reuse).
   int64_t cache_hits = 0;

@@ -40,6 +40,34 @@ Status ObjectChannel::SendPhase(WorkerEnv* env, int32_t phase,
   LayerMetrics& metrics = env->metrics->Layer(phase);
   metrics.send_targets += static_cast<int64_t>(sends.size());
 
+  // Plan first: per-target raw bytes are input-determined, so the CPU
+  // charge is computable before encoding. Targets taking the .nul-marker
+  // path never encode at all.
+  uint64_t serialize_bytes = 0;
+  std::vector<EncodePlan> plans(sends.size());
+  for (size_t s = 0; s < sends.size(); ++s) {
+    metrics.send_rows_mapped += static_cast<int64_t>(sends[s].rows->size());
+    plans[s] = PlanRows(source, *sends[s].rows, /*max_chunk_bytes=*/0);
+    metrics.send_rows_active += plans[s].active_rows;
+    if (plans[s].active_rows == 0 && options.nul_markers) continue;
+    serialize_bytes += plans[s].raw_bytes;
+  }
+
+  // Serialization CPU (parallel over IPC lanes), with the encode itself
+  // run under the charged window; accounting and PUT dispatch follow the
+  // join. Every send yields exactly one outgoing object (.dat or .nul).
+  std::vector<EncodeResult> encoded(sends.size());
+  FSD_RETURN_IF_ERROR(OffloadSerializeCpu(
+      env, &metrics, serialize_bytes, sends.size(), [&]() {
+        for (size_t s = 0; s < sends.size(); ++s) {
+          if (plans[s].active_rows == 0 && options.nul_markers) continue;
+          // One unbounded chunk per target (object payloads are size-free).
+          encoded[s] = EncodeRows(source, *sends[s].rows,
+                                  /*max_chunk_bytes=*/0,
+                                  WireCodecFromOptions(options));
+        }
+      }));
+
   struct Outgoing {
     std::string bucket;
     std::string key;
@@ -47,18 +75,10 @@ Status ObjectChannel::SendPhase(WorkerEnv* env, int32_t phase,
     bool is_nul;
   };
   std::vector<Outgoing> outgoing;
-  uint64_t serialize_bytes = 0;
-  for (const SendSpec& send : sends) {
-    metrics.send_rows_mapped += static_cast<int64_t>(send.rows->size());
-    // One unbounded chunk per target (object payloads are size-free).
-    EncodeResult encoded = EncodeRows(source, *send.rows,
-                                      /*max_chunk_bytes=*/0,
-                                      WireCodecFromOptions(options));
-    FSD_CHECK_EQ(encoded.chunks.size(), 1u);
-    metrics.send_rows_active += encoded.active_rows;
-    RowChunk& chunk = encoded.chunks[0];
-    const bool is_empty = encoded.active_rows == 0;
-    if (is_empty && options.nul_markers) {
+  outgoing.reserve(sends.size());
+  for (size_t s = 0; s < sends.size(); ++s) {
+    const SendSpec& send = sends[s];
+    if (plans[s].active_rows == 0 && options.nul_markers) {
       // 0-byte marker: the target learns there is nothing to read.
       outgoing.push_back(
           {BucketName(send.target, options),
@@ -68,7 +88,9 @@ Status ObjectChannel::SendPhase(WorkerEnv* env, int32_t phase,
       ++metrics.puts_nul;
       continue;
     }
-    serialize_bytes += AccountSendChunk(&metrics, chunk);
+    FSD_CHECK_EQ(encoded[s].chunks.size(), 1u);
+    RowChunk& chunk = encoded[s].chunks[0];
+    AccountSendChunk(&metrics, chunk);
     ++metrics.puts_dat;
     outgoing.push_back(
         {BucketName(send.target, options),
@@ -76,10 +98,6 @@ Status ObjectChannel::SendPhase(WorkerEnv* env, int32_t phase,
          std::move(chunk.wire),
          /*is_nul=*/false});
   }
-
-  // Serialization CPU (parallel over IPC lanes).
-  FSD_RETURN_IF_ERROR(
-      ChargeSerializeCpu(env, &metrics, serialize_bytes, outgoing.size()));
 
   // Non-blocking multi-threaded PUTs: lane-scheduled dispatch callbacks.
   DispatchLanes lanes(options.io_lanes,
@@ -140,9 +158,13 @@ Result<linalg::ActivationMap> ObjectChannel::ReceivePhase(
       to_get.push_back({source, meta.key});
     }
 
-    // Parallel GETs on the IPC lanes.
+    // Parallel GETs on the IPC lanes. Fetch and bookkeeping stay inline
+    // (they drive the poll loop); the row decode for the whole round is
+    // batched and runs under the round's GET+deserialize window.
     if (!to_get.empty()) {
       std::vector<double> latencies;
+      std::vector<Bytes> bodies;
+      bodies.reserve(to_get.size());
       uint64_t got_bytes = 0;
       for (auto& [source, key] : to_get) {
         cloud::ObjectStore::GetOutcome got =
@@ -152,10 +174,7 @@ Result<linalg::ActivationMap> ObjectChannel::ReceivePhase(
         latencies.push_back(got.latency);
         got_bytes += got.body.size();
         metrics.recv_wire_bytes += static_cast<int64_t>(got.body.size());
-        const size_t before = received.size();
-        FSD_RETURN_IF_ERROR(
-            DecodeRows(got.body, &received));
-        metrics.recv_rows += static_cast<int64_t>(received.size() - before);
+        bodies.push_back(std::move(got.body));
         pending.erase(source);
       }
       const double get_makespan =
@@ -163,7 +182,19 @@ Result<linalg::ActivationMap> ObjectChannel::ReceivePhase(
       const double deser_s =
           static_cast<double>(got_bytes) / compute.deserialize_bytes_per_s;
       metrics.deserialize_s += deser_s;
-      FSD_RETURN_IF_ERROR(env->faas->SleepFor(get_makespan + deser_s));
+      metrics.offload_calls += 1;
+      metrics.offload_virtual_s += get_makespan + deser_s;
+      const size_t before = received.size();
+      Status decoded;
+      FSD_RETURN_IF_ERROR(
+          env->faas->OffloadFor(get_makespan + deser_s, [&]() {
+            for (const Bytes& body : bodies) {
+              decoded = DecodeRows(body, &received);
+              if (!decoded.ok()) return;
+            }
+          }));
+      FSD_RETURN_IF_ERROR(decoded);
+      metrics.recv_rows += static_cast<int64_t>(received.size() - before);
     } else if (!pending.empty()) {
       // Nothing new this scan; brief back-off before re-listing keeps the
       // LIST count (and cost) down, as in the paper's optimization.

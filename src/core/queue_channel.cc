@@ -61,39 +61,62 @@ Status QueueChannel::SendPhase(WorkerEnv* env, int32_t phase,
   LayerMetrics& metrics = env->metrics->Layer(phase);
   metrics.send_targets += static_cast<int64_t>(sends.size());
 
-  // 1) Encode per-target chunk lists (the send buffer Xsend_list).
+  // 1) Plan the encode: the chunk count and exact raw byte total are
+  // determined by the inputs alone (PlanRows replays the NNZ chunking
+  // heuristic and the wire layout arithmetic), so the serialization
+  // charge is computable before a single byte is encoded.
+  uint64_t serialize_bytes = 0;
+  size_t total_chunks = 0;
+  for (const SendSpec& send : sends) {
+    metrics.send_rows_mapped += static_cast<int64_t>(send.rows->size());
+    const EncodePlan plan =
+        PlanRows(source, *send.rows, options.max_message_bytes);
+    metrics.send_rows_active += plan.active_rows;
+    serialize_bytes += plan.raw_bytes;
+    total_chunks += plan.num_chunks;
+  }
+
+  // 2) Charge the serialization/compression CPU and run the encode itself
+  // (varint packing + LZ/quant passes) under the charged window — on a
+  // pool thread when the sim has compute_threads > 0, inline at the
+  // window's end otherwise. All post-encode work (chunk accounting,
+  // message building, publish batching, dispatch) moves after the join;
+  // observationally identical, since the charge already preceded the
+  // publishes before this change.
+  std::vector<EncodeResult> encoded(sends.size());
+  FSD_RETURN_IF_ERROR(OffloadSerializeCpu(
+      env, &metrics, serialize_bytes, total_chunks, [&]() {
+        for (size_t s = 0; s < sends.size(); ++s) {
+          encoded[s] =
+              EncodeRows(source, *sends[s].rows, options.max_message_bytes,
+                         WireCodecFromOptions(options));
+        }
+      }));
+
+  // 3) Build per-target messages (the send buffer Xsend_list).
   struct Outgoing {
     int32_t target;
     cloud::QueueMessage message;
   };
   std::vector<Outgoing> outgoing;
-  uint64_t serialize_bytes = 0;
-  for (const SendSpec& send : sends) {
-    metrics.send_rows_mapped += static_cast<int64_t>(send.rows->size());
-    EncodeResult encoded =
-        EncodeRows(source, *send.rows, options.max_message_bytes,
-                   WireCodecFromOptions(options));
-    metrics.send_rows_active += encoded.active_rows;
-    const int32_t total = static_cast<int32_t>(encoded.chunks.size());
+  outgoing.reserve(total_chunks);
+  for (size_t s = 0; s < sends.size(); ++s) {
+    const int32_t total = static_cast<int32_t>(encoded[s].chunks.size());
     for (int32_t seq = 0; seq < total; ++seq) {
-      RowChunk& chunk = encoded.chunks[seq];
-      serialize_bytes += AccountSendChunk(&metrics, chunk);
+      RowChunk& chunk = encoded[s].chunks[seq];
+      AccountSendChunk(&metrics, chunk);
       cloud::QueueMessage msg;
       msg.body = std::move(chunk.wire);
-      msg.attributes[kAttrTarget] = StrFormat("%d", send.target);
+      msg.attributes[kAttrTarget] = StrFormat("%d", sends[s].target);
       msg.attributes[kAttrSource] = StrFormat("%d", env->worker_id);
       msg.attributes[kAttrPhase] = StrFormat("%d", phase);
       msg.attributes[kAttrSeq] = StrFormat("%d", seq);
       msg.attributes[kAttrTotal] = StrFormat("%d", total);
-      outgoing.push_back({send.target, std::move(msg)});
+      outgoing.push_back({sends[s].target, std::move(msg)});
     }
   }
 
-  // 2) Charge serialization/compression CPU (parallelized over IPC lanes).
-  FSD_RETURN_IF_ERROR(
-      ChargeSerializeCpu(env, &metrics, serialize_bytes, outgoing.size()));
-
-  // 3) Pop publish batches: group <=10 messages and <=256 KiB per publish
+  // 4) Pop publish batches: group <=10 messages and <=256 KiB per publish
   // (pop_batches in Algorithm 1). Messages for different targets may share
   // one publish — the filter policy splits them downstream.
   struct Batch {
@@ -123,7 +146,7 @@ Status QueueChannel::SendPhase(WorkerEnv* env, int32_t phase,
   }
   flush();
 
-  // 4) Dispatch publishes on parallel IPC lanes: each lane issues its next
+  // 5) Dispatch publishes on parallel IPC lanes: each lane issues its next
   // publish when the previous completes. Lane offsets use the median API
   // latency as the estimate; the true latency is sampled at publish time.
   DispatchLanes lanes(options.io_lanes,
@@ -189,13 +212,21 @@ Result<linalg::ActivationMap> QueueChannel::ReceivePhase(
     it->second.expected = total;
     ++it->second.got;
     metrics.recv_wire_bytes += static_cast<int64_t>(body.size());
-    const size_t before = received.size();
-    FSD_RETURN_IF_ERROR(DecodeRows(body, &received));
-    metrics.recv_rows += static_cast<int64_t>(received.size() - before);
+    // The deserialization charge depends only on the wire size, so the
+    // decode itself runs under the charged window (pool thread when the
+    // sim has compute_threads > 0). A decode error surfaces after the
+    // window — uniformly for every pool size.
     const double deser_s =
         static_cast<double>(body.size()) / compute.deserialize_bytes_per_s;
     metrics.deserialize_s += deser_s;
-    FSD_RETURN_IF_ERROR(env->faas->SleepFor(deser_s));
+    metrics.offload_calls += 1;
+    metrics.offload_virtual_s += deser_s;
+    const size_t before = received.size();
+    Status decoded;
+    FSD_RETURN_IF_ERROR(env->faas->OffloadFor(
+        deser_s, [&]() { decoded = DecodeRows(body, &received); }));
+    FSD_RETURN_IF_ERROR(decoded);
+    metrics.recv_rows += static_cast<int64_t>(received.size() - before);
     if (it->second.got == it->second.expected) pending.erase(it);
     return Status::OK();
   };

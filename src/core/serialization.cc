@@ -108,6 +108,67 @@ Status ParseRows(const Bytes& payload, const std::vector<float>* values,
   return Status::OK();
 }
 
+/// The rows EncodeRows/PlanRows operate on: the intersection of `row_ids`
+/// and active rows of `source`, in `row_ids` order.
+using RowRefs = std::vector<std::pair<int32_t, const linalg::SparseVector*>>;
+
+RowRefs CollectActiveRows(const linalg::ActivationMap& source,
+                          const std::vector<int32_t>& row_ids,
+                          int64_t* active_nnz) {
+  RowRefs rows;
+  rows.reserve(row_ids.size());
+  for (int32_t id : row_ids) {
+    auto it = source.find(id);
+    if (it == source.end() || it->second.empty()) continue;
+    rows.push_back({id, &it->second});
+    *active_nnz += static_cast<int64_t>(it->second.nnz());
+  }
+  return rows;
+}
+
+/// NNZ-heuristic greedy chunk end: extend the chunk starting at `i` while
+/// the size estimate stays under the cap (always take at least one row).
+/// One definition shared by EncodeRows and PlanRows so the planned chunk
+/// layout can never drift from the encoded one.
+size_t ChunkEnd(const RowRefs& rows, size_t i, uint64_t max_chunk_bytes) {
+  size_t j = i;
+  uint64_t estimate = 8;
+  while (j < rows.size()) {
+    const uint64_t row_bytes = EstimateRowBytes(rows[j].second->nnz());
+    if (j > i && max_chunk_bytes > 0 &&
+        estimate + row_bytes > max_chunk_bytes) {
+      break;
+    }
+    estimate += row_bytes;
+    ++j;
+  }
+  return j;
+}
+
+/// Exact encoded length of an unsigned LEB128 varint.
+uint64_t VarintLen(uint64_t value) {
+  uint64_t n = 1;
+  while (value >= 0x80) {
+    value >>= 7;
+    ++n;
+  }
+  return n;
+}
+
+/// Exact bytes EncodeRow would append for this row — equivalently, the
+/// row's share of a quantized chunk's lossless-equivalent raw size
+/// (structure bytes + 4 per value; the two modes agree by construction).
+uint64_t RowRawBytes(int32_t row_id, const linalg::SparseVector& row) {
+  uint64_t n = VarintLen(static_cast<uint64_t>(row_id)) +
+               VarintLen(row.nnz()) + VarintLen(static_cast<uint64_t>(row.dim));
+  int32_t prev = -1;
+  for (int32_t idx : row.idx) {
+    n += VarintLen(static_cast<uint64_t>(idx - prev - 1));
+    prev = idx;
+  }
+  return n + 4 * row.nnz();
+}
+
 }  // namespace
 
 uint64_t EstimateRowBytes(int64_t nnz) {
@@ -115,37 +176,44 @@ uint64_t EstimateRowBytes(int64_t nnz) {
   return 8 + static_cast<uint64_t>(nnz) * 6;
 }
 
+EncodePlan PlanRows(const linalg::ActivationMap& source,
+                    const std::vector<int32_t>& row_ids,
+                    uint64_t max_chunk_bytes) {
+  EncodePlan plan;
+  const RowRefs rows = CollectActiveRows(source, row_ids, &plan.active_nnz);
+  plan.active_rows = static_cast<int32_t>(rows.size());
+  if (rows.empty()) {
+    plan.num_chunks = 1;  // the explicit empty marker chunk
+    plan.raw_bytes = 1;   // PutVarint64(0)
+    return plan;
+  }
+  size_t i = 0;
+  while (i < rows.size()) {
+    const size_t j = ChunkEnd(rows, i, max_chunk_bytes);
+    uint64_t raw = VarintLen(static_cast<uint64_t>(j - i));
+    for (size_t r = i; r < j; ++r) {
+      raw += RowRawBytes(rows[r].first, *rows[r].second);
+    }
+    plan.raw_bytes += raw;
+    ++plan.num_chunks;
+    i = j;
+  }
+  return plan;
+}
+
 EncodeResult EncodeRows(const linalg::ActivationMap& source,
                         const std::vector<int32_t>& row_ids,
                         uint64_t max_chunk_bytes, const WireCodec& codec) {
   EncodeResult result;
   // Collect present rows first so chunk row counts can be prefixed.
-  std::vector<std::pair<int32_t, const linalg::SparseVector*>> rows;
-  rows.reserve(row_ids.size());
-  for (int32_t id : row_ids) {
-    auto it = source.find(id);
-    if (it == source.end() || it->second.empty()) continue;
-    rows.push_back({id, &it->second});
-    result.active_nnz += static_cast<int64_t>(it->second.nnz());
-  }
+  const RowRefs rows =
+      CollectActiveRows(source, row_ids, &result.active_nnz);
   result.active_rows = static_cast<int32_t>(rows.size());
   const bool quantize = codec.quant_bits != 0;
 
   size_t i = 0;
   while (i < rows.size()) {
-    // NNZ-heuristic greedy packing: extend the chunk while the size
-    // estimate stays under the cap (always take at least one row).
-    size_t j = i;
-    uint64_t estimate = 8;
-    while (j < rows.size()) {
-      const uint64_t row_bytes = EstimateRowBytes(rows[j].second->nnz());
-      if (j > i && max_chunk_bytes > 0 &&
-          estimate + row_bytes > max_chunk_bytes) {
-        break;
-      }
-      estimate += row_bytes;
-      ++j;
-    }
+    const size_t j = ChunkEnd(rows, i, max_chunk_bytes);
     RowChunk chunk;
     if (quantize) {
       Bytes structure;

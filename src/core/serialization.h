@@ -79,6 +79,26 @@ EncodeResult EncodeRows(const linalg::ActivationMap& source,
                         const std::vector<int32_t>& row_ids,
                         uint64_t max_chunk_bytes, const WireCodec& codec);
 
+/// What an EncodeRows call WILL produce, computed without encoding: the
+/// chunk count, the exact summed raw (pre-compression) bytes, and the
+/// active row/nnz counts. Everything the serialization-CPU charge needs is
+/// known here, so channel backends price the encode up front and run the
+/// encode itself under the compute-offload window. Exactness is
+/// structural: chunk boundaries come from the same NNZ-heuristic loop
+/// EncodeRows uses, and raw bytes are varint-length arithmetic over the
+/// identical wire layout (the quantized mode's lossless-equivalent raw
+/// size follows the same formula). Covered by a PlanRows==EncodeRows
+/// agreement test across codecs and chunk caps.
+struct EncodePlan {
+  uint64_t raw_bytes = 0;   ///< Σ chunk.raw_bytes EncodeRows will report
+  size_t num_chunks = 0;    ///< chunks EncodeRows will emit (≥ 1)
+  int32_t active_rows = 0;
+  int64_t active_nnz = 0;
+};
+EncodePlan PlanRows(const linalg::ActivationMap& source,
+                    const std::vector<int32_t>& row_ids,
+                    uint64_t max_chunk_bytes);
+
 /// Decodes a chunk produced by EncodeRows into `out` (rows merged in).
 /// Chunks are self-describing (tag byte), so no codec argument is needed.
 Status DecodeRows(const Bytes& wire, linalg::ActivationMap* out);

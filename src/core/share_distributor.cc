@@ -305,10 +305,14 @@ bool ShareDistributor::TransferPunched(cloud::FaasContext* ctx,
   cloud::P2pFabric& fabric = cloud_->p2p();
   const uint64_t chunk_bytes = options_.peer_chunk_bytes;
   const uint64_t total = ChunkCount(share_bytes, chunk_bytes);
+  // Encode/transmit pipeline: the first chunk encodes inline; each later
+  // chunk encodes under the PREVIOUS chunk's wire-time wait (OffloadFor),
+  // so a compute pool overlaps the encode with the transfer. Virtual time
+  // is unchanged — the wait was already charged.
+  Bytes chunk = EncodeShareChunk(key.family, key.partition_id, key.version,
+                                 /*seq=*/0, total,
+                                 PayloadFor(share_bytes, chunk_bytes, 0));
   for (uint64_t seq = 0; seq < total; ++seq) {
-    Bytes chunk = EncodeShareChunk(key.family, key.partition_id, key.version,
-                                   seq, total,
-                                   PayloadFor(share_bytes, chunk_bytes, seq));
     metrics->share_peer_bytes += static_cast<int64_t>(chunk.size());
     ++metrics->share_peer_chunks;
     const cloud::P2pFabric::SendOutcome sent =
@@ -318,7 +322,19 @@ bool ShareDistributor::TransferPunched(cloud::FaasContext* ctx,
     // on the link, so the driver waits out each chunk's wire time before
     // dispatching the next (the relay below fans out over a sharded
     // service instead and needs no such serialization).
-    if (!ctx->SleepFor(sent.latency).ok()) return false;
+    Bytes next;
+    std::function<void()> encode_next;
+    if (seq + 1 < total) {
+      encode_next = [&, next_seq = seq + 1]() {
+        next = EncodeShareChunk(
+            key.family, key.partition_id, key.version, next_seq, total,
+            PayloadFor(share_bytes, chunk_bytes, next_seq));
+      };
+    }
+    if (!ctx->OffloadFor(sent.latency, std::move(encode_next)).ok()) {
+      return false;
+    }
+    chunk = std::move(next);
   }
   uint64_t received = 0;
   const double give_up_at = cloud_->sim()->Now() + options_.max_wait_s;

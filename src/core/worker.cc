@@ -274,23 +274,40 @@ Status RunBatch(cloud::FaasContext* ctx, RunState* state,
     // serial reference: one pass in CSR order over local + received) ---
     const linalg::ActivationMap* local = &x;
     const linalg::ActivationMap* remote = &received;
-    linalg::LayerForwardStats stats;
-    linalg::ActivationMap next = linalg::LayerForward(
-        dnn.weights[k], partition.owned_rows[worker_id],
+    const linalg::RowProvider provider =
         [local, remote](int32_t row) -> const linalg::SparseVector* {
-          auto it = local->find(row);
-          if (it != local->end()) return &it->second;
-          auto jt = remote->find(row);
-          if (jt != remote->end()) return &jt->second;
-          return nullptr;
-        },
-        dnn.config.bias, dnn.config.relu_cap, batch, &stats);
-
-    const double post_macs = std::max(0.0, stats.macs - pre_macs);
-    FSD_RETURN_IF_ERROR(
-        ctx->Burn(2.0 * post_macs + static_cast<double>(stats.output_nnz)));
+      auto it = local->find(row);
+      if (it != local->end()) return &it->second;
+      auto jt = remote->find(row);
+      if (jt != remote->end()) return &jt->second;
+      return nullptr;
+    };
+    // Price the multiply BEFORE running it (the MAC count is determined by
+    // the inputs alone), then run the kernel itself under that virtual
+    // window via the compute-offload primitive: with compute_threads > 0
+    // the spmm executes on a real pool thread while peers' events
+    // dispatch, at 0 it runs inline at the window's end — either way the
+    // window is the same, so virtual behaviour is byte-identical.
+    const double macs = linalg::CountLayerMacs(
+        dnn.weights[k], partition.owned_rows[worker_id], provider);
+    const double post_macs = std::max(0.0, macs - pre_macs);
+    const double kernel_s = state->cloud->compute().FaasComputeSeconds(
+        2.0 * post_macs, ctx->memory_mb());
+    linalg::LayerForwardStats stats;
+    linalg::ActivationMap next;
+    FSD_RETURN_IF_ERROR(ctx->OffloadFor(kernel_s, [&]() {
+      next = linalg::LayerForward(dnn.weights[k],
+                                  partition.owned_rows[worker_id], provider,
+                                  dnn.config.bias, dnn.config.relu_cap, batch,
+                                  &stats);
+    }));
+    // Activation FLOPs depend on the measured output NNZ, so they are
+    // charged after the join.
+    FSD_RETURN_IF_ERROR(ctx->Burn(static_cast<double>(stats.output_nnz)));
     prev_layer_macs = stats.macs;
 
+    lm.offload_calls += 1;
+    lm.offload_virtual_s += kernel_s;
     lm.compute_macs += stats.macs;
     lm.compute_s += state->cloud->compute().FaasComputeSeconds(
         2.0 * stats.macs + static_cast<double>(stats.output_nnz),

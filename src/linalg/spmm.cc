@@ -86,6 +86,37 @@ AccumulateFn ResolveAccumulate() {
   return AccumulatePortable;
 }
 
+/// Per-thread kernel scratch: the dense accumulator panel, the epoch-stamp
+/// array and the touched list. thread_local ownership makes concurrent
+/// LayerForward calls (offloaded worker kernels overlapping on a compute
+/// pool) race-free by construction, and reusing the panel across calls on
+/// the same thread drops the per-call allocation cost.
+///
+/// Invariants carried across calls: `acc` is all-zero between calls (the
+/// row loop resets every touched slot as it emits the row), and every
+/// stamp satisfies stamp[pos] != epoch+1 at entry (stamps only ever hold
+/// past epochs; the wrap branch refills on overflow), so reuse cannot
+/// change results.
+struct KernelScratch {
+  std::vector<float> acc;
+  std::vector<uint32_t> stamp;
+  std::vector<int32_t> touched;
+  uint32_t epoch = 0;
+
+  void Prepare(size_t batch) {
+    if (acc.size() < batch) {
+      acc.resize(batch, 0.0f);
+      stamp.resize(batch, 0u);  // 0 is never a live epoch (see wrap branch)
+    }
+    touched.reserve(batch);
+  }
+};
+
+KernelScratch& ThreadScratch() {
+  thread_local KernelScratch scratch;
+  return scratch;
+}
+
 /// Shared kernel core. RowSource provides the row iteration:
 ///   size_t size() const;
 ///   int32_t cols() const;
@@ -97,14 +128,16 @@ ActivationMap LayerForwardImpl(const RowSource& source,
                                float relu_cap, int32_t batch,
                                LayerForwardStats* stats) {
   ActivationMap out;
-  std::vector<float> acc(static_cast<size_t>(batch));
   // Epoch stamps replace the old `acc[pos] == 0.0f` probe: a position is
   // first-touched iff its stamp lags the row epoch, so the touched list is
-  // duplicate-free even when sums cancel to exactly zero mid-row.
-  std::vector<uint32_t> stamp(static_cast<size_t>(batch), 0);
-  std::vector<int32_t> touched;
-  touched.reserve(batch);
-  uint32_t epoch = 0;
+  // duplicate-free even when sums cancel to exactly zero mid-row. The
+  // panels live in per-thread scratch (see KernelScratch).
+  KernelScratch& scratch = ThreadScratch();
+  scratch.Prepare(static_cast<size_t>(batch));
+  float* const acc = scratch.acc.data();
+  uint32_t* const stamp = scratch.stamp.data();
+  std::vector<int32_t>& touched = scratch.touched;
+  uint32_t& epoch = scratch.epoch;
   // Provider results are memoized per call: every provider is a pure lookup
   // into this layer's input activations, and W's columns repeat across the
   // row block, so the std::function + map-find cost is paid once per
@@ -123,7 +156,7 @@ ActivationMap LayerForwardImpl(const RowSource& source,
 
   for (size_t local = 0; local < source.size(); ++local) {
     if (++epoch == 0) {  // wrapped: stale stamps could alias, restart
-      std::fill(stamp.begin(), stamp.end(), 0u);
+      std::fill(scratch.stamp.begin(), scratch.stamp.end(), 0u);
       epoch = 1;
     }
     // Sparse accumulation: only positions touched by some input row are
@@ -140,7 +173,7 @@ ActivationMap LayerForwardImpl(const RowSource& source,
       }
       if (x == nullptr || x->empty()) return;
       macs += static_cast<double>(x->nnz());
-      accumulate(*x, weight, acc.data(), stamp.data(), epoch, touched);
+      accumulate(*x, weight, acc, stamp, epoch, touched);
     });
     if (touched.empty()) continue;
     std::sort(touched.begin(), touched.end());
@@ -177,6 +210,33 @@ ActivationMap LayerForwardImpl(const RowSource& source,
     stats->output_nnz = output_nnz;
   }
   return out;
+}
+
+/// Replays LayerForwardImpl's provider walk — same iteration order, same
+/// memoization, same `macs +=` accumulation — without touching the
+/// accumulator panels, so the returned count matches stats->macs of the
+/// corresponding kernel call bit-for-bit.
+template <typename RowSource>
+double CountMacsImpl(const RowSource& source, const RowProvider& provider) {
+  const size_t cols = static_cast<size_t>(std::max<int32_t>(source.cols(), 0));
+  std::vector<const SparseVector*> memo(cols, nullptr);
+  std::vector<uint8_t> memo_known(cols, 0);
+  double macs = 0.0;
+  for (size_t local = 0; local < source.size(); ++local) {
+    source.ForEach(local, [&](int32_t col, float /*weight*/) {
+      const SparseVector* x;
+      if (memo_known[col]) {
+        x = memo[col];
+      } else {
+        x = provider(col);
+        memo[col] = x;
+        memo_known[col] = 1;
+      }
+      if (x == nullptr || x->empty()) return;
+      macs += static_cast<double>(x->nnz());
+    });
+  }
+  return macs;
 }
 
 struct BlockSource {
@@ -249,6 +309,12 @@ ActivationMap LayerForward(const CsrMatrix& weights,
                            LayerForwardStats* stats) {
   return LayerForwardImpl(SubsetSource{weights, rows}, provider, bias,
                           relu_cap, batch, stats);
+}
+
+double CountLayerMacs(const CsrMatrix& weights,
+                      const std::vector<int32_t>& rows,
+                      const RowProvider& provider) {
+  return CountMacsImpl(SubsetSource{weights, rows}, provider);
 }
 
 ActivationMap LayerForwardAll(const CsrMatrix& weights,

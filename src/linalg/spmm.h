@@ -4,6 +4,11 @@
 // This single kernel is shared by the serial reference engine, the server
 // baselines and every FSD-Inference worker, so distributed results can be
 // compared bit-for-bit against the reference.
+//
+// Thread safety: the kernel's dense accumulator panel and epoch-stamped
+// touched tracking live in thread_local scratch, so concurrent
+// LayerForward calls from different threads (the sim's compute-offload
+// pool) are race-free and produce results identical to serial calls.
 #ifndef FSD_LINALG_SPMM_H_
 #define FSD_LINALG_SPMM_H_
 
@@ -93,6 +98,16 @@ ActivationMap LayerForward(const CsrMatrix& weights,
                            const RowProvider& provider, float bias,
                            float relu_cap, int32_t batch,
                            LayerForwardStats* stats = nullptr);
+
+/// Exact MAC count the subset LayerForward above would report in
+/// stats->macs, computed by replaying the kernel's provider walk without
+/// running the accumulation. The compute-offload path uses this to price a
+/// kernel's virtual time BEFORE submitting the kernel itself to the pool.
+/// Bit-identical to the kernel's count (same iteration order; all addends
+/// are integer-valued doubles).
+double CountLayerMacs(const CsrMatrix& weights,
+                      const std::vector<int32_t>& rows,
+                      const RowProvider& provider);
 
 /// Zero-copy variant over every row of `weights` (serial reference).
 ActivationMap LayerForwardAll(const CsrMatrix& weights,

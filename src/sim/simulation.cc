@@ -1,6 +1,7 @@
 #include "sim/simulation.h"
 
 #include <algorithm>
+#include <chrono>
 
 #include "common/logging.h"
 
@@ -39,6 +40,12 @@ Simulation::~Simulation() {
   // Make every kernel entry point inert before waking the victims: their
   // unwinding stacks may re-enter the simulation (see tearing_down()).
   tearing_down_.store(true, std::memory_order_release);
+  // Offloaded closures reference buffers on the submitting processes'
+  // stacks, so the pool must be fully quiesced BEFORE any process stack is
+  // unwound or freed. Submitters blocked on their completion wake are
+  // unwound below via ProcessKilled and never reach their acquire, so
+  // discarding their queued jobs is safe.
+  DrainOffloadPool();
 #if FSD_SIM_HAS_FIBERS
   if (fibers_) {
     // Resume each still-blocked fiber once with the kill flag set: its
@@ -391,6 +398,116 @@ void Simulation::Hold(SimTime dt) {
   FSD_CHECK(p != nullptr);
   ScheduleWake(p, dt, /*is_timeout=*/false, /*epoch=*/0);
   YieldToScheduler(p);
+}
+
+void Simulation::Offload(SimTime duration, std::function<void()> fn) {
+  Process* p = running_;
+  if (tearing_down() || p == nullptr) {
+    // Destructor unwind or scheduler context: no process to park, no pool
+    // guaranteed alive. Run synchronously so the caller's side effects
+    // still happen (e.g. a destructor flushing a buffer) and return.
+    if (fn != nullptr) fn();
+    return;
+  }
+  if (fn != nullptr) {
+    ++offload_calls_;
+    offload_virtual_s_ += duration;
+  }
+  // Uniform virtual-time path for every pool size: the completion event is
+  // an ordinary wake at now+duration, scheduled BEFORE the yield, so event
+  // (time, seq) order cannot depend on compute_threads. Only where the
+  // closure physically executes differs — unobservable under the Offload
+  // determinism contract (the submitter is blocked throughout).
+  const bool pooled = fn != nullptr && tuning_.compute_threads > 0;
+  if (pooled) {
+    EnsureOffloadPool();
+    {
+      std::lock_guard<std::mutex> lock(offload_pool_->mutex);
+      offload_pool_->queue.push_back(OffloadJob{std::move(fn), &p->offload_sem});
+    }
+    offload_pool_->cv.notify_one();
+  }
+  ScheduleWake(p, duration, /*is_timeout=*/false, /*epoch=*/0);
+  YieldToScheduler(p);  // throws ProcessKilled at teardown — before acquire
+  if (pooled) {
+    // Join the closure. Usually a no-op: the pool had the whole virtual
+    // window's worth of wall time to finish it.
+    p->offload_sem.acquire();
+  } else if (fn != nullptr) {
+    fn();  // inline tier: run at the resume point, after the window
+  }
+}
+
+OffloadStats Simulation::offload_stats() const {
+  OffloadStats stats;
+  stats.calls = offload_calls_;
+  stats.virtual_s = offload_virtual_s_;
+  if (offload_pool_ != nullptr) {
+    std::lock_guard<std::mutex> lock(offload_pool_->mutex);
+    stats.pool_runs = offload_pool_->runs;
+    stats.pool_busy_wall_s = offload_pool_->busy_wall_s;
+  }
+  return stats;
+}
+
+void Simulation::EnsureOffloadPool() {
+  if (offload_pool_ != nullptr) return;
+  offload_pool_ = std::make_unique<OffloadPool>();
+  const int n = tuning_.compute_threads;
+  offload_pool_->threads.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    offload_pool_->threads.emplace_back([this] { OffloadWorkerMain(); });
+  }
+}
+
+void Simulation::OffloadWorkerMain() {
+  OffloadPool* pool = offload_pool_.get();
+  for (;;) {
+    OffloadJob job;
+    {
+      std::unique_lock<std::mutex> lock(pool->mutex);
+      pool->cv.wait(lock,
+                    [pool] { return pool->shutdown || !pool->queue.empty(); });
+      if (pool->queue.empty()) return;  // shutdown, nothing left to run
+      job = std::move(pool->queue.front());
+      pool->queue.pop_front();
+      ++pool->active;
+    }
+    const auto wall_start = std::chrono::steady_clock::now();
+    job.fn();
+    const double busy =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      wall_start)
+            .count();
+    // Publish completion to the parked submitter first, then retire the
+    // job; the semaphore release carries the happens-before edge for the
+    // closure's writes.
+    job.done->release();
+    {
+      std::lock_guard<std::mutex> lock(pool->mutex);
+      --pool->active;
+      ++pool->runs;
+      pool->busy_wall_s += busy;
+    }
+    pool->idle_cv.notify_all();
+  }
+}
+
+void Simulation::DrainOffloadPool() {
+  if (offload_pool_ == nullptr) return;
+  OffloadPool* pool = offload_pool_.get();
+  {
+    std::unique_lock<std::mutex> lock(pool->mutex);
+    // Queued-but-unstarted jobs are discarded: their submitters are about
+    // to be unwound with ProcessKilled and never reach the acquire.
+    pool->queue.clear();
+    pool->shutdown = true;
+    // In-flight closures still reference live process stacks — wait them
+    // out before any unwind begins.
+    pool->idle_cv.wait(lock, [pool] { return pool->active == 0; });
+  }
+  pool->cv.notify_all();
+  for (std::thread& t : pool->threads) t.join();
 }
 
 bool Simulation::WaitSignal(SimSignal* signal, SimTime timeout) {

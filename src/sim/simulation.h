@@ -27,6 +27,7 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <memory>
 #include <mutex>
@@ -90,6 +91,13 @@ struct SimTuning {
   /// the whole kernel budget. Ignored (thread fallback) when the build
   /// lacks fiber support (FSD_SIM_HAS_FIBERS == 0: sanitizers, non-Linux).
   bool use_fibers = true;
+  /// Real threads for Simulation::Offload closures. 0 runs every closure
+  /// inline on the scheduler thread (today's behaviour); N overlaps
+  /// closures from distinct processes across N host cores. Like the other
+  /// knobs this must never change observable simulation behaviour — the
+  /// closure's virtual cost is charged analytically either way, so event
+  /// order, outputs and ledgers are byte-identical for every value.
+  int compute_threads = 0;
 
   static SimTuning Legacy() {
     SimTuning tuning;
@@ -131,6 +139,17 @@ class ProcessHandle {
 
  private:
   std::shared_ptr<SimSignal> done_;
+};
+
+/// Counters for the compute-offload layer (see Simulation::Offload).
+/// `calls`/`virtual_s` are virtual-time facts and byte-identical across
+/// every `compute_threads` value; `pool_runs`/`pool_busy_wall_s` describe
+/// the real thread pool and are wall-clock (zero when compute_threads==0).
+struct OffloadStats {
+  uint64_t calls = 0;           ///< Offload() invocations carrying a closure
+  double virtual_s = 0.0;       ///< total virtual seconds charged for them
+  uint64_t pool_runs = 0;       ///< closures actually run on pool threads
+  double pool_busy_wall_s = 0.0;  ///< wall seconds pool threads spent busy
 };
 
 /// The DES kernel. Not thread-safe from outside: construct, AddProcess, Run.
@@ -178,6 +197,25 @@ class Simulation {
   /// Schedules `fn` to run inside the scheduler at now+delay (no process
   /// context; used for service-side events like message delivery).
   void ScheduleCallback(SimTime delay, std::function<void()> fn);
+
+  /// Runs `fn` while this process's virtual time advances by `duration`:
+  /// the process yields, other events dispatch inside the virtual window
+  /// [now, now+duration], and the process resumes at now+duration with
+  /// `fn`'s side effects complete. With tuning().compute_threads == 0 the
+  /// closure runs inline at the resume point; with N > 0 it runs on a real
+  /// pool thread while the scheduler keeps dispatching — byte-identical
+  /// virtual behaviour, better wall-clock.
+  ///
+  /// Determinism contract for `fn`: it may touch state owned by the
+  /// calling process (which is blocked until the closure completes) and
+  /// immutable shared data; it must not touch the Simulation, other
+  /// processes' state, or any shared-mutable state, and it must not throw
+  /// (capture a status instead and surface it after the call returns).
+  /// A null `fn` is a plain virtual sleep (equivalent to Hold(duration)).
+  void Offload(SimTime duration, std::function<void()> fn);
+
+  /// Snapshot of the offload counters (see OffloadStats).
+  OffloadStats offload_stats() const;
 
   /// Name of the currently running process (for logs/metrics).
   const std::string& CurrentProcessName() const;
@@ -244,11 +282,40 @@ class Simulation {
     uint64_t wait_epoch = 0;      // guards against stale timeout events
     std::shared_ptr<SimSignal> done;
     Worker* worker = nullptr;     // execution thread (null until bound)
+    /// Released by a pool thread when this process's offloaded closure
+    /// completes; acquired by the process after its completion wake.
+    /// Processes are heap-allocated and never move, so the pool thread's
+    /// pointer to this stays valid until the destructor drains the pool.
+    std::binary_semaphore offload_sem{0};
 #if FSD_SIM_HAS_FIBERS
     Simulation* sim = nullptr;    // back-pointer for the fiber trampoline
     ucontext_t context;           // fiber execution state
     std::unique_ptr<char[]> stack;  // fiber stack (lazily allocated)
 #endif
+  };
+
+  /// One queued compute-offload closure plus the semaphore that reports
+  /// its completion to the submitting process.
+  struct OffloadJob {
+    std::function<void()> fn;
+    std::binary_semaphore* done = nullptr;
+  };
+
+  /// The real thread pool behind Offload (lazily created on first use when
+  /// compute_threads > 0). Pool threads only ever touch the job queue, the
+  /// submitted closures and the per-process completion semaphores — never
+  /// kernel state — so the scheduler stays single-threaded.
+  struct OffloadPool {
+    std::mutex mutex;
+    std::condition_variable cv;       // workers wait for jobs/shutdown
+    std::condition_variable idle_cv;  // drain waits for active == 0
+    std::deque<OffloadJob> queue;
+    std::vector<std::thread> threads;
+    int active = 0;        // jobs currently executing on pool threads
+    bool shutdown = false;
+    // Wall-clock pool counters (under mutex; see OffloadStats).
+    uint64_t runs = 0;
+    double busy_wall_s = 0.0;
   };
 
   enum class EventKind : uint8_t {
@@ -295,6 +362,14 @@ class Simulation {
   /// Frees a finished process's slot (and joins + frees its dedicated
   /// thread on the non-reuse tier). Called by the scheduler after resume.
   void ReapProcess(Process* p);
+  /// Spawns the compute pool on the first pooled Offload.
+  void EnsureOffloadPool();
+  /// Pool-thread main loop: pop job, run closure, release its semaphore.
+  void OffloadWorkerMain();
+  /// Teardown: discard queued jobs, wait out in-flight closures, join the
+  /// pool. Must complete before any process stack (which closures may
+  /// reference) is unwound or freed.
+  void DrainOffloadPool();
 #if FSD_SIM_HAS_FIBERS
   /// Allocates the fiber stack and context for `p`'s first resume.
   void StartFiber(Process* p);
@@ -330,6 +405,11 @@ class Simulation {
   Process* running_ = nullptr;
   bool in_run_ = false;
   std::atomic<bool> tearing_down_{false};
+  /// Compute-offload pool (null until the first pooled Offload) and the
+  /// scheduler-thread-owned virtual counters.
+  std::unique_ptr<OffloadPool> offload_pool_;
+  uint64_t offload_calls_ = 0;
+  double offload_virtual_s_ = 0.0;
 };
 
 /// Computes the virtual-time makespan of running `latencies` on `lanes`

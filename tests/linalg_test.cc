@@ -2,6 +2,7 @@
 
 #include <bit>
 #include <cstdint>
+#include <thread>
 #include <tuple>
 
 #include "common/rng.h"
@@ -315,6 +316,123 @@ TEST(LayerForward, EmptyInputYieldsEmptyOutput) {
       w, [](int32_t) -> const SparseVector* { return nullptr; }, -0.1f,
       32.0f, 8);
   EXPECT_TRUE(out.empty());
+}
+
+// ---------------------------------------------------------------------------
+// Compute-offload support: the MAC pre-pass and thread-safe scratch.
+
+struct RandomProblem {
+  CsrMatrix weights;
+  ActivationMap x;
+  int32_t batch = 0;
+
+  RowProvider Provider() const {
+    return [this](int32_t row) -> const SparseVector* {
+      auto it = x.find(row);
+      return it == x.end() ? nullptr : &it->second;
+    };
+  }
+
+  static RandomProblem Make(uint64_t seed, int32_t n, int32_t batch,
+                            int nnz_per_row, double density) {
+    Rng rng(seed);
+    RandomProblem problem;
+    problem.batch = batch;
+    std::vector<Triplet> triplets;
+    for (int32_t i = 0; i < n; ++i) {
+      for (int k = 0; k < nnz_per_row; ++k) {
+        triplets.push_back(
+            {i, static_cast<int32_t>(rng.NextBounded(n)),
+             static_cast<float>(rng.NextUniform(-0.5, 1.0))});
+      }
+    }
+    problem.weights = CsrMatrix::FromTriplets(n, n, triplets);
+    for (int32_t j = 0; j < n; ++j) {
+      SparseVector row;
+      row.dim = batch;
+      for (int32_t s = 0; s < batch; ++s) {
+        if (rng.NextBool(density)) {
+          row.idx.push_back(s);
+          row.val.push_back(static_cast<float>(rng.NextUniform(0.1, 2.0)));
+        }
+      }
+      if (!row.empty()) problem.x.emplace(j, std::move(row));
+    }
+    return problem;
+  }
+};
+
+TEST(CountLayerMacs, MatchesKernelStatsExactly) {
+  // The pre-pass prices a kernel's virtual time BEFORE the kernel runs;
+  // any divergence from stats.macs would silently skew event times, so
+  // the agreement must be bitwise, not approximate.
+  for (uint64_t seed = 1; seed <= 8; ++seed) {
+    const RandomProblem problem =
+        RandomProblem::Make(seed, 96, 8, 6, 0.25);
+    std::vector<int32_t> all_rows, evens;
+    for (int32_t i = 0; i < problem.weights.rows(); ++i) {
+      all_rows.push_back(i);
+      if (i % 2 == 0) evens.push_back(i);
+    }
+    for (const std::vector<int32_t>* rows : {&all_rows, &evens}) {
+      const RowProvider provider = problem.Provider();
+      const double predicted =
+          CountLayerMacs(problem.weights, *rows, provider);
+      LayerForwardStats stats;
+      LayerForward(problem.weights, *rows, provider, -0.25f, 4.0f,
+                   problem.batch, &stats);
+      EXPECT_EQ(predicted, stats.macs) << "seed " << seed;
+    }
+  }
+  // Empty subset and empty input both price to zero.
+  const RandomProblem problem = RandomProblem::Make(9, 16, 4, 2, 0.5);
+  EXPECT_EQ(CountLayerMacs(problem.weights, {}, problem.Provider()), 0.0);
+  EXPECT_EQ(CountLayerMacs(problem.weights, {0, 1},
+                           [](int32_t) -> const SparseVector* {
+                             return nullptr;
+                           }),
+            0.0);
+}
+
+TEST(LayerForward, ConcurrentCallsMatchSerialByteForByte) {
+  // The kernel's accumulator panel and epoch-stamped touched tracking are
+  // thread_local: concurrent calls from a compute pool must neither race
+  // nor perturb results. Each thread replays problems a serial pass
+  // already solved and demands identical ActivationMaps.
+  constexpr int kProblems = 8;
+  constexpr int kRepeats = 4;
+  std::vector<RandomProblem> problems;
+  std::vector<ActivationMap> serial(kProblems);
+  std::vector<LayerForwardStats> serial_stats(kProblems);
+  for (int i = 0; i < kProblems; ++i) {
+    problems.push_back(
+        RandomProblem::Make(100 + i, 128, 16, 8, 0.2));
+  }
+  for (int i = 0; i < kProblems; ++i) {
+    serial[i] = LayerForwardAll(problems[i].weights, problems[i].Provider(),
+                                -0.25f, 4.0f, problems[i].batch,
+                                &serial_stats[i]);
+  }
+  std::vector<std::thread> threads;
+  std::vector<int> mismatches(kProblems, 0);
+  for (int i = 0; i < kProblems; ++i) {
+    threads.emplace_back([&, i]() {
+      for (int r = 0; r < kRepeats; ++r) {
+        LayerForwardStats stats;
+        const ActivationMap out = LayerForwardAll(
+            problems[i].weights, problems[i].Provider(), -0.25f, 4.0f,
+            problems[i].batch, &stats);
+        if (out != serial[i] || stats.macs != serial_stats[i].macs ||
+            stats.output_nnz != serial_stats[i].output_nnz) {
+          ++mismatches[i];
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  for (int i = 0; i < kProblems; ++i) {
+    EXPECT_EQ(mismatches[i], 0) << "problem " << i;
+  }
 }
 
 }  // namespace

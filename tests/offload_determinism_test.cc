@@ -1,0 +1,172 @@
+// Compute-offload determinism: the acceptance gate for multi-core worker
+// kernels. A serving fleet (real sparse kernels, channel codecs, billing)
+// must produce BYTE-IDENTICAL outputs, FleetStats and billing ledgers for
+// every compute pool size — 0 (inline), 1, 4 and the host's hardware
+// concurrency — the pool may only change the wall clock, never an event.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cloud/cloud.h"
+#include "core/serving.h"
+#include "model/input_gen.h"
+#include "model/reference.h"
+
+namespace fsd::core {
+namespace {
+
+struct Workload {
+  model::SparseDnn dnn;
+  part::ModelPartition partition;
+  linalg::ActivationMap input;
+  linalg::ActivationMap expected;
+};
+
+Workload MakeWorkload(int32_t neurons, int32_t layers, int32_t batch,
+                      int32_t workers, uint64_t seed = 7) {
+  model::SparseDnnConfig config;
+  config.neurons = neurons;
+  config.layers = layers;
+  config.seed = seed;
+  auto dnn = model::GenerateSparseDnn(config);
+  EXPECT_TRUE(dnn.ok()) << dnn.status().ToString();
+
+  part::ModelPartitionOptions po;
+  auto partition = part::PartitionModel(*dnn, workers, po);
+  EXPECT_TRUE(partition.ok()) << partition.status().ToString();
+
+  model::InputConfig input_config;
+  input_config.neurons = neurons;
+  input_config.batch = batch;
+  input_config.seed = seed + 1;
+  auto input = model::GenerateInputBatch(input_config);
+  EXPECT_TRUE(input.ok()) << input.status().ToString();
+
+  auto expected = model::ReferenceInference(*dnn, *input);
+  EXPECT_TRUE(expected.ok()) << expected.status().ToString();
+  return Workload{std::move(*dnn), std::move(*partition), std::move(*input),
+                  std::move(*expected)};
+}
+
+/// Everything a run can observe: outputs, per-query metrics, fleet stats,
+/// the full billing ledger and the kernel's event count. Byte-compared.
+struct Artifacts {
+  std::vector<std::vector<linalg::ActivationMap>> outputs;
+  std::vector<std::string> query_metrics;
+  std::string fleet_summary;
+  std::string ledger;
+  uint64_t events = 0;
+  uint64_t offload_calls = 0;  // wall-clock side; NOT part of the compare
+};
+
+Artifacts RunFleet(const Workload& w, Variant variant, int compute_threads,
+                   int32_t quant_bits) {
+  constexpr int32_t kWorkers = 4;
+  constexpr int kQueries = 2;
+  sim::SimTuning tuning;
+  tuning.compute_threads = compute_threads;
+  sim::Simulation sim(tuning);
+  cloud::CloudEnv cloud(&sim);
+  ServingRuntime serving(&cloud);
+
+  InferenceRequest request;
+  request.dnn = &w.dnn;
+  request.partition = &w.partition;
+  request.batches = {&w.input};
+  request.options.variant = variant;
+  request.options.num_workers = kWorkers;
+  request.options.quant_bits = quant_bits;
+  for (int q = 0; q < kQueries; ++q) {
+    auto id = serving.Submit(request, 0.01 * q);
+    EXPECT_TRUE(id.ok()) << id.status().ToString();
+  }
+  auto report = serving.Drain();
+  EXPECT_TRUE(report.ok()) << report.status().ToString();
+
+  Artifacts artifacts;
+  for (const QueryOutcome& outcome : report->queries) {
+    EXPECT_TRUE(outcome.report.status.ok())
+        << outcome.report.status.ToString();
+    artifacts.outputs.push_back(outcome.report.outputs);
+    artifacts.query_metrics.push_back(outcome.report.metrics.Summary());
+  }
+  artifacts.fleet_summary = report->fleet.Summary();
+  artifacts.ledger = cloud.billing().ToString();
+  artifacts.events = sim.events_dispatched();
+  artifacts.offload_calls = sim.offload_stats().calls;
+  return artifacts;
+}
+
+std::vector<int> PoolSizes() {
+  std::vector<int> pools = {0, 1, 4};
+  const int hw = static_cast<int>(std::thread::hardware_concurrency());
+  if (hw > 0 && std::find(pools.begin(), pools.end(), hw) == pools.end()) {
+    pools.push_back(hw);
+  }
+  return pools;
+}
+
+class OffloadDeterminism : public ::testing::TestWithParam<Variant> {};
+
+TEST_P(OffloadDeterminism, FleetByteIdenticalAcrossPoolSizes) {
+  const Variant variant = GetParam();
+  const Workload w = MakeWorkload(256, 8, 16, 4);
+  const Artifacts baseline = RunFleet(w, variant, /*compute_threads=*/0,
+                                      /*quant_bits=*/0);
+  // The offload path is genuinely exercised (kernels + codec passes), and
+  // the deterministic metrics surface it.
+  EXPECT_GT(baseline.offload_calls, 0u);
+  EXPECT_NE(baseline.fleet_summary.find(" offload="), std::string::npos)
+      << baseline.fleet_summary;
+  // Correct answers, not just consistent ones.
+  for (const auto& outputs : baseline.outputs) {
+    ASSERT_EQ(outputs.size(), 1u);
+    EXPECT_EQ(outputs[0], w.expected);
+  }
+
+  for (const int pool : PoolSizes()) {
+    if (pool == 0) continue;
+    const Artifacts run = RunFleet(w, variant, pool, /*quant_bits=*/0);
+    EXPECT_EQ(baseline.outputs, run.outputs) << "pool " << pool;
+    EXPECT_EQ(baseline.query_metrics, run.query_metrics) << "pool " << pool;
+    EXPECT_EQ(baseline.fleet_summary, run.fleet_summary) << "pool " << pool;
+    EXPECT_EQ(baseline.ledger, run.ledger) << "pool " << pool;
+    EXPECT_EQ(baseline.events, run.events) << "pool " << pool;
+    EXPECT_EQ(baseline.offload_calls, run.offload_calls) << "pool " << pool;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBackends, OffloadDeterminism,
+                         ::testing::Values(Variant::kQueue, Variant::kObject,
+                                           Variant::kKv, Variant::kDirect),
+                         [](const auto& info) {
+                           switch (info.param) {
+                             case Variant::kQueue: return std::string("Queue");
+                             case Variant::kObject: return std::string("Object");
+                             case Variant::kKv: return std::string("Kv");
+                             case Variant::kDirect: return std::string("Direct");
+                             default: return std::string("Other");
+                           }
+                         });
+
+TEST(OffloadDeterminism, QuantizedWireByteIdenticalAcrossPoolSizes) {
+  // Quantized transport adds the scan+pack pass to the offloaded encode
+  // closure and a surcharge to the charged window — both must stay
+  // byte-identical under the pool.
+  const Workload w = MakeWorkload(256, 8, 16, 4);
+  const Artifacts baseline =
+      RunFleet(w, Variant::kQueue, /*compute_threads=*/0, /*quant_bits=*/8);
+  const Artifacts pooled =
+      RunFleet(w, Variant::kQueue, /*compute_threads=*/4, /*quant_bits=*/8);
+  EXPECT_EQ(baseline.query_metrics, pooled.query_metrics);
+  EXPECT_EQ(baseline.fleet_summary, pooled.fleet_summary);
+  EXPECT_EQ(baseline.ledger, pooled.ledger);
+  EXPECT_EQ(baseline.events, pooled.events);
+  EXPECT_EQ(baseline.outputs, pooled.outputs);
+}
+
+}  // namespace
+}  // namespace fsd::core

@@ -271,5 +271,51 @@ TEST(SerializationProperty, QuantizedWireShrinksLosslessWire) {
             lossless.chunks[0].wire.size() * 7 / 10);
 }
 
+TEST(SerializationProperty, PlanRowsAgreesWithEncodeRowsExactly) {
+  // PlanRows prices the serialization CPU BEFORE the encode runs on the
+  // compute pool, so its raw-byte total, chunk count and active-row/nnz
+  // numbers must agree with the real encode exactly — for every codec
+  // (raw bytes are codec-independent by construction) and every cap.
+  const std::vector<WireCodec> codecs = {
+      WireCodec{}, LosslessCodec(true), QuantCodec(8), QuantCodec(4, false)};
+  for (uint64_t seed = 1; seed <= 6; ++seed) {
+    Rng rng(seed * 71);
+    const int32_t rows = static_cast<int32_t>(rng.NextBounded(120));
+    const double density = rng.NextUniform(0.02, 0.9);
+    const linalg::ActivationMap source = MakeRows(rows, 96, density, seed);
+    // Mix present, absent and (via MakeRows dropping empties) inactive ids.
+    std::vector<int32_t> ids = AllIds(source);
+    ids.push_back(100000);  // never present
+    for (const uint64_t cap : {uint64_t{0}, uint64_t{64}, uint64_t{700},
+                               uint64_t{1} << 20}) {
+      const EncodePlan plan = PlanRows(source, ids, cap);
+      for (const WireCodec& codec : codecs) {
+        const EncodeResult encoded = EncodeRows(source, ids, cap, codec);
+        uint64_t raw_bytes = 0;
+        for (const RowChunk& chunk : encoded.chunks) {
+          raw_bytes += chunk.raw_bytes;
+        }
+        ASSERT_EQ(plan.raw_bytes, raw_bytes)
+            << "seed " << seed << " cap " << cap;
+        ASSERT_EQ(plan.num_chunks, encoded.chunks.size())
+            << "seed " << seed << " cap " << cap;
+        ASSERT_EQ(plan.active_rows, encoded.active_rows)
+            << "seed " << seed << " cap " << cap;
+      }
+    }
+  }
+}
+
+TEST(Serialization, PlanRowsEmptySendMatchesMarkerChunk) {
+  const linalg::ActivationMap empty;
+  const EncodePlan plan = PlanRows(empty, {1, 2, 3}, 1024);
+  const EncodeResult encoded =
+      EncodeRows(empty, {1, 2, 3}, 1024, LosslessCodec(true));
+  ASSERT_EQ(encoded.chunks.size(), 1u);
+  EXPECT_EQ(plan.num_chunks, 1u);
+  EXPECT_EQ(plan.raw_bytes, encoded.chunks[0].raw_bytes);
+  EXPECT_EQ(plan.active_rows, 0);
+}
+
 }  // namespace
 }  // namespace fsd::core

@@ -20,9 +20,9 @@ namespace {
 // sequence), then executed against any tuning — so every execution of one
 // seed runs the exact same program and only the kernel under test varies.
 struct Op {
-  enum Kind { kHold, kFire, kWait, kCallback, kSpawnJoin };
+  enum Kind { kHold, kFire, kWait, kCallback, kSpawnJoin, kOffload };
   Kind kind = kHold;
-  double amount = 0.0;  // hold/callback delay or wait timeout
+  double amount = 0.0;  // hold/callback delay, wait timeout or offload charge
   int signal = 0;       // kFire / kWait target
 };
 
@@ -42,7 +42,7 @@ Program MakeProgram(uint64_t seed) {
     const int num_ops = 1 + static_cast<int>(rng.NextBounded(6));
     for (int i = 0; i < num_ops; ++i) {
       Op op;
-      switch (rng.NextBounded(5)) {
+      switch (rng.NextBounded(6)) {
         case 0:
           op.kind = Op::kHold;
           op.amount = rng.NextUniform(0.0, 2.0);
@@ -60,6 +60,10 @@ Program MakeProgram(uint64_t seed) {
           op.kind = Op::kCallback;
           op.amount = rng.NextUniform(0.0, 3.0);
           ++program.callbacks;
+          break;
+        case 4:
+          op.kind = Op::kOffload;
+          op.amount = rng.NextUniform(0.0, 1.0);
           break;
         default:
           op.kind = Op::kSpawnJoin;
@@ -117,6 +121,17 @@ RunResult Execute(const Program& program, SimTuning tuning) {
             sim.ScheduleCallback(op.amount,
                                  [&, who]() { record(who, "callback"); });
             break;
+          case Op::kOffload: {
+            // The closure writes op-local state only (the offload
+            // contract); the value is observed AFTER the join so the
+            // trace proves both the charge and the result handoff.
+            int computed = 0;
+            sim.Offload(op.amount, [&computed, who]() {
+              computed = 1000 + who;
+            });
+            record(who, computed == 1000 + who ? "offloaded" : "LOST");
+            break;
+          }
           case Op::kSpawnJoin: {
             ProcessHandle child =
                 sim.Spawn(StrFormat("child-%d", who), [&, who]() {
@@ -163,6 +178,34 @@ TEST(SimProperty, FastAndLegacyTuningsOrderIdentically) {
     ASSERT_EQ(fast.trace, legacy.trace) << "seed " << seed;
     ASSERT_EQ(fast.end_time, legacy.end_time) << "seed " << seed;
     ASSERT_EQ(fast.events_dispatched, legacy.events_dispatched)
+        << "seed " << seed;
+  }
+}
+
+TEST(SimProperty, ComputePoolSizesTraceIdentically) {
+  // compute_threads moves closures onto real threads; virtual behaviour —
+  // the full observable trace, the clock, the event count — must be
+  // byte-identical for every pool size, inline included.
+  for (uint64_t seed = 0; seed < kSeeds; ++seed) {
+    const Program program = MakeProgram(seed);
+    SimTuning inline_tuning;
+    inline_tuning.compute_threads = 0;
+    const RunResult inline_run = Execute(program, inline_tuning);
+    for (const int pool : {1, 4}) {
+      SimTuning tuning;
+      tuning.compute_threads = pool;
+      const RunResult pooled = Execute(program, tuning);
+      ASSERT_EQ(inline_run.trace, pooled.trace)
+          << "seed " << seed << " pool " << pool;
+      ASSERT_EQ(inline_run.end_time, pooled.end_time)
+          << "seed " << seed << " pool " << pool;
+      ASSERT_EQ(inline_run.events_dispatched, pooled.events_dispatched)
+          << "seed " << seed << " pool " << pool;
+    }
+    // The pool must also compose with the legacy thread-per-process path.
+    SimTuning legacy_pooled = SimTuning::Legacy();
+    legacy_pooled.compute_threads = 2;
+    ASSERT_EQ(inline_run.trace, Execute(program, legacy_pooled).trace)
         << "seed " << seed;
   }
 }

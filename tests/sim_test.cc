@@ -1,5 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <utility>
 #include <vector>
 
 #include "sim/simulation.h"
@@ -256,6 +260,171 @@ TEST(Simulation, KillPathToleratesSimCallsFromUnwindingDestructors) {
     EXPECT_EQ(sim.live_processes(), 4);
   }
   SUCCEED();
+}
+
+TEST(Simulation, OffloadChargesVirtualTimeAndRunsClosure) {
+  for (const int pool : {0, 1, 2}) {
+    SimTuning tuning;
+    tuning.compute_threads = pool;
+    Simulation sim(tuning);
+    int ran = 0;
+    double after = -1.0;
+    sim.AddProcess("p", [&]() {
+      sim.Offload(1.25, [&]() { ++ran; });
+      after = sim.Now();
+      EXPECT_EQ(ran, 1);  // result visible right after the join
+    });
+    sim.Run();
+    EXPECT_EQ(ran, 1) << "pool=" << pool;
+    EXPECT_EQ(after, 1.25) << "pool=" << pool;
+  }
+}
+
+TEST(Simulation, OffloadNullClosureIsAPlainHold) {
+  SimTuning tuning;
+  tuning.compute_threads = 2;
+  Simulation sim(tuning);
+  double after = -1.0;
+  sim.AddProcess("p", [&]() {
+    sim.Offload(2.0, nullptr);
+    after = sim.Now();
+  });
+  sim.Run();
+  EXPECT_EQ(after, 2.0);
+  EXPECT_EQ(sim.offload_stats().calls, 0u);  // null fn is not an offload
+  EXPECT_EQ(sim.offload_stats().pool_runs, 0u);
+}
+
+TEST(Simulation, OffloadFromSchedulerContextRunsInline) {
+  // No submitting process (callback context): the closure must still run,
+  // synchronously, so callers never need to special-case.
+  Simulation sim;
+  bool ran = false;
+  sim.ScheduleCallback(1.0, [&]() {
+    sim.Offload(5.0, [&]() { ran = true; });
+    EXPECT_TRUE(ran);
+  });
+  sim.Run();
+  EXPECT_TRUE(ran);
+}
+
+TEST(Simulation, OffloadStatsCountCallsAndPoolRuns) {
+  for (const int pool : {0, 3}) {
+    SimTuning tuning;
+    tuning.compute_threads = pool;
+    Simulation sim(tuning);
+    for (int p = 0; p < 4; ++p) {
+      sim.AddProcess("p", [&]() {
+        for (int i = 0; i < 3; ++i) sim.Offload(0.5, []() {});
+      });
+    }
+    sim.Run();
+    const OffloadStats stats = sim.offload_stats();
+    EXPECT_EQ(stats.calls, 12u) << "pool=" << pool;
+    EXPECT_DOUBLE_EQ(stats.virtual_s, 6.0) << "pool=" << pool;
+    EXPECT_EQ(stats.pool_runs, pool == 0 ? 0u : 12u) << "pool=" << pool;
+  }
+}
+
+TEST(Simulation, OffloadByteIdenticalAcrossPoolSizes) {
+  // A fleet of processes interleaving offloads, holds and signal traffic:
+  // the (time, order, value) trace must match for every pool size.
+  auto run_once = [](int pool) {
+    SimTuning tuning;
+    tuning.compute_threads = pool;
+    Simulation sim(tuning);
+    std::vector<std::pair<double, int>> trace;
+    auto signal = sim.MakeSignal();
+    for (int p = 0; p < 6; ++p) {
+      sim.AddProcess("p", [&, p]() {
+        int local = 0;
+        for (int i = 0; i < 4; ++i) {
+          sim.Offload(0.1 * (p + 1), [&]() { local += p + i; });
+          trace.push_back({sim.Now(), 100 * p + local});
+          if (p == 0 && i == 1) signal->Fire();
+          if (p == 5 && i == 0) (void)sim.WaitSignal(signal.get(), 10.0);
+          sim.Hold(0.05 * p);
+        }
+      });
+    }
+    sim.Run();
+    return std::make_pair(trace, sim.events_dispatched());
+  };
+  const auto inline_run = run_once(0);
+  EXPECT_EQ(inline_run, run_once(1));
+  EXPECT_EQ(inline_run, run_once(4));
+  EXPECT_EQ(inline_run,
+            run_once(static_cast<int>(std::thread::hardware_concurrency())));
+}
+
+TEST(Simulation, TeardownDrainsInFlightOffloadClosures) {
+  // Destruction with a closure RUNNING on the pool: the drain must wait it
+  // out (never free state under a live worker) and then unwind the blocked
+  // submitter without deadlock.
+  std::atomic<int> completed{0};
+  {
+    SimTuning tuning;
+    tuning.compute_threads = 2;
+    Simulation sim(tuning);
+    for (int p = 0; p < 2; ++p) {
+      sim.AddProcess("p", [&]() {
+        sim.Offload(10.0, [&]() {
+          std::this_thread::sleep_for(std::chrono::milliseconds(30));
+          ++completed;
+        });
+      });
+    }
+    sim.Run(/*until=*/1.0);  // wake events (t=10) never fire
+  }  // destructor: drain in-flight closures, then kill blocked submitters
+  // Everything that STARTED must have finished before the pool died.
+  EXPECT_LE(completed.load(), 2);
+  SUCCEED();
+}
+
+TEST(Simulation, TeardownDiscardsQueuedOffloadJobs) {
+  // More submitters than pool threads: at destruction some jobs are still
+  // QUEUED (never started). They must be discarded, not run, and their
+  // submitters unwound cleanly.
+  {
+    SimTuning tuning;
+    tuning.compute_threads = 1;
+    Simulation sim(tuning);
+    for (int p = 0; p < 6; ++p) {
+      sim.AddProcess("p", [&]() {
+        sim.Offload(10.0, [&]() {
+          std::this_thread::sleep_for(std::chrono::milliseconds(20));
+        });
+      });
+    }
+    sim.Run(/*until=*/1.0);
+  }
+  SUCCEED();
+}
+
+TEST(Simulation, KillPathToleratesOffloadFromUnwindingDestructors) {
+  // A destructor on a killed process's stack may call Offload (e.g. a
+  // worker flushing a codec buffer). During teardown the closure must run
+  // inline and return — inert, no pool, no hang.
+  struct OffloadGuard {
+    Simulation* sim;
+    bool* ran;
+    ~OffloadGuard() {
+      sim->Offload(0.5, [this]() { *ran = true; });
+    }
+  };
+  bool ran = false;
+  {
+    SimTuning tuning;
+    tuning.compute_threads = 2;
+    Simulation sim(tuning);
+    sim.AddProcess("guarded", [&]() {
+      OffloadGuard guard{&sim, &ran};
+      sim.Hold(1e9);  // blocked here when the Simulation dies
+    });
+    sim.Run(/*until=*/1.0);
+    EXPECT_EQ(sim.live_processes(), 1);
+  }
+  EXPECT_TRUE(ran);
 }
 
 TEST(ParallelMakespan, SingleLaneSums) {
